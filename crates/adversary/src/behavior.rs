@@ -1,0 +1,140 @@
+//! Attack behaviours and activation windows.
+
+use bytes::Bytes;
+use netco_net::{MacAddr, PortId};
+use netco_openflow::FlowMatch;
+use netco_sim::{SimDuration, SimTime};
+
+/// The time span during which a behaviour is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivationWindow {
+    /// Behaviour starts at this instant.
+    pub from: SimTime,
+    /// Behaviour ends at this instant (`None` = forever).
+    pub until: Option<SimTime>,
+}
+
+impl ActivationWindow {
+    /// Active for the whole simulation.
+    pub fn always() -> ActivationWindow {
+        ActivationWindow {
+            from: SimTime::ZERO,
+            until: None,
+        }
+    }
+
+    /// Active from `from` onwards.
+    pub fn starting_at(from: SimTime) -> ActivationWindow {
+        ActivationWindow { from, until: None }
+    }
+
+    /// Active inside `[from, until)`.
+    pub fn between(from: SimTime, until: SimTime) -> ActivationWindow {
+        ActivationWindow {
+            from,
+            until: Some(until),
+        }
+    }
+
+    /// `true` when the window covers `now`.
+    pub fn contains(&self, now: SimTime) -> bool {
+        now >= self.from && self.until.is_none_or(|u| now < u)
+    }
+}
+
+/// One adversarial behaviour (paper §II attack taxonomy).
+///
+/// `select` fields use [`FlowMatch`] over the sniffed packet fields; a
+/// fully wildcarded match targets all traffic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Behavior {
+    /// **Rerouting** — forward matching packets to the wrong port instead
+    /// of their correct route (e.g. bypassing a firewall).
+    Reroute {
+        /// Packets to reroute.
+        select: FlowMatch,
+        /// Wrong egress port.
+        to_port: PortId,
+    },
+    /// **Mirroring** — duplicate matching packets to an extra port while
+    /// still forwarding the original correctly (exfiltration).
+    Mirror {
+        /// Packets to mirror.
+        select: FlowMatch,
+        /// Exfiltration port.
+        to_port: PortId,
+    },
+    /// **Packet deletion** — silently drop matching packets.
+    Drop {
+        /// Packets to drop.
+        select: FlowMatch,
+    },
+    /// **Header modification** — rewrite the VLAN id (break isolation
+    /// domains) before normal forwarding.
+    SetVlan {
+        /// Packets to retag.
+        select: FlowMatch,
+        /// The VLAN id to stamp.
+        vid: u16,
+    },
+    /// **Header modification** — rewrite the destination MAC so downstream
+    /// routing misdelivers the packet.
+    RewriteDlDst {
+        /// Packets to rewrite.
+        select: FlowMatch,
+        /// The forged destination.
+        mac: MacAddr,
+    },
+    /// **Payload modification** — flip a payload byte in every `every_nth`
+    /// matching packet (checksums intentionally not fixed).
+    CorruptPayload {
+        /// Packets eligible for corruption.
+        select: FlowMatch,
+        /// Corrupt one out of this many matching packets (1 = all).
+        every_nth: u64,
+    },
+    /// **DoS (amplification)** — emit `copies` copies of matching packets
+    /// along the correct route, multiplying load downstream.
+    Replicate {
+        /// Packets to replicate.
+        select: FlowMatch,
+        /// Total copies sent (≥ 1).
+        copies: u32,
+    },
+    /// **DoS / unsolicited crafting** — generate `frame` on `out_port`
+    /// every `interval`, independent of any input traffic.
+    InjectCbr {
+        /// The crafted frame to emit.
+        frame: Bytes,
+        /// The egress port.
+        out_port: PortId,
+        /// Inter-packet gap.
+        interval: SimDuration,
+    },
+    /// **Delay** — hold matching packets for `extra` time before
+    /// forwarding them (reordering against the other replicas).
+    Delay {
+        /// Packets to delay.
+        select: FlowMatch,
+        /// Added latency.
+        extra: SimDuration,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_semantics() {
+        let w = ActivationWindow::between(SimTime::from_nanos(10), SimTime::from_nanos(20));
+        assert!(!w.contains(SimTime::from_nanos(9)));
+        assert!(w.contains(SimTime::from_nanos(10)));
+        assert!(w.contains(SimTime::from_nanos(19)));
+        assert!(!w.contains(SimTime::from_nanos(20)));
+        assert!(ActivationWindow::always().contains(SimTime::from_nanos(0)));
+        let s = ActivationWindow::starting_at(SimTime::from_nanos(5));
+        assert!(!s.contains(SimTime::from_nanos(4)));
+        assert!(s.contains(SimTime::from_nanos(1_000_000_000)));
+    }
+}

@@ -1,0 +1,37 @@
+//! Adversarial router models.
+//!
+//! The paper's threat model (§II) places *no* restriction on what a
+//! malicious router may do: reroute, mirror, modify, drop, craft and flood.
+//! A [`MaliciousSwitch`] is a router that *pretends* to implement the
+//! MAC-destination routing the controller intended while applying a list of
+//! scripted [`Behavior`]s — it deliberately does not consult any flow
+//! table, modeling a device that "completely ignores the installed
+//! OpenFlow match-action rules".
+//!
+//! Behaviours can be confined to an [`ActivationWindow`], so experiments
+//! can run a benign warm-up phase before the attack begins.
+//!
+//! # Example
+//!
+//! ```
+//! use netco_adversary::{ActivationWindow, Behavior, MaliciousSwitch};
+//! use netco_net::{MacAddr, PortId};
+//! use netco_openflow::FlowMatch;
+//!
+//! // A router that silently drops everything addressed to one host.
+//! let mut evil = MaliciousSwitch::new();
+//! evil.route(MacAddr::local(1), PortId(1));
+//! evil.add_behavior(
+//!     Behavior::Drop { select: FlowMatch::any().with_dl_dst(MacAddr::local(1)) },
+//!     ActivationWindow::always(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod behavior;
+mod switch;
+
+pub use behavior::{ActivationWindow, Behavior};
+pub use switch::{AdversaryStats, MaliciousSwitch};

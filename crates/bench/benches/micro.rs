@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks of the hot paths: the compare's voting
+//! core, flow-table lookup, packet codecs and the OpenFlow wire codec.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use netco_core::{CompareConfig, CompareCore, LaneInfo};
+use netco_net::packet::{builder, EthernetFrame, FrameView};
+use netco_net::MacAddr;
+use netco_openflow::{
+    wire, Action, FlowEntry, FlowMatch, FlowTable, OfMessage, OfPort, PacketFields,
+};
+use netco_sim::SimTime;
+use std::net::Ipv4Addr;
+
+fn test_frame(tag: u8) -> Bytes {
+    builder::udp_frame(
+        MacAddr::local(1),
+        MacAddr::local(2),
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 0, 0, 2),
+        5000,
+        5001,
+        Bytes::from(vec![tag; 1400]),
+        None,
+    )
+}
+
+fn bench_compare(c: &mut Criterion) {
+    c.bench_function("compare_majority_3way_64pkts", |b| {
+        b.iter_batched(
+            || {
+                let mut core = CompareCore::new(CompareConfig::prevent(3));
+                core.attach_lane(
+                    0,
+                    LaneInfo {
+                        replica_ports: vec![1, 2, 3],
+                        host_port: 4,
+                    },
+                );
+                core
+            },
+            |mut core| {
+                for i in 0..64u8 {
+                    let f = test_frame(i);
+                    core.observe(0, 1, f.clone(), SimTime::ZERO);
+                    core.observe(0, 2, f.clone(), SimTime::ZERO);
+                    core.observe(0, 3, f, SimTime::ZERO);
+                }
+                core.stats()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_flow_table(c: &mut Criterion) {
+    let mut table = FlowTable::new();
+    for i in 0..256u32 {
+        table.add(
+            FlowEntry::new(
+                100,
+                FlowMatch::any().with_dl_dst(MacAddr::local(i)),
+                vec![Action::Output(OfPort::Physical(1))],
+            ),
+            SimTime::ZERO,
+        );
+    }
+    let frame = test_frame(0);
+    let miss_fields = PacketFields::sniff(&frame, 1);
+    let hit_fields = PacketFields {
+        dl_dst: MacAddr::local(128),
+        ..PacketFields::sniff(&frame, 1)
+    };
+    c.bench_function("flow_table_lookup_miss_256", |b| {
+        b.iter_batched(
+            || table.clone(),
+            |mut t| t.lookup(&miss_fields, SimTime::ZERO).is_some(),
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("flow_table_lookup_hit_256", |b| {
+        b.iter_batched(
+            || table.clone(),
+            |mut t| t.lookup(&hit_fields, SimTime::ZERO).is_some(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let frame = test_frame(7);
+    c.bench_function("ethernet_ipv4_udp_parse", |b| {
+        b.iter(|| {
+            let view = FrameView::parse(std::hint::black_box(&frame)).unwrap();
+            std::hint::black_box(view.l4().unwrap())
+        })
+    });
+    let eth = EthernetFrame::decode(&frame).unwrap();
+    c.bench_function("ethernet_encode", |b| {
+        b.iter(|| std::hint::black_box(eth.encode()))
+    });
+}
+
+fn bench_openflow_wire(c: &mut Criterion) {
+    let msg = OfMessage::FlowMod {
+        command: netco_openflow::FlowModCommand::Add,
+        matcher: FlowMatch::any()
+            .with_dl_dst(MacAddr::local(3))
+            .with_dl_type(0x0800)
+            .with_nw_dst(Ipv4Addr::new(10, 0, 0, 9)),
+        priority: 100,
+        idle_timeout_s: 30,
+        hard_timeout_s: 0,
+        cookie: 7,
+        notify_when_removed: true,
+        actions: vec![Action::SetVlanVid(9), Action::Output(OfPort::Physical(2))],
+        buffer_id: None,
+    };
+    c.bench_function("openflow_flowmod_encode", |b| {
+        b.iter(|| std::hint::black_box(wire::encode(&msg, 1)))
+    });
+    let bytes = wire::encode(&msg, 1);
+    c.bench_function("openflow_flowmod_decode", |b| {
+        b.iter(|| std::hint::black_box(wire::decode(&bytes).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_compare,
+    bench_flow_table,
+    bench_codecs,
+    bench_openflow_wire
+);
+criterion_main!(benches);

@@ -1,0 +1,492 @@
+//! One function per table/figure.
+
+use netco_sim::SimDuration;
+use netco_topo::{case_study, virtual_netco, Direction, Profile, Scenario, ScenarioKind};
+use netco_traffic::{IperfConfig, PingConfig};
+
+use crate::ExperimentScale;
+
+/// One scenario's TCP measurement (Fig. 4).
+#[derive(Debug, Clone, Copy)]
+pub struct TcpRow {
+    /// Scenario.
+    pub kind: ScenarioKind,
+    /// Mean goodput over runs and directions, Mbit/s.
+    pub mbps: f64,
+    /// Fast retransmits per second of transfer (mean).
+    pub fast_retransmits_per_s: f64,
+    /// Timeouts per second of transfer (mean).
+    pub timeouts_per_s: f64,
+}
+
+/// Fig. 4: TCP throughput for all six scenarios.
+pub fn fig4_tcp(profile: &Profile, scale: ExperimentScale) -> Vec<TcpRow> {
+    ScenarioKind::PAPER
+        .iter()
+        .map(|&kind| tcp_row(kind, profile, scale))
+        .collect()
+}
+
+/// Measures one scenario's TCP goodput (used by Fig. 4 and Table I).
+pub fn tcp_row(kind: ScenarioKind, profile: &Profile, scale: ExperimentScale) -> TcpRow {
+    let scenario = Scenario::build(kind, profile.clone(), profile.seed);
+    let mut mbps = 0.0;
+    let mut fr = 0.0;
+    let mut to = 0.0;
+    let mut n = 0.0;
+    for run in 0..scale.runs {
+        for dir in [Direction::H1ToH2, Direction::H2ToH1] {
+            let out = scenario.run_tcp(dir, scale.duration, run);
+            mbps += out.mbps;
+            fr += out.sender.fast_retransmits as f64 / scale.duration.as_secs_f64();
+            to += out.sender.timeouts as f64 / scale.duration.as_secs_f64();
+            n += 1.0;
+        }
+    }
+    TcpRow {
+        kind,
+        mbps: mbps / n,
+        fast_retransmits_per_s: fr / n,
+        timeouts_per_s: to / n,
+    }
+}
+
+/// One scenario's UDP measurement (Fig. 5).
+#[derive(Debug, Clone, Copy)]
+pub struct UdpRow {
+    /// Scenario.
+    pub kind: ScenarioKind,
+    /// Maximum goodput with loss < 0.5 %, Mbit/s (mean over directions).
+    pub mbps: f64,
+    /// Loss fraction at that rate.
+    pub loss: f64,
+    /// RFC 3550 jitter at that rate, microseconds.
+    pub jitter_us: f64,
+}
+
+/// Fig. 5: maximum UDP throughput at < 0.5 % loss for all six scenarios.
+pub fn fig5_udp(profile: &Profile, scale: ExperimentScale) -> Vec<UdpRow> {
+    ScenarioKind::PAPER
+        .iter()
+        .map(|&kind| udp_row(kind, profile, scale))
+        .collect()
+}
+
+/// Measures one scenario's max-rate UDP (used by Fig. 5 and Table I).
+pub fn udp_row(kind: ScenarioKind, profile: &Profile, scale: ExperimentScale) -> UdpRow {
+    let scenario = Scenario::build(kind, profile.clone(), profile.seed);
+    // POX is orders of magnitude slower; start its search low so the
+    // bracket is meaningful.
+    let iperf = IperfConfig {
+        min_rate_bps: 500_000,
+        max_rate_bps: 1_000_000_000,
+        loss_threshold: 0.005,
+        resolution_bps: 8_000_000,
+    };
+    let trial = scale.duration.min(SimDuration::from_secs(1));
+    let mut mbps = 0.0;
+    let mut loss = 0.0;
+    let mut jitter = 0.0;
+    let mut n = 0.0;
+    for dir in [Direction::H1ToH2, Direction::H2ToH1] {
+        if let Some((_rate, report)) =
+            scenario.run_udp_max_rate(dir, &iperf, 1470, trial, scale.duration)
+        {
+            // Report the measured goodput at the found rate, like iperf's
+            // server-side report (the `-b` setting itself may exceed what
+            // the sender can physically emit).
+            mbps += report.goodput_bps / 1e6;
+            loss += report.loss_fraction;
+            jitter += report.jitter.as_nanos() as f64 / 1e3;
+            n += 1.0;
+        }
+    }
+    UdpRow {
+        kind,
+        mbps: if n > 0.0 { mbps / n } else { 0.0 },
+        loss: if n > 0.0 { loss / n } else { 1.0 },
+        jitter_us: if n > 0.0 { jitter / n } else { 0.0 },
+    }
+}
+
+/// One point of Fig. 6 (Central3 offered-rate sweep).
+#[derive(Debug, Clone, Copy)]
+pub struct LossPoint {
+    /// Offered rate, Mbit/s.
+    pub offered_mbps: f64,
+    /// Measured goodput, Mbit/s.
+    pub goodput_mbps: f64,
+    /// Measured loss fraction.
+    pub loss: f64,
+}
+
+/// Fig. 6: UDP throughput vs. loss rate in Central3. The sweep brackets
+/// the scenario's capacity knee (~245 Mbit/s under the default profile),
+/// so the loss-throughput correlation is visible on both sides.
+pub fn fig6_loss_correlation(profile: &Profile, scale: ExperimentScale) -> Vec<LossPoint> {
+    let scenario = Scenario::build(ScenarioKind::Central3, profile.clone(), profile.seed);
+    let mut points = Vec::new();
+    for step in 0..=15u64 {
+        let offered = 150_000_000 + step * 10_000_000; // 150..300 Mbit/s
+        let out = scenario.run_udp(Direction::H1ToH2, offered, 1470, scale.duration, step);
+        points.push(LossPoint {
+            offered_mbps: offered as f64 / 1e6,
+            goodput_mbps: out.report.goodput_bps / 1e6,
+            loss: out.report.loss_fraction,
+        });
+    }
+    points
+}
+
+/// One scenario's ping measurement (Fig. 7).
+#[derive(Debug, Clone, Copy)]
+pub struct RttRow {
+    /// Scenario.
+    pub kind: ScenarioKind,
+    /// Average RTT, microseconds.
+    pub avg_us: f64,
+    /// Minimum RTT, microseconds.
+    pub min_us: f64,
+    /// Maximum RTT, microseconds.
+    pub max_us: f64,
+    /// Replies received (of the transmitted count).
+    pub received: u32,
+    /// Requests transmitted.
+    pub transmitted: u32,
+}
+
+/// Fig. 7: ping RTT. The paper plots 3 sequences of 50 ICMP cycles per
+/// scenario (it omits Linespeed from the figure but we include it — it is
+/// the Table I RTT baseline).
+pub fn fig7_rtt(profile: &Profile, scale: ExperimentScale) -> Vec<RttRow> {
+    ScenarioKind::PAPER
+        .iter()
+        .map(|&kind| rtt_row(kind, profile, scale))
+        .collect()
+}
+
+/// Measures one scenario's RTT (used by Fig. 7 and Table I).
+pub fn rtt_row(kind: ScenarioKind, profile: &Profile, scale: ExperimentScale) -> RttRow {
+    let scenario = Scenario::build(kind, profile.clone(), profile.seed);
+    let sequences = scale.runs.clamp(1, 3);
+    let mut avg = 0.0;
+    let mut min = f64::MAX;
+    let mut max: f64 = 0.0;
+    let mut received = 0;
+    let mut transmitted = 0;
+    for seq in 0..sequences {
+        let cfg = PingConfig::default()
+            .with_count(50)
+            .with_interval(SimDuration::from_millis(10));
+        let report = scenario.run_ping_trial(cfg, Direction::H1ToH2, seq);
+        transmitted += report.transmitted;
+        received += report.received;
+        if let (Some(a), Some(mn), Some(mx)) = (report.avg, report.min, report.max) {
+            avg += a.as_nanos() as f64 / 1e3;
+            min = min.min(mn.as_nanos() as f64 / 1e3);
+            max = max.max(mx.as_nanos() as f64 / 1e3);
+        }
+    }
+    RttRow {
+        kind,
+        avg_us: avg / sequences as f64,
+        min_us: min,
+        max_us: max,
+        received,
+        transmitted,
+    }
+}
+
+/// One bar of Fig. 8: jitter for a scenario and UDP payload size.
+#[derive(Debug, Clone, Copy)]
+pub struct JitterCell {
+    /// Scenario.
+    pub kind: ScenarioKind,
+    /// UDP payload bytes.
+    pub payload: usize,
+    /// RFC 3550 jitter, microseconds (mean of runs).
+    pub jitter_us: f64,
+}
+
+/// Fig. 8: jitter for varying packet sizes (fixed offered bit-rate, so
+/// smaller packets mean proportionally more packets per second).
+pub fn fig8_jitter(profile: &Profile, scale: ExperimentScale) -> Vec<JitterCell> {
+    let sizes = [64usize, 256, 512, 1024, 1470];
+    let rate = 60_000_000; // comfortably below every scenario's UDP maximum
+    let mut cells = Vec::new();
+    for &kind in &ScenarioKind::PAPER {
+        let scenario = Scenario::build(kind, profile.clone(), profile.seed);
+        for &payload in &sizes {
+            let mut jitter = 0.0;
+            let runs = scale.runs.clamp(1, 5);
+            for run in 0..runs {
+                // POX cannot carry 60 Mbit/s; cap its offered rate so the
+                // jitter measurement reflects delivery, not pure loss.
+                let offered = if kind == ScenarioKind::Pox3 {
+                    2_000_000
+                } else {
+                    rate
+                };
+                let out =
+                    scenario.run_udp(Direction::H1ToH2, offered, payload, scale.duration, run);
+                jitter += out.report.jitter.as_nanos() as f64 / 1e3;
+            }
+            cells.push(JitterCell {
+                kind,
+                payload,
+                jitter_us: jitter / runs as f64,
+            });
+        }
+    }
+    cells
+}
+
+/// One Table I column.
+#[derive(Debug, Clone, Copy)]
+pub struct Table1Column {
+    /// Scenario.
+    pub kind: ScenarioKind,
+    /// Average TCP goodput, Mbit/s.
+    pub tcp_mbps: f64,
+    /// Average max-rate UDP goodput, Mbit/s.
+    pub udp_mbps: f64,
+    /// Average ping RTT, milliseconds.
+    pub rtt_ms: f64,
+}
+
+/// Table I: average TCP bandwidth, UDP bandwidth and RTT for the five
+/// non-POX scenarios.
+pub fn table1(profile: &Profile, scale: ExperimentScale) -> Vec<Table1Column> {
+    [
+        ScenarioKind::Linespeed,
+        ScenarioKind::Dup3,
+        ScenarioKind::Dup5,
+        ScenarioKind::Central3,
+        ScenarioKind::Central5,
+    ]
+    .iter()
+    .map(|&kind| Table1Column {
+        kind,
+        tcp_mbps: tcp_row(kind, profile, scale).mbps,
+        udp_mbps: udp_row(kind, profile, scale).mbps,
+        rtt_ms: rtt_row(kind, profile, scale).avg_us / 1e3,
+    })
+    .collect()
+}
+
+/// §VI: the three case-study phases with 10 echo cycles each.
+pub fn case_study_all(profile: &Profile) -> [(case_study::Phase, case_study::Outcome); 3] {
+    [
+        case_study::Phase::Baseline,
+        case_study::Phase::Attack,
+        case_study::Phase::NetCo,
+    ]
+    .map(|phase| (phase, case_study::run(phase, profile, profile.seed, 10)))
+}
+
+/// §VII: the virtualized combiner, clean and under a one-tunnel attack.
+pub fn virtualized(
+    profile: &Profile,
+) -> (
+    virtual_netco::VirtualNetcoOutcome,
+    virtual_netco::VirtualNetcoOutcome,
+) {
+    use netco_adversary::{ActivationWindow, Behavior};
+    use netco_openflow::FlowMatch;
+    let clean = virtual_netco::run_ping(&virtual_netco::VirtualNetcoConfig::default(), profile, 1);
+    let attacked = virtual_netco::run_ping(
+        &virtual_netco::VirtualNetcoConfig {
+            corrupt_tunnel: Some((
+                0,
+                vec![(
+                    Behavior::Drop {
+                        select: FlowMatch::any(),
+                    },
+                    ActivationWindow::always(),
+                )],
+            )),
+            ..virtual_netco::VirtualNetcoConfig::default()
+        },
+        profile,
+        1,
+    );
+    (clean, attacked)
+}
+
+/// Ablation: detection (k = 2) vs prevention (k = 3) cost, plus the §IX
+/// inband placement.
+pub fn ablation_modes(profile: &Profile, scale: ExperimentScale) -> Vec<TcpRow> {
+    [
+        ScenarioKind::Linespeed,
+        ScenarioKind::Detect2,
+        ScenarioKind::Central3,
+        ScenarioKind::Inband3,
+    ]
+    .iter()
+    .map(|&kind| tcp_row(kind, profile, scale))
+    .collect()
+}
+
+/// One row of the §IX sampling ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplingRow {
+    /// Sampling probability.
+    pub probability: f64,
+    /// Fraction of corrupted packets flagged by the (passive) compare.
+    pub detection_fraction: f64,
+    /// Copies the compare had to process per delivered packet.
+    pub compare_load_per_packet: f64,
+}
+
+/// Ablation: sampled out-of-band detection — coverage and compare load as
+/// functions of the sampling rate, under a corrupting non-primary replica.
+pub fn ablation_sampling(profile: &Profile) -> Vec<SamplingRow> {
+    use netco_adversary::{ActivationWindow, Behavior};
+    use netco_core::{Compare, SecurityEvent};
+    use netco_openflow::FlowMatch;
+    use netco_traffic::{UdpConfig, UdpSink, UdpSource};
+    [0.05, 0.1, 0.25, 0.5, 1.0]
+        .into_iter()
+        .map(|probability| {
+            let scenario = Scenario::build(ScenarioKind::Central3, profile.clone(), profile.seed)
+                .with_sampling(probability)
+                .with_adversary(netco_topo::AdversarySpec {
+                    replica_index: 1,
+                    behaviors: vec![(
+                        Behavior::CorruptPayload {
+                            select: FlowMatch::any(),
+                            every_nth: 1,
+                        },
+                        ActivationWindow::always(),
+                    )],
+                });
+            let mut built = scenario.build_world(
+                0,
+                |nic| {
+                    UdpSource::new(
+                        nic,
+                        UdpConfig::new(netco_topo::H2_IP)
+                            .with_rate(10_000_000)
+                            .with_payload_len(300)
+                            .with_duration(SimDuration::from_millis(200)),
+                    )
+                },
+                |nic| UdpSink::new(nic, 5001),
+            );
+            built.world.run_for(SimDuration::from_secs(1));
+            let compare = built
+                .world
+                .device::<Compare>(built.compare.expect("central"))
+                .unwrap();
+            let alarms = compare
+                .events()
+                .iter()
+                .filter(|e| matches!(e.record, SecurityEvent::SinglePathPacket { .. }))
+                .count() as f64;
+            let received = built
+                .world
+                .device::<UdpSink>(built.h2)
+                .unwrap()
+                .report()
+                .received
+                .max(1) as f64;
+            SamplingRow {
+                probability,
+                detection_fraction: alarms / received,
+                compare_load_per_packet: compare.stats().received as f64 / received,
+            }
+        })
+        .collect()
+}
+
+/// One row of the compare-strategy ablation (security, not speed: the
+/// strategies trade state size against what they can catch).
+#[derive(Debug, Clone, Copy)]
+pub struct StrategyRow {
+    /// Strategy name.
+    pub name: &'static str,
+    /// Ping cycles that completed under a payload-corrupting replica.
+    pub delivered: u32,
+    /// Of the delivered replies, how many arrived *corrupted* (host-side
+    /// checksum failure would catch them, but the combiner let them out).
+    pub corrupted_released: u64,
+    /// Copies suppressed by the compare.
+    pub suppressed: u64,
+}
+
+/// Ablation: compare strategies under a payload-corrupting replica.
+/// Bit-exact and digest comparison catch the corruption; header-only
+/// cannot (paper §III: "depending on the threat model, packets may be
+/// compared bit-by-bit, or just based on the header").
+pub fn ablation_strategies(profile: &Profile) -> Vec<StrategyRow> {
+    use netco_adversary::{ActivationWindow, Behavior};
+    use netco_core::{Compare, CompareStrategy};
+    use netco_openflow::FlowMatch;
+    use netco_traffic::{IcmpEchoResponder, Pinger};
+    [
+        ("full-packet", CompareStrategy::FullPacket),
+        ("header-only", CompareStrategy::headers()),
+        ("digest", CompareStrategy::Digest),
+    ]
+    .into_iter()
+    .map(|(name, strategy)| {
+        let scenario = Scenario::build(ScenarioKind::Central3, profile.clone(), profile.seed)
+            .with_strategy(strategy)
+            .with_adversary(netco_topo::AdversarySpec {
+                replica_index: 0,
+                behaviors: vec![(
+                    Behavior::CorruptPayload {
+                        select: FlowMatch::any(),
+                        every_nth: 1,
+                    },
+                    ActivationWindow::always(),
+                )],
+            });
+        let mut built = scenario.build_world(
+            0,
+            |nic| {
+                Pinger::new(
+                    nic,
+                    PingConfig::new(netco_topo::H2_IP)
+                        .with_count(50)
+                        .with_interval(SimDuration::from_millis(5)),
+                )
+            },
+            IcmpEchoResponder::new,
+        );
+        // Count corrupted frames escaping toward the hosts.
+        use std::cell::Cell;
+        use std::rc::Rc;
+        let corrupted = Rc::new(Cell::new(0u64));
+        {
+            let corrupted = corrupted.clone();
+            let h1 = built.h1;
+            let h2 = built.h2;
+            built.world.add_tap(move |ev| {
+                use netco_net::packet::FrameView;
+                if ev.direction == netco_net::TapDirection::Rx
+                    && (ev.node == h1 || ev.node == h2)
+                {
+                    if let Ok(v) = FrameView::parse(ev.frame) {
+                        if v.l4().is_err() {
+                            corrupted.set(corrupted.get() + 1);
+                        }
+                    }
+                }
+            });
+        }
+        built.world.run_for(SimDuration::from_secs(2));
+        let report = built.world.device::<Pinger>(built.h1).unwrap().report();
+        let compare = built
+            .world
+            .device::<Compare>(built.compare.unwrap())
+            .unwrap();
+        StrategyRow {
+            name,
+            delivered: report.received,
+            corrupted_released: corrupted.get(),
+            suppressed: compare.stats().expired_unreleased,
+        }
+    })
+    .collect()
+}

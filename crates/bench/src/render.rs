@@ -1,0 +1,218 @@
+//! Plain-text rendering of experiment results (the "figures").
+
+use crate::experiments::{
+    JitterCell, LossPoint, RttRow, Table1Column, TcpRow, UdpRow,
+};
+
+/// Renders Fig. 4 as aligned rows.
+pub fn fig4(rows: &[TcpRow]) -> String {
+    let mut s = String::from(
+        "Fig. 4 — TCP throughput\nscenario    goodput[Mbit/s]  fast-rtx/s  timeouts/s\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<11} {:>15.1}  {:>10.2}  {:>10.2}\n",
+            r.kind.name(),
+            r.mbps,
+            r.fast_retransmits_per_s,
+            r.timeouts_per_s
+        ));
+    }
+    s
+}
+
+/// Renders Fig. 5.
+pub fn fig5(rows: &[UdpRow]) -> String {
+    let mut s = String::from(
+        "Fig. 5 — max UDP throughput (loss < 0.5%)\nscenario    goodput[Mbit/s]  loss[%]  jitter[us]\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<11} {:>15.1}  {:>7.3}  {:>10.1}\n",
+            r.kind.name(),
+            r.mbps,
+            r.loss * 100.0,
+            r.jitter_us
+        ));
+    }
+    s
+}
+
+/// Renders Fig. 6.
+pub fn fig6(points: &[LossPoint]) -> String {
+    let mut s = String::from(
+        "Fig. 6 — throughput vs loss (Central3)\noffered[Mbit/s]  goodput[Mbit/s]  loss[%]\n",
+    );
+    for p in points {
+        s.push_str(&format!(
+            "{:>15.0}  {:>15.1}  {:>7.3}\n",
+            p.offered_mbps,
+            p.goodput_mbps,
+            p.loss * 100.0
+        ));
+    }
+    s
+}
+
+/// Renders Fig. 7.
+pub fn fig7(rows: &[RttRow]) -> String {
+    let mut s = String::from(
+        "Fig. 7 — ping RTT\nscenario    avg[ms]  min[ms]  max[ms]  recv/sent\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<11} {:>7.3}  {:>7.3}  {:>7.3}  {:>4}/{}\n",
+            r.kind.name(),
+            r.avg_us / 1e3,
+            r.min_us / 1e3,
+            r.max_us / 1e3,
+            r.received,
+            r.transmitted
+        ));
+    }
+    s
+}
+
+/// Renders Fig. 8 as a matrix (rows: payload size, columns: scenario).
+pub fn fig8(cells: &[JitterCell]) -> String {
+    let mut kinds: Vec<_> = Vec::new();
+    let mut sizes: Vec<usize> = Vec::new();
+    for c in cells {
+        if !kinds.contains(&c.kind) {
+            kinds.push(c.kind);
+        }
+        if !sizes.contains(&c.payload) {
+            sizes.push(c.payload);
+        }
+    }
+    let mut s = String::from("Fig. 8 — jitter[us] by UDP payload size\nbytes    ");
+    for k in &kinds {
+        s.push_str(&format!("{:>10}", k.name()));
+    }
+    s.push('\n');
+    for &size in &sizes {
+        s.push_str(&format!("{size:<8} "));
+        for &k in &kinds {
+            let v = cells
+                .iter()
+                .find(|c| c.kind == k && c.payload == size)
+                .map_or(f64::NAN, |c| c.jitter_us);
+            s.push_str(&format!("{v:>10.1}"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders Table I in the paper's layout.
+pub fn table1(cols: &[Table1Column]) -> String {
+    let mut s = String::from("Table I — average measurement results\n");
+    s.push_str(&format!(
+        "{:<28}",
+        ""
+    ));
+    for c in cols {
+        s.push_str(&format!("{:>10}", c.kind.name()));
+    }
+    s.push('\n');
+    s.push_str(&format!("{:<28}", "avg tcp bandwidth in Mbit/s"));
+    for c in cols {
+        s.push_str(&format!("{:>10.0}", c.tcp_mbps));
+    }
+    s.push('\n');
+    s.push_str(&format!("{:<28}", "avg udp bandwidth in Mbit/s"));
+    for c in cols {
+        s.push_str(&format!("{:>10.0}", c.udp_mbps));
+    }
+    s.push('\n');
+    s.push_str(&format!("{:<28}", "avg RTT in ms"));
+    for c in cols {
+        s.push_str(&format!("{:>10.3}", c.rtt_ms));
+    }
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netco_topo::ScenarioKind;
+
+    #[test]
+    fn fig4_renders_every_row() {
+        let rows = vec![
+            TcpRow {
+                kind: ScenarioKind::Linespeed,
+                mbps: 470.25,
+                fast_retransmits_per_s: 1.5,
+                timeouts_per_s: 0.0,
+            },
+            TcpRow {
+                kind: ScenarioKind::Pox3,
+                mbps: 12.0,
+                fast_retransmits_per_s: 0.0,
+                timeouts_per_s: 2.0,
+            },
+        ];
+        let out = fig4(&rows);
+        assert!(out.contains("Linespeed"));
+        assert!(out.contains("470.2") || out.contains("470.3"));
+        assert!(out.contains("POX3"));
+        assert_eq!(out.lines().count(), 2 + rows.len());
+    }
+
+    #[test]
+    fn fig6_shows_percentages() {
+        let out = fig6(&[LossPoint {
+            offered_mbps: 250.0,
+            goodput_mbps: 239.6,
+            loss: 0.04015,
+        }]);
+        assert!(out.contains("4.015") || out.contains("4.01"));
+        assert!(out.contains("250"));
+    }
+
+    #[test]
+    fn fig8_matrix_covers_all_cells() {
+        let cells = vec![
+            JitterCell {
+                kind: ScenarioKind::Central3,
+                payload: 64,
+                jitter_us: 19.5,
+            },
+            JitterCell {
+                kind: ScenarioKind::Central3,
+                payload: 1470,
+                jitter_us: 2.0,
+            },
+            JitterCell {
+                kind: ScenarioKind::Dup3,
+                payload: 64,
+                jitter_us: 1.0,
+            },
+        ];
+        let out = fig8(&cells);
+        assert!(out.contains("Central3"));
+        assert!(out.contains("Dup3"));
+        assert!(out.contains("64"));
+        assert!(out.contains("1470"));
+        assert!(out.contains("19.5"));
+        // Missing cell renders as NaN, not a panic.
+        assert!(out.contains("NaN"));
+    }
+
+    #[test]
+    fn table1_has_three_metric_rows() {
+        let cols = vec![Table1Column {
+            kind: ScenarioKind::Central3,
+            tcp_mbps: 196.0,
+            udp_mbps: 243.0,
+            rtt_ms: 0.195,
+        }];
+        let out = table1(&cols);
+        assert!(out.contains("avg tcp bandwidth"));
+        assert!(out.contains("avg udp bandwidth"));
+        assert!(out.contains("avg RTT"));
+        assert!(out.contains("0.195"));
+    }
+}

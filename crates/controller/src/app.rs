@@ -1,0 +1,123 @@
+//! The controller application interface.
+
+use std::any::Any;
+
+use bytes::Bytes;
+use netco_net::{Ctx, NodeId};
+use netco_openflow::{wire, Action, FlowMatch, OfMessage, OfPort, PacketInReason};
+use netco_sim::{SimRng, SimTime};
+
+/// What an app can do while handling a controller event: inspect time,
+/// randomness, and send OpenFlow messages to switches.
+pub struct ControllerCtx<'a, 'b> {
+    pub(crate) ctx: &'a mut Ctx<'b>,
+    pub(crate) next_xid: &'a mut u32,
+}
+
+impl ControllerCtx<'_, '_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// The world's deterministic random stream.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.ctx.rng()
+    }
+
+    /// Sends an OpenFlow message to `switch` (encoded to wire bytes).
+    pub fn send(&mut self, switch: NodeId, msg: &OfMessage) {
+        let xid = *self.next_xid;
+        *self.next_xid = self.next_xid.wrapping_add(1);
+        self.ctx.send_control(switch, wire::encode(msg, xid));
+    }
+
+    /// Convenience: installs a flow entry on `switch`.
+    pub fn install(
+        &mut self,
+        switch: NodeId,
+        priority: u16,
+        matcher: FlowMatch,
+        actions: Vec<Action>,
+    ) {
+        self.send(switch, &OfMessage::add_flow(priority, matcher, actions));
+    }
+
+    /// Convenience: a packet-out releasing `buffer_id` (or sending `data`)
+    /// out of `port`.
+    pub fn packet_out(
+        &mut self,
+        switch: NodeId,
+        buffer_id: Option<u32>,
+        in_port: u16,
+        port: OfPort,
+        data: Bytes,
+    ) {
+        self.send(
+            switch,
+            &OfMessage::PacketOut {
+                buffer_id,
+                in_port,
+                actions: vec![Action::Output(port)],
+                data,
+            },
+        );
+    }
+}
+
+/// A controller application: the control logic running on a
+/// [`crate::Controller`].
+///
+/// All methods default to no-ops so apps implement only what they need.
+/// The `Any` supertrait allows post-run inspection through
+/// [`crate::Controller::app`].
+#[allow(unused_variables)]
+pub trait ControllerApp: Any {
+    /// A switch completed the handshake (features reply received).
+    fn on_switch_up(&mut self, cx: &mut ControllerCtx<'_, '_>, switch: NodeId) {}
+
+    /// A packet-in arrived from `switch`.
+    fn on_packet_in(
+        &mut self,
+        cx: &mut ControllerCtx<'_, '_>,
+        switch: NodeId,
+        buffer_id: Option<u32>,
+        in_port: u16,
+        reason: PacketInReason,
+        data: Bytes,
+    ) {
+    }
+
+    /// A flow entry was removed on `switch`.
+    fn on_flow_removed(
+        &mut self,
+        cx: &mut ControllerCtx<'_, '_>,
+        switch: NodeId,
+        matcher: FlowMatch,
+        packet_count: u64,
+        byte_count: u64,
+    ) {
+    }
+
+    /// The switch reported an error.
+    fn on_error(&mut self, cx: &mut ControllerCtx<'_, '_>, switch: NodeId, err_type: u16, code: u16) {
+    }
+
+    /// Per-flow statistics arrived (answer to a
+    /// [`netco_openflow::OfMessage::FlowStatsRequest`]).
+    fn on_flow_stats(
+        &mut self,
+        cx: &mut ControllerCtx<'_, '_>,
+        switch: NodeId,
+        flows: Vec<netco_openflow::FlowStats>,
+    ) {
+    }
+
+    /// Periodic housekeeping; called every tick interval when the
+    /// controller was built with [`crate::Controller::with_tick`].
+    fn tick(&mut self, cx: &mut ControllerCtx<'_, '_>) {}
+
+    /// The switch stopped answering liveness probes (see
+    /// [`crate::Controller::with_liveness`]).
+    fn on_switch_down(&mut self, cx: &mut ControllerCtx<'_, '_>, switch: NodeId) {}
+}

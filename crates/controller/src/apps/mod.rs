@@ -1,0 +1,9 @@
+//! Bundled controller applications.
+
+mod learning;
+mod static_routes;
+mod stats_monitor;
+
+pub use learning::LearningSwitchApp;
+pub use static_routes::{RuleSpec, StaticRoutingApp};
+pub use stats_monitor::FlowStatsMonitor;

@@ -1,0 +1,631 @@
+//! The protocol-agnostic voting logic shared by every compare deployment.
+
+use bytes::Bytes;
+use netco_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+use super::cache::{CacheEntry, Observed, PacketCache};
+use crate::config::{CompareConfig, Mode};
+use crate::events::SecurityEvent;
+
+/// Description of one *lane*: the traffic of one guard attached to the
+/// compare (the paper's compare serves both `s1` and `s2`, whose buffers
+/// "should be logically isolated").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneInfo {
+    /// The guard's replica ingress ports (length `k`).
+    pub replica_ports: Vec<u16>,
+    /// The guard port toward the protected host/network — where released
+    /// packets should be output.
+    pub host_port: u16,
+}
+
+/// What the embedding (device, controller app, inband guard) must do in
+/// response to an observation or sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompareAction {
+    /// Emit one copy of `frame`, to be output on the guard's `host_port`.
+    Release {
+        /// The lane the packet belongs to.
+        lane: u16,
+        /// The guard port to output on.
+        host_port: u16,
+        /// The released frame.
+        frame: Bytes,
+    },
+    /// Advise the guard to block a replica port for `duration`.
+    BlockReplicaPort {
+        /// The lane concerned.
+        lane: u16,
+        /// The replica port to block.
+        port: u16,
+        /// Block length.
+        duration: SimDuration,
+    },
+    /// The compare just did `duration` of bookkeeping work (cache
+    /// cleanup); the embedding should delay subsequent output accordingly.
+    Stall {
+        /// The lane whose cache was cleaned.
+        lane: u16,
+        /// Modeled processing pause.
+        duration: SimDuration,
+    },
+    /// A security event to log/alert.
+    Event(SecurityEvent),
+}
+
+/// Aggregate compare statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompareStats {
+    /// Copies received (all replicas).
+    pub received: u64,
+    /// Packets released toward the destination.
+    pub released: u64,
+    /// Late copies ignored after release (paper: "if additional packets
+    /// ... arrive later, they are ignored").
+    pub suppressed_duplicates: u64,
+    /// Entries that expired without winning a majority (dropped).
+    pub expired_unreleased: u64,
+    /// DoS advisories issued.
+    pub dos_advices: u64,
+    /// Cleanup sweeps run.
+    pub cleanups: u64,
+    /// Entries evicted by cleanups.
+    pub evicted: u64,
+    /// Copies arriving on ports not registered for the lane.
+    pub unknown_port: u64,
+}
+
+#[derive(Debug)]
+struct Lane {
+    info: LaneInfo,
+    cache: PacketCache,
+    consecutive_miss: Vec<u32>,
+    alarmed_down: Vec<bool>,
+}
+
+/// The NetCo compare: majority voting over per-lane packet caches, with
+/// bounded hold times, DoS containment and replica-liveness alarms.
+///
+/// `CompareCore` is deliberately free of any I/O: embeddings translate the
+/// returned [`CompareAction`]s into their transport (OpenFlow-over-link,
+/// controller packet-outs, or direct forwarding for the inband variant).
+#[derive(Debug)]
+pub struct CompareCore {
+    cfg: CompareConfig,
+    lanes: HashMap<u16, Lane>,
+    stats: CompareStats,
+}
+
+impl CompareCore {
+    /// Creates a compare with no lanes attached.
+    pub fn new(cfg: CompareConfig) -> CompareCore {
+        CompareCore {
+            cfg,
+            lanes: HashMap::new(),
+            stats: CompareStats::default(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &CompareConfig {
+        &self.cfg
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> CompareStats {
+        self.stats
+    }
+
+    /// Registers (or replaces) a lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane's replica port count differs from the configured
+    /// `k`.
+    pub fn attach_lane(&mut self, lane: u16, info: LaneInfo) {
+        assert_eq!(
+            info.replica_ports.len(),
+            self.cfg.k,
+            "lane must have exactly k replica ports"
+        );
+        let k = info.replica_ports.len();
+        self.lanes.insert(
+            lane,
+            Lane {
+                info,
+                cache: PacketCache::new(),
+                consecutive_miss: vec![0; k],
+                alarmed_down: vec![false; k],
+            },
+        );
+    }
+
+    /// Live cache size of a lane (0 for unknown lanes).
+    pub fn cache_len(&self, lane: u16) -> usize {
+        self.lanes.get(&lane).map_or(0, |l| l.cache.len())
+    }
+
+    /// Records one copy arriving on `lane` from replica ingress `in_port`.
+    /// Returns the actions the embedding must carry out, in order.
+    pub fn observe(
+        &mut self,
+        lane_id: u16,
+        in_port: u16,
+        frame: Bytes,
+        now: SimTime,
+    ) -> Vec<CompareAction> {
+        let mut actions = Vec::new();
+        let release_threshold = self.cfg.release_threshold();
+        let Some(lane) = self.lanes.get_mut(&lane_id) else {
+            self.stats.unknown_port += 1;
+            return actions;
+        };
+        let Some(replica_idx) = lane.info.replica_ports.iter().position(|&p| p == in_port) else {
+            self.stats.unknown_port += 1;
+            return actions;
+        };
+        let _ = replica_idx;
+        self.stats.received += 1;
+
+        // Capacity cleanup before inserting (paper §V: "once the packet
+        // cache is full, a clean up procedure starts").
+        if lane.cache.len() >= self.cfg.cache_capacity {
+            let target = self.cfg.cache_capacity / 2;
+            let evicted = lane.cache.cleanup(target);
+            let n = evicted.len();
+            self.stats.cleanups += 1;
+            self.stats.evicted += n as u64;
+            let mut evict_actions = Vec::new();
+            for (_, entry) in evicted {
+                Self::account_removed_entry(
+                    &self.cfg,
+                    lane_id,
+                    lane,
+                    &entry,
+                    &mut evict_actions,
+                    &mut self.stats,
+                );
+            }
+            actions.push(CompareAction::Stall {
+                lane: lane_id,
+                duration: self.cfg.cleanup_cost_per_entry * n as u64,
+            });
+            actions.push(CompareAction::Event(SecurityEvent::CacheCleanup {
+                lane: lane_id,
+                evicted: n,
+            }));
+            actions.extend(evict_actions);
+        }
+
+        let key = self.cfg.strategy.key(&frame);
+        let observed = lane.cache.observe(key.clone(), in_port, &frame, now);
+        match observed {
+            Observed::New | Observed::AdditionalPort { .. } => {
+                let (distinct, released) = match observed {
+                    Observed::New => (1, false),
+                    Observed::AdditionalPort { distinct, released } => (distinct, released),
+                    Observed::Repeat { .. } => unreachable!(),
+                };
+                if released {
+                    self.stats.suppressed_duplicates += 1;
+                } else if distinct >= release_threshold {
+                    if let Some(out) = lane.cache.mark_released(&key) {
+                        self.stats.released += 1;
+                        if !self.cfg.passive {
+                            actions.push(CompareAction::Release {
+                                lane: lane_id,
+                                host_port: lane.info.host_port,
+                                frame: out,
+                            });
+                        } else {
+                            let _ = out;
+                        }
+                    }
+                }
+            }
+            Observed::Repeat { count, released } => {
+                if released {
+                    self.stats.suppressed_duplicates += 1;
+                }
+                if count >= self.cfg.dos_repeat_threshold as u32
+                    && lane.cache.mark_dos_advised(&key)
+                {
+                    self.stats.dos_advices += 1;
+                    actions.push(CompareAction::Event(SecurityEvent::DosSuspected {
+                        lane: lane_id,
+                        port: in_port,
+                        repeats: count,
+                    }));
+                    actions.push(CompareAction::BlockReplicaPort {
+                        lane: lane_id,
+                        port: in_port,
+                        duration: self.cfg.block_duration,
+                    });
+                    actions.push(CompareAction::Event(SecurityEvent::PortBlocked {
+                        lane: lane_id,
+                        port: in_port,
+                    }));
+                }
+            }
+        }
+        actions
+    }
+
+    /// Expires overdue cache entries on every lane; call periodically
+    /// (e.g. every `hold_time / 4`).
+    pub fn sweep(&mut self, now: SimTime) -> Vec<CompareAction> {
+        let mut actions = Vec::new();
+        let hold = self.cfg.hold_time;
+        let mut lane_ids: Vec<u16> = self.lanes.keys().copied().collect();
+        lane_ids.sort_unstable();
+        for lane_id in lane_ids {
+            let lane = self.lanes.get_mut(&lane_id).expect("lane exists");
+            for (_, entry) in lane.cache.expire(now, hold) {
+                Self::account_removed_entry(
+                    &self.cfg,
+                    lane_id,
+                    lane,
+                    &entry,
+                    &mut actions,
+                    &mut self.stats,
+                );
+            }
+        }
+        actions
+    }
+
+    /// Miss/alarm bookkeeping when an entry leaves the cache for good.
+    fn account_removed_entry(
+        cfg: &CompareConfig,
+        lane_id: u16,
+        lane: &mut Lane,
+        entry: &CacheEntry,
+        actions: &mut Vec<CompareAction>,
+        stats: &mut CompareStats,
+    ) {
+        if entry.released {
+            if cfg.mode == Mode::Detect && entry.distinct_ports() < cfg.k {
+                actions.push(CompareAction::Event(SecurityEvent::DetectionMismatch {
+                    lane: lane_id,
+                    delivering_ports: entry.ports.clone(),
+                }));
+            }
+        } else {
+            stats.expired_unreleased += 1;
+            actions.push(CompareAction::Event(SecurityEvent::SinglePathPacket {
+                lane: lane_id,
+                suspect_ports: entry.ports.clone(),
+            }));
+        }
+        // Liveness: replicas that did not deliver this packet accumulate
+        // consecutive misses; replicas that delivered reset them.
+        for (idx, &port) in lane.info.replica_ports.iter().enumerate() {
+            if entry.ports.contains(&port) {
+                lane.consecutive_miss[idx] = 0;
+                if lane.alarmed_down[idx] {
+                    lane.alarmed_down[idx] = false;
+                    actions.push(CompareAction::Event(SecurityEvent::ReplicaRecovered {
+                        lane: lane_id,
+                        port,
+                    }));
+                }
+            } else {
+                lane.consecutive_miss[idx] += 1;
+                if lane.consecutive_miss[idx] >= cfg.miss_alarm_threshold
+                    && !lane.alarmed_down[idx]
+                {
+                    lane.alarmed_down[idx] = true;
+                    actions.push(CompareAction::Event(SecurityEvent::ReplicaSuspectedDown {
+                        lane: lane_id,
+                        port,
+                    }));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::strategy::CompareStrategy;
+
+    fn core(k: usize) -> CompareCore {
+        let mut c = CompareCore::new(
+            CompareConfig::prevent(k).with_hold_time(SimDuration::from_millis(10)),
+        );
+        c.attach_lane(
+            0,
+            LaneInfo {
+                replica_ports: (1..=k as u16).collect(),
+                host_port: 100,
+            },
+        );
+        c
+    }
+
+    fn pkt(tag: u8) -> Bytes {
+        Bytes::from(vec![tag; 60])
+    }
+
+    fn releases(actions: &[CompareAction]) -> usize {
+        actions
+            .iter()
+            .filter(|a| matches!(a, CompareAction::Release { .. }))
+            .count()
+    }
+
+    #[test]
+    fn majority_releases_exactly_once_k3() {
+        let mut c = core(3);
+        let t = SimTime::ZERO;
+        assert_eq!(releases(&c.observe(0, 1, pkt(1), t)), 0);
+        let a = c.observe(0, 2, pkt(1), t);
+        assert_eq!(releases(&a), 1);
+        match &a[0] {
+            CompareAction::Release { host_port, .. } => assert_eq!(*host_port, 100),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(releases(&c.observe(0, 3, pkt(1), t)), 0);
+        assert_eq!(c.stats().released, 1);
+        assert_eq!(c.stats().suppressed_duplicates, 1);
+    }
+
+    #[test]
+    fn majority_is_three_for_k5() {
+        let mut c = core(5);
+        let t = SimTime::ZERO;
+        assert_eq!(releases(&c.observe(0, 1, pkt(1), t)), 0);
+        assert_eq!(releases(&c.observe(0, 2, pkt(1), t)), 0);
+        assert_eq!(releases(&c.observe(0, 3, pkt(1), t)), 1);
+    }
+
+    #[test]
+    fn modified_copy_never_wins() {
+        let mut c = core(3);
+        let t = SimTime::ZERO;
+        // One malicious replica modifies the packet: its copy differs.
+        c.observe(0, 1, pkt(1), t);
+        let evil = Bytes::from(vec![9u8; 60]);
+        assert_eq!(releases(&c.observe(0, 2, evil, t)), 0);
+        // The two honest copies still win.
+        assert_eq!(releases(&c.observe(0, 3, pkt(1), t)), 1);
+        // The malicious copy expires unsent and raises an alarm.
+        let actions = c.sweep(t + SimDuration::from_millis(10));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            CompareAction::Event(SecurityEvent::SinglePathPacket { suspect_ports, .. })
+            if suspect_ports == &vec![2]
+        )));
+        assert_eq!(c.stats().expired_unreleased, 1);
+    }
+
+    #[test]
+    fn dropped_copy_still_releases_via_other_two() {
+        // Paper case study: "only two copies of each response reached the
+        // compare. However since two out of three constitutes a majority,
+        // one copy ... was released".
+        let mut c = core(3);
+        let t = SimTime::ZERO;
+        c.observe(0, 1, pkt(1), t);
+        assert_eq!(releases(&c.observe(0, 3, pkt(1), t)), 1);
+    }
+
+    #[test]
+    fn single_port_packet_expires_unsent() {
+        let mut c = core(3);
+        let t = SimTime::ZERO;
+        assert_eq!(releases(&c.observe(0, 2, pkt(7), t)), 0);
+        let actions = c.sweep(t + SimDuration::from_millis(10));
+        assert_eq!(c.stats().expired_unreleased, 1);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, CompareAction::Event(SecurityEvent::SinglePathPacket { .. }))));
+        assert_eq!(c.stats().released, 0);
+    }
+
+    #[test]
+    fn detect_mode_releases_first_copy_and_alarms_on_mismatch() {
+        let mut c = CompareCore::new(
+            CompareConfig::detect(2).with_hold_time(SimDuration::from_millis(10)),
+        );
+        c.attach_lane(
+            0,
+            LaneInfo {
+                replica_ports: vec![1, 2],
+                host_port: 9,
+            },
+        );
+        let t = SimTime::ZERO;
+        // First copy released immediately (performance).
+        assert_eq!(releases(&c.observe(0, 1, pkt(1), t)), 1);
+        // Second replica delivers a *different* packet: released too
+        // (detection cannot prevent), but both entries later alarm.
+        assert_eq!(releases(&c.observe(0, 2, pkt(2), t)), 1);
+        let actions = c.sweep(t + SimDuration::from_millis(10));
+        let mismatches = actions
+            .iter()
+            .filter(|a| matches!(a, CompareAction::Event(SecurityEvent::DetectionMismatch { .. })))
+            .count();
+        assert_eq!(mismatches, 2);
+    }
+
+    #[test]
+    fn detect_mode_agreement_is_quiet() {
+        let mut c = CompareCore::new(
+            CompareConfig::detect(2).with_hold_time(SimDuration::from_millis(10)),
+        );
+        c.attach_lane(
+            0,
+            LaneInfo {
+                replica_ports: vec![1, 2],
+                host_port: 9,
+            },
+        );
+        let t = SimTime::ZERO;
+        c.observe(0, 1, pkt(1), t);
+        c.observe(0, 2, pkt(1), t);
+        let actions = c.sweep(t + SimDuration::from_millis(10));
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, CompareAction::Event(SecurityEvent::DetectionMismatch { .. }))));
+    }
+
+    #[test]
+    fn dos_repeats_trigger_block_advice_once() {
+        let mut c = core(3);
+        let t = SimTime::ZERO;
+        c.observe(0, 1, pkt(1), t);
+        let mut advices = 0;
+        for _ in 0..40 {
+            let actions = c.observe(0, 1, pkt(1), t);
+            advices += actions
+                .iter()
+                .filter(|a| matches!(a, CompareAction::BlockReplicaPort { .. }))
+                .count();
+        }
+        assert_eq!(advices, 1, "advice must fire exactly once per entry");
+        assert_eq!(c.stats().dos_advices, 1);
+    }
+
+    #[test]
+    fn replica_down_alarm_and_recovery() {
+        let mut cfg = CompareConfig::prevent(3).with_hold_time(SimDuration::from_millis(1));
+        cfg.miss_alarm_threshold = 3;
+        let mut c = CompareCore::new(cfg);
+        c.attach_lane(
+            0,
+            LaneInfo {
+                replica_ports: vec![1, 2, 3],
+                host_port: 9,
+            },
+        );
+        let mut t = SimTime::ZERO;
+        let mut down_alarms = 0;
+        let mut recoveries = 0;
+        // Replica 3 is silent for 3 packets.
+        for i in 0..3u8 {
+            c.observe(0, 1, pkt(i), t);
+            c.observe(0, 2, pkt(i), t);
+            t += SimDuration::from_millis(2);
+            for a in c.sweep(t) {
+                match a {
+                    CompareAction::Event(SecurityEvent::ReplicaSuspectedDown { port, .. }) => {
+                        assert_eq!(port, 3);
+                        down_alarms += 1;
+                    }
+                    CompareAction::Event(SecurityEvent::ReplicaRecovered { .. }) => {
+                        recoveries += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        assert_eq!(down_alarms, 1, "alarm exactly once");
+        // Replica 3 comes back.
+        c.observe(0, 1, pkt(50), t);
+        c.observe(0, 2, pkt(50), t);
+        c.observe(0, 3, pkt(50), t);
+        t += SimDuration::from_millis(2);
+        for a in c.sweep(t) {
+            if matches!(a, CompareAction::Event(SecurityEvent::ReplicaRecovered { port: 3, .. })) {
+                recoveries += 1;
+            }
+        }
+        assert_eq!(recoveries, 1);
+    }
+
+    #[test]
+    fn cache_capacity_triggers_cleanup_and_stall() {
+        let mut cfg = CompareConfig::prevent(3).with_cache_capacity(8);
+        cfg.cleanup_cost_per_entry = SimDuration::from_micros(10);
+        let mut c = CompareCore::new(cfg);
+        c.attach_lane(
+            0,
+            LaneInfo {
+                replica_ports: vec![1, 2, 3],
+                host_port: 9,
+            },
+        );
+        let t = SimTime::ZERO;
+        let mut stalls = Vec::new();
+        for i in 0..20u8 {
+            for a in c.observe(0, 1, pkt(i), t) {
+                if let CompareAction::Stall { duration, .. } = a {
+                    stalls.push(duration);
+                }
+            }
+        }
+        assert!(!stalls.is_empty(), "cleanup must have fired");
+        assert!(stalls[0] > SimDuration::ZERO);
+        assert!(c.stats().cleanups >= 1);
+        assert!(c.stats().evicted >= 4);
+        assert!(c.cache_len(0) <= 8);
+    }
+
+    #[test]
+    fn unknown_lane_and_port_are_counted() {
+        let mut c = core(3);
+        assert!(c.observe(9, 1, pkt(1), SimTime::ZERO).is_empty());
+        assert!(c.observe(0, 77, pkt(1), SimTime::ZERO).is_empty());
+        assert_eq!(c.stats().unknown_port, 2);
+        assert_eq!(c.stats().received, 0);
+    }
+
+    #[test]
+    fn lanes_are_isolated() {
+        let mut c = core(3);
+        c.attach_lane(
+            1,
+            LaneInfo {
+                replica_ports: vec![1, 2, 3],
+                host_port: 200,
+            },
+        );
+        let t = SimTime::ZERO;
+        // One copy on each lane: no majority anywhere despite two copies
+        // total of the same bytes.
+        assert_eq!(releases(&c.observe(0, 1, pkt(1), t)), 0);
+        assert_eq!(releases(&c.observe(1, 2, pkt(1), t)), 0);
+        // Completing the majority within lane 1 releases to lane 1's host.
+        let a = c.observe(1, 3, pkt(1), t);
+        assert_eq!(releases(&a), 1);
+        match &a[0] {
+            CompareAction::Release { lane, host_port, .. } => {
+                assert_eq!((*lane, *host_port), (1, 200));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly k replica ports")]
+    fn lane_must_match_k() {
+        let mut c = core(3);
+        c.attach_lane(
+            5,
+            LaneInfo {
+                replica_ports: vec![1, 2],
+                host_port: 9,
+            },
+        );
+    }
+
+    #[test]
+    fn digest_strategy_works_end_to_end() {
+        let mut c = CompareCore::new(
+            CompareConfig::prevent(3).with_strategy(CompareStrategy::Digest),
+        );
+        c.attach_lane(
+            0,
+            LaneInfo {
+                replica_ports: vec![1, 2, 3],
+                host_port: 9,
+            },
+        );
+        let t = SimTime::ZERO;
+        c.observe(0, 1, pkt(1), t);
+        assert_eq!(releases(&c.observe(0, 2, pkt(1), t)), 1);
+    }
+}

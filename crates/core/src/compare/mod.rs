@@ -1,0 +1,13 @@
+//! The compare element: cache, strategies, voting core and deployments.
+
+mod cache;
+mod core;
+mod device;
+mod strategy;
+
+pub(crate) use strategy::fnv1a;
+
+pub use cache::{CacheEntry, Observed, PacketCache};
+pub use core::{CompareAction, CompareCore, CompareStats, LaneInfo};
+pub use device::Compare;
+pub use strategy::{CompareKey, CompareStrategy};

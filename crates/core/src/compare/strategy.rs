@@ -1,0 +1,110 @@
+//! How the compare decides that two copies are "the same packet".
+
+use bytes::Bytes;
+
+/// The comparison granularity (paper §III: "packets may be compared
+/// bit-by-bit, or just based on the header, or hashing can be used").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareStrategy {
+    /// Bit-by-bit comparison of the full wire bytes — the prototype's
+    /// `memcmp()`. Strongest: catches any modification.
+    FullPacket,
+    /// Compare only the first `prefix` bytes (headers). Cheaper state, but
+    /// blind to payload modification.
+    HeaderOnly {
+        /// Number of leading bytes compared.
+        prefix: usize,
+    },
+    /// Compare a 64-bit FNV-1a digest of the full bytes. Constant-size
+    /// state; collisions are theoretically possible but not adversarially
+    /// relevant for availability experiments.
+    Digest,
+}
+
+impl CompareStrategy {
+    /// A header-only strategy covering Ethernet + IPv4 + L4 ports
+    /// (54 bytes).
+    pub fn headers() -> CompareStrategy {
+        CompareStrategy::HeaderOnly { prefix: 54 }
+    }
+
+    /// Derives the cache key for a frame under this strategy.
+    pub fn key(&self, frame: &Bytes) -> CompareKey {
+        match self {
+            CompareStrategy::FullPacket => CompareKey::Bytes(frame.clone()),
+            CompareStrategy::HeaderOnly { prefix } => {
+                CompareKey::Bytes(frame.slice(..(*prefix).min(frame.len())))
+            }
+            CompareStrategy::Digest => CompareKey::U64(fnv1a(frame)),
+        }
+    }
+}
+
+/// A comparison key: either the (possibly truncated) bytes themselves or a
+/// digest.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CompareKey {
+    /// Raw bytes (bit-by-bit semantics; `Bytes` is cheaply clonable).
+    Bytes(Bytes),
+    /// A 64-bit digest.
+    U64(u64),
+}
+
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_packet_distinguishes_any_bit() {
+        let a = Bytes::from_static(b"packet-one");
+        let b = Bytes::from_static(b"packet-onE");
+        let s = CompareStrategy::FullPacket;
+        assert_eq!(s.key(&a), s.key(&a.clone()));
+        assert_ne!(s.key(&a), s.key(&b));
+    }
+
+    #[test]
+    fn header_only_ignores_payload() {
+        let mut x = vec![0u8; 60];
+        let mut y = vec![0u8; 60];
+        x[58] = 1; // differ beyond the 54-byte prefix
+        y[58] = 2;
+        let s = CompareStrategy::headers();
+        assert_eq!(s.key(&Bytes::from(x.clone())), s.key(&Bytes::from(y)));
+        let mut z = x.clone();
+        z[10] = 9; // differ inside the prefix
+        assert_ne!(s.key(&Bytes::from(x)), s.key(&Bytes::from(z)));
+    }
+
+    #[test]
+    fn header_only_handles_short_frames() {
+        let s = CompareStrategy::headers();
+        let short = Bytes::from_static(b"tiny");
+        assert_eq!(s.key(&short), s.key(&short.clone()));
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let s = CompareStrategy::Digest;
+        let a = Bytes::from_static(b"some frame");
+        assert_eq!(s.key(&a), s.key(&a.clone()));
+        let b = Bytes::from_static(b"some framf");
+        assert_ne!(s.key(&a), s.key(&b));
+    }
+
+    #[test]
+    fn fnv_known_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -1,0 +1,228 @@
+//! Configuration types for the robust combiner.
+
+use netco_sim::SimDuration;
+
+use crate::compare::CompareStrategy;
+
+/// What the combiner guarantees against misbehaving replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// *Detect* misbehaviour: the first copy is released immediately and an
+    /// alarm is raised when copies disagree or go missing. Needs `k ≥ 2`.
+    Detect,
+    /// *Prevent* misbehaviour: a packet is released only after more than
+    /// `⌊k/2⌋` replicas delivered identical copies. Needs `k ≥ 3` to
+    /// tolerate one malicious replica.
+    Prevent,
+}
+
+impl Mode {
+    /// The minimum number of replicas this mode needs (paper §III: "for
+    /// detecting misbehavior, two are enough, for prevention, we need
+    /// three").
+    pub fn min_replicas(self) -> usize {
+        match self {
+            Mode::Detect => 2,
+            Mode::Prevent => 3,
+        }
+    }
+}
+
+/// Where the compare element runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComparePlacement {
+    /// A dedicated trusted host on the data plane, reached via OpenFlow
+    /// packet-in/packet-out wire messages (the paper's C prototype,
+    /// scenarios *Central3* / *Central5*).
+    CentralHost,
+    /// An application on the SDN controller (the paper's *POX3* baseline).
+    ControllerApp,
+    /// Embedded in the egress guard (inband / NFV variant, used by the
+    /// virtualized NetCo).
+    Inband,
+    /// No compare at all — packets are only split, never combined
+    /// (*Dup3* / *Dup5* baselines).
+    None,
+}
+
+/// Tunable parameters of a compare element.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareConfig {
+    /// Number of replicas `k`.
+    pub k: usize,
+    /// Detection or prevention semantics.
+    pub mode: Mode,
+    /// How copies are compared.
+    pub strategy: CompareStrategy,
+    /// Maximum time a packet is buffered waiting for a majority; bounding
+    /// this is what defends the compare against buffer-exhaustion DoS
+    /// (paper §IV).
+    pub hold_time: SimDuration,
+    /// Packet-cache capacity in entries; reaching it triggers a cleanup
+    /// sweep (the jitter mechanism of Fig. 8).
+    pub cache_capacity: usize,
+    /// Modeled processing pause per entry evicted by a cleanup sweep.
+    pub cleanup_cost_per_entry: SimDuration,
+    /// Copies of one packet on one ingress port before the compare advises
+    /// blocking that port (DoS containment, §IV case 2).
+    pub dos_repeat_threshold: u8,
+    /// How long an advised port block lasts.
+    pub block_duration: SimDuration,
+    /// Consecutive packets missing from a replica before the replica is
+    /// reported down (§IV case 3).
+    pub miss_alarm_threshold: u32,
+    /// Observe-only mode: vote and alarm but never emit releases. Used by
+    /// the §IX *sampling* deployment, where the data path forwards packets
+    /// directly and the compare only screens a sampled subset.
+    pub passive: bool,
+}
+
+impl CompareConfig {
+    /// A prevention-mode config with sensible defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is below [`Mode::min_replicas`].
+    pub fn prevent(k: usize) -> CompareConfig {
+        CompareConfig::new(k, Mode::Prevent)
+    }
+
+    /// A detection-mode config with sensible defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is below [`Mode::min_replicas`].
+    pub fn detect(k: usize) -> CompareConfig {
+        CompareConfig::new(k, Mode::Detect)
+    }
+
+    fn new(k: usize, mode: Mode) -> CompareConfig {
+        assert!(
+            k >= mode.min_replicas(),
+            "{mode:?} needs at least {} replicas, got {k}",
+            mode.min_replicas()
+        );
+        CompareConfig {
+            k,
+            mode,
+            strategy: CompareStrategy::FullPacket,
+            hold_time: SimDuration::from_millis(20),
+            cache_capacity: 4096,
+            cleanup_cost_per_entry: SimDuration::from_nanos(150),
+            dos_repeat_threshold: 16,
+            block_duration: SimDuration::from_millis(500),
+            miss_alarm_threshold: 64,
+            passive: false,
+        }
+    }
+
+    /// Builder: sets the compare strategy.
+    pub fn with_strategy(mut self, strategy: CompareStrategy) -> CompareConfig {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder: sets the hold time.
+    pub fn with_hold_time(mut self, hold_time: SimDuration) -> CompareConfig {
+        self.hold_time = hold_time;
+        self
+    }
+
+    /// Builder: sets the cache capacity.
+    pub fn with_cache_capacity(mut self, entries: usize) -> CompareConfig {
+        self.cache_capacity = entries;
+        self
+    }
+
+    /// The number of identical copies required before release.
+    pub fn release_threshold(&self) -> usize {
+        match self.mode {
+            Mode::Detect => 1,
+            Mode::Prevent => self.k / 2 + 1,
+        }
+    }
+}
+
+/// Full description of one robust combiner deployment (used by topology
+/// builders to assemble guards, replicas and a compare).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CombinerConfig {
+    /// Compare parameters (including `k` and the mode).
+    pub compare: CompareConfig,
+    /// Where the compare runs.
+    pub placement: ComparePlacement,
+}
+
+impl CombinerConfig {
+    /// The paper's *Central-k* deployment.
+    pub fn central(k: usize) -> CombinerConfig {
+        CombinerConfig {
+            compare: CompareConfig::prevent(k),
+            placement: ComparePlacement::CentralHost,
+        }
+    }
+
+    /// The paper's *POX-k* deployment.
+    pub fn pox(k: usize) -> CombinerConfig {
+        CombinerConfig {
+            compare: CompareConfig::prevent(k),
+            placement: ComparePlacement::ControllerApp,
+        }
+    }
+
+    /// The paper's *Dup-k* baseline (split only, no combining).
+    pub fn dup(k: usize) -> CombinerConfig {
+        CombinerConfig {
+            compare: CompareConfig::prevent(k),
+            placement: ComparePlacement::None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_replicas() {
+        assert_eq!(Mode::Detect.min_replicas(), 2);
+        assert_eq!(Mode::Prevent.min_replicas(), 3);
+    }
+
+    #[test]
+    fn release_threshold_math() {
+        assert_eq!(CompareConfig::prevent(3).release_threshold(), 2);
+        assert_eq!(CompareConfig::prevent(5).release_threshold(), 3);
+        assert_eq!(CompareConfig::prevent(4).release_threshold(), 3);
+        assert_eq!(CompareConfig::detect(2).release_threshold(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 replicas")]
+    fn prevent_requires_three() {
+        let _ = CompareConfig::prevent(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 replicas")]
+    fn detect_requires_two() {
+        let _ = CompareConfig::detect(1);
+    }
+
+    #[test]
+    fn builders() {
+        let c = CompareConfig::prevent(3)
+            .with_hold_time(SimDuration::from_millis(5))
+            .with_cache_capacity(128);
+        assert_eq!(c.hold_time, SimDuration::from_millis(5));
+        assert_eq!(c.cache_capacity, 128);
+    }
+
+    #[test]
+    fn combiner_presets() {
+        assert_eq!(CombinerConfig::central(3).placement, ComparePlacement::CentralHost);
+        assert_eq!(CombinerConfig::pox(3).placement, ComparePlacement::ControllerApp);
+        assert_eq!(CombinerConfig::dup(5).placement, ComparePlacement::None);
+        assert_eq!(CombinerConfig::dup(5).compare.k, 5);
+    }
+}

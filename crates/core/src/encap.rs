@@ -1,0 +1,86 @@
+//! Framing OpenFlow messages onto point-to-point data links.
+//!
+//! The paper's prototype attaches the compare host to the data plane and
+//! speaks packet-in/packet-out with the guards ("the compare is connected
+//! to the data plane akin of an OpenFlow controller", §IV). We reproduce
+//! that literally: guards wrap OpenFlow 1.0 wire bytes in an Ethernet frame
+//! with a dedicated EtherType and send it down the compare link.
+
+use bytes::Bytes;
+use netco_net::packet::{EtherType, EthernetFrame};
+use netco_net::MacAddr;
+use netco_openflow::{wire, OfMessage};
+
+/// The experimental EtherType used for OpenFlow-over-Ethernet framing
+/// (`0x88B5`, IEEE 802 local experimental 1).
+pub const NETCO_ETHERTYPE: u16 = 0x88b5;
+
+/// Wraps an OpenFlow message into an Ethernet frame for a point-to-point
+/// compare link.
+pub fn of_wrap(msg: &OfMessage, xid: u32) -> Bytes {
+    EthernetFrame {
+        dst: MacAddr::ZERO,
+        src: MacAddr::ZERO,
+        vlan: None,
+        ethertype: EtherType::Other(NETCO_ETHERTYPE),
+        payload: wire::encode(msg, xid),
+    }
+    .encode()
+}
+
+/// Unwraps a compare-link frame back into an OpenFlow message.
+///
+/// Returns `None` for frames that are not NetCo-framed OpenFlow (wrong
+/// EtherType or undecodable payload) — a trusted component simply ignores
+/// anything it does not understand.
+pub fn of_unwrap(frame: &[u8]) -> Option<(OfMessage, u32)> {
+    let eth = EthernetFrame::decode(frame).ok()?;
+    if eth.ethertype != EtherType::Other(NETCO_ETHERTYPE) {
+        return None;
+    }
+    wire::decode(&eth.payload).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netco_openflow::{OfPort, PacketInReason};
+
+    #[test]
+    fn round_trip() {
+        let msg = OfMessage::PacketIn {
+            buffer_id: None,
+            in_port: 2,
+            reason: PacketInReason::NoMatch,
+            data: Bytes::from_static(b"inner frame"),
+        };
+        let wrapped = of_wrap(&msg, 9);
+        let (back, xid) = of_unwrap(&wrapped).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(xid, 9);
+    }
+
+    #[test]
+    fn rejects_foreign_frames() {
+        // A normal IPv4 frame is not NetCo-framed OpenFlow.
+        let ip_frame = netco_net::packet::builder::udp_frame(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            std::net::Ipv4Addr::new(10, 0, 0, 1),
+            std::net::Ipv4Addr::new(10, 0, 0, 2),
+            1,
+            2,
+            Bytes::from_static(b"x"),
+            None,
+        );
+        assert!(of_unwrap(&ip_frame).is_none());
+        assert!(of_unwrap(b"garbage").is_none());
+    }
+
+    #[test]
+    fn packet_out_round_trip() {
+        let msg = OfMessage::packet_out(Bytes::from_static(b"released"), OfPort::Physical(4));
+        let (back, _) = of_unwrap(&of_wrap(&msg, 0)).unwrap();
+        assert_eq!(back, msg);
+    }
+}

@@ -1,0 +1,127 @@
+//! Security events raised by NetCo components.
+
+use std::fmt;
+
+/// An alarm or containment action raised by a compare element.
+///
+/// Events carry the *lane* (which guard/direction the affected traffic
+/// belongs to) and, where attributable, the replica ingress port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SecurityEvent {
+    /// A packet was seen on fewer ports than required and expired without
+    /// release — evidence of rerouting, modification, or unsolicited
+    /// crafting (paper §IV case 1).
+    SinglePathPacket {
+        /// The lane the packet arrived on.
+        lane: u16,
+        /// Replica ports that (alone) delivered this packet.
+        suspect_ports: Vec<u16>,
+    },
+    /// In detection mode: copies disagreed or went missing after the first
+    /// copy was already released.
+    DetectionMismatch {
+        /// The lane concerned.
+        lane: u16,
+        /// Replica ports that delivered the released copy.
+        delivering_ports: Vec<u16>,
+    },
+    /// One replica repeated the same packet suspiciously often — a
+    /// denial-of-service attempt (paper §IV case 2).
+    DosSuspected {
+        /// The lane concerned.
+        lane: u16,
+        /// The offending replica port.
+        port: u16,
+        /// Copies observed.
+        repeats: u32,
+    },
+    /// The compare advised the guard to block a replica port.
+    PortBlocked {
+        /// The lane concerned.
+        lane: u16,
+        /// The blocked replica port.
+        port: u16,
+    },
+    /// A replica missed too many consecutive packets and is presumed
+    /// unavailable (paper §IV case 3) — "raises an alarm to the network
+    /// administrator".
+    ReplicaSuspectedDown {
+        /// The lane concerned.
+        lane: u16,
+        /// The silent replica port.
+        port: u16,
+    },
+    /// A previously silent replica delivered again.
+    ReplicaRecovered {
+        /// The lane concerned.
+        lane: u16,
+        /// The recovered replica port.
+        port: u16,
+    },
+    /// The packet cache hit capacity and a cleanup sweep ran (performance
+    /// event; the Fig. 8 jitter mechanism).
+    CacheCleanup {
+        /// The lane concerned.
+        lane: u16,
+        /// Entries evicted.
+        evicted: usize,
+    },
+}
+
+impl fmt::Display for SecurityEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecurityEvent::SinglePathPacket {
+                lane,
+                suspect_ports,
+            } => write!(
+                f,
+                "lane {lane}: packet seen only on port(s) {suspect_ports:?}, dropped"
+            ),
+            SecurityEvent::DetectionMismatch {
+                lane,
+                delivering_ports,
+            } => write!(
+                f,
+                "lane {lane}: detection mismatch, only port(s) {delivering_ports:?} delivered"
+            ),
+            SecurityEvent::DosSuspected {
+                lane,
+                port,
+                repeats,
+            } => write!(f, "lane {lane}: port {port} repeated a packet {repeats} times"),
+            SecurityEvent::PortBlocked { lane, port } => {
+                write!(f, "lane {lane}: advised blocking port {port}")
+            }
+            SecurityEvent::ReplicaSuspectedDown { lane, port } => {
+                write!(f, "lane {lane}: replica on port {port} suspected down")
+            }
+            SecurityEvent::ReplicaRecovered { lane, port } => {
+                write!(f, "lane {lane}: replica on port {port} recovered")
+            }
+            SecurityEvent::CacheCleanup { lane, evicted } => {
+                write!(f, "lane {lane}: cache cleanup evicted {evicted} entries")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SecurityEvent::DosSuspected {
+            lane: 1,
+            port: 2,
+            repeats: 40,
+        };
+        let s = e.to_string();
+        assert!(s.contains("port 2"));
+        assert!(s.contains("40"));
+        assert!(!SecurityEvent::PortBlocked { lane: 0, port: 3 }
+            .to_string()
+            .is_empty());
+    }
+}

@@ -1,0 +1,443 @@
+//! The guard: the paper's trusted edge components `s1`/`s2`.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use netco_net::{Ctx, Device, NodeId, PortId};
+use netco_openflow::{wire, Action, OfMessage, OfPort, PacketInReason};
+use netco_sim::SimTime;
+
+use crate::compare::{fnv1a, CompareAction, CompareCore, CompareStats, LaneInfo};
+use crate::config::CompareConfig;
+use crate::encap::{of_unwrap, of_wrap};
+use crate::events::SecurityEvent;
+
+/// Where this guard sends replica copies for combining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareAttachment {
+    /// A compare host reachable over a data port; copies are wrapped as
+    /// OpenFlow `PacketIn` frames (the paper's C prototype, *Central-k*).
+    DataPort(PortId),
+    /// The compare runs as an app on the SDN controller; copies travel the
+    /// control channel as genuine packet-ins (*POX-k*).
+    Controller(NodeId),
+    /// The compare runs *inside this guard* — the paper's §IX inband /
+    /// middlebox / NFV placement ("the compare could also be implemented
+    /// inband, e.g., as a middlebox"). Requires
+    /// [`GuardConfig::embedded_compare`].
+    Embedded,
+    /// No combining: replica copies are forwarded straight to the host
+    /// side, duplicates and all (*Dup-k*).
+    None,
+}
+
+/// Static configuration of a [`GuardSwitch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardConfig {
+    /// The port toward the protected host / rest of the network.
+    pub host_port: PortId,
+    /// The `k` ports toward the untrusted replicas.
+    pub replica_ports: Vec<PortId>,
+    /// Where copies are combined.
+    pub compare: CompareAttachment,
+    /// Probability that a replica copy is forwarded to the compare
+    /// (`1.0` = all copies; the paper's §IX *sampling* extension uses
+    /// `< 1.0` together with primary-path forwarding).
+    pub sample_probability: f64,
+    /// Compare parameters for the [`CompareAttachment::Embedded`]
+    /// placement; ignored otherwise.
+    pub embedded_compare: Option<CompareConfig>,
+    /// Sampled-deployment mode (§IX): the primary replica's copies are
+    /// forwarded directly to the host side and only the sampled subset
+    /// (per `sample_probability`) goes to the compare, which should then
+    /// be passive. When `false`, every copy goes to the compare.
+    pub primary_forward: bool,
+}
+
+impl GuardConfig {
+    /// A central-compare guard forwarding every copy.
+    pub fn central(host_port: PortId, replica_ports: Vec<PortId>, compare_port: PortId) -> Self {
+        GuardConfig {
+            host_port,
+            replica_ports,
+            compare: CompareAttachment::DataPort(compare_port),
+            sample_probability: 1.0,
+            embedded_compare: None,
+            primary_forward: false,
+        }
+    }
+
+    /// A duplicate-only guard (no combining).
+    pub fn dup(host_port: PortId, replica_ports: Vec<PortId>) -> Self {
+        GuardConfig {
+            host_port,
+            replica_ports,
+            compare: CompareAttachment::None,
+            sample_probability: 1.0,
+            embedded_compare: None,
+            primary_forward: false,
+        }
+    }
+
+    /// An inband guard: the compare lives inside the guard itself (§IX).
+    pub fn inband(host_port: PortId, replica_ports: Vec<PortId>, compare: CompareConfig) -> Self {
+        GuardConfig {
+            host_port,
+            replica_ports,
+            compare: CompareAttachment::Embedded,
+            sample_probability: 1.0,
+            embedded_compare: Some(compare),
+            primary_forward: false,
+        }
+    }
+}
+
+/// Guard activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardStats {
+    /// Copies emitted toward replicas (hub function).
+    pub hubbed: u64,
+    /// Replica copies wrapped and sent to the compare.
+    pub to_compare: u64,
+    /// Replica copies passed directly to the host side (Dup mode, or the
+    /// primary replica under sampling).
+    pub direct: u64,
+    /// Replica copies skipped by sampling.
+    pub sample_skipped: u64,
+    /// Packets released by the compare and emitted.
+    pub released: u64,
+    /// Frames dropped on blocked replica ports.
+    pub blocked_drops: u64,
+    /// Compare-link / controller messages that were not understood.
+    pub invalid_msgs: u64,
+}
+
+/// The trusted edge component: hub toward the replicas, collector toward
+/// the compare, executor of the compare's decisions.
+///
+/// "Every packet entering NetCo is forwarded to each `r_i`. Every packet
+/// received from any `r_i` is forwarded to the compare ... Every packet
+/// received from the compare is to be forwarded" (paper §IV). The paper
+/// notes this functionality is simple enough to realize as a cheap trusted
+/// component — which is exactly what this device is.
+pub struct GuardSwitch {
+    cfg: GuardConfig,
+    blocked: HashMap<u16, SimTime>,
+    stats: GuardStats,
+    next_xid: u32,
+    embedded: Option<CompareCore>,
+    events: netco_sim::EventLog<SecurityEvent>,
+}
+
+const EMBEDDED_SWEEP_TIMER: u64 = 0xE0;
+
+impl GuardSwitch {
+    /// Creates a guard.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `sample_probability` is outside `[0, 1]`, when the
+    /// replica list is empty, or when ports overlap.
+    pub fn new(cfg: GuardConfig) -> GuardSwitch {
+        assert!(
+            (0.0..=1.0).contains(&cfg.sample_probability),
+            "sample probability must be within [0, 1]"
+        );
+        assert!(!cfg.replica_ports.is_empty(), "need at least one replica");
+        assert!(
+            !cfg.replica_ports.contains(&cfg.host_port),
+            "host port must differ from replica ports"
+        );
+        if let CompareAttachment::DataPort(p) = cfg.compare {
+            assert!(p != cfg.host_port, "compare port must differ from host port");
+            assert!(
+                !cfg.replica_ports.contains(&p),
+                "compare port must differ from replica ports"
+            );
+        }
+        assert!(
+            !(cfg.compare == CompareAttachment::Embedded && cfg.sample_probability < 1.0),
+            "sampling is not supported with the embedded compare"
+        );
+        let embedded = match cfg.compare {
+            CompareAttachment::Embedded => {
+                let compare_cfg = cfg
+                    .embedded_compare
+                    .clone()
+                    .expect("Embedded attachment requires embedded_compare");
+                let mut core = CompareCore::new(compare_cfg);
+                core.attach_lane(
+                    0,
+                    LaneInfo {
+                        replica_ports: cfg.replica_ports.iter().map(|p| p.number()).collect(),
+                        host_port: cfg.host_port.number(),
+                    },
+                );
+                Some(core)
+            }
+            _ => None,
+        };
+        GuardSwitch {
+            cfg,
+            blocked: HashMap::new(),
+            stats: GuardStats::default(),
+            next_xid: 1,
+            embedded,
+            events: netco_sim::EventLog::unbounded(),
+        }
+    }
+
+    /// Compare statistics of the embedded (inband) compare, if any.
+    pub fn embedded_compare_stats(&self) -> Option<CompareStats> {
+        self.embedded.as_ref().map(|c| c.stats())
+    }
+
+    /// Security events raised by the embedded compare.
+    pub fn events(&self) -> &netco_sim::EventLog<SecurityEvent> {
+        &self.events
+    }
+
+    /// Applies the embedded compare's decisions.
+    fn apply_embedded(&mut self, ctx: &mut Ctx<'_>, actions: Vec<CompareAction>) {
+        let now = ctx.now();
+        for action in actions {
+            match action {
+                CompareAction::Release { frame, .. } => {
+                    self.stats.released += 1;
+                    ctx.send_frame(self.cfg.host_port, frame);
+                }
+                CompareAction::BlockReplicaPort { port, duration, .. } => {
+                    self.blocked.insert(port, now + duration);
+                }
+                CompareAction::Stall { .. } => {}
+                CompareAction::Event(e) => {
+                    self.events.push(now, e);
+                }
+            }
+        }
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> GuardStats {
+        self.stats
+    }
+
+    /// `true` when `port` is currently blocked by compare advice.
+    pub fn is_port_blocked(&self, port: PortId, now: SimTime) -> bool {
+        self.blocked
+            .get(&port.number())
+            .is_some_and(|&until| now < until)
+    }
+
+    fn fresh_xid(&mut self) -> u32 {
+        let x = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1);
+        x
+    }
+
+    /// Deterministic, content-based sampling so the *same* packet is
+    /// sampled (or not) consistently across all replicas.
+    fn sampled(&self, frame: &Bytes) -> bool {
+        if self.cfg.sample_probability >= 1.0 {
+            return true;
+        }
+        let h = fnv1a(frame);
+        (h as f64 / u64::MAX as f64) < self.cfg.sample_probability
+    }
+
+    fn forward_to_compare(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, frame: Bytes) {
+        let msg = OfMessage::PacketIn {
+            buffer_id: None,
+            in_port: in_port.number(),
+            reason: PacketInReason::NoMatch,
+            data: frame,
+        };
+        let xid = self.fresh_xid();
+        match self.cfg.compare {
+            CompareAttachment::DataPort(p) => {
+                self.stats.to_compare += 1;
+                ctx.send_frame(p, of_wrap(&msg, xid));
+            }
+            CompareAttachment::Controller(c) => {
+                self.stats.to_compare += 1;
+                ctx.send_control(c, wire::encode(&msg, xid));
+            }
+            CompareAttachment::None | CompareAttachment::Embedded => {
+                unreachable!("handled by the caller")
+            }
+        }
+    }
+
+    /// Handles a decision message from the compare (data-port or
+    /// controller path).
+    fn handle_compare_msg(&mut self, ctx: &mut Ctx<'_>, msg: OfMessage, xid: u32, reply_control: Option<NodeId>) {
+        match msg {
+            OfMessage::PacketOut { actions, data, .. } => {
+                let mut sent = false;
+                for action in &actions {
+                    if let Action::Output(OfPort::Physical(p)) = action {
+                        ctx.send_frame(PortId(*p), data.clone());
+                        sent = true;
+                    }
+                }
+                if sent {
+                    self.stats.released += 1;
+                } else {
+                    self.stats.invalid_msgs += 1;
+                }
+            }
+            OfMessage::FlowMod {
+                matcher,
+                actions,
+                hard_timeout_s,
+                ..
+            } if actions.is_empty() => {
+                // Port-block advice: an empty-action rule on in_port.
+                if let Some(port) = matcher.in_port {
+                    let until = ctx.now()
+                        + netco_sim::SimDuration::from_secs(hard_timeout_s.max(1) as u64);
+                    self.blocked.insert(port, until);
+                } else {
+                    self.stats.invalid_msgs += 1;
+                }
+            }
+            // Minimal OpenFlow politeness so a managing controller can
+            // complete its handshake in POX mode.
+            OfMessage::Hello => {}
+            OfMessage::EchoRequest(data) => {
+                if let Some(c) = reply_control {
+                    ctx.send_control(c, wire::encode(&OfMessage::EchoReply(data), xid));
+                }
+            }
+            OfMessage::FeaturesRequest => {
+                if let Some(c) = reply_control {
+                    let reply = OfMessage::FeaturesReply {
+                        datapath_id: ctx.node().index() as u64,
+                        n_buffers: 0,
+                        n_tables: 0,
+                        ports: ctx
+                            .ports()
+                            .iter()
+                            .map(|p| netco_openflow::PortDesc {
+                                port_no: p.number(),
+                                hw_addr: netco_net::MacAddr::ZERO,
+                                name: format!("g{}", p.number()),
+                            })
+                            .collect(),
+                    };
+                    ctx.send_control(c, wire::encode(&reply, xid));
+                }
+            }
+            _ => {
+                self.stats.invalid_msgs += 1;
+            }
+        }
+    }
+}
+
+impl Device for GuardSwitch {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(core) = &self.embedded {
+            let interval = (core.config().hold_time / 4)
+                .max(netco_sim::SimDuration::from_micros(100));
+            ctx.schedule_timer(interval, EMBEDDED_SWEEP_TIMER);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != EMBEDDED_SWEEP_TIMER {
+            return;
+        }
+        if let Some(mut core) = self.embedded.take() {
+            let actions = core.sweep(ctx.now());
+            let interval = (core.config().hold_time / 4)
+                .max(netco_sim::SimDuration::from_micros(100));
+            self.embedded = Some(core);
+            self.apply_embedded(ctx, actions);
+            ctx.schedule_timer(interval, EMBEDDED_SWEEP_TIMER);
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+        let now = ctx.now();
+        if port == self.cfg.host_port {
+            // Hub: duplicate toward every replica.
+            for rp in self.cfg.replica_ports.clone() {
+                self.stats.hubbed += 1;
+                ctx.send_frame(rp, frame.clone());
+            }
+            return;
+        }
+        if let CompareAttachment::DataPort(cp) = self.cfg.compare {
+            if port == cp {
+                match of_unwrap(&frame) {
+                    Some((msg, xid)) => self.handle_compare_msg(ctx, msg, xid, None),
+                    None => self.stats.invalid_msgs += 1,
+                }
+                return;
+            }
+        }
+        if self.cfg.replica_ports.contains(&port) {
+            if self.is_port_blocked(port, now) {
+                self.stats.blocked_drops += 1;
+                return;
+            }
+            match self.cfg.compare {
+                CompareAttachment::None => {
+                    // Dup mode: deliver every copy.
+                    self.stats.direct += 1;
+                    ctx.send_frame(self.cfg.host_port, frame);
+                }
+                CompareAttachment::Embedded => {
+                    self.stats.to_compare += 1;
+                    if let Some(mut core) = self.embedded.take() {
+                        let actions = core.observe(0, port.number(), frame, now);
+                        self.embedded = Some(core);
+                        self.apply_embedded(ctx, actions);
+                    }
+                }
+                _ if self.cfg.primary_forward => {
+                    // Sampling extension: the primary replica's copy is
+                    // delivered directly; a consistent subset of copies
+                    // additionally goes to the compare for detection.
+                    let primary = self.cfg.replica_ports[0];
+                    let sampled = self.sampled(&frame);
+                    if port == primary {
+                        self.stats.direct += 1;
+                        ctx.send_frame(self.cfg.host_port, frame.clone());
+                    }
+                    if sampled {
+                        self.forward_to_compare(ctx, port, frame);
+                    } else if port != primary {
+                        self.stats.sample_skipped += 1;
+                    }
+                }
+                _ => {
+                    self.forward_to_compare(ctx, port, frame);
+                }
+            }
+            return;
+        }
+        // Unknown port: ignore.
+        self.stats.invalid_msgs += 1;
+    }
+
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Bytes) {
+        if self.cfg.compare != CompareAttachment::Controller(from) {
+            return;
+        }
+        match wire::decode(&msg) {
+            Ok((message, xid)) => self.handle_compare_msg(ctx, message, xid, Some(from)),
+            Err(_) => self.stats.invalid_msgs += 1,
+        }
+    }
+}
+
+impl std::fmt::Debug for GuardSwitch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuardSwitch")
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

@@ -1,0 +1,152 @@
+//! The compare as an SDN controller application (the paper's POX baseline).
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use netco_controller::{ControllerApp, ControllerCtx};
+use netco_net::NodeId;
+use netco_openflow::{FlowMatch, FlowModCommand, OfMessage, OfPort, PacketInReason};
+use netco_sim::EventLog;
+
+use crate::compare::{CompareAction, CompareCore, CompareStats, LaneInfo};
+use crate::config::CompareConfig;
+use crate::events::SecurityEvent;
+
+/// A [`ControllerApp`] running the NetCo compare logic — the paper's
+/// *POX3* reference deployment ("a reference implementation of NetCo as a
+/// SDN application running on the POX controller", §V).
+///
+/// Every replica copy takes a full packet-in → controller → packet-out
+/// round trip, and the hosting controller node is typically configured
+/// with an interpreted-language CPU cost; both effects together reproduce
+/// POX3's poor performance in Figs. 4–7.
+///
+/// Host it with `Controller::new(PoxCompareApp::new(..)).with_tick(..)` so
+/// cache sweeps run.
+pub struct PoxCompareApp {
+    core: CompareCore,
+    guards: HashMap<NodeId, u16>,
+    events: EventLog<SecurityEvent>,
+}
+
+impl PoxCompareApp {
+    /// Creates the app; attach guards before the run starts.
+    pub fn new(cfg: CompareConfig) -> PoxCompareApp {
+        PoxCompareApp {
+            core: CompareCore::new(cfg),
+            guards: HashMap::new(),
+            events: EventLog::unbounded(),
+        }
+    }
+
+    /// Registers a guard switch and its lane layout. The lane id is derived
+    /// from the guard's node id.
+    pub fn attach_guard(&mut self, guard: NodeId, info: LaneInfo) {
+        let lane = guard.index() as u16;
+        self.guards.insert(guard, lane);
+        self.core.attach_lane(lane, info);
+    }
+
+    /// Aggregate compare statistics.
+    pub fn stats(&self) -> CompareStats {
+        self.core.stats()
+    }
+
+    /// The security event log.
+    pub fn events(&self) -> &EventLog<SecurityEvent> {
+        &self.events
+    }
+
+    fn apply(&mut self, cx: &mut ControllerCtx<'_, '_>, guard: NodeId, actions: Vec<CompareAction>) {
+        let now = cx.now();
+        for action in actions {
+            match action {
+                CompareAction::Release {
+                    host_port, frame, ..
+                } => {
+                    cx.packet_out(guard, None, 0, OfPort::Physical(host_port), frame);
+                }
+                CompareAction::BlockReplicaPort { port, duration, .. } => {
+                    let secs = (duration.as_millis() / 1000).max(1) as u16;
+                    cx.send(
+                        guard,
+                        &OfMessage::FlowMod {
+                            command: FlowModCommand::Add,
+                            matcher: FlowMatch::any().with_in_port(port),
+                            priority: u16::MAX,
+                            idle_timeout_s: 0,
+                            hard_timeout_s: secs,
+                            cookie: 0,
+                            notify_when_removed: false,
+                            actions: vec![],
+                            buffer_id: None,
+                        },
+                    );
+                }
+                CompareAction::Stall { .. } => {
+                    // Controller processing cost is modeled by the node's
+                    // CPU model; nothing extra to do here.
+                }
+                CompareAction::Event(e) => {
+                    self.events.push(now, e);
+                }
+            }
+        }
+    }
+
+    fn guard_of(&self, lane: u16) -> Option<NodeId> {
+        self.guards
+            .iter()
+            .find_map(|(&g, &l)| (l == lane).then_some(g))
+    }
+}
+
+impl ControllerApp for PoxCompareApp {
+    fn on_packet_in(
+        &mut self,
+        cx: &mut ControllerCtx<'_, '_>,
+        switch: NodeId,
+        _buffer_id: Option<u32>,
+        in_port: u16,
+        _reason: PacketInReason,
+        data: Bytes,
+    ) {
+        let Some(&lane) = self.guards.get(&switch) else {
+            return;
+        };
+        let now = cx.now();
+        let actions = self.core.observe(lane, in_port, data, now);
+        self.apply(cx, switch, actions);
+    }
+
+    fn tick(&mut self, cx: &mut ControllerCtx<'_, '_>) {
+        let now = cx.now();
+        let actions = self.core.sweep(now);
+        // Group actions by lane so they reach the right guard.
+        for action in actions {
+            let lane = match &action {
+                CompareAction::Release { lane, .. }
+                | CompareAction::BlockReplicaPort { lane, .. }
+                | CompareAction::Stall { lane, .. } => Some(*lane),
+                CompareAction::Event(_) => None,
+            };
+            match lane.and_then(|l| self.guard_of(l)) {
+                Some(guard) => self.apply(cx, guard, vec![action]),
+                None => {
+                    if let CompareAction::Event(e) = action {
+                        self.events.push(now, e);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PoxCompareApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoxCompareApp")
+            .field("guards", &self.guards.len())
+            .field("stats", &self.core.stats())
+            .finish()
+    }
+}

@@ -1,0 +1,21 @@
+//! Virtualized NetCo (paper §VII): replica *paths* instead of replica
+//! routers.
+//!
+//! The physical combiner needs `k` extra routers per protected position.
+//! The virtualized variant instead splits a flow into `k` copies steered
+//! over *vendor-diverse paths* through the existing network (VLAN
+//! tunnels), and combines them with an inband compare at the egress —
+//! "leveraging SDN traffic engineering flexibilities ... the compare is
+//! implemented inband" (Fig. 9).
+//!
+//! * [`PathGraph`] + [`vendor_diverse_paths`] compute the tunnels,
+//! * [`VirtualGuard`] tags copies at the ingress and combines them inband
+//!   at the egress (both directions, symmetric).
+
+mod paths;
+mod steering;
+
+pub use paths::{
+    node_disjoint_paths, paths_are_vendor_diverse, vendor_diverse_paths, PathGraph, VendorId,
+};
+pub use steering::{VirtualGuard, VirtualGuardConfig, VirtualGuardStats};

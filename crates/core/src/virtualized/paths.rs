@@ -1,0 +1,279 @@
+//! Diverse path computation for the virtualized combiner.
+
+use std::collections::VecDeque;
+
+/// A vendor (or country-of-manufacture) label; the diversity unit of the
+/// paper's non-cooperation assumption (§II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VendorId(pub u32);
+
+/// An undirected graph of network elements with vendor labels.
+///
+/// Node indices are dense `usize`s; topology builders map them to
+/// simulator nodes.
+#[derive(Debug, Clone, Default)]
+pub struct PathGraph {
+    adjacency: Vec<Vec<usize>>,
+    vendors: Vec<VendorId>,
+}
+
+impl PathGraph {
+    /// Creates a graph with `n` nodes, all labeled vendor 0.
+    pub fn new(n: usize) -> PathGraph {
+        PathGraph {
+            adjacency: vec![Vec::new(); n],
+            vendors: vec![VendorId(0); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// `true` for an empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Adds an undirected edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range node indices.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(a < self.len() && b < self.len(), "node out of range");
+        if !self.adjacency[a].contains(&b) {
+            self.adjacency[a].push(b);
+            self.adjacency[b].push(a);
+        }
+    }
+
+    /// Labels a node with its vendor.
+    pub fn set_vendor(&mut self, node: usize, vendor: VendorId) {
+        self.vendors[node] = vendor;
+    }
+
+    /// The vendor of a node.
+    pub fn vendor(&self, node: usize) -> VendorId {
+        self.vendors[node]
+    }
+
+    /// Shortest path `src → dst` (BFS) avoiding `banned` interior nodes.
+    /// Endpoints are never banned.
+    fn shortest_path(&self, src: usize, dst: usize, banned: &[bool]) -> Option<Vec<usize>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        let mut prev = vec![usize::MAX; self.len()];
+        let mut queue = VecDeque::new();
+        prev[src] = src;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if prev[v] != usize::MAX {
+                    continue;
+                }
+                if v != dst && banned[v] {
+                    continue;
+                }
+                prev[v] = u;
+                if v == dst {
+                    let mut path = vec![dst];
+                    let mut cur = dst;
+                    while cur != src {
+                        cur = prev[cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(v);
+            }
+        }
+        None
+    }
+}
+
+/// Computes up to `k` node-disjoint paths from `src` to `dst` (greedy
+/// shortest-first; interior nodes of chosen paths are removed).
+///
+/// Returns `None` when fewer than `k` disjoint paths exist.
+pub fn node_disjoint_paths(
+    graph: &PathGraph,
+    src: usize,
+    dst: usize,
+    k: usize,
+) -> Option<Vec<Vec<usize>>> {
+    let mut banned = vec![false; graph.len()];
+    let mut paths = Vec::new();
+    for _ in 0..k {
+        let path = graph.shortest_path(src, dst, &banned)?;
+        for &n in &path {
+            if n != src && n != dst {
+                banned[n] = true;
+            }
+        }
+        paths.push(path);
+    }
+    Some(paths)
+}
+
+/// Computes up to `k` *vendor-diverse* paths: no vendor appears on the
+/// interior of more than one path, so a single compromised vendor can
+/// affect at most one copy.
+///
+/// Returns `None` when the graph cannot supply `k` such paths.
+pub fn vendor_diverse_paths(
+    graph: &PathGraph,
+    src: usize,
+    dst: usize,
+    k: usize,
+) -> Option<Vec<Vec<usize>>> {
+    let mut banned = vec![false; graph.len()];
+    let mut paths = Vec::new();
+    for _ in 0..k {
+        let path = graph.shortest_path(src, dst, &banned)?;
+        // Ban every node of each vendor used on this path's interior.
+        let vendors_used: Vec<VendorId> = path
+            .iter()
+            .filter(|&&n| n != src && n != dst)
+            .map(|&n| graph.vendor(n))
+            .collect();
+        for (n, is_banned) in banned.iter_mut().enumerate() {
+            if vendors_used.contains(&graph.vendor(n)) {
+                *is_banned = true;
+            }
+        }
+        paths.push(path);
+    }
+    Some(paths)
+}
+
+/// Checks the diversity invariant: each vendor occurs on the interior of
+/// at most one path.
+pub fn paths_are_vendor_diverse(graph: &PathGraph, paths: &[Vec<usize>]) -> bool {
+    let mut seen: Vec<(VendorId, usize)> = Vec::new(); // (vendor, path idx)
+    for (i, path) in paths.iter().enumerate() {
+        let interior = &path[1..path.len().saturating_sub(1)];
+        for &n in interior {
+            let v = graph.vendor(n);
+            match seen.iter().find(|(sv, _)| *sv == v) {
+                Some((_, owner)) if *owner != i => return false,
+                Some(_) => {}
+                None => seen.push((v, i)),
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny "fat-tree slice": src 0 and dst 5, three parallel two-hop
+    /// routes via (1,2), (3,4) share no interior nodes; vendors A,A / B,B /
+    /// C,C.
+    fn parallel3() -> PathGraph {
+        let mut g = PathGraph::new(8);
+        // 0 -1-2- 7, 0 -3-4- 7, 0 -5-6- 7
+        for (a, b, v) in [
+            (0, 1, 1),
+            (1, 2, 1),
+            (2, 7, 0),
+            (0, 3, 2),
+            (3, 4, 2),
+            (4, 7, 0),
+            (0, 5, 3),
+            (5, 6, 3),
+            (6, 7, 0),
+        ] {
+            g.add_edge(a, b);
+            if v != 0 {
+                g.set_vendor(a.max(b).min(6), VendorId(v));
+            }
+        }
+        g.set_vendor(1, VendorId(1));
+        g.set_vendor(2, VendorId(1));
+        g.set_vendor(3, VendorId(2));
+        g.set_vendor(4, VendorId(2));
+        g.set_vendor(5, VendorId(3));
+        g.set_vendor(6, VendorId(3));
+        g
+    }
+
+    #[test]
+    fn bfs_finds_shortest() {
+        let g = parallel3();
+        let p = g.shortest_path(0, 7, &vec![false; g.len()]).unwrap();
+        assert_eq!(p.len(), 4); // 0, x, y, 7
+        assert_eq!(p[0], 0);
+        assert_eq!(p[3], 7);
+    }
+
+    #[test]
+    fn three_disjoint_paths_exist() {
+        let g = parallel3();
+        let paths = node_disjoint_paths(&g, 0, 7, 3).unwrap();
+        assert_eq!(paths.len(), 3);
+        // Interiors are pairwise disjoint.
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            for &n in &p[1..p.len() - 1] {
+                assert!(seen.insert(n), "node {n} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn four_disjoint_paths_do_not_exist() {
+        let g = parallel3();
+        assert!(node_disjoint_paths(&g, 0, 7, 4).is_none());
+    }
+
+    #[test]
+    fn vendor_diverse_paths_hold_invariant() {
+        let g = parallel3();
+        let paths = vendor_diverse_paths(&g, 0, 7, 3).unwrap();
+        assert!(paths_are_vendor_diverse(&g, &paths));
+    }
+
+    #[test]
+    fn same_vendor_everywhere_limits_to_one_path() {
+        let mut g = parallel3();
+        for n in 1..=6 {
+            g.set_vendor(n, VendorId(9));
+        }
+        assert!(vendor_diverse_paths(&g, 0, 7, 2).is_none());
+        assert!(vendor_diverse_paths(&g, 0, 7, 1).is_some());
+    }
+
+    #[test]
+    fn diversity_check_detects_violations() {
+        // Two distinct paths whose interiors share vendor 1.
+        let mut g = parallel3();
+        g.set_vendor(3, VendorId(1));
+        g.set_vendor(4, VendorId(1));
+        let paths = vec![vec![0, 1, 2, 7], vec![0, 3, 4, 7]];
+        assert!(!paths_are_vendor_diverse(&g, &paths));
+        // With the original labels they are diverse.
+        let g = parallel3();
+        assert!(paths_are_vendor_diverse(&g, &paths));
+    }
+
+    #[test]
+    fn disconnected_graph_yields_none() {
+        let mut g = PathGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert!(node_disjoint_paths(&g, 0, 3, 1).is_none());
+    }
+
+    #[test]
+    fn src_equals_dst() {
+        let g = parallel3();
+        let p = node_disjoint_paths(&g, 0, 0, 1).unwrap();
+        assert_eq!(p, vec![vec![0]]);
+    }
+}

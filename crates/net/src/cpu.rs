@@ -1,0 +1,137 @@
+//! Per-node packet-processing (CPU) cost models.
+//!
+//! In the paper's Mininet testbed every switch and host was a software
+//! process on a shared machine; throughput cliffs came from per-packet CPU
+//! work, not from link rates. The [`CpuModel`] reproduces that: every frame
+//! (and control message) a node receives must be *serviced* before the
+//! node's logic sees it, and a node services one frame at a time.
+
+use netco_sim::{SimDuration, SimRng};
+
+/// The packet-processing cost model of a node.
+///
+/// A frame of `len` bytes occupies the node's (single) CPU for
+/// `per_packet + per_byte·len`, jittered by ±`jitter` (fraction). Frames
+/// arriving while more than `queue_limit` are already waiting are dropped —
+/// the software equivalent of a full receive ring.
+///
+/// The default model is a zero-cost, infinite CPU (useful for ideal
+/// elements and unit tests).
+///
+/// # Example
+///
+/// ```
+/// use netco_net::CpuModel;
+/// use netco_sim::{SimDuration, SimRng};
+///
+/// let model = CpuModel::per_packet(SimDuration::from_micros(25));
+/// let mut rng = SimRng::new(1);
+/// assert_eq!(model.service_time(1500, &mut rng), SimDuration::from_micros(25));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Fixed cost per frame.
+    pub per_packet: SimDuration,
+    /// Additional cost per payload byte.
+    pub per_byte: SimDuration,
+    /// Uniform jitter fraction applied to each service time (0 disables).
+    pub jitter: f64,
+    /// Maximum frames waiting for service before tail drop
+    /// (`usize::MAX` means unbounded).
+    pub queue_limit: usize,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            per_packet: SimDuration::ZERO,
+            per_byte: SimDuration::ZERO,
+            jitter: 0.0,
+            queue_limit: usize::MAX,
+        }
+    }
+}
+
+impl CpuModel {
+    /// A model with only a fixed per-packet cost and a default queue of
+    /// 100 frames.
+    pub fn per_packet(cost: SimDuration) -> CpuModel {
+        CpuModel {
+            per_packet: cost,
+            per_byte: SimDuration::ZERO,
+            jitter: 0.0,
+            queue_limit: 100,
+        }
+    }
+
+    /// Sets the jitter fraction (builder style).
+    pub fn with_jitter(mut self, fraction: f64) -> CpuModel {
+        self.jitter = fraction;
+        self
+    }
+
+    /// Sets the queue limit (builder style).
+    pub fn with_queue_limit(mut self, frames: usize) -> CpuModel {
+        self.queue_limit = frames;
+        self
+    }
+
+    /// Sets the per-byte cost (builder style).
+    pub fn with_per_byte(mut self, cost: SimDuration) -> CpuModel {
+        self.per_byte = cost;
+        self
+    }
+
+    /// `true` when this model never delays or drops anything.
+    pub fn is_ideal(&self) -> bool {
+        self.per_packet.is_zero() && self.per_byte.is_zero()
+    }
+
+    /// Samples the service time for a frame of `len` bytes.
+    pub fn service_time(&self, len: usize, rng: &mut SimRng) -> SimDuration {
+        let base = self.per_packet + self.per_byte * (len as u64);
+        rng.jitter(base, self.jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_ideal() {
+        let m = CpuModel::default();
+        assert!(m.is_ideal());
+        assert_eq!(m.queue_limit, usize::MAX);
+        let mut rng = SimRng::new(0);
+        assert_eq!(m.service_time(9000, &mut rng), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn per_byte_scales_with_length() {
+        let m = CpuModel::per_packet(SimDuration::from_micros(10))
+            .with_per_byte(SimDuration::from_nanos(2));
+        let mut rng = SimRng::new(0);
+        assert_eq!(
+            m.service_time(1000, &mut rng),
+            SimDuration::from_micros(12)
+        );
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds() {
+        let m = CpuModel::per_packet(SimDuration::from_micros(100)).with_jitter(0.1);
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            let s = m.service_time(0, &mut rng);
+            assert!(s >= SimDuration::from_micros(90) && s <= SimDuration::from_micros(110));
+        }
+    }
+
+    #[test]
+    fn builder_methods() {
+        let m = CpuModel::per_packet(SimDuration::from_micros(1)).with_queue_limit(7);
+        assert_eq!(m.queue_limit, 7);
+        assert!(!m.is_ideal());
+    }
+}

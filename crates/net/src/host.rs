@@ -1,0 +1,267 @@
+//! Host-side helpers: a NIC identity and a static neighbor table.
+//!
+//! The simulator does not run ARP; topology builders pre-populate each
+//! host's [`NeighborTable`] (exactly like Mininet's `--arp` static mode the
+//! paper relied on).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+
+use crate::id::MacAddr;
+use crate::packet::{ArpOperation, ArpPacket, EtherType, EthernetFrame, FrameView};
+
+/// A static IPv4 → MAC mapping.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborTable {
+    entries: HashMap<Ipv4Addr, MacAddr>,
+}
+
+impl NeighborTable {
+    /// Creates an empty table.
+    pub fn new() -> NeighborTable {
+        NeighborTable::default()
+    }
+
+    /// Adds (or replaces) a mapping.
+    pub fn insert(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.entries.insert(ip, mac);
+    }
+
+    /// Looks up the MAC for `ip`.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.entries.get(&ip).copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl FromIterator<(Ipv4Addr, MacAddr)> for NeighborTable {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Addr, MacAddr)>>(iter: I) -> Self {
+        NeighborTable {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(Ipv4Addr, MacAddr)> for NeighborTable {
+    fn extend<I: IntoIterator<Item = (Ipv4Addr, MacAddr)>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+/// The L2/L3 identity of a host interface, plus its neighbor table.
+///
+/// Traffic applications (in `netco-traffic`) embed a `HostNic` to build
+/// outgoing frames and filter incoming ones.
+///
+/// # Example
+///
+/// ```
+/// use std::net::Ipv4Addr;
+/// use netco_net::{HostNic, MacAddr};
+///
+/// let mut nic = HostNic::new(MacAddr::local(1), Ipv4Addr::new(10, 0, 0, 1));
+/// nic.neighbors.insert(Ipv4Addr::new(10, 0, 0, 2), MacAddr::local(2));
+/// assert_eq!(nic.resolve(Ipv4Addr::new(10, 0, 0, 2)), Some(MacAddr::local(2)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostNic {
+    /// The interface MAC address.
+    pub mac: MacAddr,
+    /// The interface IPv4 address.
+    pub ip: Ipv4Addr,
+    /// Static ARP entries.
+    pub neighbors: NeighborTable,
+}
+
+impl HostNic {
+    /// Creates a NIC with an empty neighbor table.
+    pub fn new(mac: MacAddr, ip: Ipv4Addr) -> HostNic {
+        HostNic {
+            mac,
+            ip,
+            neighbors: NeighborTable::new(),
+        }
+    }
+
+    /// Resolves a destination IP to a MAC via the neighbor table.
+    pub fn resolve(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.neighbors.lookup(ip)
+    }
+
+    /// `true` when a frame is addressed to this interface (unicast match or
+    /// broadcast).
+    pub fn accepts(&self, eth: &EthernetFrame) -> bool {
+        eth.dst == self.mac || eth.dst.is_broadcast()
+    }
+
+    /// Builds a broadcast ARP who-has request for `target`.
+    pub fn make_arp_request(&self, target: Ipv4Addr) -> Bytes {
+        EthernetFrame {
+            dst: MacAddr::BROADCAST,
+            src: self.mac,
+            vlan: None,
+            ethertype: EtherType::Arp,
+            payload: ArpPacket::request(self.mac, self.ip, target).encode(),
+        }
+        .encode()
+    }
+
+    /// Processes an ARP frame: learns the sender's mapping and, for a
+    /// request targeting this interface, returns the is-at reply frame to
+    /// transmit. Returns `None` for non-ARP frames (no learning, no reply).
+    pub fn handle_arp(&mut self, wire: &[u8]) -> Option<Bytes> {
+        let eth = EthernetFrame::decode(wire).ok()?;
+        if eth.ethertype != EtherType::Arp || !self.accepts(&eth) {
+            return None;
+        }
+        let arp = ArpPacket::decode(&eth.payload).ok()?;
+        // Learn the sender (both requests and replies carry it).
+        self.neighbors.insert(arp.sender_ip, arp.sender_mac);
+        if arp.operation == ArpOperation::Request && arp.target_ip == self.ip {
+            let reply = ArpPacket::reply_to(&arp, self.mac);
+            return Some(
+                EthernetFrame {
+                    dst: arp.sender_mac,
+                    src: self.mac,
+                    vlan: None,
+                    ethertype: EtherType::Arp,
+                    payload: reply.encode(),
+                }
+                .encode(),
+            );
+        }
+        None
+    }
+
+    /// Parses and filters an incoming frame: full view when it is IPv4
+    /// addressed to this interface (L2 *and* L3), `None` otherwise.
+    ///
+    /// Malformed frames are also `None` — a real NIC would have discarded
+    /// them on checksum grounds.
+    pub fn deliver(&self, wire: &[u8]) -> Option<FrameView> {
+        let view = FrameView::parse(wire).ok()?;
+        if !self.accepts(&view.eth) {
+            return None;
+        }
+        let ip = view.ipv4()?;
+        if ip.dst != self.ip {
+            return None;
+        }
+        Some(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::builder;
+    use bytes::Bytes;
+
+    fn nic() -> HostNic {
+        let mut nic = HostNic::new(MacAddr::local(1), Ipv4Addr::new(10, 0, 0, 1));
+        nic.neighbors
+            .insert(Ipv4Addr::new(10, 0, 0, 2), MacAddr::local(2));
+        nic
+    }
+
+    fn frame_to(_nic: &HostNic, dst_mac: MacAddr, dst_ip: Ipv4Addr) -> Bytes {
+        builder::udp_frame(
+            MacAddr::local(2),
+            dst_mac,
+            Ipv4Addr::new(10, 0, 0, 2),
+            dst_ip,
+            1,
+            2,
+            Bytes::from_static(b"x"),
+            None,
+        )
+    }
+
+    #[test]
+    fn delivers_matching_frames() {
+        let nic = nic();
+        let wire = frame_to(&nic, nic.mac, nic.ip);
+        assert!(nic.deliver(&wire).is_some());
+    }
+
+    #[test]
+    fn rejects_wrong_mac() {
+        let nic = nic();
+        let wire = frame_to(&nic, MacAddr::local(9), nic.ip);
+        assert!(nic.deliver(&wire).is_none());
+    }
+
+    #[test]
+    fn rejects_wrong_ip() {
+        let nic = nic();
+        let wire = frame_to(&nic, nic.mac, Ipv4Addr::new(10, 0, 0, 9));
+        assert!(nic.deliver(&wire).is_none());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let nic = nic();
+        assert!(nic.deliver(b"shrt").is_none());
+    }
+
+    #[test]
+    fn accepts_broadcast_at_l2() {
+        let nic = nic();
+        let wire = frame_to(&nic, MacAddr::BROADCAST, nic.ip);
+        assert!(nic.deliver(&wire).is_some());
+    }
+
+    #[test]
+    fn arp_request_learns_and_replies() {
+        let mut a = HostNic::new(MacAddr::local(1), Ipv4Addr::new(10, 0, 0, 1));
+        let mut b = HostNic::new(MacAddr::local(2), Ipv4Addr::new(10, 0, 0, 2));
+        assert_eq!(a.resolve(b.ip), None);
+        // a asks who-has b; b learns a and replies; a learns b.
+        let req = a.make_arp_request(b.ip);
+        let reply = b.handle_arp(&req).expect("b must answer");
+        assert_eq!(b.resolve(a.ip), Some(a.mac), "b learned the requester");
+        assert!(a.handle_arp(&reply).is_none(), "replies produce no reply");
+        assert_eq!(a.resolve(b.ip), Some(b.mac), "a learned the answer");
+    }
+
+    #[test]
+    fn arp_for_someone_else_learns_but_stays_silent() {
+        let a = HostNic::new(MacAddr::local(1), Ipv4Addr::new(10, 0, 0, 1));
+        let mut c = HostNic::new(MacAddr::local(3), Ipv4Addr::new(10, 0, 0, 3));
+        let req = a.make_arp_request(Ipv4Addr::new(10, 0, 0, 2));
+        assert!(c.handle_arp(&req).is_none());
+        assert_eq!(c.resolve(a.ip), Some(a.mac));
+    }
+
+    #[test]
+    fn handle_arp_ignores_non_arp() {
+        let mut a = HostNic::new(MacAddr::local(1), Ipv4Addr::new(10, 0, 0, 1));
+        let udp = frame_to(&a, a.mac, a.ip);
+        assert!(a.handle_arp(&udp).is_none());
+        assert!(a.handle_arp(b"junk").is_none());
+    }
+
+    #[test]
+    fn neighbor_table_basics() {
+        let mut t = NeighborTable::new();
+        assert!(t.is_empty());
+        t.insert(Ipv4Addr::new(1, 2, 3, 4), MacAddr::local(5));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(Ipv4Addr::new(1, 2, 3, 4)), Some(MacAddr::local(5)));
+        assert_eq!(t.lookup(Ipv4Addr::new(4, 3, 2, 1)), None);
+        let t2: NeighborTable =
+            [(Ipv4Addr::new(9, 9, 9, 9), MacAddr::local(9))].into_iter().collect();
+        assert_eq!(t2.len(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Link models: serialization rate, propagation delay, drop-tail queues.
+
+use netco_sim::SimDuration;
+
+/// The physical parameters of a (bidirectional, full-duplex) link.
+///
+/// Each direction independently serializes frames at `bandwidth_bps` and
+/// holds at most `queue_bytes` of not-yet-transmitted data (drop-tail).
+/// After serialization a frame propagates for `latency`.
+///
+/// # Example
+///
+/// ```
+/// use netco_net::LinkSpec;
+/// use netco_sim::SimDuration;
+///
+/// let gige = LinkSpec::default();
+/// // A 1500-byte frame takes 12 µs to serialize at 1 Gbit/s.
+/// assert_eq!(gige.tx_time(1500), SimDuration::from_micros(12));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkSpec {
+    /// Serialization rate in bits per second; `None` models an infinitely
+    /// fast link (zero serialization delay).
+    pub bandwidth_bps: Option<u64>,
+    /// One-way propagation delay.
+    pub latency: SimDuration,
+    /// Per-direction transmit queue capacity in bytes (drop-tail).
+    pub queue_bytes: usize,
+}
+
+impl Default for LinkSpec {
+    /// 1 Gbit/s, 5 µs propagation, 512 KiB queue — the profile used for the
+    /// paper's testbed links (Mininet veth pairs are fast and shallow).
+    fn default() -> Self {
+        LinkSpec {
+            bandwidth_bps: Some(1_000_000_000),
+            latency: SimDuration::from_micros(5),
+            queue_bytes: 512 * 1024,
+        }
+    }
+}
+
+impl LinkSpec {
+    /// Creates a link with the given rate and latency and the default queue.
+    pub fn new(bandwidth_bps: u64, latency: SimDuration) -> LinkSpec {
+        LinkSpec {
+            bandwidth_bps: Some(bandwidth_bps),
+            latency,
+            queue_bytes: LinkSpec::default().queue_bytes,
+        }
+    }
+
+    /// An infinitely fast, zero-latency link (useful in unit tests).
+    pub fn ideal() -> LinkSpec {
+        LinkSpec {
+            bandwidth_bps: None,
+            latency: SimDuration::ZERO,
+            queue_bytes: usize::MAX,
+        }
+    }
+
+    /// Sets the queue capacity (builder style).
+    pub fn with_queue_bytes(mut self, bytes: usize) -> LinkSpec {
+        self.queue_bytes = bytes;
+        self
+    }
+
+    /// Serialization time for a frame of `len` bytes.
+    pub fn tx_time(&self, len: usize) -> SimDuration {
+        match self.bandwidth_bps {
+            None => SimDuration::ZERO,
+            Some(bps) => {
+                let bits = len as u128 * 8;
+                SimDuration::from_nanos(((bits * 1_000_000_000) / bps as u128) as u64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tx_time_math() {
+        let l = LinkSpec::new(100_000_000, SimDuration::ZERO); // 100 Mbit/s
+        assert_eq!(l.tx_time(1250), SimDuration::from_micros(100));
+        assert_eq!(l.tx_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ideal_link_is_instant() {
+        let l = LinkSpec::ideal();
+        assert_eq!(l.tx_time(1_000_000), SimDuration::ZERO);
+        assert_eq!(l.latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn default_is_gigabit() {
+        let l = LinkSpec::default();
+        assert_eq!(l.bandwidth_bps, Some(1_000_000_000));
+        assert_eq!(l.tx_time(125), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn builder() {
+        let l = LinkSpec::default().with_queue_bytes(100);
+        assert_eq!(l.queue_bytes, 100);
+    }
+}

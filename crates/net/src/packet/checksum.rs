@@ -1,0 +1,77 @@
+//! The 16-bit one's-complement Internet checksum (RFC 1071).
+
+/// Computes the Internet checksum over `data` (odd trailing byte is padded
+/// with zero, per RFC 1071).
+///
+/// The returned value is the one's complement of the one's-complement sum,
+/// ready to be stored in a header checksum field. Verifying a packet whose
+/// checksum field is filled in yields `0`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    finish(sum_words(data))
+}
+
+/// Accumulates 16-bit words of `data` into a running 32-bit sum. Used for
+/// pseudo-header checksums that cover several buffers.
+pub(crate) fn sum_words(data: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum = add_fold(sum, u16::from_be_bytes([c[0], c[1]]) as u32);
+    }
+    if let [last] = chunks.remainder() {
+        sum = add_fold(sum, u16::from_be_bytes([*last, 0]) as u32);
+    }
+    sum
+}
+
+pub(crate) fn add_fold(mut sum: u32, v: u32) -> u32 {
+    sum += v;
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum
+}
+
+pub(crate) fn finish(sum: u32) -> u16 {
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_worked_example() {
+        // Example from RFC 1071 §3: 00 01 f2 03 f4 f5 f6 f7.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn verification_of_valid_packet_yields_zero() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11];
+        data.extend_from_slice(&[0, 0]); // checksum placeholder
+        data.extend_from_slice(&[10, 0, 0, 1, 10, 0, 0, 2]);
+        let ck = internet_checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(internet_checksum(&data), 0);
+    }
+
+    #[test]
+    fn odd_length_is_padded() {
+        assert_eq!(internet_checksum(&[0xab]), !0xab00u16);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        assert_eq!(internet_checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let data = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        let mut flipped = data;
+        flipped[3] ^= 0x10;
+        assert_ne!(internet_checksum(&data), internet_checksum(&flipped));
+    }
+}

@@ -1,0 +1,839 @@
+//! The [`World`]: nodes, links, control channels and the event loop.
+
+use std::any::Any;
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use netco_sim::{Scheduler, SimDuration, SimRng, SimTime};
+
+use crate::cpu::CpuModel;
+use crate::device::{Ctx, Device};
+use crate::id::{LinkId, NodeId, PortId};
+use crate::link::LinkSpec;
+
+/// Why a frame was dropped by the substrate (not by a device's own logic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// The link's transmit queue was full.
+    LinkQueueFull,
+    /// The receiving node's CPU queue was full.
+    CpuQueueFull,
+    /// The frame was sent on a port with no link attached.
+    NoLink,
+    /// The link is administratively/physically down.
+    LinkDown,
+    /// A control message was sent without a registered control channel.
+    NoControlChannel,
+}
+
+/// Byte/frame counters for one port of a node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PortCounters {
+    /// Frames delivered to the device from this port.
+    pub rx_frames: u64,
+    /// Bytes delivered to the device from this port.
+    pub rx_bytes: u64,
+    /// Frames the device transmitted on this port (before link drops).
+    pub tx_frames: u64,
+    /// Bytes the device transmitted on this port.
+    pub tx_bytes: u64,
+    /// Frames dropped on transmit (link queue full or no link).
+    pub tx_dropped: u64,
+    /// Frames dropped on receive (CPU queue full).
+    pub rx_dropped: u64,
+}
+
+/// Counters for one node.
+#[derive(Debug, Clone, Default)]
+pub struct NodeCounters {
+    ports: HashMap<u16, PortCounters>,
+}
+
+impl NodeCounters {
+    /// Counters of one port (zeros if the port never saw traffic).
+    pub fn port(&self, port: PortId) -> PortCounters {
+        self.ports.get(&port.0).copied().unwrap_or_default()
+    }
+
+    /// Sum of counters over all ports.
+    pub fn total(&self) -> PortCounters {
+        let mut t = PortCounters::default();
+        for c in self.ports.values() {
+            t.rx_frames += c.rx_frames;
+            t.rx_bytes += c.rx_bytes;
+            t.tx_frames += c.tx_frames;
+            t.tx_bytes += c.tx_bytes;
+            t.tx_dropped += c.tx_dropped;
+            t.rx_dropped += c.rx_dropped;
+        }
+        t
+    }
+
+    fn port_mut(&mut self, port: PortId) -> &mut PortCounters {
+        self.ports.entry(port.0).or_default()
+    }
+}
+
+/// Whether a tapped frame was entering or leaving the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TapDirection {
+    /// Frame arriving at the node (tapped before CPU admission, like
+    /// `tcpdump` on the interface).
+    Rx,
+    /// Frame leaving the node (tapped before link admission).
+    Tx,
+}
+
+/// A frame observation handed to taps.
+#[derive(Debug)]
+pub struct TapEvent<'a> {
+    /// Observation time.
+    pub at: SimTime,
+    /// Observed node.
+    pub node: NodeId,
+    /// Observed port.
+    pub port: PortId,
+    /// Direction relative to the node.
+    pub direction: TapDirection,
+    /// The raw frame bytes.
+    pub frame: &'a Bytes,
+}
+
+type Tap = Box<dyn FnMut(&TapEvent<'_>)>;
+
+#[derive(Debug)]
+enum Event {
+    Start { node: NodeId },
+    LinkTxDone { link: u32, dir: u8, len: usize },
+    FrameArrival { node: NodeId, port: PortId, frame: Bytes },
+    FrameProcessed { node: NodeId, port: PortId, frame: Bytes },
+    ControlArrival { to: NodeId, from: NodeId, msg: Bytes },
+    ControlProcessed { to: NodeId, from: NodeId, msg: Bytes },
+    Timer { node: NodeId, token: u64 },
+    Pin,
+}
+
+#[derive(Debug, Default)]
+struct CpuState {
+    busy_until: SimTime,
+    pending: usize,
+    // Hysteresis overload state: once the queue fills, drop everything
+    // until it drains to half. Software forwarders lose whole bursts under
+    // overload (scheduler quanta, interrupt livelock), not every k-th
+    // frame — this matters for NetCo because deterministic one-in-k tail
+    // drop would accidentally deduplicate the combiner's packet copies.
+    dropping: bool,
+}
+
+struct LinkDirState {
+    busy_until: SimTime,
+    queued_bytes: usize,
+}
+
+struct LinkState {
+    spec: LinkSpec,
+    // dirs[0]: a -> b, dirs[1]: b -> a
+    ends: [(NodeId, PortId); 2],
+    dirs: [LinkDirState; 2],
+    dropped: [u64; 2],
+    enabled: bool,
+}
+
+/// Specification of a control channel between a node and its controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlChannelSpec {
+    /// One-way message latency (e.g. the TCP/TLS session to the controller).
+    pub latency: SimDuration,
+}
+
+impl Default for ControlChannelSpec {
+    /// 500 µs one-way — a local-network controller session.
+    fn default() -> Self {
+        ControlChannelSpec {
+            latency: SimDuration::from_micros(500),
+        }
+    }
+}
+
+pub(crate) struct WorldCore {
+    sched: Scheduler<Event>,
+    pub(crate) rng: SimRng,
+    names: Vec<String>,
+    cpu_models: Vec<CpuModel>,
+    cpu_states: Vec<CpuState>,
+    counters: Vec<NodeCounters>,
+    links: Vec<LinkState>,
+    adjacency: HashMap<(NodeId, PortId), (u32, u8)>,
+    control: HashMap<(NodeId, NodeId), ControlChannelSpec>,
+    taps: Vec<Tap>,
+    substrate_drops: HashMap<DropReason, u64>,
+}
+
+impl WorldCore {
+    pub(crate) fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    pub(crate) fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
+        self.sched.schedule_after(delay, Event::Timer { node, token });
+    }
+
+    pub(crate) fn ports_of(&self, node: NodeId) -> Vec<PortId> {
+        let mut ports: Vec<PortId> = self
+            .adjacency
+            .keys()
+            .filter(|(n, _)| *n == node)
+            .map(|(_, p)| *p)
+            .collect();
+        ports.sort_unstable();
+        ports
+    }
+
+    pub(crate) fn name_of(&self, node: NodeId) -> &str {
+        &self.names[node.index()]
+    }
+
+    fn drop_frame(&mut self, reason: DropReason) {
+        *self.substrate_drops.entry(reason).or_insert(0) += 1;
+    }
+
+    fn run_taps(&mut self, node: NodeId, port: PortId, direction: TapDirection, frame: &Bytes) {
+        if self.taps.is_empty() {
+            return;
+        }
+        let at = self.sched.now();
+        let mut taps = std::mem::take(&mut self.taps);
+        let ev = TapEvent {
+            at,
+            node,
+            port,
+            direction,
+            frame,
+        };
+        for tap in &mut taps {
+            tap(&ev);
+        }
+        self.taps = taps;
+    }
+
+    pub(crate) fn transmit(&mut self, node: NodeId, port: PortId, frame: Bytes) {
+        self.run_taps(node, port, TapDirection::Tx, &frame);
+        let len = frame.len();
+        let counters = self.counters[node.index()].port_mut(port);
+        let Some(&(link_idx, dir)) = self.adjacency.get(&(node, port)) else {
+            counters.tx_dropped += 1;
+            self.drop_frame(DropReason::NoLink);
+            return;
+        };
+        counters.tx_frames += 1;
+        counters.tx_bytes += len as u64;
+
+        let now = self.sched.now();
+        let link = &mut self.links[link_idx as usize];
+        if !link.enabled {
+            link.dropped[dir as usize] += 1;
+            self.counters[node.index()].port_mut(port).tx_dropped += 1;
+            self.drop_frame(DropReason::LinkDown);
+            return;
+        }
+        let d = &mut link.dirs[dir as usize];
+        if d.queued_bytes.saturating_add(len) > link.spec.queue_bytes {
+            link.dropped[dir as usize] += 1;
+            self.counters[node.index()].port_mut(port).tx_dropped += 1;
+            self.drop_frame(DropReason::LinkQueueFull);
+            return;
+        }
+        d.queued_bytes += len;
+        let start = d.busy_until.max(now);
+        let done = start + link.spec.tx_time(len);
+        d.busy_until = done;
+        let (peer, peer_port) = link.ends[1 - dir as usize];
+        let arrival = done + link.spec.latency;
+        self.sched.schedule_at(
+            done,
+            Event::LinkTxDone {
+                link: link_idx,
+                dir,
+                len,
+            },
+        );
+        self.sched.schedule_at(
+            arrival,
+            Event::FrameArrival {
+                node: peer,
+                port: peer_port,
+                frame,
+            },
+        );
+    }
+
+    pub(crate) fn send_control(&mut self, from: NodeId, to: NodeId, msg: Bytes) {
+        let Some(spec) = self.control.get(&(from, to)) else {
+            self.drop_frame(DropReason::NoControlChannel);
+            return;
+        };
+        let latency = spec.latency;
+        self.sched
+            .schedule_after(latency, Event::ControlArrival { to, from, msg });
+    }
+
+    /// Admits a unit of work (frame or control message) to `node`'s CPU.
+    /// Returns the completion time, or `None` when tail-dropped.
+    fn cpu_admit(&mut self, node: NodeId, len: usize) -> Option<SimTime> {
+        let model = &self.cpu_models[node.index()];
+        let state = &mut self.cpu_states[node.index()];
+        if state.pending >= model.queue_limit {
+            state.dropping = true;
+        } else if state.pending <= model.queue_limit.saturating_sub(4) {
+            state.dropping = false;
+        }
+        if state.dropping {
+            return None;
+        }
+        let service = {
+            let model = self.cpu_models[node.index()].clone();
+            model.service_time(len, &mut self.rng)
+        };
+        let state = &mut self.cpu_states[node.index()];
+        state.pending += 1;
+        let now = self.sched.now();
+        let start = state.busy_until.max(now);
+        let done = start + service;
+        state.busy_until = done;
+        Some(done)
+    }
+}
+
+/// The complete simulated network: devices, links, control channels and the
+/// discrete-event loop tying them together.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+pub struct World {
+    core: WorldCore,
+    devices: Vec<Option<Box<dyn Device>>>,
+}
+
+impl World {
+    /// Creates an empty world with a deterministic RNG seed.
+    pub fn new(seed: u64) -> World {
+        World {
+            core: WorldCore {
+                sched: Scheduler::new(),
+                rng: SimRng::new(seed),
+                names: Vec::new(),
+                cpu_models: Vec::new(),
+                cpu_states: Vec::new(),
+                counters: Vec::new(),
+                links: Vec::new(),
+                adjacency: HashMap::new(),
+                control: HashMap::new(),
+                taps: Vec::new(),
+                substrate_drops: HashMap::new(),
+            },
+            devices: Vec::new(),
+        }
+    }
+
+    /// Adds a device with the given human-readable name and CPU model.
+    /// Its [`Device::on_start`] runs at the current simulation time.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        device: impl Device,
+        cpu: CpuModel,
+    ) -> NodeId {
+        let id = NodeId(self.devices.len() as u32);
+        self.devices.push(Some(Box::new(device)));
+        self.core.names.push(name.into());
+        self.core.cpu_models.push(cpu);
+        self.core.cpu_states.push(CpuState::default());
+        self.core.counters.push(NodeCounters::default());
+        self.core
+            .sched
+            .schedule_after(SimDuration::ZERO, Event::Start { node: id });
+        id
+    }
+
+    /// Connects port `pa` of node `a` to port `pb` of node `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either port already has a link, if a node id is unknown, or
+    /// on a self-loop to the same port.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        pa: PortId,
+        b: NodeId,
+        pb: PortId,
+        spec: LinkSpec,
+    ) -> LinkId {
+        assert!(a.index() < self.devices.len(), "unknown node {a}");
+        assert!(b.index() < self.devices.len(), "unknown node {b}");
+        assert!(!(a == b && pa == pb), "self-loop on a single port");
+        assert!(
+            !self.core.adjacency.contains_key(&(a, pa)),
+            "port {pa} of {a} already wired"
+        );
+        assert!(
+            !self.core.adjacency.contains_key(&(b, pb)),
+            "port {pb} of {b} already wired"
+        );
+        let idx = self.core.links.len() as u32;
+        self.core.links.push(LinkState {
+            spec,
+            ends: [(a, pa), (b, pb)],
+            dirs: [
+                LinkDirState {
+                    busy_until: SimTime::ZERO,
+                    queued_bytes: 0,
+                },
+                LinkDirState {
+                    busy_until: SimTime::ZERO,
+                    queued_bytes: 0,
+                },
+            ],
+            dropped: [0, 0],
+            enabled: true,
+        });
+        self.core.adjacency.insert((a, pa), (idx, 0));
+        self.core.adjacency.insert((b, pb), (idx, 1));
+        LinkId(idx)
+    }
+
+    /// Registers a bidirectional control channel between `node` and
+    /// `controller`.
+    pub fn connect_control(&mut self, node: NodeId, controller: NodeId, spec: ControlChannelSpec) {
+        self.core.control.insert((node, controller), spec.clone());
+        self.core.control.insert((controller, node), spec);
+    }
+
+    /// Registers a frame observer invoked for every tapped frame
+    /// (rx before CPU admission, tx before link admission) on all nodes.
+    pub fn add_tap(&mut self, tap: impl FnMut(&TapEvent<'_>) + 'static) {
+        self.core.taps.push(Box::new(tap));
+    }
+
+    /// Delivers `frame` to `node` as if it had just arrived on `port`
+    /// (subject to the node's CPU model).
+    pub fn inject_frame(&mut self, node: NodeId, port: PortId, frame: Bytes) {
+        self.core
+            .sched
+            .schedule_after(SimDuration::ZERO, Event::FrameArrival { node, port, frame });
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.sched.now()
+    }
+
+    /// Counters of a node.
+    pub fn counters(&self, node: NodeId) -> &NodeCounters {
+        &self.core.counters[node.index()]
+    }
+
+    /// Frames dropped by a link, per direction `[a→b, b→a]`.
+    pub fn link_drops(&self, link: LinkId) -> [u64; 2] {
+        self.core.links[link.index()].dropped
+    }
+
+    /// Takes a link down (frames are dropped) or brings it back up.
+    /// Fault injection for availability experiments; in-flight frames are
+    /// unaffected.
+    pub fn set_link_enabled(&mut self, link: LinkId, enabled: bool) {
+        self.core.links[link.index()].enabled = enabled;
+    }
+
+    /// Whether a link is currently up.
+    pub fn link_enabled(&self, link: LinkId) -> bool {
+        self.core.links[link.index()].enabled
+    }
+
+    /// Total frames dropped by the substrate, per reason.
+    pub fn substrate_drops(&self, reason: DropReason) -> u64 {
+        self.core
+            .substrate_drops
+            .get(&reason)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Immutable access to a device, downcast to its concrete type.
+    ///
+    /// Returns `None` for a wrong type or while the device is handling an
+    /// event (never observable from outside the run loop).
+    pub fn device<T: Device>(&self, node: NodeId) -> Option<&T> {
+        let b = self.devices[node.index()].as_deref()?;
+        let any: &dyn Any = b;
+        if let Some(t) = any.downcast_ref::<T>() {
+            return Some(t);
+        }
+        // Nodes added as `Box<dyn Device>` carry one extra indirection.
+        if let Some(boxed) = any.downcast_ref::<Box<dyn Device>>() {
+            let inner: &dyn Any = boxed.as_ref();
+            return inner.downcast_ref::<T>();
+        }
+        None
+    }
+
+    /// Mutable access to a device, downcast to its concrete type.
+    pub fn device_mut<T: Device>(&mut self, node: NodeId) -> Option<&mut T> {
+        let b = self.devices[node.index()].as_deref_mut()?;
+        let is_direct = {
+            let any: &dyn Any = b;
+            any.downcast_ref::<T>().is_some()
+        };
+        let any: &mut dyn Any = b;
+        if is_direct {
+            return any.downcast_mut::<T>();
+        }
+        if let Some(boxed) = any.downcast_mut::<Box<dyn Device>>() {
+            let inner: &mut dyn Any = boxed.as_mut();
+            return inner.downcast_mut::<T>();
+        }
+        None
+    }
+
+    /// Name a node was registered with.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        self.core.name_of(node)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Runs a single event. Returns `false` when no events remain.
+    pub fn step(&mut self) -> bool {
+        let Some((_, event)) = self.core.sched.pop() else {
+            return false;
+        };
+        self.dispatch(event);
+        true
+    }
+
+    /// Runs until the event queue drains or `deadline` is reached; the
+    /// clock ends exactly at `deadline` if it was reached.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        // Pin the clock so `now()` lands on the deadline even if the queue
+        // drains early.
+        self.core.sched.schedule_at(deadline, Event::Pin);
+        while let Some(t) = self.core.sched.peek_time() {
+            if t > deadline {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+    }
+
+    /// Runs for `duration` of simulated time from the current clock.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        let deadline = self.now().saturating_add(duration);
+        self.run_until(deadline);
+    }
+
+    fn with_device(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Device, &mut Ctx<'_>)) {
+        let mut device = self.devices[node.index()]
+            .take()
+            .expect("device re-entered while handling an event");
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            node,
+        };
+        f(device.as_mut(), &mut ctx);
+        self.devices[node.index()] = Some(device);
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Pin => {}
+            Event::Start { node } => {
+                self.with_device(node, |d, ctx| d.on_start(ctx));
+            }
+            Event::LinkTxDone { link, dir, len } => {
+                let d = &mut self.core.links[link as usize].dirs[dir as usize];
+                d.queued_bytes = d.queued_bytes.saturating_sub(len);
+            }
+            Event::FrameArrival { node, port, frame } => {
+                self.core.run_taps(node, port, TapDirection::Rx, &frame);
+                match self.core.cpu_admit(node, frame.len()) {
+                    Some(done) => {
+                        self.core
+                            .sched
+                            .schedule_at(done, Event::FrameProcessed { node, port, frame });
+                    }
+                    None => {
+                        self.core.counters[node.index()].port_mut(port).rx_dropped += 1;
+                        self.core.drop_frame(DropReason::CpuQueueFull);
+                    }
+                }
+            }
+            Event::FrameProcessed { node, port, frame } => {
+                self.core.cpu_states[node.index()].pending -= 1;
+                let c = self.core.counters[node.index()].port_mut(port);
+                c.rx_frames += 1;
+                c.rx_bytes += frame.len() as u64;
+                self.with_device(node, |d, ctx| d.on_frame(ctx, port, frame));
+            }
+            Event::ControlArrival { to, from, msg } => match self.core.cpu_admit(to, msg.len()) {
+                Some(done) => {
+                    self.core
+                        .sched
+                        .schedule_at(done, Event::ControlProcessed { to, from, msg });
+                }
+                None => {
+                    self.core.drop_frame(DropReason::CpuQueueFull);
+                }
+            },
+            Event::ControlProcessed { to, from, msg } => {
+                self.core.cpu_states[to.index()].pending -= 1;
+                self.with_device(to, |d, ctx| d.on_control(ctx, from, msg));
+            }
+            Event::Timer { node, token } => {
+                self.with_device(node, |d, ctx| d.on_timer(ctx, token));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for World {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.now())
+            .field("nodes", &self.devices.len())
+            .field("links", &self.core.links.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{CollectorDevice, EchoDevice};
+
+    fn frame(n: usize) -> Bytes {
+        Bytes::from(vec![0xabu8; n])
+    }
+
+    #[test]
+    fn frame_travels_across_a_link() {
+        let mut w = World::new(1);
+        let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
+        let b = w.add_node("b", CollectorDevice::default(), CpuModel::default());
+        w.connect(a, 0.into(), b, 0.into(), LinkSpec::new(1_000_000_000, SimDuration::from_micros(5)));
+        w.inject_frame(a, 0.into(), frame(1000));
+        w.run_for(SimDuration::from_millis(1));
+        let col = w.device::<CollectorDevice>(b).unwrap();
+        assert_eq!(col.frames.len(), 1);
+        assert_eq!(col.frames[0].1.len(), 1000);
+        // 8 µs serialization + 5 µs propagation.
+        assert_eq!(col.frames[0].0, SimTime::from_nanos(13_000));
+        assert_eq!(w.counters(b).port(0.into()).rx_frames, 1);
+        assert_eq!(w.counters(a).port(0.into()).tx_frames, 1);
+    }
+
+    #[test]
+    fn cpu_delays_delivery() {
+        let mut w = World::new(1);
+        let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
+        let b = w.add_node(
+            "b",
+            CollectorDevice::default(),
+            CpuModel::per_packet(SimDuration::from_micros(100)),
+        );
+        w.connect(a, 0.into(), b, 0.into(), LinkSpec::ideal());
+        w.inject_frame(a, 0.into(), frame(10));
+        w.run_for(SimDuration::from_millis(1));
+        let col = w.device::<CollectorDevice>(b).unwrap();
+        assert_eq!(col.frames[0].0, SimTime::from_nanos(100_000));
+    }
+
+    #[test]
+    fn cpu_queue_tail_drops() {
+        let mut w = World::new(1);
+        let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
+        let b = w.add_node(
+            "b",
+            CollectorDevice::default(),
+            CpuModel::per_packet(SimDuration::from_millis(10)).with_queue_limit(2),
+        );
+        w.connect(a, 0.into(), b, 0.into(), LinkSpec::ideal());
+        for _ in 0..5 {
+            w.inject_frame(a, 0.into(), frame(10));
+        }
+        w.run_for(SimDuration::from_secs(1));
+        let col = w.device::<CollectorDevice>(b).unwrap();
+        assert_eq!(col.frames.len(), 2);
+        assert_eq!(w.counters(b).port(0.into()).rx_dropped, 3);
+        assert_eq!(w.substrate_drops(DropReason::CpuQueueFull), 3);
+    }
+
+    #[test]
+    fn link_queue_tail_drops() {
+        let mut w = World::new(1);
+        let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
+        let b = w.add_node("b", CollectorDevice::default(), CpuModel::default());
+        // 1500-byte queue: room for exactly one of our frames at a time.
+        let spec = LinkSpec::new(1_000_000, SimDuration::ZERO).with_queue_bytes(1500);
+        let link = w.connect(a, 0.into(), b, 0.into(), spec);
+        for _ in 0..4 {
+            w.inject_frame(a, 0.into(), frame(1000));
+        }
+        w.run_for(SimDuration::from_secs(1));
+        let col = w.device::<CollectorDevice>(b).unwrap();
+        assert_eq!(col.frames.len(), 1);
+        assert_eq!(w.link_drops(link), [3, 0]);
+        assert_eq!(w.counters(a).port(0.into()).tx_dropped, 3);
+    }
+
+    #[test]
+    fn serialization_pipelines_frames() {
+        let mut w = World::new(1);
+        let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
+        let b = w.add_node("b", CollectorDevice::default(), CpuModel::default());
+        // 1 Mbit/s: 1000-byte frame = 8 ms serialization.
+        w.connect(a, 0.into(), b, 0.into(), LinkSpec::new(1_000_000, SimDuration::ZERO));
+        w.inject_frame(a, 0.into(), frame(1000));
+        w.inject_frame(a, 0.into(), frame(1000));
+        w.run_for(SimDuration::from_secs(1));
+        let col = w.device::<CollectorDevice>(b).unwrap();
+        assert_eq!(col.frames[0].0, SimTime::from_nanos(8_000_000));
+        assert_eq!(col.frames[1].0, SimTime::from_nanos(16_000_000));
+    }
+
+    #[test]
+    fn unwired_port_counts_drop() {
+        let mut w = World::new(1);
+        let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
+        w.inject_frame(a, 3.into(), frame(10)); // echo will send back out p3
+        w.run_for(SimDuration::from_millis(1));
+        assert_eq!(w.counters(a).port(3.into()).tx_dropped, 1);
+        assert_eq!(w.substrate_drops(DropReason::NoLink), 1);
+    }
+
+    #[test]
+    fn disabled_link_drops_until_reenabled() {
+        let mut w = World::new(1);
+        let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
+        let b = w.add_node("b", CollectorDevice::default(), CpuModel::default());
+        let link = w.connect(a, 0.into(), b, 0.into(), LinkSpec::ideal());
+        assert!(w.link_enabled(link));
+        w.set_link_enabled(link, false);
+        w.inject_frame(a, 0.into(), frame(10));
+        w.run_for(SimDuration::from_millis(1));
+        assert_eq!(w.device::<CollectorDevice>(b).unwrap().frames.len(), 0);
+        assert_eq!(w.link_drops(link), [1, 0]);
+        assert_eq!(w.substrate_drops(DropReason::LinkDown), 1);
+        w.set_link_enabled(link, true);
+        w.inject_frame(a, 0.into(), frame(10));
+        w.run_for(SimDuration::from_millis(1));
+        assert_eq!(w.device::<CollectorDevice>(b).unwrap().frames.len(), 1);
+    }
+
+    #[test]
+    fn taps_see_both_directions() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let seen2 = seen.clone();
+        let mut w = World::new(1);
+        let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
+        let b = w.add_node("b", CollectorDevice::default(), CpuModel::default());
+        w.connect(a, 0.into(), b, 0.into(), LinkSpec::ideal());
+        w.add_tap(move |ev| seen2.borrow_mut().push((ev.node, ev.direction)));
+        w.inject_frame(a, 0.into(), frame(10));
+        w.run_for(SimDuration::from_millis(1));
+        let seen = seen.borrow();
+        assert!(seen.contains(&(a, TapDirection::Rx)));
+        assert!(seen.contains(&(a, TapDirection::Tx)));
+        assert!(seen.contains(&(b, TapDirection::Rx)));
+    }
+
+    #[test]
+    fn control_channel_round_trip() {
+        use crate::testutil::ControlEchoDevice;
+        let mut w = World::new(1);
+        let sw = w.add_node("sw", ControlEchoDevice::default(), CpuModel::default());
+        let ctl = w.add_node("ctl", CollectorDevice::default(), CpuModel::default());
+        w.connect_control(
+            sw,
+            ctl,
+            ControlChannelSpec {
+                latency: SimDuration::from_millis(1),
+            },
+        );
+        w.device_mut::<ControlEchoDevice>(sw).unwrap().peer = Some(ctl);
+        w.run_for(SimDuration::from_millis(10));
+        let col = w.device::<CollectorDevice>(ctl).unwrap();
+        assert_eq!(col.control.len(), 1);
+        assert_eq!(col.control[0].0, SimTime::from_nanos(1_000_000));
+    }
+
+    #[test]
+    fn control_without_channel_is_counted() {
+        use crate::testutil::ControlEchoDevice;
+        let mut w = World::new(1);
+        let sw = w.add_node("sw", ControlEchoDevice::default(), CpuModel::default());
+        let ctl = w.add_node("ctl", CollectorDevice::default(), CpuModel::default());
+        w.device_mut::<ControlEchoDevice>(sw).unwrap().peer = Some(ctl);
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(w.substrate_drops(DropReason::NoControlChannel), 1);
+    }
+
+    #[test]
+    fn run_until_pins_clock() {
+        let mut w = World::new(1);
+        w.run_until(SimTime::from_nanos(5_000));
+        assert_eq!(w.now(), SimTime::from_nanos(5_000));
+        w.run_for(SimDuration::from_micros(5));
+        assert_eq!(w.now(), SimTime::from_nanos(10_000));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        use crate::testutil::TimerRecorder;
+        let mut w = World::new(1);
+        let n = w.add_node("t", TimerRecorder::default(), CpuModel::default());
+        w.run_for(SimDuration::from_millis(10));
+        let rec = w.device::<TimerRecorder>(n).unwrap();
+        assert_eq!(rec.fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already wired")]
+    fn double_wiring_panics() {
+        let mut w = World::new(1);
+        let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
+        let b = w.add_node("b", EchoDevice::default(), CpuModel::default());
+        w.connect(a, 0.into(), b, 0.into(), LinkSpec::ideal());
+        w.connect(a, 0.into(), b, 1.into(), LinkSpec::ideal());
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        fn run() -> Vec<(SimTime, usize)> {
+            let mut w = World::new(77);
+            let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
+            let b = w.add_node(
+                "b",
+                CollectorDevice::default(),
+                CpuModel::per_packet(SimDuration::from_micros(10)).with_jitter(0.3),
+            );
+            w.connect(a, 0.into(), b, 0.into(), LinkSpec::default());
+            for i in 0..50 {
+                w.inject_frame(a, 0.into(), frame(100 + i));
+            }
+            w.run_for(SimDuration::from_secs(1));
+            w.device::<CollectorDevice>(b)
+                .unwrap()
+                .frames
+                .iter()
+                .map(|(t, f)| (*t, f.len()))
+                .collect()
+        }
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests: every codec round-trips arbitrary well-formed values,
+//! and decoding never panics on arbitrary bytes.
+
+use bytes::Bytes;
+use netco_net::packet::{
+    EtherType, EthernetFrame, FrameView, IcmpMessage, IcmpType, IpProtocol, Ipv4Packet,
+    TcpFlags, TcpSegment, UdpDatagram, VlanTag,
+};
+use netco_net::MacAddr;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_payload(max: usize) -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..max).prop_map(Bytes::from)
+}
+
+proptest! {
+    #[test]
+    fn ethernet_round_trip(
+        dst in arb_mac(),
+        src in arb_mac(),
+        vid in proptest::option::of(0u16..4096),
+        ethertype in any::<u16>(),
+        payload in arb_payload(256),
+    ) {
+        let frame = EthernetFrame {
+            dst,
+            src,
+            vlan: vid.map(VlanTag::new),
+            ethertype: EtherType::from_u16(ethertype),
+            payload,
+        };
+        // A frame whose ethertype collides with the 802.1Q TPID but has no
+        // tag would be re-parsed as tagged; the codec never produces such
+        // frames from real traffic, so skip the ambiguous case.
+        prop_assume!(frame.ethertype.to_u16() != 0x8100);
+        let wire = frame.encode();
+        prop_assert_eq!(EthernetFrame::decode(&wire).unwrap(), frame);
+    }
+
+    #[test]
+    fn ipv4_round_trip(
+        src in arb_ip(),
+        dst in arb_ip(),
+        proto in any::<u8>(),
+        ttl in any::<u8>(),
+        id in any::<u16>(),
+        payload in arb_payload(512),
+    ) {
+        let mut pkt = Ipv4Packet::new(src, dst, IpProtocol::from_u8(proto), payload);
+        pkt.ttl = ttl;
+        pkt.identification = id;
+        let wire = pkt.encode();
+        prop_assert_eq!(Ipv4Packet::decode(&wire).unwrap(), pkt);
+    }
+
+    #[test]
+    fn udp_round_trip(
+        src in arb_ip(),
+        dst in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in arb_payload(512),
+    ) {
+        let d = UdpDatagram { src_port: sport, dst_port: dport, payload };
+        let wire = d.encode(src, dst);
+        prop_assert_eq!(UdpDatagram::decode(&wire, src, dst).unwrap(), d);
+    }
+
+    #[test]
+    fn tcp_round_trip(
+        src in arb_ip(),
+        dst in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in any::<u8>(),
+        window in any::<u16>(),
+        payload in arb_payload(512),
+    ) {
+        let s = TcpSegment {
+            src_port: sport,
+            dst_port: dport,
+            seq,
+            ack,
+            flags: TcpFlags::from_bits(flags),
+            window,
+            payload,
+        };
+        let wire = s.encode(src, dst);
+        prop_assert_eq!(TcpSegment::decode(&wire, src, dst).unwrap(), s);
+    }
+
+    #[test]
+    fn icmp_round_trip(
+        t in any::<u8>(),
+        code in any::<u8>(),
+        id in any::<u16>(),
+        seq in any::<u16>(),
+        payload in arb_payload(256),
+    ) {
+        let m = IcmpMessage {
+            icmp_type: IcmpType::from_u8(t),
+            code,
+            identifier: id,
+            sequence: seq,
+            payload,
+        };
+        let wire = m.encode();
+        prop_assert_eq!(IcmpMessage::decode(&wire).unwrap(), m);
+    }
+
+    #[test]
+    fn single_bit_flip_is_detected_by_some_checksum(
+        src in arb_ip(),
+        dst in arb_ip(),
+        payload in arb_payload(64),
+        flip_bit in any::<u8>(),
+    ) {
+        // Flipping any single bit of an IPv4/UDP packet must fail IPv4
+        // header validation or UDP checksum validation (or change the
+        // claimed addresses so the pseudo-header no longer matches).
+        let d = UdpDatagram { src_port: 7, dst_port: 9, payload };
+        let ip = Ipv4Packet::new(src, dst, IpProtocol::Udp, d.encode(src, dst));
+        let mut wire = ip.encode().to_vec();
+        let bit = flip_bit as usize % (wire.len() * 8);
+        wire[bit / 8] ^= 1 << (bit % 8);
+        let still_ok = (|| {
+            let p = Ipv4Packet::decode(&wire).ok()?;
+            UdpDatagram::decode(&p.payload, p.src, p.dst).ok()
+        })();
+        prop_assert!(still_ok.is_none(), "bit flip at {bit} went undetected");
+    }
+
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = EthernetFrame::decode(&bytes);
+        let _ = Ipv4Packet::decode(&bytes);
+        let _ = IcmpMessage::decode(&bytes);
+        let _ = UdpDatagram::decode(&bytes, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
+        let _ = TcpSegment::decode(&bytes, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED);
+        let _ = FrameView::parse(&bytes);
+    }
+}

@@ -1,0 +1,224 @@
+//! Tolerant header-field extraction for flow matching.
+//!
+//! A hardware switch matches on header fields without verifying end-to-end
+//! checksums, so this "sniffer" never fails: missing or malformed layers
+//! simply leave the corresponding fields at their defaults (and a malformed
+//! IPv4 header leaves L3/L4 fields zeroed, matching only fully wildcarded
+//! entries on those fields).
+
+use std::net::Ipv4Addr;
+
+use netco_net::packet::{ETHERNET_HEADER_LEN, IPV4_HEADER_LEN};
+use netco_net::MacAddr;
+
+/// The OF 1.0 value of `dl_vlan` meaning "no VLAN tag present".
+pub const OFP_VLAN_NONE: u16 = 0xffff;
+
+/// The 12-tuple of header fields OpenFlow 1.0 matches on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketFields {
+    /// Ingress port (physical port number).
+    pub in_port: u16,
+    /// Ethernet source.
+    pub dl_src: MacAddr,
+    /// Ethernet destination.
+    pub dl_dst: MacAddr,
+    /// VLAN id, or [`OFP_VLAN_NONE`] when untagged.
+    pub dl_vlan: u16,
+    /// VLAN priority (0 when untagged).
+    pub dl_vlan_pcp: u8,
+    /// EtherType.
+    pub dl_type: u16,
+    /// IP ToS (DSCP bits), 0 when not IPv4.
+    pub nw_tos: u8,
+    /// IP protocol, 0 when not IPv4.
+    pub nw_proto: u8,
+    /// IPv4 source, 0.0.0.0 when not IPv4.
+    pub nw_src: Ipv4Addr,
+    /// IPv4 destination, 0.0.0.0 when not IPv4.
+    pub nw_dst: Ipv4Addr,
+    /// TCP/UDP source port, or ICMP type.
+    pub tp_src: u16,
+    /// TCP/UDP destination port, or ICMP code.
+    pub tp_dst: u16,
+}
+
+impl Default for PacketFields {
+    fn default() -> Self {
+        PacketFields {
+            in_port: 0,
+            dl_src: MacAddr::ZERO,
+            dl_dst: MacAddr::ZERO,
+            dl_vlan: OFP_VLAN_NONE,
+            dl_vlan_pcp: 0,
+            dl_type: 0,
+            nw_tos: 0,
+            nw_proto: 0,
+            nw_src: Ipv4Addr::UNSPECIFIED,
+            nw_dst: Ipv4Addr::UNSPECIFIED,
+            tp_src: 0,
+            tp_dst: 0,
+        }
+    }
+}
+
+impl PacketFields {
+    /// Extracts match fields from raw frame bytes arriving on `in_port`.
+    ///
+    /// Never fails; unparsable layers leave defaults in place.
+    pub fn sniff(wire: &[u8], in_port: u16) -> PacketFields {
+        let mut f = PacketFields {
+            in_port,
+            ..PacketFields::default()
+        };
+        if wire.len() < ETHERNET_HEADER_LEN {
+            return f;
+        }
+        f.dl_dst = MacAddr([wire[0], wire[1], wire[2], wire[3], wire[4], wire[5]]);
+        f.dl_src = MacAddr([wire[6], wire[7], wire[8], wire[9], wire[10], wire[11]]);
+        let mut off = 12;
+        let mut ethertype = u16::from_be_bytes([wire[off], wire[off + 1]]);
+        if ethertype == 0x8100 {
+            if wire.len() < 18 {
+                return f;
+            }
+            let tci = u16::from_be_bytes([wire[14], wire[15]]);
+            f.dl_vlan = tci & 0x0fff;
+            f.dl_vlan_pcp = (tci >> 13) as u8;
+            off = 16;
+            ethertype = u16::from_be_bytes([wire[off], wire[off + 1]]);
+        }
+        f.dl_type = ethertype;
+        off += 2;
+        if ethertype != 0x0800 {
+            return f;
+        }
+        let ip = &wire[off..];
+        if ip.len() < IPV4_HEADER_LEN || ip[0] >> 4 != 4 {
+            return f;
+        }
+        let ihl = (ip[0] & 0x0f) as usize * 4;
+        if ihl < IPV4_HEADER_LEN || ip.len() < ihl {
+            return f;
+        }
+        f.nw_tos = ip[1] & 0xfc;
+        f.nw_proto = ip[9];
+        f.nw_src = Ipv4Addr::new(ip[12], ip[13], ip[14], ip[15]);
+        f.nw_dst = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
+        let l4 = &ip[ihl..];
+        match f.nw_proto {
+            6 | 17
+                if l4.len() >= 4 => {
+                    f.tp_src = u16::from_be_bytes([l4[0], l4[1]]);
+                    f.tp_dst = u16::from_be_bytes([l4[2], l4[3]]);
+                }
+            1
+                if l4.len() >= 2 => {
+                    f.tp_src = l4[0] as u16; // ICMP type
+                    f.tp_dst = l4[1] as u16; // ICMP code
+                }
+            _ => {}
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use netco_net::packet::{builder, IcmpMessage, VlanTag};
+
+    const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+    const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+    #[test]
+    fn sniffs_udp() {
+        let wire = builder::udp_frame(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            A,
+            B,
+            1111,
+            2222,
+            Bytes::from_static(b"x"),
+            None,
+        );
+        let f = PacketFields::sniff(&wire, 7);
+        assert_eq!(f.in_port, 7);
+        assert_eq!(f.dl_src, MacAddr::local(1));
+        assert_eq!(f.dl_dst, MacAddr::local(2));
+        assert_eq!(f.dl_vlan, OFP_VLAN_NONE);
+        assert_eq!(f.dl_type, 0x0800);
+        assert_eq!(f.nw_proto, 17);
+        assert_eq!((f.nw_src, f.nw_dst), (A, B));
+        assert_eq!((f.tp_src, f.tp_dst), (1111, 2222));
+    }
+
+    #[test]
+    fn sniffs_vlan() {
+        let wire = builder::udp_frame(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            A,
+            B,
+            1,
+            2,
+            Bytes::from_static(b"x"),
+            Some(VlanTag {
+                pcp: 3,
+                dei: false,
+                vid: 55,
+            }),
+        );
+        let f = PacketFields::sniff(&wire, 0);
+        assert_eq!(f.dl_vlan, 55);
+        assert_eq!(f.dl_vlan_pcp, 3);
+        assert_eq!(f.dl_type, 0x0800);
+        assert_eq!(f.tp_dst, 2);
+    }
+
+    #[test]
+    fn sniffs_icmp_type_code() {
+        let wire = builder::icmp_frame(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            A,
+            B,
+            IcmpMessage::echo_request(1, 1, Bytes::new()),
+            None,
+        );
+        let f = PacketFields::sniff(&wire, 0);
+        assert_eq!(f.nw_proto, 1);
+        assert_eq!(f.tp_src, 8); // echo request type
+        assert_eq!(f.tp_dst, 0);
+    }
+
+    #[test]
+    fn short_frame_gives_defaults() {
+        let f = PacketFields::sniff(&[1, 2, 3], 4);
+        assert_eq!(f.in_port, 4);
+        assert_eq!(f.dl_dst, MacAddr::ZERO);
+        assert_eq!(f.dl_type, 0);
+    }
+
+    #[test]
+    fn corrupt_ip_keeps_l2_fields() {
+        let mut wire = builder::udp_frame(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            A,
+            B,
+            1,
+            2,
+            Bytes::from_static(b"x"),
+            None,
+        )
+        .to_vec();
+        wire[14] = 0x65; // claim IPv6 inside an 0x0800 frame
+        let f = PacketFields::sniff(&wire, 0);
+        assert_eq!(f.dl_type, 0x0800);
+        assert_eq!(f.nw_proto, 0);
+        assert_eq!(f.nw_src, Ipv4Addr::UNSPECIFIED);
+    }
+}

@@ -1,0 +1,461 @@
+//! Flow entries and the priority-ordered flow table.
+
+use netco_sim::{SimDuration, SimTime};
+
+use crate::action::Action;
+use crate::fields::PacketFields;
+use crate::flow_match::FlowMatch;
+
+/// Why a flow entry left the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowRemovedReason {
+    /// No packet matched within the idle timeout.
+    IdleTimeout,
+    /// The hard timeout elapsed.
+    HardTimeout,
+    /// A delete flow-mod removed it.
+    Delete,
+}
+
+/// One match-action rule with counters and timeouts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowEntry {
+    priority: u16,
+    matcher: FlowMatch,
+    actions: Vec<Action>,
+    cookie: u64,
+    idle_timeout: Option<SimDuration>,
+    hard_timeout: Option<SimDuration>,
+    notify_when_removed: bool,
+    created_at: SimTime,
+    last_matched: SimTime,
+    packets: u64,
+    bytes: u64,
+}
+
+impl FlowEntry {
+    /// Creates an entry with no timeouts and zero cookie.
+    pub fn new(priority: u16, matcher: FlowMatch, actions: Vec<Action>) -> FlowEntry {
+        FlowEntry {
+            priority,
+            matcher,
+            actions,
+            cookie: 0,
+            idle_timeout: None,
+            hard_timeout: None,
+            notify_when_removed: false,
+            created_at: SimTime::ZERO,
+            last_matched: SimTime::ZERO,
+            packets: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Builder: sets the idle timeout.
+    pub fn with_idle_timeout(mut self, timeout: SimDuration) -> FlowEntry {
+        self.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// Builder: sets the hard timeout.
+    pub fn with_hard_timeout(mut self, timeout: SimDuration) -> FlowEntry {
+        self.hard_timeout = Some(timeout);
+        self
+    }
+
+    /// Builder: requests a flow-removed notification on expiry/delete.
+    pub fn with_notify(mut self, notify: bool) -> FlowEntry {
+        self.notify_when_removed = notify;
+        self
+    }
+
+    /// `true` when the controller asked to be told about removal.
+    pub fn notify_when_removed(&self) -> bool {
+        self.notify_when_removed
+    }
+
+    /// Builder: sets the opaque controller cookie.
+    pub fn with_cookie(mut self, cookie: u64) -> FlowEntry {
+        self.cookie = cookie;
+        self
+    }
+
+    /// Entry priority (higher wins).
+    pub fn priority(&self) -> u16 {
+        self.priority
+    }
+
+    /// The match of this entry.
+    pub fn matcher(&self) -> &FlowMatch {
+        &self.matcher
+    }
+
+    /// The action list of this entry.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// The controller cookie.
+    pub fn cookie(&self) -> u64 {
+        self.cookie
+    }
+
+    /// Packets matched so far.
+    pub fn packet_count(&self) -> u64 {
+        self.packets
+    }
+
+    /// Bytes matched so far.
+    pub fn byte_count(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Idle timeout, if configured.
+    pub fn idle_timeout(&self) -> Option<SimDuration> {
+        self.idle_timeout
+    }
+
+    /// Hard timeout, if configured.
+    pub fn hard_timeout(&self) -> Option<SimDuration> {
+        self.hard_timeout
+    }
+
+    fn expired(&self, now: SimTime) -> Option<FlowRemovedReason> {
+        if let Some(hard) = self.hard_timeout {
+            if now.saturating_since(self.created_at) >= hard {
+                return Some(FlowRemovedReason::HardTimeout);
+            }
+        }
+        if let Some(idle) = self.idle_timeout {
+            if now.saturating_since(self.last_matched) >= idle {
+                return Some(FlowRemovedReason::IdleTimeout);
+            }
+        }
+        None
+    }
+}
+
+/// A priority-ordered flow table with OF 1.0 add/modify/delete semantics.
+///
+/// Lookup returns the highest-priority matching entry; among equal
+/// priorities, the earliest-installed entry wins (deterministic, like a
+/// TCAM scan order).
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    // Sorted by descending priority; stable within a priority.
+    entries: Vec<FlowEntry>,
+    lookups: u64,
+    misses: u64,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total lookups performed.
+    pub fn lookup_count(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that matched no entry (table misses → packet-in).
+    pub fn miss_count(&self) -> u64 {
+        self.misses
+    }
+
+    /// Iterates over entries in priority order.
+    pub fn iter(&self) -> std::slice::Iter<'_, FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Installs `entry` at `now`. An existing entry with identical match
+    /// and priority is replaced (OF 1.0 `OFPFC_ADD` overlap semantics
+    /// without `CHECK_OVERLAP`), preserving nothing of the old counters.
+    pub fn add(&mut self, mut entry: FlowEntry, now: SimTime) {
+        entry.created_at = now;
+        entry.last_matched = now;
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.priority == entry.priority && e.matcher == entry.matcher)
+        {
+            *existing = entry;
+            return;
+        }
+        // Insert after the last entry with priority >= new priority.
+        let pos = self
+            .entries
+            .partition_point(|e| e.priority >= entry.priority);
+        self.entries.insert(pos, entry);
+    }
+
+    /// Modifies the actions of all entries matched (strictly or loosely) by
+    /// `matcher`; returns how many were updated. When none match, OF 1.0
+    /// says modify behaves like add — the caller decides that (the switch
+    /// does).
+    pub fn modify(&mut self, matcher: &FlowMatch, priority: Option<u16>, actions: &[Action]) -> usize {
+        let mut n = 0;
+        for e in &mut self.entries {
+            let strict_ok = priority.is_none_or(|p| e.priority == p);
+            if strict_ok && matcher.subsumes(&e.matcher) {
+                e.actions = actions.to_vec();
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Deletes entries. With `strict`, only the exact (match, priority)
+    /// entry is removed; otherwise every entry subsumed by `matcher` goes.
+    /// Returns the removed entries.
+    pub fn delete(&mut self, matcher: &FlowMatch, priority: Option<u16>, strict: bool) -> Vec<FlowEntry> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            let hit = if strict {
+                priority.is_none_or(|p| e.priority == p) && e.matcher == *matcher
+            } else {
+                matcher.subsumes(&e.matcher)
+            };
+            if hit {
+                removed.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Finds the best entry for `fields`, updating its counters and idle
+    /// timestamp. Expired entries are skipped (lazily collected by
+    /// [`FlowTable::expire`]).
+    pub fn lookup(&mut self, fields: &PacketFields, now: SimTime) -> Option<&FlowEntry> {
+        self.lookups += 1;
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.expired(now).is_none() && e.matcher.matches(fields));
+        match idx {
+            Some(i) => {
+                let e = &mut self.entries[i];
+                e.packets += 1;
+                e.last_matched = now;
+                Some(&self.entries[i])
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Like [`FlowTable::lookup`] but also charges `bytes` to the entry.
+    pub fn lookup_counted(
+        &mut self,
+        fields: &PacketFields,
+        bytes: usize,
+        now: SimTime,
+    ) -> Option<&FlowEntry> {
+        self.lookups += 1;
+        let idx = self
+            .entries
+            .iter()
+            .position(|e| e.expired(now).is_none() && e.matcher.matches(fields));
+        match idx {
+            Some(i) => {
+                let e = &mut self.entries[i];
+                e.packets += 1;
+                e.bytes += bytes as u64;
+                e.last_matched = now;
+                Some(&self.entries[i])
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Removes expired entries, returning them with their removal reasons.
+    pub fn expire(&mut self, now: SimTime) -> Vec<(FlowEntry, FlowRemovedReason)> {
+        let mut removed = Vec::new();
+        self.entries.retain(|e| match e.expired(now) {
+            Some(reason) => {
+                removed.push((e.clone(), reason));
+                false
+            }
+            None => true,
+        });
+        removed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ports::OfPort;
+    use netco_net::MacAddr;
+
+    fn out(p: u16) -> Vec<Action> {
+        vec![Action::Output(OfPort::Physical(p))]
+    }
+
+    fn fields_to(mac: MacAddr) -> PacketFields {
+        PacketFields {
+            dl_dst: mac,
+            ..PacketFields::default()
+        }
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut t = FlowTable::new();
+        t.add(FlowEntry::new(10, FlowMatch::any(), out(1)), SimTime::ZERO);
+        t.add(
+            FlowEntry::new(100, FlowMatch::any().with_dl_dst(MacAddr::local(5)), out(2)),
+            SimTime::ZERO,
+        );
+        let e = t.lookup(&fields_to(MacAddr::local(5)), SimTime::ZERO).unwrap();
+        assert_eq!(e.actions(), out(2).as_slice());
+        let e = t.lookup(&fields_to(MacAddr::local(6)), SimTime::ZERO).unwrap();
+        assert_eq!(e.actions(), out(1).as_slice());
+    }
+
+    #[test]
+    fn equal_priority_first_added_wins() {
+        let mut t = FlowTable::new();
+        t.add(FlowEntry::new(10, FlowMatch::any(), out(1)), SimTime::ZERO);
+        t.add(
+            FlowEntry::new(10, FlowMatch::any().with_in_port(0), out(2)),
+            SimTime::ZERO,
+        );
+        let e = t.lookup(&PacketFields::default(), SimTime::ZERO).unwrap();
+        assert_eq!(e.actions(), out(1).as_slice());
+    }
+
+    #[test]
+    fn identical_add_replaces() {
+        let mut t = FlowTable::new();
+        let m = FlowMatch::any().with_in_port(3);
+        t.add(FlowEntry::new(10, m.clone(), out(1)), SimTime::ZERO);
+        t.add(FlowEntry::new(10, m, out(2)), SimTime::ZERO);
+        assert_eq!(t.len(), 1);
+        let f = PacketFields {
+            in_port: 3,
+            ..PacketFields::default()
+        };
+        assert_eq!(t.lookup(&f, SimTime::ZERO).unwrap().actions(), out(2).as_slice());
+    }
+
+    #[test]
+    fn miss_counting() {
+        let mut t = FlowTable::new();
+        t.add(
+            FlowEntry::new(1, FlowMatch::any().with_in_port(9), out(1)),
+            SimTime::ZERO,
+        );
+        assert!(t.lookup(&PacketFields::default(), SimTime::ZERO).is_none());
+        assert_eq!(t.miss_count(), 1);
+        assert_eq!(t.lookup_count(), 1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = FlowTable::new();
+        t.add(FlowEntry::new(1, FlowMatch::any(), out(1)), SimTime::ZERO);
+        t.lookup_counted(&PacketFields::default(), 100, SimTime::ZERO);
+        t.lookup_counted(&PacketFields::default(), 200, SimTime::ZERO);
+        let e = t.iter().next().unwrap();
+        assert_eq!(e.packet_count(), 2);
+        assert_eq!(e.byte_count(), 300);
+    }
+
+    #[test]
+    fn hard_timeout_expires() {
+        let mut t = FlowTable::new();
+        t.add(
+            FlowEntry::new(1, FlowMatch::any(), out(1))
+                .with_hard_timeout(SimDuration::from_secs(1)),
+            SimTime::ZERO,
+        );
+        let just_before = SimTime::ZERO + SimDuration::from_millis(999);
+        assert!(t.lookup(&PacketFields::default(), just_before).is_some());
+        let after = SimTime::ZERO + SimDuration::from_secs(1);
+        assert!(t.lookup(&PacketFields::default(), after).is_none());
+        let removed = t.expire(after);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].1, FlowRemovedReason::HardTimeout);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_refreshes_on_match() {
+        let mut t = FlowTable::new();
+        t.add(
+            FlowEntry::new(1, FlowMatch::any(), out(1))
+                .with_idle_timeout(SimDuration::from_secs(1)),
+            SimTime::ZERO,
+        );
+        let f = PacketFields::default();
+        // Touch at 0.9 s, so expiry moves to 1.9 s.
+        assert!(t
+            .lookup(&f, SimTime::ZERO + SimDuration::from_millis(900))
+            .is_some());
+        assert!(t
+            .lookup(&f, SimTime::ZERO + SimDuration::from_millis(1800))
+            .is_some());
+        let removed = t.expire(SimTime::ZERO + SimDuration::from_millis(1700));
+        assert!(removed.is_empty());
+        assert!(t
+            .lookup(&f, SimTime::ZERO + SimDuration::from_millis(2900))
+            .is_none());
+        let removed = t.expire(SimTime::ZERO + SimDuration::from_millis(2900));
+        assert_eq!(removed[0].1, FlowRemovedReason::IdleTimeout);
+    }
+
+    #[test]
+    fn strict_and_loose_delete() {
+        let mut t = FlowTable::new();
+        let specific = FlowMatch::any().with_dl_type(0x0800).with_nw_proto(6);
+        t.add(FlowEntry::new(5, specific.clone(), out(1)), SimTime::ZERO);
+        t.add(
+            FlowEntry::new(7, FlowMatch::any().with_dl_type(0x0800), out(2)),
+            SimTime::ZERO,
+        );
+        // Strict delete with the general match removes only the exact entry.
+        let removed = t.delete(&FlowMatch::any().with_dl_type(0x0800), Some(7), true);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(t.len(), 1);
+        // Loose delete with a general match removes subsumed entries.
+        let removed = t.delete(&FlowMatch::any().with_dl_type(0x0800), None, false);
+        assert_eq!(removed.len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn modify_rewrites_actions() {
+        let mut t = FlowTable::new();
+        t.add(
+            FlowEntry::new(5, FlowMatch::any().with_in_port(1), out(1)),
+            SimTime::ZERO,
+        );
+        let n = t.modify(&FlowMatch::any(), None, &out(9));
+        assert_eq!(n, 1);
+        let f = PacketFields {
+            in_port: 1,
+            ..PacketFields::default()
+        };
+        assert_eq!(t.lookup(&f, SimTime::ZERO).unwrap().actions(), out(9).as_slice());
+    }
+}

@@ -1,0 +1,58 @@
+//! An OpenFlow 1.0 subset: the match-action substrate of the paper.
+//!
+//! The NetCo prototype (paper §IV) is built on OpenFlow 1.0 switches; this
+//! crate provides the pieces the reproduction needs, from the bottom up:
+//!
+//! * [`PacketFields`] — tolerant header-field extraction ("sniffing") used
+//!   for matching; switches never drop frames over bad L4 checksums.
+//! * [`FlowMatch`] — the OF 1.0 12-tuple with per-field wildcards.
+//! * [`Action`] — output/rewrite actions, applied to real wire bytes with
+//!   checksum fix-ups.
+//! * [`FlowTable`] / [`FlowEntry`] — priority lookup, timeouts, counters.
+//! * [`OfMessage`] + [`wire`] — byte-accurate OpenFlow 1.0 message codec
+//!   (hello, echo, features, packet-in, packet-out, flow-mod, barrier,
+//!   flow-removed, error).
+//! * [`OfSwitch`] — a [`netco_net::Device`] implementing the datapath:
+//!   table lookup, action execution, packet-in buffering, and the control
+//!   channel speaking the wire format.
+//!
+//! # Example: a one-rule switch
+//!
+//! ```
+//! use netco_openflow::{Action, FlowEntry, FlowMatch, FlowTable, OfPort, PacketFields};
+//! use netco_net::MacAddr;
+//! use netco_sim::SimTime;
+//!
+//! let mut table = FlowTable::new();
+//! table.add(
+//!     FlowEntry::new(
+//!         100,
+//!         FlowMatch::default().with_dl_dst(MacAddr::local(2)),
+//!         vec![Action::Output(OfPort::Physical(3))],
+//!     ),
+//!     SimTime::ZERO,
+//! );
+//! let fields = PacketFields { dl_dst: MacAddr::local(2), ..PacketFields::default() };
+//! let entry = table.lookup(&fields, SimTime::ZERO).unwrap();
+//! assert_eq!(entry.actions(), &[Action::Output(OfPort::Physical(3))]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod fields;
+mod flow_match;
+mod flow_table;
+mod messages;
+mod ports;
+mod switch;
+pub mod wire;
+
+pub use action::{apply_actions, apply_rewrites, Action};
+pub use fields::{PacketFields, OFP_VLAN_NONE};
+pub use flow_match::FlowMatch;
+pub use flow_table::{FlowEntry, FlowRemovedReason, FlowTable};
+pub use messages::{FlowModCommand, FlowStats, OfMessage, PacketInReason, PortDesc};
+pub use ports::OfPort;
+pub use switch::{OfSwitch, SwitchConfig};

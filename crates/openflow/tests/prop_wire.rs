@@ -1,0 +1,226 @@
+//! Property tests: the OpenFlow 1.0 wire codec round-trips arbitrary
+//! messages, flow-match semantics are consistent, and decoding never
+//! panics.
+
+use bytes::Bytes;
+use netco_net::MacAddr;
+use netco_openflow::{
+    wire, Action, FlowMatch, FlowModCommand, OfMessage, OfPort, PacketFields, PacketInReason,
+};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_port() -> impl Strategy<Value = OfPort> {
+    prop_oneof![
+        (0u16..=0xff00).prop_map(OfPort::Physical),
+        Just(OfPort::InPort),
+        Just(OfPort::Flood),
+        Just(OfPort::All),
+        Just(OfPort::Controller),
+        Just(OfPort::None),
+    ]
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        arb_port().prop_map(Action::Output),
+        arb_mac().prop_map(Action::SetDlSrc),
+        arb_mac().prop_map(Action::SetDlDst),
+        (0u16..4096).prop_map(Action::SetVlanVid),
+        Just(Action::StripVlan),
+        arb_ip().prop_map(Action::SetNwSrc),
+        arb_ip().prop_map(Action::SetNwDst),
+        any::<u16>().prop_map(Action::SetTpSrc),
+        any::<u16>().prop_map(Action::SetTpDst),
+    ]
+}
+
+fn arb_match() -> impl Strategy<Value = FlowMatch> {
+    (
+        proptest::option::of(any::<u16>()),
+        proptest::option::of(arb_mac()),
+        proptest::option::of(arb_mac()),
+        proptest::option::of(any::<u16>()),
+        proptest::option::of(any::<u8>()),
+        proptest::option::of(any::<u16>()),
+        (
+            proptest::option::of(any::<u8>()),
+            proptest::option::of(any::<u8>()),
+            proptest::option::of(arb_ip()),
+            proptest::option::of(arb_ip()),
+            proptest::option::of(any::<u16>()),
+            proptest::option::of(any::<u16>()),
+        ),
+    )
+        .prop_map(
+            |(in_port, dl_src, dl_dst, dl_vlan, dl_vlan_pcp, dl_type, rest)| {
+                let (nw_tos, nw_proto, nw_src, nw_dst, tp_src, tp_dst) = rest;
+                FlowMatch {
+                    in_port,
+                    dl_src,
+                    dl_dst,
+                    dl_vlan,
+                    dl_vlan_pcp,
+                    dl_type,
+                    nw_tos,
+                    nw_proto,
+                    nw_src,
+                    nw_dst,
+                    tp_src,
+                    tp_dst,
+                }
+            },
+        )
+}
+
+fn arb_fields() -> impl Strategy<Value = PacketFields> {
+    (
+        any::<u16>(),
+        arb_mac(),
+        arb_mac(),
+        any::<u16>(),
+        any::<u8>(),
+        any::<u16>(),
+        (arb_ip(), arb_ip(), any::<u8>(), any::<u8>(), any::<u16>(), any::<u16>()),
+    )
+        .prop_map(|(in_port, dl_src, dl_dst, dl_vlan, pcp, dl_type, rest)| {
+            let (nw_src, nw_dst, nw_tos, nw_proto, tp_src, tp_dst) = rest;
+            PacketFields {
+                in_port,
+                dl_src,
+                dl_dst,
+                dl_vlan,
+                dl_vlan_pcp: pcp,
+                dl_type,
+                nw_tos,
+                nw_proto,
+                nw_src,
+                nw_dst,
+                tp_src,
+                tp_dst,
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn flow_mod_round_trip(
+        matcher in arb_match(),
+        priority in any::<u16>(),
+        idle in any::<u16>(),
+        hard in any::<u16>(),
+        cookie in any::<u64>(),
+        notify in any::<bool>(),
+        actions in proptest::collection::vec(arb_action(), 0..6),
+        buffer in proptest::option::of(0u32..u32::MAX - 1),
+        xid in any::<u32>(),
+    ) {
+        let msg = OfMessage::FlowMod {
+            command: FlowModCommand::Add,
+            matcher,
+            priority,
+            idle_timeout_s: idle,
+            hard_timeout_s: hard,
+            cookie,
+            notify_when_removed: notify,
+            actions,
+            buffer_id: buffer,
+        };
+        let bytes = wire::encode(&msg, xid);
+        let (back, back_xid) = wire::decode(&bytes).unwrap();
+        prop_assert_eq!(back, msg);
+        prop_assert_eq!(back_xid, xid);
+    }
+
+    #[test]
+    fn packet_in_out_round_trip(
+        in_port in any::<u16>(),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        buffered in any::<bool>(),
+        actions in proptest::collection::vec(arb_action(), 0..4),
+    ) {
+        let data = Bytes::from(data);
+        let pi = OfMessage::PacketIn {
+            buffer_id: buffered.then_some(42),
+            in_port,
+            reason: PacketInReason::NoMatch,
+            data: data.clone(),
+        };
+        let (b1, _) = wire::decode(&wire::encode(&pi, 1)).unwrap();
+        prop_assert_eq!(b1, pi);
+        let po = OfMessage::PacketOut {
+            buffer_id: None,
+            in_port,
+            actions,
+            data,
+        };
+        let (b2, _) = wire::decode(&wire::encode(&po, 2)).unwrap();
+        prop_assert_eq!(b2, po);
+    }
+
+    #[test]
+    fn wildcard_matches_whatever_concrete_matches(
+        m in arb_match(),
+        fields in arb_fields(),
+    ) {
+        // Any match that accepts `fields` must still accept it after
+        // wildcarding one more field (monotonicity of refinement).
+        if m.matches(&fields) {
+            let mut general = m.clone();
+            general.dl_dst = None;
+            prop_assert!(general.matches(&fields));
+            let mut general = m.clone();
+            general.in_port = None;
+            prop_assert!(general.matches(&fields));
+            let mut general = m.clone();
+            general.nw_src = None;
+            prop_assert!(general.matches(&fields));
+        }
+    }
+
+    #[test]
+    fn subsumption_implies_match_implication(
+        general in arb_match(),
+        fields in arb_fields(),
+    ) {
+        // Build a specific match from the fields themselves: it matches
+        // them by construction; if `general` subsumes it, `general` must
+        // match too.
+        let specific = FlowMatch {
+            in_port: Some(fields.in_port),
+            dl_src: Some(fields.dl_src),
+            dl_dst: Some(fields.dl_dst),
+            dl_vlan: Some(fields.dl_vlan),
+            dl_vlan_pcp: Some(fields.dl_vlan_pcp),
+            dl_type: Some(fields.dl_type),
+            nw_tos: Some(fields.nw_tos),
+            nw_proto: Some(fields.nw_proto),
+            nw_src: Some(fields.nw_src),
+            nw_dst: Some(fields.nw_dst),
+            tp_src: Some(fields.tp_src),
+            tp_dst: Some(fields.tp_dst),
+        };
+        prop_assert!(specific.matches(&fields));
+        if general.subsumes(&specific) {
+            prop_assert!(general.matches(&fields));
+        }
+    }
+
+    #[test]
+    fn wire_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::decode(&bytes);
+    }
+
+    #[test]
+    fn sniff_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128), port in any::<u16>()) {
+        let _ = PacketFields::sniff(&bytes, port);
+    }
+}

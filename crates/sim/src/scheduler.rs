@@ -1,0 +1,226 @@
+//! The time-ordered event queue at the heart of the engine.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::{SimDuration, SimTime};
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. `seq` makes simultaneous events FIFO and the whole run
+        // deterministic.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler.
+///
+/// Events are arbitrary payloads of type `E`. Popping advances the
+/// simulation clock to the event's timestamp. Events scheduled for the same
+/// instant are delivered in the order they were scheduled.
+///
+/// # Example
+///
+/// ```
+/// use netco_sim::{Scheduler, SimDuration};
+///
+/// let mut s: Scheduler<u32> = Scheduler::new();
+/// s.schedule_after(SimDuration::from_secs(1), 1);
+/// s.schedule_after(SimDuration::from_secs(1), 2); // same instant: FIFO
+/// assert_eq!(s.pop().unwrap().1, 1);
+/// assert_eq!(s.pop().unwrap().1, 2);
+/// assert!(s.pop().is_none());
+/// ```
+#[derive(Default)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Entry<E>>,
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The current simulated time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// Events scheduled in the past are delivered "now" (clock never runs
+    /// backwards); this is deliberate so that zero-latency feedback loops
+    /// cannot rewind time.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` after `delay` from the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "time went backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Discards all pending events (the clock is unaffected).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(30), "c");
+        s.schedule_at(SimTime::from_nanos(10), "a");
+        s.schedule_at(SimTime::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..50 {
+            s.schedule_at(SimTime::from_nanos(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.schedule_after(SimDuration::from_micros(3), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(3_000));
+        assert_eq!(s.now(), t);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(100), 1);
+        s.pop();
+        s.schedule_at(SimTime::from_nanos(50), 2); // in the past
+        let (t, e) = s.pop().unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(t, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn relative_scheduling_stacks() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule_after(SimDuration::from_nanos(10), 1);
+        s.pop();
+        s.schedule_after(SimDuration::from_nanos(10), 2);
+        let (t, _) = s.pop().unwrap();
+        assert_eq!(t, SimTime::from_nanos(20));
+    }
+
+    #[test]
+    fn len_empty_clear() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        assert!(s.is_empty());
+        s.schedule_after(SimDuration::ZERO, 1);
+        s.schedule_after(SimDuration::ZERO, 2);
+        assert_eq!(s.len(), 2);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(7), 1);
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(s.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_is_deterministic() {
+        // Two identical runs produce identical traces.
+        fn run() -> Vec<(u64, u32)> {
+            let mut s: Scheduler<u32> = Scheduler::new();
+            let mut out = Vec::new();
+            s.schedule_at(SimTime::from_nanos(1), 0);
+            while let Some((t, e)) = s.pop() {
+                out.push((t.as_nanos(), e));
+                if e < 20 {
+                    s.schedule_after(SimDuration::from_nanos(2), e + 1);
+                    s.schedule_after(SimDuration::from_nanos(2), e + 100);
+                }
+            }
+            out
+        }
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests on the discrete-event kernel.
+
+use netco_sim::{Scheduler, SimDuration, SimRng, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, FIFO within a tick.
+    #[test]
+    fn pops_are_time_ordered(delays in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut s: Scheduler<usize> = Scheduler::new();
+        for (i, &d) in delays.iter().enumerate() {
+            s.schedule_at(SimTime::from_nanos(d), i);
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_idx_at_time: Option<usize> = None;
+        let mut count = 0;
+        while let Some((t, idx)) = s.pop() {
+            prop_assert!(t >= last_time);
+            if t == last_time {
+                if let Some(prev) = last_idx_at_time {
+                    // Same-instant events: insertion (index) order.
+                    if delays[prev] == delays[idx] {
+                        prop_assert!(idx > prev);
+                    }
+                }
+                last_idx_at_time = Some(idx);
+            } else {
+                last_idx_at_time = Some(idx);
+            }
+            last_time = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, delays.len());
+    }
+
+    /// The clock never runs backwards even with past-dated events.
+    #[test]
+    fn clock_is_monotonic(ops in proptest::collection::vec((0u64..1000, any::<bool>()), 1..100)) {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let mut prev = SimTime::ZERO;
+        for (i, (d, pop)) in ops.into_iter().enumerate() {
+            s.schedule_at(SimTime::from_nanos(d), i as u32);
+            if pop {
+                if let Some((t, _)) = s.pop() {
+                    prop_assert!(t >= prev);
+                    prev = t;
+                }
+            }
+        }
+    }
+
+    /// Time arithmetic: (t + a) + b == (t + b) + a and t + a - a == t.
+    #[test]
+    fn duration_arithmetic_commutes(t in 0u64..1 << 40, a in 0u64..1 << 20, b in 0u64..1 << 20) {
+        let t = SimTime::from_nanos(t);
+        let (a, b) = (SimDuration::from_nanos(a), SimDuration::from_nanos(b));
+        prop_assert_eq!((t + a) + b, (t + b) + a);
+        prop_assert_eq!((t + a) - a, t);
+        prop_assert_eq!((t + a) - t, a);
+    }
+
+    /// RNG determinism: identical seeds yield identical streams; `fork`
+    /// preserves that.
+    #[test]
+    fn rng_reproducible(seed in any::<u64>(), label in any::<u64>(), n in 1usize..100) {
+        let mut a = SimRng::new(seed);
+        let mut b = SimRng::new(seed);
+        let mut fa = a.fork(label);
+        let mut fb = b.fork(label);
+        for _ in 0..n {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+            prop_assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+    }
+
+    /// `range` stays in bounds for arbitrary non-empty ranges.
+    #[test]
+    fn rng_range_in_bounds(seed in any::<u64>(), lo in 0u64..1000, width in 1u64..1000, n in 1usize..50) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..n {
+            let v = rng.range(lo, lo + width);
+            prop_assert!((lo..lo + width).contains(&v));
+        }
+    }
+
+    /// Jitter never leaves the configured band.
+    #[test]
+    fn jitter_banded(seed in any::<u64>(), base in 1u64..1_000_000, frac in 0.0f64..1.0) {
+        let mut rng = SimRng::new(seed);
+        let base = SimDuration::from_nanos(base);
+        let j = rng.jitter(base, frac);
+        let lo = base.mul_f64((1.0 - frac).max(0.0));
+        let hi = base.mul_f64(1.0 + frac);
+        prop_assert!(j >= lo && j <= hi, "{j} outside [{lo}, {hi}]");
+    }
+}

@@ -1,0 +1,31 @@
+//! Evaluation topologies and scenario runners.
+//!
+//! * [`Profile`] — the calibration constants of the simulated testbed
+//!   (link rates, per-packet CPU costs, control-channel latency); see
+//!   `DESIGN.md §8`.
+//! * [`Scenario`] / [`ScenarioKind`] — the paper's Fig. 3 reference
+//!   topology in all six evaluation variants (*Linespeed*, *Dup3*, *Dup5*,
+//!   *Central3*, *Central5*, *POX3*) plus the detection-mode extension,
+//!   with one-call runners for TCP, UDP, max-rate search and ping.
+//! * [`FatTree`] — a k-ary fat-tree datacenter with static MAC routing
+//!   (Fig. 1's environment).
+//! * [`case_study`] — the §VI datacenter routing attack in its three
+//!   phases (baseline, attack, NetCo).
+//! * [`virtual_netco`] — the §VII virtualized combiner over vendor-diverse
+//!   fat-tree paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case_study;
+mod fattree;
+mod profile;
+mod reference;
+pub mod virtual_netco;
+
+pub use fattree::{ExtraRules, FatTree, FatTreeIndex, FatTreeOptions, InertHost, SwitchRole};
+pub use profile::Profile;
+pub use reference::{
+    AdversarySpec, BuiltScenario, Direction, Scenario, ScenarioKind, TcpRunOutcome,
+    UdpRunOutcome, H1_IP, H1_MAC, H2_IP, H2_MAC,
+};

@@ -1,0 +1,913 @@
+//! The paper's reference testing topology (Fig. 3) and its six scenario
+//! variants, with one-call experiment runners.
+
+use std::net::Ipv4Addr;
+
+use netco_adversary::MaliciousSwitch;
+use netco_controller::Controller;
+use netco_core::{
+    Compare, CompareAttachment, CompareConfig, CompareStrategy, GuardConfig, GuardSwitch,
+    LaneInfo, PoxCompareApp,
+};
+use netco_net::{Device, HostNic, LinkId, MacAddr, NeighborTable, NodeId, PortId, World};
+use netco_openflow::{Action, FlowEntry, FlowMatch, OfPort, OfSwitch, SwitchConfig};
+use netco_sim::SimDuration;
+use netco_traffic::{
+    max_rate_search, IcmpEchoResponder, IperfConfig, PingConfig, PingReport, Pinger, TcpConfig,
+    TcpReceiver, TcpReport, TcpSender, TcpSenderStats, UdpConfig, UdpReport, UdpSink, UdpSource,
+};
+
+use crate::profile::Profile;
+
+/// `h1`'s IPv4 address.
+pub const H1_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+/// `h2`'s IPv4 address.
+pub const H2_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+/// `h1`'s MAC address.
+pub const H1_MAC: MacAddr = MacAddr::local(1);
+/// `h2`'s MAC address.
+pub const H2_MAC: MacAddr = MacAddr::local(2);
+
+/// The six evaluation scenarios of paper §V plus the detection extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// No combiner: `h1 – s1 – r – s2 – h2` (the performance benchmark).
+    Linespeed,
+    /// Split into 3 copies, never combined.
+    Dup3,
+    /// Split into 5 copies, never combined.
+    Dup5,
+    /// Full combiner, k = 3, compare as a C server on `h3`.
+    Central3,
+    /// Full combiner, k = 5.
+    Central5,
+    /// Full combiner, k = 3, compare as a POX controller app.
+    Pox3,
+    /// Detection-only combiner, k = 2 (paper §IX extension).
+    Detect2,
+    /// Full combiner, k = 3, compare embedded in the guards — the paper's
+    /// §IX inband / middlebox placement.
+    Inband3,
+}
+
+impl ScenarioKind {
+    /// All paper scenarios, in the paper's presentation order.
+    pub const PAPER: [ScenarioKind; 6] = [
+        ScenarioKind::Linespeed,
+        ScenarioKind::Dup3,
+        ScenarioKind::Dup5,
+        ScenarioKind::Central3,
+        ScenarioKind::Central5,
+        ScenarioKind::Pox3,
+    ];
+
+    /// Number of untrusted replicas.
+    pub fn k(self) -> usize {
+        match self {
+            ScenarioKind::Linespeed => 1,
+            ScenarioKind::Dup3
+            | ScenarioKind::Central3
+            | ScenarioKind::Pox3
+            | ScenarioKind::Inband3 => 3,
+            ScenarioKind::Dup5 | ScenarioKind::Central5 => 5,
+            ScenarioKind::Detect2 => 2,
+        }
+    }
+
+    /// The scenario's display name (as used in the paper's figures).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::Linespeed => "Linespeed",
+            ScenarioKind::Dup3 => "Dup3",
+            ScenarioKind::Dup5 => "Dup5",
+            ScenarioKind::Central3 => "Central3",
+            ScenarioKind::Central5 => "Central5",
+            ScenarioKind::Pox3 => "POX3",
+            ScenarioKind::Detect2 => "Detect2",
+            ScenarioKind::Inband3 => "Inband3",
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which host sends (the paper alternates `iperf` client and server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `h1` sends, `h2` receives.
+    H1ToH2,
+    /// `h2` sends, `h1` receives.
+    H2ToH1,
+}
+
+/// A fully wired world plus the ids of its interesting nodes.
+pub struct BuiltScenario {
+    /// The simulated network, ready to run.
+    pub world: World,
+    /// Endpoint `h1`.
+    pub h1: NodeId,
+    /// Endpoint `h2`.
+    pub h2: NodeId,
+    /// The trusted edge components (`s1`, `s2`) — plain switches in
+    /// Linespeed.
+    pub guards: Vec<NodeId>,
+    /// The untrusted replicas `r_i`.
+    pub routers: Vec<NodeId>,
+    /// The compare host (Central scenarios only).
+    pub compare: Option<NodeId>,
+    /// The controller (POX scenario only).
+    pub controller: Option<NodeId>,
+    /// Per replica: its `(s1-side, s2-side)` links — fault-injection
+    /// handles for availability experiments.
+    pub replica_links: Vec<(LinkId, LinkId)>,
+}
+
+/// Result of a TCP run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpRunOutcome {
+    /// Receiver-side measurement.
+    pub report: TcpReport,
+    /// Sender-side congestion-control counters.
+    pub sender: TcpSenderStats,
+    /// Goodput in Mbit/s (convenience).
+    pub mbps: f64,
+}
+
+/// Result of a UDP run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UdpRunOutcome {
+    /// Sink-side measurement.
+    pub report: UdpReport,
+    /// Datagrams the source emitted.
+    pub sent: u64,
+    /// The offered rate (bits/s).
+    pub offered_bps: u64,
+}
+
+/// A reference-topology scenario: deterministic factory for experiment
+/// worlds plus one-call runners.
+///
+/// # Example
+///
+/// ```
+/// use netco_topo::{Profile, Scenario, ScenarioKind};
+/// use netco_traffic::PingConfig;
+///
+/// let scenario = Scenario::build(ScenarioKind::Central3, Profile::functional(), 7);
+/// let report = scenario.run_ping(PingConfig::default().with_count(5));
+/// assert_eq!(report.received, 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    kind: ScenarioKind,
+    profile: Profile,
+    seed: u64,
+    strategy: Option<CompareStrategy>,
+    adversary: Option<AdversarySpec>,
+    sampling: Option<f64>,
+}
+
+/// Replaces one replica router with a malicious one.
+#[derive(Debug, Clone)]
+pub struct AdversarySpec {
+    /// 0-based index of the replica to corrupt.
+    pub replica_index: usize,
+    /// The scripted behaviours (see [`netco_adversary::Behavior`]).
+    pub behaviors: Vec<(netco_adversary::Behavior, netco_adversary::ActivationWindow)>,
+}
+
+impl Scenario {
+    /// Creates a scenario description.
+    pub fn build(kind: ScenarioKind, profile: Profile, seed: u64) -> Scenario {
+        Scenario {
+            kind,
+            profile,
+            seed,
+            strategy: None,
+            adversary: None,
+            sampling: None,
+        }
+    }
+
+    /// The scenario kind.
+    pub fn kind(&self) -> ScenarioKind {
+        self.kind
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+
+    /// Overrides the compare strategy (ablation experiments).
+    pub fn with_strategy(mut self, strategy: CompareStrategy) -> Scenario {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Enables the §IX sampling deployment (Central kinds only): the
+    /// primary replica's copies are forwarded directly, a consistent
+    /// `probability` fraction of packets is screened by a passive compare.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `probability` is outside `[0, 1]`.
+    pub fn with_sampling(mut self, probability: f64) -> Scenario {
+        assert!((0.0..=1.0).contains(&probability), "probability out of range");
+        self.sampling = Some(probability);
+        self
+    }
+
+    /// Corrupts one replica with scripted behaviours.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Linespeed` (no replicas) or an out-of-range index.
+    pub fn with_adversary(mut self, spec: AdversarySpec) -> Scenario {
+        assert!(
+            self.kind != ScenarioKind::Linespeed,
+            "Linespeed has no replicas to corrupt"
+        );
+        assert!(spec.replica_index < self.kind.k(), "replica index out of range");
+        self.adversary = Some(spec);
+        self
+    }
+
+    fn compare_config(&self) -> CompareConfig {
+        let k = self.kind.k();
+        let mut cfg = match self.kind {
+            ScenarioKind::Detect2 => CompareConfig::detect(k),
+            _ => CompareConfig::prevent(k.max(3)),
+        };
+        cfg.k = k;
+        cfg.cache_capacity = self.profile.compare_cache_entries;
+        cfg.passive = self.sampling.is_some();
+        if let Some(s) = self.strategy {
+            cfg.strategy = s;
+        }
+        cfg
+    }
+
+    /// MAC-destination forwarding rules for a 2-port replica router:
+    /// toward `h2` on `up_port`, toward `h1` on `down_port`.
+    fn router_rules(down_port: u16, up_port: u16) -> Vec<FlowEntry> {
+        vec![
+            FlowEntry::new(
+                100,
+                FlowMatch::any().with_dl_dst(H2_MAC),
+                vec![Action::Output(OfPort::Physical(up_port))],
+            ),
+            FlowEntry::new(
+                100,
+                FlowMatch::any().with_dl_dst(H1_MAC),
+                vec![Action::Output(OfPort::Physical(down_port))],
+            ),
+            // Broadcast (e.g. ARP who-has) crosses to the other side.
+            FlowEntry::new(
+                90,
+                FlowMatch::any()
+                    .with_in_port(down_port)
+                    .with_dl_dst(MacAddr::BROADCAST),
+                vec![Action::Output(OfPort::Physical(up_port))],
+            ),
+            FlowEntry::new(
+                90,
+                FlowMatch::any()
+                    .with_in_port(up_port)
+                    .with_dl_dst(MacAddr::BROADCAST),
+                vec![Action::Output(OfPort::Physical(down_port))],
+            ),
+        ]
+    }
+
+    fn nics() -> (HostNic, HostNic) {
+        let table: NeighborTable =
+            [(H1_IP, H1_MAC), (H2_IP, H2_MAC)].into_iter().collect();
+        let mut n1 = HostNic::new(H1_MAC, H1_IP);
+        n1.neighbors = table.clone();
+        let mut n2 = HostNic::new(H2_MAC, H2_IP);
+        n2.neighbors = table;
+        (n1, n2)
+    }
+
+    /// Builds the world for one trial with custom endpoint devices.
+    ///
+    /// `trial` perturbs the RNG seed so repeated measurements are
+    /// independent but reproducible.
+    pub fn build_world<D1, D2, F1, F2>(&self, trial: u64, make1: F1, make2: F2) -> BuiltScenario
+    where
+        D1: Device,
+        D2: Device,
+        F1: FnOnce(HostNic) -> D1,
+        F2: FnOnce(HostNic) -> D2,
+    {
+        let p = &self.profile;
+        let seed = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(trial);
+        let mut world = World::new(seed);
+        let (n1, n2) = Scenario::nics();
+        let h1 = world.add_node("h1", make1(n1), p.host_cpu.clone());
+        let h2 = world.add_node("h2", make2(n2), p.host_cpu.clone());
+
+        let k = self.kind.k();
+        match self.kind {
+            ScenarioKind::Linespeed => {
+                let mut s1 = OfSwitch::new(SwitchConfig::with_datapath_id(1));
+                s1.preinstall(FlowEntry::new(
+                    100,
+                    FlowMatch::any().with_dl_dst(H2_MAC),
+                    vec![Action::Output(OfPort::Physical(1))],
+                ));
+                s1.preinstall(FlowEntry::new(
+                    100,
+                    FlowMatch::any().with_dl_dst(H1_MAC),
+                    vec![Action::Output(OfPort::Physical(0))],
+                ));
+                let mut s2 = OfSwitch::new(SwitchConfig::with_datapath_id(2));
+                s2.preinstall(FlowEntry::new(
+                    100,
+                    FlowMatch::any().with_dl_dst(H1_MAC),
+                    vec![Action::Output(OfPort::Physical(1))],
+                ));
+                s2.preinstall(FlowEntry::new(
+                    100,
+                    FlowMatch::any().with_dl_dst(H2_MAC),
+                    vec![Action::Output(OfPort::Physical(0))],
+                ));
+                for sw in [&mut s1, &mut s2] {
+                    sw.preinstall(FlowEntry::new(
+                        90,
+                        FlowMatch::any().with_dl_dst(MacAddr::BROADCAST),
+                        vec![Action::Output(OfPort::Flood)],
+                    ));
+                }
+                let mut r = OfSwitch::new(SwitchConfig::with_datapath_id(3));
+                for rule in Scenario::router_rules(1, 2) {
+                    r.preinstall(rule);
+                }
+                let s1 = world.add_node("s1", s1, p.guard_cpu.clone());
+                let s2 = world.add_node("s2", s2, p.guard_cpu.clone());
+                let r = world.add_node("r", r, p.switch_cpu.clone());
+                world.connect(h1, PortId(0), s1, PortId(0), p.link.clone());
+                let l1 = world.connect(s1, PortId(1), r, PortId(1), p.link.clone());
+                let l2 = world.connect(r, PortId(2), s2, PortId(1), p.link.clone());
+                world.connect(s2, PortId(0), h2, PortId(0), p.link.clone());
+                BuiltScenario {
+                    world,
+                    h1,
+                    h2,
+                    guards: vec![s1, s2],
+                    routers: vec![r],
+                    compare: None,
+                    controller: None,
+                    replica_links: vec![(l1, l2)],
+                }
+            }
+            ScenarioKind::Inband3 => {
+                // Only the downstream-facing compare exists in each guard;
+                // both directions are combined inband at the receiving
+                // guard, with no extra host or detour.
+                let replica_ports: Vec<PortId> = (1..=k as u16).map(PortId).collect();
+                let g1 = GuardSwitch::new(GuardConfig::inband(
+                    PortId(0),
+                    replica_ports.clone(),
+                    self.compare_config(),
+                ));
+                let g2 = GuardSwitch::new(GuardConfig::inband(
+                    PortId(0),
+                    replica_ports,
+                    self.compare_config(),
+                ));
+                let s1 = world.add_node("s1", g1, p.guard_cpu.clone());
+                let s2 = world.add_node("s2", g2, p.guard_cpu.clone());
+                let (routers, replica_links) = self.wire_replicas(&mut world, s1, s2, k);
+                world.connect(h1, PortId(0), s1, PortId(0), p.link.clone());
+                world.connect(s2, PortId(0), h2, PortId(0), p.link.clone());
+                BuiltScenario {
+                    world,
+                    h1,
+                    h2,
+                    guards: vec![s1, s2],
+                    routers,
+                    compare: None,
+                    controller: None,
+                    replica_links,
+                }
+            }
+            ScenarioKind::Dup3 | ScenarioKind::Dup5 => {
+                let replica_ports: Vec<PortId> = (1..=k as u16).map(PortId).collect();
+                let g1 = GuardSwitch::new(GuardConfig::dup(PortId(0), replica_ports.clone()));
+                let g2 = GuardSwitch::new(GuardConfig::dup(PortId(0), replica_ports));
+                let s1 = world.add_node("s1", g1, p.guard_cpu.clone());
+                let s2 = world.add_node("s2", g2, p.guard_cpu.clone());
+                let (routers, replica_links) = self.wire_replicas(&mut world, s1, s2, k);
+                world.connect(h1, PortId(0), s1, PortId(0), p.link.clone());
+                world.connect(s2, PortId(0), h2, PortId(0), p.link.clone());
+                BuiltScenario {
+                    world,
+                    h1,
+                    h2,
+                    guards: vec![s1, s2],
+                    routers,
+                    compare: None,
+                    controller: None,
+                    replica_links,
+                }
+            }
+            ScenarioKind::Central3 | ScenarioKind::Central5 | ScenarioKind::Detect2 => {
+                let replica_ports: Vec<PortId> = (1..=k as u16).map(PortId).collect();
+                let compare_port = PortId(k as u16 + 1);
+                let mut gc1 = GuardConfig::central(PortId(0), replica_ports.clone(), compare_port);
+                let mut gc2 = GuardConfig::central(PortId(0), replica_ports, compare_port);
+                if let Some(p_sample) = self.sampling {
+                    gc1.sample_probability = p_sample;
+                    gc1.primary_forward = true;
+                    gc2.sample_probability = p_sample;
+                    gc2.primary_forward = true;
+                }
+                let g1 = GuardSwitch::new(gc1);
+                let g2 = GuardSwitch::new(gc2);
+                let mut compare = Compare::new(self.compare_config());
+                let lane = |_: u16| LaneInfo {
+                    replica_ports: (1..=k as u16).collect(),
+                    host_port: 0,
+                };
+                compare.attach_guard(PortId(0), lane(0));
+                compare.attach_guard(PortId(1), lane(1));
+
+                let s1 = world.add_node("s1", g1, p.guard_cpu.clone());
+                let s2 = world.add_node("s2", g2, p.guard_cpu.clone());
+                let cmp = world.add_node("h3-compare", compare, p.compare_cpu.clone());
+                let (routers, replica_links) = self.wire_replicas(&mut world, s1, s2, k);
+                world.connect(h1, PortId(0), s1, PortId(0), p.link.clone());
+                world.connect(s2, PortId(0), h2, PortId(0), p.link.clone());
+                world.connect(s1, compare_port, cmp, PortId(0), p.link.clone());
+                world.connect(s2, compare_port, cmp, PortId(1), p.link.clone());
+                BuiltScenario {
+                    world,
+                    h1,
+                    h2,
+                    guards: vec![s1, s2],
+                    routers,
+                    compare: Some(cmp),
+                    controller: None,
+                    replica_links,
+                }
+            }
+            ScenarioKind::Pox3 => {
+                // Controller id is known only after add_node; add the
+                // controller first, then the guards pointing at it.
+                let cfg = self.compare_config();
+                let app = PoxCompareApp::new(cfg.clone());
+                let tick = (cfg.hold_time / 4).max(SimDuration::from_micros(100));
+                let ctl = world.add_node(
+                    "pox",
+                    Controller::new(app).with_tick(tick),
+                    p.controller_cpu.clone(),
+                );
+                let replica_ports: Vec<PortId> = (1..=k as u16).map(PortId).collect();
+                let mk_guard = || {
+                    GuardSwitch::new(GuardConfig {
+                        host_port: PortId(0),
+                        replica_ports: (1..=k as u16).map(PortId).collect(),
+                        compare: CompareAttachment::Controller(ctl),
+                        sample_probability: 1.0,
+                        embedded_compare: None,
+                        primary_forward: false,
+                    })
+                };
+                let _ = replica_ports;
+                let s1 = world.add_node("s1", mk_guard(), p.guard_cpu.clone());
+                let s2 = world.add_node("s2", mk_guard(), p.guard_cpu.clone());
+                let (routers, replica_links) = self.wire_replicas(&mut world, s1, s2, k);
+                world.connect(h1, PortId(0), s1, PortId(0), p.link.clone());
+                world.connect(s2, PortId(0), h2, PortId(0), p.link.clone());
+                world.connect_control(s1, ctl, p.control_channel.clone());
+                world.connect_control(s2, ctl, p.control_channel.clone());
+                {
+                    let c = world
+                        .device_mut::<Controller>(ctl)
+                        .expect("controller exists");
+                    c.manage(s1);
+                    c.manage(s2);
+                    let app = c.app_mut::<PoxCompareApp>().expect("pox app");
+                    for guard in [s1, s2] {
+                        app.attach_guard(
+                            guard,
+                            LaneInfo {
+                                replica_ports: (1..=k as u16).collect(),
+                                host_port: 0,
+                            },
+                        );
+                    }
+                }
+                BuiltScenario {
+                    world,
+                    h1,
+                    h2,
+                    guards: vec![s1, s2],
+                    routers,
+                    compare: None,
+                    controller: Some(ctl),
+                    replica_links,
+                }
+            }
+        }
+    }
+
+    /// Adds the `k` replica routers and wires them between `s1` and `s2`
+    /// (guard replica port `i` ↔ router, both sides). Honors the
+    /// configured [`AdversarySpec`], if any.
+    fn wire_replicas(
+        &self,
+        world: &mut World,
+        s1: NodeId,
+        s2: NodeId,
+        k: usize,
+    ) -> (Vec<NodeId>, Vec<(LinkId, LinkId)>) {
+        let p = &self.profile;
+        let mut routers = Vec::with_capacity(k);
+        let mut links = Vec::with_capacity(k);
+        for i in 1..=k as u16 {
+            let corrupt = self
+                .adversary
+                .as_ref()
+                .filter(|a| a.replica_index == (i - 1) as usize);
+            let device: Box<dyn Device> = match corrupt {
+                Some(spec) => {
+                    let mut m = MaliciousSwitch::new();
+                    // The honest routes the controller believes are
+                    // installed.
+                    m.route(H1_MAC, PortId(1));
+                    m.route(H2_MAC, PortId(2));
+                    for (b, w) in spec.behaviors.clone() {
+                        m.add_behavior(b, w);
+                    }
+                    Box::new(m)
+                }
+                None => {
+                    let mut r = OfSwitch::new(SwitchConfig::with_datapath_id(10 + i as u64));
+                    for rule in Scenario::router_rules(1, 2) {
+                        r.preinstall(rule);
+                    }
+                    Box::new(r)
+                }
+            };
+            let rid = world.add_node(format!("r{i}"), device, p.switch_cpu.clone());
+            let l1 = world.connect(s1, PortId(i), rid, PortId(1), p.link.clone());
+            let l2 = world.connect(rid, PortId(2), s2, PortId(i), p.link.clone());
+            routers.push(rid);
+            links.push((l1, l2));
+        }
+        (routers, links)
+    }
+
+    // ------------------------------------------------------------------
+    // One-call experiment runners.
+    // ------------------------------------------------------------------
+
+    /// Runs a ping measurement `h1 → h2` (or reversed) and returns the
+    /// pinger's report.
+    pub fn run_ping(&self, cfg: PingConfig) -> PingReport {
+        self.run_ping_trial(cfg, Direction::H1ToH2, 0)
+    }
+
+    /// Like [`Scenario::run_ping`] with explicit direction and trial id.
+    pub fn run_ping_trial(&self, mut cfg: PingConfig, dir: Direction, trial: u64) -> PingReport {
+        let total = cfg.start_after + cfg.interval * cfg.count as u64 + SimDuration::from_secs(1);
+        match dir {
+            Direction::H1ToH2 => {
+                cfg.dst_ip = H2_IP;
+                let mut built = self.build_world(
+                    trial,
+                    |nic| Pinger::new(nic, cfg),
+                    IcmpEchoResponder::new,
+                );
+                built.world.run_for(total);
+                built
+                    .world
+                    .device::<Pinger>(built.h1)
+                    .expect("pinger at h1")
+                    .report()
+            }
+            Direction::H2ToH1 => {
+                cfg.dst_ip = H1_IP;
+                let mut built = self.build_world(trial, IcmpEchoResponder::new, |nic| {
+                    Pinger::new(nic, cfg)
+                });
+                built.world.run_for(total);
+                built
+                    .world
+                    .device::<Pinger>(built.h2)
+                    .expect("pinger at h2")
+                    .report()
+            }
+        }
+    }
+
+    /// Runs a bulk TCP transfer for `duration` and returns goodput and
+    /// congestion-control counters.
+    pub fn run_tcp(&self, dir: Direction, duration: SimDuration, trial: u64) -> TcpRunOutcome {
+        let grace = SimDuration::from_millis(500);
+        let (dst_ip, swap) = match dir {
+            Direction::H1ToH2 => (H2_IP, false),
+            Direction::H2ToH1 => (H1_IP, true),
+        };
+        let cfg = TcpConfig::new(dst_ip).with_duration(duration);
+        let cfg2 = cfg.clone();
+        let (mut built, snd_id, rcv_id) = if !swap {
+            let b = self.build_world(
+                trial,
+                |nic| TcpSender::new(nic, cfg),
+                |nic| TcpReceiver::new(nic, cfg2),
+            );
+            let (s, r) = (b.h1, b.h2);
+            (b, s, r)
+        } else {
+            let b = self.build_world(
+                trial,
+                |nic| TcpReceiver::new(nic, cfg2),
+                |nic| TcpSender::new(nic, cfg),
+            );
+            let (s, r) = (b.h2, b.h1);
+            (b, s, r)
+        };
+        built.world.run_for(duration + grace);
+        let report = built
+            .world
+            .device::<TcpReceiver>(rcv_id)
+            .expect("receiver")
+            .report();
+        let sender = built
+            .world
+            .device::<TcpSender>(snd_id)
+            .expect("sender")
+            .stats();
+        TcpRunOutcome {
+            report,
+            sender,
+            mbps: report.goodput_bps / 1e6,
+        }
+    }
+
+    /// Runs a CBR UDP transfer at `rate_bps` and returns the sink report.
+    pub fn run_udp(
+        &self,
+        dir: Direction,
+        rate_bps: u64,
+        payload_len: usize,
+        duration: SimDuration,
+        trial: u64,
+    ) -> UdpRunOutcome {
+        let grace = SimDuration::from_millis(500);
+        let (dst_ip, swap) = match dir {
+            Direction::H1ToH2 => (H2_IP, false),
+            Direction::H2ToH1 => (H1_IP, true),
+        };
+        let cfg = UdpConfig::new(dst_ip)
+            .with_rate(rate_bps)
+            .with_payload_len(payload_len)
+            .with_duration(duration);
+        let (mut built, src_id, sink_id) = if !swap {
+            let b = self.build_world(
+                trial,
+                |nic| UdpSource::new(nic, cfg),
+                |nic| UdpSink::new(nic, 5001),
+            );
+            let (s, k) = (b.h1, b.h2);
+            (b, s, k)
+        } else {
+            let b = self.build_world(
+                trial,
+                |nic| UdpSink::new(nic, 5001),
+                |nic| UdpSource::new(nic, cfg),
+            );
+            let (s, k) = (b.h2, b.h1);
+            (b, s, k)
+        };
+        built.world.run_for(duration + grace);
+        let report = built
+            .world
+            .device::<UdpSink>(sink_id)
+            .expect("sink")
+            .report();
+        let sent = built
+            .world
+            .device::<UdpSource>(src_id)
+            .expect("source")
+            .sent();
+        UdpRunOutcome {
+            report,
+            sent,
+            offered_bps: rate_bps,
+        }
+    }
+
+    /// The paper's UDP methodology: ramps the offered rate to find the
+    /// maximum whose loss stays below `iperf.loss_threshold`, then runs a
+    /// full measurement at that rate. Returns `None` when even the lowest
+    /// rate loses too much.
+    pub fn run_udp_max_rate(
+        &self,
+        dir: Direction,
+        iperf: &IperfConfig,
+        payload_len: usize,
+        trial_duration: SimDuration,
+        final_duration: SimDuration,
+    ) -> Option<(u64, UdpReport)> {
+        let threshold = iperf.loss_threshold;
+        let best = max_rate_search(iperf, |rate| {
+            self.run_udp(dir, rate, payload_len, trial_duration, rate)
+                .report
+                .loss_fraction
+        })?;
+        let _ = threshold;
+        let outcome = self.run_udp(dir, best, payload_len, final_duration, 0xF1A7);
+        Some((best, outcome.report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netco_adversary::{ActivationWindow, Behavior};
+    use netco_core::SecurityEvent;
+
+    fn functional(kind: ScenarioKind) -> Scenario {
+        Scenario::build(kind, Profile::functional(), 5)
+    }
+
+    #[test]
+    fn ping_works_in_every_scenario() {
+        for kind in ScenarioKind::PAPER
+            .into_iter()
+            .chain([ScenarioKind::Detect2])
+        {
+            let report = functional(kind).run_ping(PingConfig::default().with_count(10));
+            assert_eq!(report.transmitted, 10, "{kind}");
+            assert_eq!(report.received, 10, "{kind}: all pings must round-trip");
+        }
+    }
+
+    #[test]
+    fn ping_works_in_reverse_direction() {
+        let report = functional(ScenarioKind::Central3).run_ping_trial(
+            PingConfig::default().with_count(5),
+            Direction::H2ToH1,
+            1,
+        );
+        assert_eq!(report.received, 5);
+    }
+
+    #[test]
+    fn tcp_transfers_data_in_central3() {
+        let out = functional(ScenarioKind::Central3).run_tcp(
+            Direction::H1ToH2,
+            SimDuration::from_millis(500),
+            0,
+        );
+        assert!(out.report.bytes_delivered > 100_000, "{:?}", out.report);
+    }
+
+    #[test]
+    fn udp_flows_in_dup_and_central() {
+        for kind in [ScenarioKind::Dup3, ScenarioKind::Central3] {
+            let out = functional(kind).run_udp(
+                Direction::H1ToH2,
+                10_000_000,
+                1470,
+                SimDuration::from_millis(500),
+                0,
+            );
+            assert!(out.report.received > 0, "{kind}");
+            assert_eq!(out.report.lost, 0, "{kind}");
+            if kind == ScenarioKind::Dup3 {
+                // Dup delivers every copy: duplicates visible at the sink.
+                assert!(out.report.duplicates > 0, "{kind} must show duplicates");
+            } else {
+                assert_eq!(out.report.duplicates, 0, "{kind} must deduplicate");
+            }
+        }
+    }
+
+    #[test]
+    fn central_tolerates_a_packet_dropping_replica() {
+        let scenario = functional(ScenarioKind::Central3).with_adversary(AdversarySpec {
+            replica_index: 1,
+            behaviors: vec![(
+                Behavior::Drop {
+                    select: netco_openflow::FlowMatch::any(),
+                },
+                ActivationWindow::always(),
+            )],
+        });
+        let report = scenario.run_ping(PingConfig::default().with_count(10));
+        assert_eq!(report.received, 10, "2-of-3 majority must still deliver");
+    }
+
+    #[test]
+    fn central_tolerates_a_corrupting_replica() {
+        let scenario = functional(ScenarioKind::Central3).with_adversary(AdversarySpec {
+            replica_index: 0,
+            behaviors: vec![(
+                Behavior::CorruptPayload {
+                    select: netco_openflow::FlowMatch::any(),
+                    every_nth: 1,
+                },
+                ActivationWindow::always(),
+            )],
+        });
+        let report = scenario.run_ping(PingConfig::default().with_count(10));
+        assert_eq!(report.received, 10);
+    }
+
+    #[test]
+    fn dup_delivers_corrupted_copies_but_central_does_not() {
+        // In Dup3 a corrupting replica's frames reach the destination; the
+        // host's checksum check rejects them, but they consumed bandwidth.
+        // In Central3 they never leave the compare. We verify via the
+        // compare's expired-unreleased counter.
+        let scenario = functional(ScenarioKind::Central3).with_adversary(AdversarySpec {
+            replica_index: 2,
+            behaviors: vec![(
+                Behavior::CorruptPayload {
+                    select: netco_openflow::FlowMatch::any(),
+                    every_nth: 1,
+                },
+                ActivationWindow::always(),
+            )],
+        });
+        let cfg = PingConfig::default().with_count(10);
+        let total = cfg.start_after + cfg.interval * cfg.count as u64 + SimDuration::from_secs(1);
+        let mut built = scenario.build_world(
+            0,
+            |nic| Pinger::new(nic, PingConfig::default().with_count(10)),
+            IcmpEchoResponder::new,
+        );
+        built.world.run_for(total);
+        let compare = built
+            .world
+            .device::<Compare>(built.compare.unwrap())
+            .unwrap();
+        assert!(
+            compare.stats().expired_unreleased >= 10,
+            "corrupted copies must die in the compare: {:?}",
+            compare.stats()
+        );
+        assert!(compare
+            .events()
+            .iter()
+            .any(|e| matches!(e.record, SecurityEvent::SinglePathPacket { .. })));
+    }
+
+    #[test]
+    fn detect2_delivers_and_alarms_under_corruption() {
+        let scenario = functional(ScenarioKind::Detect2).with_adversary(AdversarySpec {
+            replica_index: 1,
+            behaviors: vec![(
+                Behavior::CorruptPayload {
+                    select: netco_openflow::FlowMatch::any(),
+                    every_nth: 1,
+                },
+                ActivationWindow::always(),
+            )],
+        });
+        let mut built = scenario.build_world(
+            0,
+            |nic| Pinger::new(nic, PingConfig::default().with_count(10)),
+            IcmpEchoResponder::new,
+        );
+        built.world.run_for(SimDuration::from_secs(3));
+        // Detection mode still delivers (first copy wins)...
+        let report = built.world.device::<Pinger>(built.h1).unwrap().report();
+        assert_eq!(report.received, 10);
+        // ...but raises mismatch alarms.
+        let compare = built
+            .world
+            .device::<Compare>(built.compare.unwrap())
+            .unwrap();
+        assert!(compare
+            .events()
+            .iter()
+            .any(|e| matches!(e.record, SecurityEvent::DetectionMismatch { .. })));
+    }
+
+    #[test]
+    fn pox3_pings_survive_the_controller_path() {
+        let report = functional(ScenarioKind::Pox3).run_ping(PingConfig::default().with_count(5));
+        assert_eq!(report.received, 5);
+    }
+
+    #[test]
+    fn deterministic_scenarios() {
+        let a = functional(ScenarioKind::Central3).run_ping(PingConfig::default().with_count(5));
+        let b = functional(ScenarioKind::Central3).run_ping(PingConfig::default().with_count(5));
+        assert_eq!(a, b);
+    }
+}

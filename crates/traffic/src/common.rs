@@ -1,0 +1,78 @@
+//! Shared helpers for traffic host devices.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use netco_net::packet::{builder, IcmpMessage, IcmpType, L4View};
+use netco_net::{Ctx, HostNic, PortId};
+use netco_sim::SimTime;
+
+/// The NIC port every single-homed traffic host uses.
+pub(crate) const NIC_PORT: PortId = PortId(0);
+
+/// Builds the measurement payload: `[u32 seq][u64 send_ns][zero padding]`,
+/// padded to `len` (minimum 12 bytes).
+pub(crate) fn measurement_payload(seq: u32, now: SimTime, len: usize) -> Bytes {
+    let len = len.max(12);
+    let mut buf = BytesMut::with_capacity(len);
+    buf.put_u32(seq);
+    buf.put_u64(now.as_nanos());
+    buf.resize(len, 0);
+    buf.freeze()
+}
+
+/// Parses a measurement payload back into `(seq, send_time)`.
+pub(crate) fn parse_measurement(payload: &[u8]) -> Option<(u32, SimTime)> {
+    if payload.len() < 12 {
+        return None;
+    }
+    let seq = u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]);
+    let mut ns = [0u8; 8];
+    ns.copy_from_slice(&payload[4..12]);
+    Some((seq, SimTime::from_nanos(u64::from_be_bytes(ns))))
+}
+
+/// Replies to an ICMP echo request contained in `l4`, if it is one.
+/// Returns `true` when a reply was sent.
+pub(crate) fn maybe_reply_echo(
+    ctx: &mut Ctx<'_>,
+    nic: &HostNic,
+    src_ip: std::net::Ipv4Addr,
+    l4: &L4View,
+) -> bool {
+    let L4View::Icmp(msg) = l4 else {
+        return false;
+    };
+    if msg.icmp_type != IcmpType::EchoRequest {
+        return false;
+    }
+    let Some(dst_mac) = nic.resolve(src_ip) else {
+        return false;
+    };
+    let reply = IcmpMessage::reply_to(msg);
+    let frame = builder::icmp_frame(nic.mac, dst_mac, nic.ip, src_ip, reply, None);
+    ctx.send_frame(NIC_PORT, frame);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_payload_round_trip() {
+        let t = SimTime::from_nanos(123_456_789);
+        let p = measurement_payload(42, t, 100);
+        assert_eq!(p.len(), 100);
+        assert_eq!(parse_measurement(&p), Some((42, t)));
+    }
+
+    #[test]
+    fn short_payload_is_padded_to_minimum() {
+        let p = measurement_payload(1, SimTime::ZERO, 4);
+        assert_eq!(p.len(), 12);
+    }
+
+    #[test]
+    fn parse_rejects_short() {
+        assert_eq!(parse_measurement(&[0; 11]), None);
+    }
+}

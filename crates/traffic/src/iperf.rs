@@ -1,0 +1,114 @@
+//! The `iperf -u -b`-ramping procedure: find the highest offered rate
+//! whose loss stays below a threshold.
+
+/// Parameters for [`max_rate_search`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IperfConfig {
+    /// Lowest rate probed (bits/s).
+    pub min_rate_bps: u64,
+    /// Highest rate probed (bits/s).
+    pub max_rate_bps: u64,
+    /// Acceptable loss fraction (the paper uses 0.5 %).
+    pub loss_threshold: f64,
+    /// Stop when the search bracket is narrower than this (bits/s).
+    pub resolution_bps: u64,
+}
+
+impl Default for IperfConfig {
+    fn default() -> Self {
+        IperfConfig {
+            min_rate_bps: 1_000_000,
+            max_rate_bps: 1_000_000_000,
+            loss_threshold: 0.005,
+            resolution_bps: 5_000_000,
+        }
+    }
+}
+
+/// Binary-searches the highest rate in `[cfg.min_rate_bps,
+/// cfg.max_rate_bps]` for which `trial(rate)` (returning the measured loss
+/// fraction) stays at or below `cfg.loss_threshold`.
+///
+/// Returns the best passing rate, or `None` when even the minimum rate
+/// loses too much. This mirrors the paper's methodology: "setting the
+/// iperf -u flag and adjusting the -b flag value until a maximum is
+/// reached".
+pub fn max_rate_search(cfg: &IperfConfig, mut trial: impl FnMut(u64) -> f64) -> Option<u64> {
+    let mut lo = cfg.min_rate_bps;
+    let mut hi = cfg.max_rate_bps;
+    if trial(lo) > cfg.loss_threshold {
+        return None;
+    }
+    // If even the max passes, take it.
+    if trial(hi) <= cfg.loss_threshold {
+        return Some(hi);
+    }
+    while hi - lo > cfg.resolution_bps {
+        let mid = lo + (hi - lo) / 2;
+        if trial(mid) <= cfg.loss_threshold {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> IperfConfig {
+        IperfConfig {
+            min_rate_bps: 1_000_000,
+            max_rate_bps: 1_000_000_000,
+            loss_threshold: 0.005,
+            resolution_bps: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn finds_a_sharp_knee() {
+        // Lossless below 400 Mbit/s, lossy above.
+        let f = |rate: u64| if rate <= 400_000_000 { 0.0 } else { 0.5 };
+        let best = max_rate_search(&cfg(), f).unwrap();
+        assert!((399_000_000..=400_000_000).contains(&best), "{best}");
+    }
+
+    #[test]
+    fn saturates_at_max_when_everything_passes() {
+        let best = max_rate_search(&cfg(), |_| 0.0).unwrap();
+        assert_eq!(best, 1_000_000_000);
+    }
+
+    #[test]
+    fn returns_none_when_nothing_passes() {
+        assert_eq!(max_rate_search(&cfg(), |_| 0.9), None);
+    }
+
+    #[test]
+    fn gradual_loss_curve_lands_at_threshold_crossing() {
+        // loss = rate / 1e9 * 1% → crosses 0.5% at 500 Mbit/s.
+        let f = |rate: u64| (rate as f64 / 1e9) * 0.01;
+        let best = max_rate_search(&cfg(), f).unwrap();
+        assert!(
+            (498_000_000..=501_000_000).contains(&best),
+            "found {best}"
+        );
+    }
+
+    #[test]
+    fn trial_count_is_logarithmic() {
+        let mut calls = 0;
+        let f = |rate: u64| {
+            let _ = rate;
+            0.0
+        };
+        let mut counted = |r: u64| {
+            calls += 1;
+            f(r)
+        };
+        let _ = max_rate_search(&cfg(), &mut counted);
+        assert!(calls <= 3, "fast exit when max passes; got {calls}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Traffic generation and measurement — the reproduction's `iperf`,
+//! `ping` and their measurement plumbing.
+//!
+//! * [`UdpSource`] / [`UdpSink`] — constant-bit-rate UDP with sequence
+//!   numbers and embedded send timestamps; the sink reports goodput, loss
+//!   and RFC 3550 jitter exactly like `iperf -u`.
+//! * [`TcpSender`] / [`TcpReceiver`] — TCP Reno over the real TCP/IPv4
+//!   codec: slow start, congestion avoidance, fast retransmit/recovery and
+//!   RTO with Karn's algorithm. The paper's TCP collapse under loss and
+//!   duplication is an emergent property of this implementation.
+//! * [`Pinger`] / [`IcmpEchoResponder`] — ICMP echo RTT measurement
+//!   (min/avg/max/mdev like `ping`).
+//! * [`max_rate_search`] — the `iperf -u -b`-ramping procedure the paper
+//!   uses to find the highest rate with loss below 0.5 %.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod iperf;
+mod meters;
+mod ping;
+pub mod tcp;
+mod udp;
+
+pub use iperf::{max_rate_search, IperfConfig};
+pub use meters::{JitterMeter, RttStats, SeqTracker};
+pub use ping::{IcmpEchoResponder, PingConfig, PingReport, Pinger};
+pub use tcp::{TcpConfig, TcpReceiver, TcpReport, TcpSender, TcpSenderStats};
+pub use udp::{UdpConfig, UdpReport, UdpSink, UdpSource};

@@ -1,0 +1,265 @@
+//! Measurement primitives: jitter, RTT statistics, sequence tracking.
+
+use netco_sim::{SimDuration, SimTime};
+
+/// RFC 3550 §6.4.1 interarrival jitter estimator (what `iperf -u` reports).
+///
+/// Fed with (send time, arrival time) pairs; maintains
+/// `J += (|D(i-1,i)| − J) / 16`.
+#[derive(Debug, Clone, Default)]
+pub struct JitterMeter {
+    prev_transit: Option<i64>,
+    jitter_ns: f64,
+    samples: u64,
+}
+
+impl JitterMeter {
+    /// Creates an empty meter.
+    pub fn new() -> JitterMeter {
+        JitterMeter::default()
+    }
+
+    /// Records one packet.
+    pub fn record(&mut self, sent: SimTime, arrived: SimTime) {
+        let transit = arrived.as_nanos() as i64 - sent.as_nanos() as i64;
+        if let Some(prev) = self.prev_transit {
+            let d = (transit - prev).abs() as f64;
+            self.jitter_ns += (d - self.jitter_ns) / 16.0;
+        }
+        self.prev_transit = Some(transit);
+        self.samples += 1;
+    }
+
+    /// The current jitter estimate.
+    pub fn jitter(&self) -> SimDuration {
+        SimDuration::from_nanos(self.jitter_ns.max(0.0) as u64)
+    }
+
+    /// Packets recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// RTT statistics like `ping` prints: min / avg / max / mdev.
+#[derive(Debug, Clone, Default)]
+pub struct RttStats {
+    samples: Vec<SimDuration>,
+}
+
+impl RttStats {
+    /// Creates an empty collection.
+    pub fn new() -> RttStats {
+        RttStats::default()
+    }
+
+    /// Records one round-trip sample.
+    pub fn record(&mut self, rtt: SimDuration) {
+        self.samples.push(rtt);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.samples.iter().min().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.samples.iter().max().copied()
+    }
+
+    /// Arithmetic mean.
+    pub fn avg(&self) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: u128 = self.samples.iter().map(|d| d.as_nanos() as u128).sum();
+        Some(SimDuration::from_nanos(
+            (total / self.samples.len() as u128) as u64,
+        ))
+    }
+
+    /// Mean absolute deviation (`ping`'s `mdev`).
+    pub fn mdev(&self) -> Option<SimDuration> {
+        let avg = self.avg()?.as_nanos() as i64;
+        let total: u64 = self
+            .samples
+            .iter()
+            .map(|d| (d.as_nanos() as i64 - avg).unsigned_abs())
+            .sum();
+        Some(SimDuration::from_nanos(total / self.samples.len() as u64))
+    }
+
+    /// The `q`-quantile (nearest-rank), e.g. `0.5` for the median or
+    /// `0.99` for the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is outside `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+}
+
+/// Tracks received sequence numbers: delivered / lost / duplicated counts.
+///
+/// Loss is computed against the highest sequence seen (`iperf` semantics:
+/// trailing losses after the last received packet are invisible, which is
+/// fine for long runs).
+#[derive(Debug, Clone, Default)]
+pub struct SeqTracker {
+    seen: std::collections::HashSet<u32>,
+    highest: Option<u32>,
+    received: u64,
+    duplicates: u64,
+}
+
+impl SeqTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> SeqTracker {
+        SeqTracker::default()
+    }
+
+    /// Records one arriving sequence number. Returns `false` for a
+    /// duplicate.
+    pub fn record(&mut self, seq: u32) -> bool {
+        if self.seen.insert(seq) {
+            self.received += 1;
+            self.highest = Some(self.highest.map_or(seq, |h| h.max(seq)));
+            true
+        } else {
+            self.duplicates += 1;
+            false
+        }
+    }
+
+    /// Unique packets received.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Duplicate deliveries observed.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Packets presumed lost (gaps below the highest seen sequence).
+    pub fn lost(&self) -> u64 {
+        match self.highest {
+            None => 0,
+            Some(h) => (h as u64 + 1).saturating_sub(self.received),
+        }
+    }
+
+    /// Loss fraction in `[0, 1]`.
+    pub fn loss_fraction(&self) -> f64 {
+        let expected = match self.highest {
+            None => return 0.0,
+            Some(h) => h as u64 + 1,
+        };
+        self.lost() as f64 / expected as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_zero_for_constant_transit() {
+        let mut j = JitterMeter::new();
+        for i in 0..10u64 {
+            let sent = SimTime::from_nanos(i * 1_000_000);
+            let arrived = sent + SimDuration::from_micros(100);
+            j.record(sent, arrived);
+        }
+        assert_eq!(j.jitter(), SimDuration::ZERO);
+        assert_eq!(j.samples(), 10);
+    }
+
+    #[test]
+    fn jitter_grows_with_variance() {
+        let mut j = JitterMeter::new();
+        for i in 0..100u64 {
+            let sent = SimTime::from_nanos(i * 1_000_000);
+            let delay = if i % 2 == 0 { 100 } else { 200 };
+            j.record(sent, sent + SimDuration::from_micros(delay));
+        }
+        // D alternates ±100 µs; the estimator converges toward 100 µs.
+        let jit = j.jitter().as_micros();
+        assert!(jit > 50 && jit <= 100, "jitter {jit}us");
+    }
+
+    #[test]
+    fn rtt_stats_basics() {
+        let mut r = RttStats::new();
+        assert!(r.is_empty());
+        assert_eq!(r.avg(), None);
+        for ms in [1u64, 2, 3] {
+            r.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.min(), Some(SimDuration::from_millis(1)));
+        assert_eq!(r.max(), Some(SimDuration::from_millis(3)));
+        assert_eq!(r.avg(), Some(SimDuration::from_millis(2)));
+        // |1-2| + |2-2| + |3-2| = 2ms over 3 samples.
+        assert_eq!(r.mdev(), Some(SimDuration::from_nanos(666_666)));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut r = RttStats::new();
+        for ms in 1..=100u64 {
+            r.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(r.percentile(0.5), Some(SimDuration::from_millis(50)));
+        assert_eq!(r.percentile(0.99), Some(SimDuration::from_millis(99)));
+        assert_eq!(r.percentile(1.0), Some(SimDuration::from_millis(100)));
+        assert_eq!(r.percentile(0.0), Some(SimDuration::from_millis(1)));
+        assert_eq!(RttStats::new().percentile(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn percentile_rejects_bad_quantile() {
+        let mut r = RttStats::new();
+        r.record(SimDuration::from_millis(1));
+        let _ = r.percentile(1.5);
+    }
+
+    #[test]
+    fn seq_tracker_counts_losses_and_dups() {
+        let mut t = SeqTracker::new();
+        for s in [0u32, 1, 3, 3, 5] {
+            t.record(s);
+        }
+        assert_eq!(t.received(), 4); // 0,1,3,5
+        assert_eq!(t.duplicates(), 1);
+        assert_eq!(t.lost(), 2); // 2 and 4
+        assert!((t.loss_fraction() - 2.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seq_tracker_empty() {
+        let t = SeqTracker::new();
+        assert_eq!(t.lost(), 0);
+        assert_eq!(t.loss_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! TCP Reno over the real TCP/IPv4 byte codec.
+//!
+//! The sender implements slow start, congestion avoidance, fast
+//! retransmit/recovery (NewReno-style partial-ACK handling) and an RTO
+//! with Karn's algorithm; the receiver delivers in order, buffers
+//! out-of-order segments and emits an ACK per arriving segment (including
+//! duplicate ACKs for old or out-of-order data).
+//!
+//! Connections are pre-established (no SYN/FIN handshake): the paper's
+//! iperf measurements run over long-lived bulk connections where setup is
+//! irrelevant, and skipping it keeps sequence bookkeeping transparent.
+//! Sequence numbers start at 0 on both sides.
+//!
+//! The interesting emergent behaviour for NetCo: in the *Dup* scenarios
+//! every data segment arrives `k` times, each extra copy triggering a
+//! duplicate ACK; with the slight per-replica delay jitter, dup-ACK bursts
+//! cross the fast-retransmit threshold and cause spurious retransmissions
+//! and cwnd collapses — which is why the paper's *combined* (Central)
+//! scenarios beat the *duplicate-only* ones for TCP but not for UDP.
+
+mod receiver;
+mod sender;
+mod seq;
+
+pub use receiver::TcpReceiver;
+pub use sender::{TcpSender, TcpSenderStats};
+
+use std::net::Ipv4Addr;
+
+use netco_sim::SimDuration;
+
+/// Configuration shared by a TCP sender/receiver pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcpConfig {
+    /// Destination (receiver) IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Destination TCP port.
+    pub dst_port: u16,
+    /// Source TCP port.
+    pub src_port: u16,
+    /// Maximum segment payload in bytes. The default of 1446 makes a
+    /// 1500-byte wire frame with our 54-byte header stack.
+    pub mss: usize,
+    /// Initial congestion window in segments (RFC 6928's 10).
+    pub init_cwnd_segments: u32,
+    /// Initial slow-start threshold in segments — a stand-in for
+    /// HyStart/route-cache behaviour; pure exponential slow start into a
+    /// deep scaled window would overshoot shallow software queues by
+    /// hundreds of segments and collapse into RTO.
+    pub init_ssthresh_segments: u32,
+    /// Receiver window advertised (bytes, ≤ 65535 on the wire).
+    pub rcv_window: u16,
+    /// Window-scale shift (RFC 7323), pre-negotiated on both sides: the
+    /// effective window is `rcv_window << window_scale`. Without scaling a
+    /// gigabit path with milliseconds of queueing is window-limited.
+    pub window_scale: u8,
+    /// Delayed-ACK factor (RFC 1122): acknowledge every n-th in-order
+    /// segment (out-of-order and duplicate data is ACKed immediately).
+    pub delayed_ack: u8,
+    /// Per-segment TCP receive-path processing time at the destination
+    /// (socket buffer handling + ACK generation — far costlier than a UDP
+    /// sink). Every arriving segment, including duplicates, occupies the
+    /// receive thread; ACKs are emitted when processing completes. This is
+    /// the paper's "buffering times at the destination host": in the Dup
+    /// scenarios the receiver burns `k×` this budget per useful segment,
+    /// which is why combining wins for TCP (Fig. 4) even though it loses
+    /// slightly for UDP (Fig. 5).
+    pub per_segment_proc: SimDuration,
+    /// Receive-thread backlog bound: when processing lags arrivals by more
+    /// than this, further segments are dropped (socket-buffer overflow).
+    pub proc_backlog_limit: SimDuration,
+    /// Minimum retransmission timeout (Linux default 200 ms).
+    pub min_rto: SimDuration,
+    /// Delay before the first segment.
+    pub start_after: SimDuration,
+    /// Sending duration (bulk transfer until this elapses).
+    pub duration: SimDuration,
+}
+
+impl TcpConfig {
+    /// A 10-second bulk transfer toward `dst_ip:5001`.
+    pub fn new(dst_ip: Ipv4Addr) -> TcpConfig {
+        TcpConfig {
+            dst_ip,
+            dst_port: 5001,
+            src_port: 40000,
+            mss: 1446,
+            init_cwnd_segments: 10,
+            init_ssthresh_segments: 64,
+            rcv_window: u16::MAX,
+            window_scale: 2,
+            delayed_ack: 2,
+            per_segment_proc: SimDuration::from_micros(30),
+            proc_backlog_limit: SimDuration::from_millis(4),
+            min_rto: SimDuration::from_millis(200),
+            start_after: SimDuration::ZERO,
+            duration: SimDuration::from_secs(10),
+        }
+    }
+
+    /// Builder: sets the transfer duration.
+    pub fn with_duration(mut self, duration: SimDuration) -> TcpConfig {
+        self.duration = duration;
+        self
+    }
+
+    /// Builder: sets the segment payload size.
+    pub fn with_mss(mut self, mss: usize) -> TcpConfig {
+        assert!(mss > 0, "mss must be positive");
+        self.mss = mss;
+        self
+    }
+}
+
+/// What a [`TcpReceiver`] measured.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcpReport {
+    /// Bytes delivered in order to the application.
+    pub bytes_delivered: u64,
+    /// Goodput in bits/s between first and last delivery.
+    pub goodput_bps: f64,
+    /// Segments that were duplicates or already-delivered data.
+    pub duplicate_segments: u64,
+    /// Segments buffered out of order at some point.
+    pub out_of_order_segments: u64,
+}

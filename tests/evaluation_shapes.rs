@@ -1,0 +1,152 @@
+//! Cross-crate sanity checks that the evaluation's qualitative shapes
+//! hold at miniature scale (the full-size reproduction lives in the bench
+//! targets; see EXPERIMENTS.md).
+
+use netco_core::Compare;
+use netco_sim::SimDuration;
+use netco_topo::{Direction, Profile, Scenario, ScenarioKind};
+use netco_traffic::PingConfig;
+
+fn scenario(kind: ScenarioKind) -> Scenario {
+    Scenario::build(kind, Profile::default(), 1234)
+}
+
+fn avg_rtt_us(kind: ScenarioKind) -> f64 {
+    let report = scenario(kind).run_ping(
+        PingConfig::default()
+            .with_count(30)
+            .with_interval(SimDuration::from_millis(5)),
+    );
+    assert_eq!(report.received, 30, "{kind}: all pings must complete");
+    report.avg.expect("rtt").as_nanos() as f64 / 1e3
+}
+
+#[test]
+fn rtt_ordering_matches_fig7() {
+    // Paper Fig. 7 / Table I: Linespeed ≤ Dup3 ≤ Dup5 and every combiner
+    // variant sits below its Central counterpart; POX3 towers above all.
+    let linespeed = avg_rtt_us(ScenarioKind::Linespeed);
+    let dup3 = avg_rtt_us(ScenarioKind::Dup3);
+    let central3 = avg_rtt_us(ScenarioKind::Central3);
+    let central5 = avg_rtt_us(ScenarioKind::Central5);
+    let pox3 = avg_rtt_us(ScenarioKind::Pox3);
+    assert!(linespeed < central3, "linespeed {linespeed} vs central3 {central3}");
+    assert!(dup3 < central3, "dup3 {dup3} vs central3 {central3}");
+    assert!(central3 < central5, "central3 {central3} vs central5 {central5}");
+    assert!(
+        pox3 > 3.0 * central3,
+        "POX ({pox3}) must be far above Central3 ({central3})"
+    );
+}
+
+#[test]
+fn udp_duplicates_only_in_dup_scenarios() {
+    for (kind, expect_dups) in [
+        (ScenarioKind::Linespeed, false),
+        (ScenarioKind::Dup3, true),
+        (ScenarioKind::Central3, false),
+    ] {
+        let out = scenario(kind).run_udp(
+            Direction::H1ToH2,
+            20_000_000,
+            1470,
+            SimDuration::from_millis(300),
+            0,
+        );
+        assert!(out.report.received > 0, "{kind}");
+        assert_eq!(
+            out.report.duplicates > 0,
+            expect_dups,
+            "{kind}: duplicates={}",
+            out.report.duplicates
+        );
+    }
+}
+
+#[test]
+fn tcp_combining_beats_duplication() {
+    // The paper's headline TCP observation (§V.B): "removing the duplicate
+    // packets (by combining) increases the throughput visibly".
+    let dup = scenario(ScenarioKind::Dup3).run_tcp(
+        Direction::H1ToH2,
+        SimDuration::from_millis(800),
+        0,
+    );
+    let central = scenario(ScenarioKind::Central3).run_tcp(
+        Direction::H1ToH2,
+        SimDuration::from_millis(800),
+        0,
+    );
+    assert!(
+        central.mbps > dup.mbps,
+        "Central3 ({:.0}) must beat Dup3 ({:.0}) for TCP",
+        central.mbps,
+        dup.mbps
+    );
+}
+
+#[test]
+fn udp_duplication_beats_combining_slightly() {
+    // ...while for UDP the compare's extra stage costs a little (Fig. 5:
+    // Dup3 266 vs Central3 245).
+    let s_dup = scenario(ScenarioKind::Dup3);
+    let s_central = scenario(ScenarioKind::Central3);
+    let iperf = netco_traffic::IperfConfig {
+        min_rate_bps: 10_000_000,
+        max_rate_bps: 600_000_000,
+        loss_threshold: 0.005,
+        resolution_bps: 20_000_000,
+    };
+    let trial = SimDuration::from_millis(400);
+    let (_, dup) = s_dup
+        .run_udp_max_rate(Direction::H1ToH2, &iperf, 1470, trial, trial)
+        .expect("dup3 sustains some rate");
+    let (_, central) = s_central
+        .run_udp_max_rate(Direction::H1ToH2, &iperf, 1470, trial, trial)
+        .expect("central3 sustains some rate");
+    assert!(
+        dup.goodput_bps >= central.goodput_bps * 0.9,
+        "Dup3 UDP ({:.0}) should not trail Central3 ({:.0}) by much",
+        dup.goodput_bps / 1e6,
+        central.goodput_bps / 1e6
+    );
+}
+
+#[test]
+fn both_directions_behave_symmetrically() {
+    let s = scenario(ScenarioKind::Central3);
+    let fwd = s.run_udp(Direction::H1ToH2, 50_000_000, 1470, SimDuration::from_millis(300), 0);
+    let rev = s.run_udp(Direction::H2ToH1, 50_000_000, 1470, SimDuration::from_millis(300), 0);
+    assert!(fwd.report.received > 0 && rev.report.received > 0);
+    let ratio = fwd.report.goodput_bps / rev.report.goodput_bps;
+    assert!((0.8..1.25).contains(&ratio), "direction asymmetry {ratio}");
+}
+
+#[test]
+fn compare_cache_stays_bounded_under_load() {
+    // DoS-resistance of the compare itself: a sustained high-rate flow
+    // must never grow the cache beyond its configured capacity.
+    let s = scenario(ScenarioKind::Central3);
+    let mut built = s.build_world(
+        7,
+        |nic| {
+            netco_traffic::UdpSource::new(
+                nic,
+                netco_traffic::UdpConfig::new(netco_topo::H2_IP)
+                    .with_rate(200_000_000)
+                    .with_payload_len(64)
+                    .with_duration(SimDuration::from_millis(500)),
+            )
+        },
+        |nic| netco_traffic::UdpSink::new(nic, 5001),
+    );
+    built.world.run_for(SimDuration::from_secs(1));
+    let compare = built.world.device::<Compare>(built.compare.unwrap()).unwrap();
+    let cap = s.profile().compare_cache_entries;
+    for lane in [0u16, 1] {
+        assert!(
+            compare.core().cache_len(lane) <= cap,
+            "lane {lane} cache exceeded capacity"
+        );
+    }
+}

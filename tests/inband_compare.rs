@@ -1,0 +1,89 @@
+//! The §IX inband compare placement: the voting logic lives inside the
+//! trusted guards — no dedicated compare host, no detour.
+
+use netco_adversary::{ActivationWindow, Behavior};
+use netco_core::GuardSwitch;
+use netco_openflow::FlowMatch;
+use netco_sim::SimDuration;
+use netco_topo::{AdversarySpec, Direction, Profile, Scenario, ScenarioKind, H2_IP};
+use netco_traffic::{IcmpEchoResponder, PingConfig, Pinger};
+
+#[test]
+fn inband_combiner_delivers_and_dedups() {
+    let scenario = Scenario::build(ScenarioKind::Inband3, Profile::functional(), 8);
+    let report = scenario.run_ping(PingConfig::default().with_count(20));
+    assert_eq!(report.transmitted, 20);
+    assert_eq!(report.received, 20);
+}
+
+#[test]
+fn inband_combiner_stops_a_corrupting_replica() {
+    let scenario = Scenario::build(ScenarioKind::Inband3, Profile::functional(), 8)
+        .with_adversary(AdversarySpec {
+            replica_index: 2,
+            behaviors: vec![(
+                Behavior::CorruptPayload {
+                    select: FlowMatch::any(),
+                    every_nth: 1,
+                },
+                ActivationWindow::always(),
+            )],
+        });
+    let mut built = scenario.build_world(
+        0,
+        |nic| Pinger::new(nic, PingConfig::new(H2_IP).with_count(10)),
+        IcmpEchoResponder::new,
+    );
+    built.world.run_for(SimDuration::from_secs(2));
+    let report = built.world.device::<Pinger>(built.h1).unwrap().report();
+    assert_eq!(report.received, 10);
+    // The corrupted copies died inside the guards' embedded compares.
+    let suppressed: u64 = built
+        .guards
+        .iter()
+        .map(|&g| {
+            built
+                .world
+                .device::<GuardSwitch>(g)
+                .unwrap()
+                .embedded_compare_stats()
+                .expect("inband guards embed a compare")
+                .expired_unreleased
+        })
+        .sum();
+    assert!(suppressed >= 20, "suppressed {suppressed}");
+}
+
+#[test]
+fn inband_beats_central_on_latency() {
+    // The §IX motivation: no extra link hop and no dedicated compare
+    // element on the path.
+    let profile = Profile::default();
+    let inband = Scenario::build(ScenarioKind::Inband3, profile.clone(), 8)
+        .run_ping(PingConfig::default().with_count(30));
+    let central = Scenario::build(ScenarioKind::Central3, profile, 8)
+        .run_ping(PingConfig::default().with_count(30));
+    let (i, c) = (inband.avg.unwrap(), central.avg.unwrap());
+    assert!(i < c, "inband {i} must beat central {c}");
+}
+
+#[test]
+fn inband_throughput_at_least_matches_central() {
+    let profile = Profile::default();
+    let inband = Scenario::build(ScenarioKind::Inband3, profile.clone(), 8).run_tcp(
+        Direction::H1ToH2,
+        SimDuration::from_millis(800),
+        0,
+    );
+    let central = Scenario::build(ScenarioKind::Central3, profile, 8).run_tcp(
+        Direction::H1ToH2,
+        SimDuration::from_millis(800),
+        0,
+    );
+    assert!(
+        inband.mbps > central.mbps * 0.9,
+        "inband {:.0} vs central {:.0}",
+        inband.mbps,
+        central.mbps
+    );
+}

@@ -1,0 +1,250 @@
+//! Cross-crate OpenFlow control-plane scenarios: reactive learning over a
+//! multi-switch topology, proactive routing, flow expiry under traffic,
+//! and counter monitoring — all over the real wire codec.
+
+use bytes::Bytes;
+use netco_controller::apps::{FlowStatsMonitor, LearningSwitchApp, RuleSpec, StaticRoutingApp};
+use netco_controller::Controller;
+use netco_net::packet::builder;
+use netco_net::{CpuModel, HostNic, LinkSpec, MacAddr, NodeId, PortId, World};
+use netco_openflow::{Action, FlowMatch, OfPort, OfSwitch, SwitchConfig};
+use netco_sim::SimDuration;
+use netco_traffic::{IcmpEchoResponder, PingConfig, Pinger};
+use std::net::Ipv4Addr;
+
+const IP_A: Ipv4Addr = Ipv4Addr::new(10, 9, 0, 1);
+const IP_B: Ipv4Addr = Ipv4Addr::new(10, 9, 0, 2);
+const MAC_A: MacAddr = MacAddr::local(0x0a01);
+const MAC_B: MacAddr = MacAddr::local(0x0a02);
+
+fn nic(mac: MacAddr, ip: Ipv4Addr) -> HostNic {
+    let mut n = HostNic::new(mac, ip);
+    n.neighbors.extend([(IP_A, MAC_A), (IP_B, MAC_B)]);
+    n
+}
+
+/// hostA — sw1 — sw2 — hostB, both switches managed by one controller.
+fn two_switch_world(app: impl netco_controller::ControllerApp) -> (World, NodeId, NodeId, NodeId, NodeId, NodeId) {
+    let mut w = World::new(77);
+    let a = w.add_node(
+        "a",
+        Pinger::new(nic(MAC_A, IP_A), PingConfig::new(IP_B).with_count(10)),
+        CpuModel::default(),
+    );
+    let b = w.add_node(
+        "b",
+        IcmpEchoResponder::new(nic(MAC_B, IP_B)),
+        CpuModel::default(),
+    );
+    let sw1 = w.add_node(
+        "sw1",
+        OfSwitch::new(SwitchConfig::with_datapath_id(1)),
+        CpuModel::default(),
+    );
+    let sw2 = w.add_node(
+        "sw2",
+        OfSwitch::new(SwitchConfig::with_datapath_id(2)),
+        CpuModel::default(),
+    );
+    let ctl = w.add_node("ctl", Controller::new(app), CpuModel::default());
+    w.connect(a, PortId(0), sw1, PortId(1), LinkSpec::ideal());
+    w.connect(sw1, PortId(2), sw2, PortId(1), LinkSpec::ideal());
+    w.connect(sw2, PortId(2), b, PortId(0), LinkSpec::ideal());
+    for sw in [sw1, sw2] {
+        w.connect_control(sw, ctl, Default::default());
+        w.device_mut::<OfSwitch>(sw).unwrap().set_controller(ctl);
+        w.device_mut::<Controller>(ctl).unwrap().manage(sw);
+    }
+    (w, a, b, sw1, sw2, ctl)
+}
+
+#[test]
+fn learning_switches_converge_across_two_hops() {
+    let (mut w, a, _b, sw1, sw2, ctl) = two_switch_world(LearningSwitchApp::new());
+    w.run_for(SimDuration::from_secs(2));
+    let report = w.device::<Pinger>(a).unwrap().report();
+    assert_eq!(report.transmitted, 10);
+    assert_eq!(report.received, 10, "reactive learning must converge");
+    // After convergence both switches hold rules for both MACs.
+    for sw in [sw1, sw2] {
+        assert!(
+            w.device::<OfSwitch>(sw).unwrap().table().len() >= 2,
+            "{} should have learned both directions",
+            w.node_name(sw)
+        );
+    }
+    // And the steady state stops consulting the controller.
+    let c = w.device::<Controller>(ctl).unwrap();
+    assert!(
+        c.packet_in_count() < 10,
+        "only the first packets may reach the controller, saw {}",
+        c.packet_in_count()
+    );
+}
+
+#[test]
+fn proactive_routing_never_consults_the_controller_for_data() {
+    let mut app = StaticRoutingApp::new();
+    // Rules computed offline; pushed on switch-up. Note the NodeIds are
+    // assigned in creation order inside `two_switch_world`: sw1 = 2nd
+    // switch node... we register rules after building instead.
+    let (mut w, a, _b, sw1, sw2, ctl) = two_switch_world(StaticRoutingApp::new());
+    let _ = &mut app;
+    // Give the handshake + rule push a head start before traffic begins.
+    w.device_mut::<Pinger>(a)
+        .unwrap()
+        .set_start_after(SimDuration::from_millis(50));
+    {
+        let c = w.device_mut::<Controller>(ctl).unwrap();
+        let app = c.app_mut::<StaticRoutingApp>().unwrap();
+        for (sw, a_port, b_port) in [(sw1, 1u16, 2u16), (sw2, 1, 2)] {
+            app.add_rule(
+                sw,
+                RuleSpec::new(
+                    100,
+                    FlowMatch::any().with_dl_dst(MAC_B),
+                    vec![Action::Output(OfPort::Physical(b_port))],
+                ),
+            );
+            app.add_rule(
+                sw,
+                RuleSpec::new(
+                    100,
+                    FlowMatch::any().with_dl_dst(MAC_A),
+                    vec![Action::Output(OfPort::Physical(a_port))],
+                ),
+            );
+        }
+    }
+    w.run_for(SimDuration::from_secs(2));
+    let report = w.device::<Pinger>(a).unwrap().report();
+    assert_eq!(report.received, 10);
+    let c = w.device::<Controller>(ctl).unwrap();
+    assert_eq!(
+        c.packet_in_count(),
+        0,
+        "proactive rules must keep all data off the controller"
+    );
+    assert_eq!(c.app::<StaticRoutingApp>().unwrap().pushed_count(), 4);
+}
+
+#[test]
+fn idle_timeout_expires_learned_rules_and_relearning_works() {
+    let (mut w, a, _b, sw1, _sw2, _ctl) = two_switch_world({
+        let mut app = LearningSwitchApp::new();
+        app.idle_timeout_s = 1;
+        app
+    });
+    w.run_for(SimDuration::from_secs(2)); // ping burst finishes < 1 s
+    assert_eq!(w.device::<Pinger>(a).unwrap().report().received, 10);
+    // After > 1 s of silence the learned rules expire.
+    w.run_for(SimDuration::from_secs(3));
+    assert_eq!(
+        w.device::<OfSwitch>(sw1).unwrap().table().len(),
+        0,
+        "idle rules must expire"
+    );
+}
+
+#[test]
+fn stats_monitor_tracks_multi_switch_traffic() {
+    // Preinstall static rules; the monitor app polls both switches.
+    let mut w = World::new(78);
+    let a = w.add_node(
+        "a",
+        Pinger::new(nic(MAC_A, IP_A), PingConfig::new(IP_B).with_count(7)),
+        CpuModel::default(),
+    );
+    let b = w.add_node(
+        "b",
+        IcmpEchoResponder::new(nic(MAC_B, IP_B)),
+        CpuModel::default(),
+    );
+    let mk_switch = |dpid: u64| {
+        let mut sw = OfSwitch::new(SwitchConfig::with_datapath_id(dpid));
+        sw.preinstall(netco_openflow::FlowEntry::new(
+            100,
+            FlowMatch::any().with_dl_dst(MAC_B),
+            vec![Action::Output(OfPort::Physical(2))],
+        ));
+        sw.preinstall(netco_openflow::FlowEntry::new(
+            100,
+            FlowMatch::any().with_dl_dst(MAC_A),
+            vec![Action::Output(OfPort::Physical(1))],
+        ));
+        sw
+    };
+    let sw1 = w.add_node("sw1", mk_switch(1), CpuModel::default());
+    let sw2 = w.add_node("sw2", mk_switch(2), CpuModel::default());
+    let ctl = w.add_node(
+        "ctl",
+        Controller::new(FlowStatsMonitor::new()).with_tick(SimDuration::from_millis(25)),
+        CpuModel::default(),
+    );
+    w.connect(a, PortId(0), sw1, PortId(1), LinkSpec::ideal());
+    w.connect(sw1, PortId(2), sw2, PortId(1), LinkSpec::ideal());
+    w.connect(sw2, PortId(2), b, PortId(0), LinkSpec::ideal());
+    for sw in [sw1, sw2] {
+        w.connect_control(sw, ctl, Default::default());
+        w.device_mut::<OfSwitch>(sw).unwrap().set_controller(ctl);
+        w.device_mut::<Controller>(ctl).unwrap().manage(sw);
+    }
+    w.run_for(SimDuration::from_secs(1));
+    let monitor = w
+        .device::<Controller>(ctl)
+        .unwrap()
+        .app::<FlowStatsMonitor>()
+        .unwrap();
+    // 7 requests + 7 replies through each switch.
+    assert_eq!(monitor.total_packets(sw1), 14);
+    assert_eq!(monitor.total_packets(sw2), 14);
+}
+
+#[test]
+fn packet_out_floods_reach_every_port() {
+    // A controller-driven flood from a buffered miss: the learning app's
+    // first-packet flood must reach both other ports of a 3-host switch.
+    let mut w = World::new(79);
+    let hosts: Vec<NodeId> = (0..3)
+        .map(|i| {
+            w.add_node(
+                format!("h{i}"),
+                netco_net::testutil::CollectorDevice::default(),
+                CpuModel::default(),
+            )
+        })
+        .collect();
+    let sw = w.add_node(
+        "sw",
+        OfSwitch::new(SwitchConfig::with_datapath_id(9)),
+        CpuModel::default(),
+    );
+    let ctl = w.add_node(
+        "ctl",
+        Controller::new(LearningSwitchApp::new()),
+        CpuModel::default(),
+    );
+    for (i, &h) in hosts.iter().enumerate() {
+        w.connect(h, PortId(0), sw, PortId(i as u16 + 1), LinkSpec::ideal());
+    }
+    w.connect_control(sw, ctl, Default::default());
+    w.device_mut::<OfSwitch>(sw).unwrap().set_controller(ctl);
+    w.device_mut::<Controller>(ctl).unwrap().manage(sw);
+    w.run_for(SimDuration::from_millis(20));
+    let frame = builder::udp_frame(
+        MAC_A,
+        MacAddr::local(0xffff), // unknown destination → flood
+        IP_A,
+        IP_B,
+        5,
+        6,
+        Bytes::from_static(b"flood me"),
+        None,
+    );
+    w.inject_frame(sw, PortId(1), frame);
+    w.run_for(SimDuration::from_millis(20));
+    use netco_net::testutil::CollectorDevice;
+    assert_eq!(w.device::<CollectorDevice>(hosts[0]).unwrap().frames.len(), 0);
+    assert_eq!(w.device::<CollectorDevice>(hosts[1]).unwrap().frames.len(), 1);
+    assert_eq!(w.device::<CollectorDevice>(hosts[2]).unwrap().frames.len(), 1);
+}

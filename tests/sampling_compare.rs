@@ -1,0 +1,100 @@
+//! The §IX sampling extension end to end: "a simple logic in the data
+//! plane forwards a random subset of packets to a more thorough
+//! out-of-band compare logic." Detection coverage scales with the sampling
+//! rate; the data path forwards at full speed regardless.
+
+use netco_adversary::{ActivationWindow, Behavior};
+use netco_core::{Compare, SecurityEvent};
+use netco_openflow::FlowMatch;
+use netco_sim::SimDuration;
+use netco_topo::{AdversarySpec, Profile, Scenario, ScenarioKind, H2_IP};
+use netco_traffic::{UdpConfig, UdpSink, UdpSource};
+
+const PACKETS: u64 = 400;
+
+/// Runs sampled Central3 with a non-primary replica corrupting everything;
+/// returns `(delivered unique, detection alarms, copies at the compare)`.
+fn run(sample: f64) -> (u64, usize, u64) {
+    let scenario = Scenario::build(ScenarioKind::Central3, Profile::functional(), 31)
+        .with_sampling(sample)
+        .with_adversary(AdversarySpec {
+            replica_index: 1, // a non-primary replica corrupts its copies
+            behaviors: vec![(
+                Behavior::CorruptPayload {
+                    select: FlowMatch::any(),
+                    every_nth: 1,
+                },
+                ActivationWindow::always(),
+            )],
+        });
+    let mut built = scenario.build_world(
+        0,
+        |nic| {
+            UdpSource::new(
+                nic,
+                UdpConfig::new(H2_IP)
+                    .with_rate(10_000_000)
+                    .with_payload_len(300)
+                    .with_send_cost(SimDuration::ZERO)
+                    .with_duration(SimDuration::from_millis(
+                        PACKETS * 300 * 8 / 10_000, // rate → duration for PACKETS
+                    )),
+            )
+        },
+        |nic| UdpSink::new(nic, 5001),
+    );
+    built.world.run_for(SimDuration::from_secs(2));
+    let compare = built.world.device::<Compare>(built.compare.unwrap()).unwrap();
+    let alarms = compare
+        .events()
+        .iter()
+        .filter(|e| matches!(e.record, SecurityEvent::SinglePathPacket { .. }))
+        .count();
+    let received = built
+        .world
+        .device::<UdpSink>(built.h2)
+        .unwrap()
+        .report()
+        .received;
+    (received, alarms, compare.stats().received)
+}
+
+#[test]
+fn full_sampling_detects_everything() {
+    let (received, alarms, _) = run(1.0);
+    // The honest primary delivers; every corrupted copy is flagged (it
+    // never matches the two honest ones).
+    assert!(received > 0);
+    assert!(
+        alarms as u64 >= received * 9 / 10,
+        "≈all of {received} corrupted copies must be flagged, got {alarms} alarms"
+    );
+}
+
+#[test]
+fn half_sampling_detects_about_half() {
+    let (received, alarms, _) = run(0.5);
+    let fraction = alarms as f64 / received as f64;
+    assert!(
+        (0.3..=0.7).contains(&fraction),
+        "expected ≈50% detection, got {fraction:.2} ({alarms}/{received})"
+    );
+}
+
+#[test]
+fn sampling_rate_scales_compare_load() {
+    let (_, _, load_full) = run(1.0);
+    let (_, _, load_tenth) = run(0.1);
+    assert!(
+        (load_tenth as f64) < load_full as f64 * 0.25,
+        "10% sampling must slash compare load: {load_tenth} vs {load_full}"
+    );
+}
+
+#[test]
+fn zero_sampling_sees_nothing() {
+    let (received, alarms, load) = run(0.0);
+    assert!(received > 0, "data path unaffected");
+    assert_eq!(alarms, 0);
+    assert_eq!(load, 0);
+}
