@@ -203,8 +203,14 @@ impl Device for MaliciousSwitch {
         }
         if token >= INJECT_TIMER_BASE {
             let idx = (token - INJECT_TIMER_BASE) as usize;
-            if let Some((Behavior::InjectCbr { frame, out_port, interval }, window)) =
-                self.behaviors.get(idx).cloned()
+            if let Some((
+                Behavior::InjectCbr {
+                    frame,
+                    out_port,
+                    interval,
+                },
+                window,
+            )) = self.behaviors.get(idx).cloned()
             {
                 let now = ctx.now();
                 if window.contains(now) {
@@ -278,7 +284,10 @@ mod tests {
         w.run_for(SimDuration::from_millis(1));
         assert_eq!(w.device::<CollectorDevice>(good).unwrap().frames.len(), 1);
         assert_eq!(w.device::<CollectorDevice>(exfil).unwrap().frames.len(), 0);
-        assert_eq!(w.device::<MaliciousSwitch>(sw).unwrap().stats().forwarded, 1);
+        assert_eq!(
+            w.device::<MaliciousSwitch>(sw).unwrap().stats().forwarded,
+            1
+        );
     }
 
     #[test]
@@ -384,7 +393,10 @@ mod tests {
         w.inject_frame(sw, PortId(0), frame(MacAddr::local(10)));
         w.run_for(SimDuration::from_millis(1));
         assert_eq!(w.device::<CollectorDevice>(good).unwrap().frames.len(), 4);
-        assert_eq!(w.device::<MaliciousSwitch>(sw).unwrap().stats().replicated, 3);
+        assert_eq!(
+            w.device::<MaliciousSwitch>(sw).unwrap().stats().replicated,
+            3
+        );
     }
 
     #[test]
@@ -450,6 +462,9 @@ mod tests {
         let (mut w, sw, _good, _exfil) = world(|_| {});
         w.inject_frame(sw, PortId(0), frame(MacAddr::local(99)));
         w.run_for(SimDuration::from_millis(1));
-        assert_eq!(w.device::<MaliciousSwitch>(sw).unwrap().stats().unroutable, 1);
+        assert_eq!(
+            w.device::<MaliciousSwitch>(sw).unwrap().stats().unroutable,
+            1
+        );
     }
 }

@@ -1,15 +1,16 @@
-//! Criterion micro-benchmarks of the hot paths: the compare's voting
-//! core, flow-table lookup, packet codecs and the OpenFlow wire codec.
+//! Criterion micro-benchmarks of the hot paths: the event scheduler, the
+//! compare's voting core, flow-table lookup, packet codecs and the
+//! OpenFlow wire codec.
 
 use bytes::Bytes;
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use netco_core::{CompareConfig, CompareCore, LaneInfo};
+use netco_core::{CompareConfig, CompareCore, CompareStrategy, LaneInfo};
 use netco_net::packet::{builder, EthernetFrame, FrameView};
 use netco_net::MacAddr;
 use netco_openflow::{
     wire, Action, FlowEntry, FlowMatch, FlowTable, OfMessage, OfPort, PacketFields,
 };
-use netco_sim::SimTime;
+use netco_sim::{SimDuration, SimTime};
 use std::net::Ipv4Addr;
 
 fn test_frame(tag: u8) -> Bytes {
@@ -23,6 +24,93 @@ fn test_frame(tag: u8) -> Bytes {
         Bytes::from(vec![tag; 1400]),
         None,
     )
+}
+
+/// Delay pattern spanning every timing-wheel level plus the far-future
+/// heap, driven by a deterministic LCG.
+fn churn_delay(state: &mut u64) -> SimDuration {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    let x = *state >> 16;
+    let nanos = match x & 0xF {
+        0..=9 => x >> 4 & 0xF_FFFF,
+        10..=14 => x >> 4 & 0x3F_FFFF,
+        _ => (x >> 4 & 0xFFF) + 5_000_000_000,
+    };
+    SimDuration::from_nanos(nanos)
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    // Steady-state churn: pop one event, schedule one, with 4096 in
+    // flight — the wheel vs. the retired binary-heap implementation.
+    const FLIGHT: u64 = 4_096;
+    c.bench_function("scheduler_churn_wheel_4096", |b| {
+        let mut s = netco_sim::Scheduler::new();
+        let mut state = 0x9E37_79B9u64;
+        for i in 0..FLIGHT {
+            s.schedule_after(churn_delay(&mut state), i);
+        }
+        b.iter(|| {
+            let (_, ev) = s.pop().expect("flight never drains");
+            s.schedule_after(churn_delay(&mut state), ev);
+            std::hint::black_box(ev)
+        })
+    });
+    c.bench_function("scheduler_churn_heap_4096", |b| {
+        let mut s = netco_sim::baseline::HeapScheduler::new();
+        let mut state = 0x9E37_79B9u64;
+        for i in 0..FLIGHT {
+            s.schedule_after(churn_delay(&mut state), i);
+        }
+        b.iter(|| {
+            let (_, ev) = s.pop().expect("flight never drains");
+            s.schedule_after(churn_delay(&mut state), ev);
+            std::hint::black_box(ev)
+        })
+    });
+}
+
+fn compare_observe_core(strategy: CompareStrategy) -> CompareCore {
+    let mut core = CompareCore::new(CompareConfig::prevent(3).with_strategy(strategy));
+    core.attach_lane(
+        0,
+        LaneInfo {
+            replica_ports: vec![1, 2, 3],
+            host_port: 4,
+        },
+    );
+    core
+}
+
+fn bench_compare_observe(c: &mut Criterion) {
+    // Full-frame keying, fingerprint vs. byte-exact: `FullPacket` now keys
+    // by a 128-bit fingerprint; `HeaderOnly { prefix: MAX }` still clones
+    // the whole frame into the key, which is what `FullPacket` did before.
+    let cases = [
+        ("compare_observe_fingerprint", CompareStrategy::FullPacket),
+        (
+            "compare_observe_byte_exact",
+            CompareStrategy::HeaderOnly { prefix: usize::MAX },
+        ),
+    ];
+    for (name, strategy) in cases {
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || compare_observe_core(strategy),
+                |mut core| {
+                    for i in 0..64u8 {
+                        let f = test_frame(i);
+                        core.observe(0, 1, f.clone(), SimTime::ZERO);
+                        core.observe(0, 2, f.clone(), SimTime::ZERO);
+                        core.observe(0, 3, f, SimTime::ZERO);
+                    }
+                    core.stats()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
 }
 
 fn bench_compare(c: &mut Criterion) {
@@ -127,6 +215,8 @@ fn bench_openflow_wire(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_scheduler,
+    bench_compare_observe,
     bench_compare,
     bench_flow_table,
     bench_codecs,

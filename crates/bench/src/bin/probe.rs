@@ -7,5 +7,7 @@ fn main() {
     let scale = ExperimentScale::smoke();
     let t1 = experiments::table1(&profile, scale);
     print!("{}", render::table1(&t1));
-    println!("(paper: tcp 474/122/72/145/78, udp 278/266/149/245/156, rtt 0.181/0.189/0.26/0.319/0.415)");
+    println!(
+        "(paper: tcp 474/122/72/145/78, udp 278/266/149/245/156, rtt 0.181/0.189/0.26/0.319/0.415)"
+    );
 }

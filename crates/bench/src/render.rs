@@ -1,8 +1,6 @@
 //! Plain-text rendering of experiment results (the "figures").
 
-use crate::experiments::{
-    JitterCell, LossPoint, RttRow, Table1Column, TcpRow, UdpRow,
-};
+use crate::experiments::{JitterCell, LossPoint, RttRow, Table1Column, TcpRow, UdpRow};
 
 /// Renders Fig. 4 as aligned rows.
 pub fn fig4(rows: &[TcpRow]) -> String {
@@ -56,9 +54,8 @@ pub fn fig6(points: &[LossPoint]) -> String {
 
 /// Renders Fig. 7.
 pub fn fig7(rows: &[RttRow]) -> String {
-    let mut s = String::from(
-        "Fig. 7 — ping RTT\nscenario    avg[ms]  min[ms]  max[ms]  recv/sent\n",
-    );
+    let mut s =
+        String::from("Fig. 7 — ping RTT\nscenario    avg[ms]  min[ms]  max[ms]  recv/sent\n");
     for r in rows {
         s.push_str(&format!(
             "{:<11} {:>7.3}  {:>7.3}  {:>7.3}  {:>4}/{}\n",
@@ -107,10 +104,7 @@ pub fn fig8(cells: &[JitterCell]) -> String {
 /// Renders Table I in the paper's layout.
 pub fn table1(cols: &[Table1Column]) -> String {
     let mut s = String::from("Table I — average measurement results\n");
-    s.push_str(&format!(
-        "{:<28}",
-        ""
-    ));
+    s.push_str(&format!("{:<28}", ""));
     for c in cols {
         s.push_str(&format!("{:>10}", c.kind.name()));
     }

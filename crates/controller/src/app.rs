@@ -100,7 +100,13 @@ pub trait ControllerApp: Any {
     }
 
     /// The switch reported an error.
-    fn on_error(&mut self, cx: &mut ControllerCtx<'_, '_>, switch: NodeId, err_type: u16, code: u16) {
+    fn on_error(
+        &mut self,
+        cx: &mut ControllerCtx<'_, '_>,
+        switch: NodeId,
+        err_type: u16,
+        code: u16,
+    ) {
     }
 
     /// Per-flow statistics arrived (answer to a

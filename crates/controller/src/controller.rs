@@ -212,10 +212,9 @@ impl Device for Controller {
                     l.outstanding.insert(from, 0);
                 }
             }
-            OfMessage::FeaturesReply { .. }
-                if self.up.insert(from) => {
-                    self.app.on_switch_up(&mut cx, from);
-                }
+            OfMessage::FeaturesReply { .. } if self.up.insert(from) => {
+                self.app.on_switch_up(&mut cx, from);
+            }
             OfMessage::PacketIn {
                 buffer_id,
                 in_port,
@@ -238,9 +237,7 @@ impl Device for Controller {
             OfMessage::FlowStatsReply { flows } => {
                 self.app.on_flow_stats(&mut cx, from, flows);
             }
-            OfMessage::Error {
-                err_type, code, ..
-            } => {
+            OfMessage::Error { err_type, code, .. } => {
                 self.errors += 1;
                 self.app.on_error(&mut cx, from, err_type, code);
             }
@@ -284,7 +281,9 @@ mod tests {
                 return;
             }
             self.controller = Some(from);
-            let Ok((m, xid)) = wire::decode(&msg) else { return };
+            let Ok((m, xid)) = wire::decode(&msg) else {
+                return;
+            };
             let reply = match m {
                 OfMessage::FeaturesRequest => Some(OfMessage::FeaturesReply {
                     datapath_id: 1,

@@ -6,6 +6,11 @@ use bytes::Bytes;
 use netco_sim::{SimDuration, SimTime};
 
 use super::strategy::CompareKey;
+use crate::fxhash::FxBuildHasher;
+
+/// Upper bound on replica indices a single entry can track (`k` is 3 or 5
+/// in every paper configuration; the mask is a `u32`).
+const MAX_REPLICAS: usize = 32;
 
 /// Voting state of one cached packet.
 #[derive(Debug, Clone, PartialEq)]
@@ -16,12 +21,15 @@ pub struct CacheEntry {
     pub first_seen: SimTime,
     /// Distinct replica ports that delivered a copy, in arrival order.
     pub ports: Vec<u16>,
-    /// Per-port observation counts, aligned with `ports`.
-    pub counts: Vec<u32>,
     /// Whether this packet was already released.
     pub released: bool,
     /// Whether a DoS advice was already issued for this entry.
     pub dos_advised: bool,
+    /// Per-replica observation counts, indexed by replica index.
+    counts: Vec<u32>,
+    /// Bitmask of replica indices that delivered a copy: membership and
+    /// count updates are O(1) instead of a per-copy port scan.
+    seen: u32,
 }
 
 impl CacheEntry {
@@ -30,12 +38,9 @@ impl CacheEntry {
         self.ports.len()
     }
 
-    /// Observation count for a given port (0 if never seen).
-    pub fn count_for(&self, port: u16) -> u32 {
-        self.ports
-            .iter()
-            .position(|&p| p == port)
-            .map_or(0, |i| self.counts[i])
+    /// Observation count for a given replica index (0 if never seen).
+    pub fn count_for(&self, replica_idx: usize) -> u32 {
+        self.counts.get(replica_idx).copied().unwrap_or(0)
     }
 }
 
@@ -66,10 +71,27 @@ pub enum Observed {
 /// expiry order, because `first_seen` never changes). The caller drives
 /// expiry via [`PacketCache::expire`] and capacity cleanup via
 /// [`PacketCache::cleanup`].
+///
+/// # Fingerprint keys
+///
+/// [`CompareKey::Exact`] keys carry a 128-bit fingerprint plus a
+/// disambiguator. [`PacketCache::observe`] resolves the disambiguator by
+/// verifying the stored frame bytes whenever a fingerprint matches an
+/// existing entry, so two *different* frames that collide on the
+/// fingerprint get distinct keys and never pollute each other's vote — the
+/// bit-by-bit semantics of the old byte-keyed cache are preserved exactly.
+/// The canonical key is returned to the caller for follow-up calls
+/// ([`PacketCache::mark_released`] etc.), which therefore need no frame
+/// access and no re-verification.
 #[derive(Debug, Default)]
 pub struct PacketCache {
-    map: HashMap<CompareKey, CacheEntry>,
+    map: HashMap<CompareKey, CacheEntry, FxBuildHasher>,
     order: VecDeque<CompareKey>,
+    /// Live-entry counts per colliding fingerprint. Empty unless two
+    /// different frames actually share an `fp128` (or a test forges keys):
+    /// the happy path pays one lookup here only when the `dis = 0` slot
+    /// misses or mismatches.
+    collided: HashMap<u128, u32, FxBuildHasher>,
 }
 
 impl PacketCache {
@@ -88,41 +110,111 @@ impl PacketCache {
         self.map.is_empty()
     }
 
-    /// Records a copy of `key` arriving on `port`. The frame is stored only
-    /// for the first copy.
-    pub fn observe(&mut self, key: CompareKey, port: u16, frame: &Bytes, now: SimTime) -> Observed {
+    /// Records a copy of `key` arriving on `port` (the lane's
+    /// `replica_idx`-th replica). The frame is stored only for the first
+    /// copy. Returns the canonical key — for [`CompareKey::Exact`] the
+    /// disambiguator may differ from the one passed in — plus what was
+    /// observed.
+    pub fn observe(
+        &mut self,
+        key: CompareKey,
+        port: u16,
+        replica_idx: usize,
+        frame: &Bytes,
+        now: SimTime,
+    ) -> (CompareKey, Observed) {
+        debug_assert!(replica_idx < MAX_REPLICAS);
+        let key = self.resolve(key, frame);
+        let bit = 1u32 << (replica_idx % MAX_REPLICAS);
         if let Some(entry) = self.map.get_mut(&key) {
-            match entry.ports.iter().position(|&p| p == port) {
-                Some(i) => {
-                    entry.counts[i] += 1;
-                    Observed::Repeat {
-                        count: entry.counts[i],
-                        released: entry.released,
-                    }
+            let observed = if entry.seen & bit != 0 {
+                entry.counts[replica_idx] += 1;
+                Observed::Repeat {
+                    count: entry.counts[replica_idx],
+                    released: entry.released,
                 }
-                None => {
-                    entry.ports.push(port);
-                    entry.counts.push(1);
-                    Observed::AdditionalPort {
-                        distinct: entry.ports.len(),
-                        released: entry.released,
-                    }
+            } else {
+                entry.seen |= bit;
+                if entry.counts.len() <= replica_idx {
+                    entry.counts.resize(replica_idx + 1, 0);
                 }
-            }
+                entry.counts[replica_idx] = 1;
+                entry.ports.push(port);
+                Observed::AdditionalPort {
+                    distinct: entry.ports.len(),
+                    released: entry.released,
+                }
+            };
+            (key, observed)
         } else {
+            let mut counts = vec![0; replica_idx + 1];
+            counts[replica_idx] = 1;
             self.map.insert(
                 key.clone(),
                 CacheEntry {
                     frame: frame.clone(),
                     first_seen: now,
                     ports: vec![port],
-                    counts: vec![1],
                     released: false,
                     dos_advised: false,
+                    counts,
+                    seen: bit,
                 },
             );
-            self.order.push_back(key);
-            Observed::New
+            self.order.push_back(key.clone());
+            if let CompareKey::Exact { fp, .. } = key {
+                // Only fingerprints already in collision keep a live count.
+                if let Some(n) = self.collided.get_mut(&fp) {
+                    *n += 1;
+                }
+            }
+            (key, Observed::New)
+        }
+    }
+
+    /// Resolves an [`CompareKey::Exact`] key's disambiguator against the
+    /// live entries: returns the key of the entry holding byte-identical
+    /// `frame` bytes, or the key a new entry for `frame` should use. Other
+    /// key kinds pass through untouched.
+    fn resolve(&mut self, key: CompareKey, frame: &Bytes) -> CompareKey {
+        let CompareKey::Exact { fp, .. } = key else {
+            return key;
+        };
+        // Happy path: the dis = 0 slot either holds this very frame or is
+        // free with no colliding siblings to check.
+        match self.map.get(&CompareKey::Exact { fp, dis: 0 }) {
+            Some(entry) if entry.frame == *frame => return CompareKey::Exact { fp, dis: 0 },
+            Some(_) => {} // genuine fingerprint collision: probe siblings
+            None if !self.collided.contains_key(&fp) => return CompareKey::Exact { fp, dis: 0 },
+            None => {} // dis = 0 expired but collided siblings may match
+        }
+        let live = *self.collided.entry(fp).or_insert(1);
+        let mut dis = 0u32;
+        let mut found = 0u32;
+        let mut vacant = None;
+        loop {
+            match self.map.get(&CompareKey::Exact { fp, dis }) {
+                Some(entry) => {
+                    if entry.frame == *frame {
+                        return CompareKey::Exact { fp, dis };
+                    }
+                    found += 1;
+                    if found == live {
+                        // Whole chain checked, no byte match: a new entry
+                        // goes in the first gap (or right past the end).
+                        return CompareKey::Exact {
+                            fp,
+                            dis: vacant.unwrap_or(dis + 1),
+                        };
+                    }
+                }
+                None => {
+                    if vacant.is_none() {
+                        vacant = Some(dis);
+                    }
+                }
+            }
+            dis += 1;
         }
     }
 
@@ -155,7 +247,11 @@ impl PacketCache {
     }
 
     /// Removes and returns every entry older than `hold_time`.
-    pub fn expire(&mut self, now: SimTime, hold_time: SimDuration) -> Vec<(CompareKey, CacheEntry)> {
+    pub fn expire(
+        &mut self,
+        now: SimTime,
+        hold_time: SimDuration,
+    ) -> Vec<(CompareKey, CacheEntry)> {
         let mut out = Vec::new();
         while let Some(front) = self.order.front() {
             let expired = self
@@ -167,6 +263,7 @@ impl PacketCache {
             }
             let key = self.order.pop_front().expect("front exists");
             if let Some(entry) = self.map.remove(&key) {
+                self.note_removed(&key);
                 out.push((key, entry));
             }
         }
@@ -182,10 +279,23 @@ impl PacketCache {
                 break;
             };
             if let Some(entry) = self.map.remove(&key) {
+                self.note_removed(&key);
                 out.push((key, entry));
             }
         }
         out
+    }
+
+    /// Keeps the collision live counts in step with entry removal.
+    fn note_removed(&mut self, key: &CompareKey) {
+        if let CompareKey::Exact { fp, .. } = key {
+            if let Some(n) = self.collided.get_mut(fp) {
+                *n -= 1;
+                if *n == 0 {
+                    self.collided.remove(fp);
+                }
+            }
+        }
     }
 }
 
@@ -204,7 +314,10 @@ mod tests {
     #[test]
     fn first_observation_is_new() {
         let mut c = PacketCache::new();
-        assert_eq!(c.observe(key(b"a"), 1, &frame(), SimTime::ZERO), Observed::New);
+        assert_eq!(
+            c.observe(key(b"a"), 1, 0, &frame(), SimTime::ZERO).1,
+            Observed::New
+        );
         assert_eq!(c.len(), 1);
         assert_eq!(c.entry(&key(b"a")).unwrap().distinct_ports(), 1);
     }
@@ -212,16 +325,16 @@ mod tests {
     #[test]
     fn additional_ports_accumulate() {
         let mut c = PacketCache::new();
-        c.observe(key(b"a"), 1, &frame(), SimTime::ZERO);
+        c.observe(key(b"a"), 1, 0, &frame(), SimTime::ZERO);
         assert_eq!(
-            c.observe(key(b"a"), 2, &frame(), SimTime::ZERO),
+            c.observe(key(b"a"), 2, 1, &frame(), SimTime::ZERO).1,
             Observed::AdditionalPort {
                 distinct: 2,
                 released: false
             }
         );
         assert_eq!(
-            c.observe(key(b"a"), 3, &frame(), SimTime::ZERO),
+            c.observe(key(b"a"), 3, 2, &frame(), SimTime::ZERO).1,
             Observed::AdditionalPort {
                 distinct: 3,
                 released: false
@@ -233,24 +346,24 @@ mod tests {
     #[test]
     fn repeats_count_per_port() {
         let mut c = PacketCache::new();
-        c.observe(key(b"a"), 1, &frame(), SimTime::ZERO);
+        c.observe(key(b"a"), 1, 0, &frame(), SimTime::ZERO);
         for i in 2..=5u32 {
             assert_eq!(
-                c.observe(key(b"a"), 1, &frame(), SimTime::ZERO),
+                c.observe(key(b"a"), 1, 0, &frame(), SimTime::ZERO).1,
                 Observed::Repeat {
                     count: i,
                     released: false
                 }
             );
         }
-        assert_eq!(c.entry(&key(b"a")).unwrap().count_for(1), 5);
-        assert_eq!(c.entry(&key(b"a")).unwrap().count_for(2), 0);
+        assert_eq!(c.entry(&key(b"a")).unwrap().count_for(0), 5);
+        assert_eq!(c.entry(&key(b"a")).unwrap().count_for(1), 0);
     }
 
     #[test]
     fn release_is_at_most_once() {
         let mut c = PacketCache::new();
-        c.observe(key(b"a"), 1, &frame(), SimTime::ZERO);
+        c.observe(key(b"a"), 1, 0, &frame(), SimTime::ZERO);
         assert_eq!(c.mark_released(&key(b"a")), Some(frame()));
         assert_eq!(c.mark_released(&key(b"a")), None);
         assert_eq!(c.mark_released(&key(b"missing")), None);
@@ -259,7 +372,7 @@ mod tests {
     #[test]
     fn dos_advice_is_at_most_once() {
         let mut c = PacketCache::new();
-        c.observe(key(b"a"), 1, &frame(), SimTime::ZERO);
+        c.observe(key(b"a"), 1, 0, &frame(), SimTime::ZERO);
         assert!(c.mark_dos_advised(&key(b"a")));
         assert!(!c.mark_dos_advised(&key(b"a")));
         assert!(!c.mark_dos_advised(&key(b"missing")));
@@ -269,8 +382,14 @@ mod tests {
     fn expiry_pops_in_insertion_order() {
         let mut c = PacketCache::new();
         let hold = SimDuration::from_millis(10);
-        c.observe(key(b"a"), 1, &frame(), SimTime::ZERO);
-        c.observe(key(b"b"), 1, &frame(), SimTime::ZERO + SimDuration::from_millis(5));
+        c.observe(key(b"a"), 1, 0, &frame(), SimTime::ZERO);
+        c.observe(
+            key(b"b"),
+            1,
+            0,
+            &frame(),
+            SimTime::ZERO + SimDuration::from_millis(5),
+        );
         let expired = c.expire(SimTime::ZERO + SimDuration::from_millis(10), hold);
         assert_eq!(expired.len(), 1);
         assert_eq!(expired[0].0, key(b"a"));
@@ -287,6 +406,7 @@ mod tests {
             c.observe(
                 CompareKey::Bytes(Bytes::from_static(k)),
                 1,
+                0,
                 &frame(),
                 SimTime::from_nanos(i as u64),
             );
@@ -302,15 +422,115 @@ mod tests {
     #[test]
     fn late_copy_after_release_reports_released_flag() {
         let mut c = PacketCache::new();
-        c.observe(key(b"a"), 1, &frame(), SimTime::ZERO);
-        c.observe(key(b"a"), 2, &frame(), SimTime::ZERO);
+        c.observe(key(b"a"), 1, 0, &frame(), SimTime::ZERO);
+        c.observe(key(b"a"), 2, 1, &frame(), SimTime::ZERO);
         c.mark_released(&key(b"a"));
         assert_eq!(
-            c.observe(key(b"a"), 3, &frame(), SimTime::ZERO),
+            c.observe(key(b"a"), 3, 2, &frame(), SimTime::ZERO).1,
             Observed::AdditionalPort {
                 distinct: 3,
                 released: true
             }
+        );
+    }
+
+    // ---- Exact (fingerprint) key resolution -----------------------------
+
+    fn exact(fp: u128) -> CompareKey {
+        CompareKey::Exact { fp, dis: 0 }
+    }
+
+    #[test]
+    fn exact_key_same_frame_resolves_to_same_entry() {
+        let mut c = PacketCache::new();
+        let f = Bytes::from_static(b"copy");
+        assert_eq!(
+            c.observe(exact(42), 1, 0, &f, SimTime::ZERO),
+            (exact(42), Observed::New)
+        );
+        let (k, o) = c.observe(exact(42), 2, 1, &f, SimTime::ZERO);
+        assert_eq!(k, exact(42));
+        assert_eq!(
+            o,
+            Observed::AdditionalPort {
+                distinct: 2,
+                released: false
+            }
+        );
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn forged_collision_splits_into_disambiguated_entries() {
+        // Two different frames with the same fingerprint (forged here; a
+        // real fp128 collision is a 2^-128 event) must vote independently.
+        let mut c = PacketCache::new();
+        let a = Bytes::from_static(b"frame-a");
+        let b = Bytes::from_static(b"frame-b");
+        assert_eq!(
+            c.observe(exact(7), 1, 0, &a, SimTime::ZERO),
+            (exact(7), Observed::New)
+        );
+        let (kb, ob) = c.observe(exact(7), 1, 0, &b, SimTime::ZERO);
+        assert_eq!(kb, CompareKey::Exact { fp: 7, dis: 1 });
+        assert_eq!(ob, Observed::New);
+        assert_eq!(c.len(), 2);
+        // Further copies route to the right entry by frame bytes.
+        let (ka2, oa2) = c.observe(exact(7), 2, 1, &a, SimTime::ZERO);
+        assert_eq!(ka2, exact(7));
+        assert!(matches!(oa2, Observed::AdditionalPort { distinct: 2, .. }));
+        let (kb2, ob2) = c.observe(exact(7), 2, 1, &b, SimTime::ZERO);
+        assert_eq!(kb2, CompareKey::Exact { fp: 7, dis: 1 });
+        assert!(matches!(ob2, Observed::AdditionalPort { distinct: 2, .. }));
+        // Releasing one entry does not release the other.
+        assert_eq!(c.mark_released(&ka2), Some(a));
+        assert!(!c.entry(&kb2).unwrap().released);
+    }
+
+    #[test]
+    fn collision_chain_survives_gap_from_expiry() {
+        // dis = 0 expires while dis = 1 lives: a new copy of the dis = 1
+        // frame must still find it rather than open a fresh entry at
+        // dis = 0 and split the vote.
+        let mut c = PacketCache::new();
+        let a = Bytes::from_static(b"frame-a");
+        let b = Bytes::from_static(b"frame-b");
+        let t0 = SimTime::ZERO;
+        let t1 = SimTime::from_nanos(5_000_000);
+        c.observe(exact(9), 1, 0, &a, t0);
+        let (kb, _) = c.observe(exact(9), 1, 0, &b, t1);
+        assert_eq!(kb, CompareKey::Exact { fp: 9, dis: 1 });
+        let expired = c.expire(
+            SimTime::from_nanos(10_000_000),
+            SimDuration::from_millis(10),
+        );
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].0, exact(9)); // the dis = 0 entry
+        let (kb2, ob2) = c.observe(exact(9), 2, 1, &b, t1);
+        assert_eq!(kb2, CompareKey::Exact { fp: 9, dis: 1 });
+        assert!(matches!(ob2, Observed::AdditionalPort { distinct: 2, .. }));
+        // A third, new frame with the same fingerprint reuses the gap.
+        let d = Bytes::from_static(b"frame-d");
+        let (kd, od) = c.observe(exact(9), 1, 0, &d, t1);
+        assert_eq!(kd, exact(9));
+        assert_eq!(od, Observed::New);
+    }
+
+    #[test]
+    fn collision_bookkeeping_resets_when_chain_dies() {
+        let mut c = PacketCache::new();
+        let a = Bytes::from_static(b"frame-a");
+        let b = Bytes::from_static(b"frame-b");
+        c.observe(exact(3), 1, 0, &a, SimTime::ZERO);
+        c.observe(exact(3), 1, 0, &b, SimTime::ZERO);
+        assert_eq!(c.collided.len(), 1);
+        c.cleanup(0);
+        assert!(c.is_empty());
+        assert!(c.collided.is_empty());
+        // The fingerprint is usable again from a clean slate.
+        assert_eq!(
+            c.observe(exact(3), 1, 0, &b, SimTime::ZERO),
+            (exact(3), Observed::New)
         );
     }
 }

@@ -74,6 +74,8 @@ pub struct CompareStats {
     pub evicted: u64,
     /// Copies arriving on ports not registered for the lane.
     pub unknown_port: u64,
+    /// High-water mark of live cache entries across all lanes.
+    pub peak_cache_entries: u64,
 }
 
 #[derive(Debug)]
@@ -165,7 +167,6 @@ impl CompareCore {
             self.stats.unknown_port += 1;
             return actions;
         };
-        let _ = replica_idx;
         self.stats.received += 1;
 
         // Capacity cleanup before inserting (paper §V: "once the packet
@@ -182,7 +183,7 @@ impl CompareCore {
                     &self.cfg,
                     lane_id,
                     lane,
-                    &entry,
+                    entry,
                     &mut evict_actions,
                     &mut self.stats,
                 );
@@ -199,7 +200,8 @@ impl CompareCore {
         }
 
         let key = self.cfg.strategy.key(&frame);
-        let observed = lane.cache.observe(key.clone(), in_port, &frame, now);
+        let (key, observed) = lane.cache.observe(key, in_port, replica_idx, &frame, now);
+        self.stats.peak_cache_entries = self.stats.peak_cache_entries.max(lane.cache.len() as u64);
         match observed {
             Observed::New | Observed::AdditionalPort { .. } => {
                 let (distinct, released) = match observed {
@@ -266,7 +268,7 @@ impl CompareCore {
                     &self.cfg,
                     lane_id,
                     lane,
-                    &entry,
+                    entry,
                     &mut actions,
                     &mut self.stats,
                 );
@@ -276,53 +278,60 @@ impl CompareCore {
     }
 
     /// Miss/alarm bookkeeping when an entry leaves the cache for good.
+    ///
+    /// Takes the entry by value: its port list is moved into the emitted
+    /// event instead of cloned (this runs for every expiry and eviction).
     fn account_removed_entry(
         cfg: &CompareConfig,
         lane_id: u16,
         lane: &mut Lane,
-        entry: &CacheEntry,
+        entry: CacheEntry,
         actions: &mut Vec<CompareAction>,
         stats: &mut CompareStats,
     ) {
-        if entry.released {
-            if cfg.mode == Mode::Detect && entry.distinct_ports() < cfg.k {
-                actions.push(CompareAction::Event(SecurityEvent::DetectionMismatch {
-                    lane: lane_id,
-                    delivering_ports: entry.ports.clone(),
-                }));
-            }
-        } else {
-            stats.expired_unreleased += 1;
-            actions.push(CompareAction::Event(SecurityEvent::SinglePathPacket {
-                lane: lane_id,
-                suspect_ports: entry.ports.clone(),
-            }));
-        }
-        // Liveness: replicas that did not deliver this packet accumulate
-        // consecutive misses; replicas that delivered reset them.
+        // Liveness first (it only reads the ports): replicas that did not
+        // deliver this packet accumulate consecutive misses; replicas that
+        // delivered reset them. Alarms are buffered so the emitted action
+        // order (mismatch/single-path event, then liveness events) is
+        // unchanged; the buffer allocates nothing in the common quiet case.
+        let mut liveness = Vec::new();
         for (idx, &port) in lane.info.replica_ports.iter().enumerate() {
             if entry.ports.contains(&port) {
                 lane.consecutive_miss[idx] = 0;
                 if lane.alarmed_down[idx] {
                     lane.alarmed_down[idx] = false;
-                    actions.push(CompareAction::Event(SecurityEvent::ReplicaRecovered {
+                    liveness.push(CompareAction::Event(SecurityEvent::ReplicaRecovered {
                         lane: lane_id,
                         port,
                     }));
                 }
             } else {
                 lane.consecutive_miss[idx] += 1;
-                if lane.consecutive_miss[idx] >= cfg.miss_alarm_threshold
-                    && !lane.alarmed_down[idx]
+                if lane.consecutive_miss[idx] >= cfg.miss_alarm_threshold && !lane.alarmed_down[idx]
                 {
                     lane.alarmed_down[idx] = true;
-                    actions.push(CompareAction::Event(SecurityEvent::ReplicaSuspectedDown {
+                    liveness.push(CompareAction::Event(SecurityEvent::ReplicaSuspectedDown {
                         lane: lane_id,
                         port,
                     }));
                 }
             }
         }
+        if entry.released {
+            if cfg.mode == Mode::Detect && entry.distinct_ports() < cfg.k {
+                actions.push(CompareAction::Event(SecurityEvent::DetectionMismatch {
+                    lane: lane_id,
+                    delivering_ports: entry.ports,
+                }));
+            }
+        } else {
+            stats.expired_unreleased += 1;
+            actions.push(CompareAction::Event(SecurityEvent::SinglePathPacket {
+                lane: lane_id,
+                suspect_ports: entry.ports,
+            }));
+        }
+        actions.extend(liveness);
     }
 }
 
@@ -419,17 +428,17 @@ mod tests {
         assert_eq!(releases(&c.observe(0, 2, pkt(7), t)), 0);
         let actions = c.sweep(t + SimDuration::from_millis(10));
         assert_eq!(c.stats().expired_unreleased, 1);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, CompareAction::Event(SecurityEvent::SinglePathPacket { .. }))));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            CompareAction::Event(SecurityEvent::SinglePathPacket { .. })
+        )));
         assert_eq!(c.stats().released, 0);
     }
 
     #[test]
     fn detect_mode_releases_first_copy_and_alarms_on_mismatch() {
-        let mut c = CompareCore::new(
-            CompareConfig::detect(2).with_hold_time(SimDuration::from_millis(10)),
-        );
+        let mut c =
+            CompareCore::new(CompareConfig::detect(2).with_hold_time(SimDuration::from_millis(10)));
         c.attach_lane(
             0,
             LaneInfo {
@@ -446,16 +455,20 @@ mod tests {
         let actions = c.sweep(t + SimDuration::from_millis(10));
         let mismatches = actions
             .iter()
-            .filter(|a| matches!(a, CompareAction::Event(SecurityEvent::DetectionMismatch { .. })))
+            .filter(|a| {
+                matches!(
+                    a,
+                    CompareAction::Event(SecurityEvent::DetectionMismatch { .. })
+                )
+            })
             .count();
         assert_eq!(mismatches, 2);
     }
 
     #[test]
     fn detect_mode_agreement_is_quiet() {
-        let mut c = CompareCore::new(
-            CompareConfig::detect(2).with_hold_time(SimDuration::from_millis(10)),
-        );
+        let mut c =
+            CompareCore::new(CompareConfig::detect(2).with_hold_time(SimDuration::from_millis(10)));
         c.attach_lane(
             0,
             LaneInfo {
@@ -467,9 +480,10 @@ mod tests {
         c.observe(0, 1, pkt(1), t);
         c.observe(0, 2, pkt(1), t);
         let actions = c.sweep(t + SimDuration::from_millis(10));
-        assert!(!actions
-            .iter()
-            .any(|a| matches!(a, CompareAction::Event(SecurityEvent::DetectionMismatch { .. }))));
+        assert!(!actions.iter().any(|a| matches!(
+            a,
+            CompareAction::Event(SecurityEvent::DetectionMismatch { .. })
+        )));
     }
 
     #[test]
@@ -529,7 +543,10 @@ mod tests {
         c.observe(0, 3, pkt(50), t);
         t += SimDuration::from_millis(2);
         for a in c.sweep(t) {
-            if matches!(a, CompareAction::Event(SecurityEvent::ReplicaRecovered { port: 3, .. })) {
+            if matches!(
+                a,
+                CompareAction::Event(SecurityEvent::ReplicaRecovered { port: 3, .. })
+            ) {
                 recoveries += 1;
             }
         }
@@ -592,7 +609,9 @@ mod tests {
         let a = c.observe(1, 3, pkt(1), t);
         assert_eq!(releases(&a), 1);
         match &a[0] {
-            CompareAction::Release { lane, host_port, .. } => {
+            CompareAction::Release {
+                lane, host_port, ..
+            } => {
                 assert_eq!((*lane, *host_port), (1, 200));
             }
             other => panic!("unexpected {other:?}"),
@@ -612,11 +631,67 @@ mod tests {
         );
     }
 
+    /// The byte-exact oracle: `HeaderOnly` with an unbounded prefix slices
+    /// the whole frame, which is precisely the old `FullPacket` keying
+    /// (`CompareKey::Bytes(frame)`).
+    fn byte_exact_oracle_strategy() -> CompareStrategy {
+        CompareStrategy::HeaderOnly { prefix: usize::MAX }
+    }
+
+    fn equivalence_core(strategy: CompareStrategy) -> CompareCore {
+        let mut cfg = CompareConfig::prevent(3)
+            .with_strategy(strategy)
+            .with_hold_time(SimDuration::from_millis(10))
+            .with_cache_capacity(16);
+        cfg.miss_alarm_threshold = 3;
+        let mut c = CompareCore::new(cfg);
+        c.attach_lane(
+            0,
+            LaneInfo {
+                replica_ports: vec![1, 2, 3],
+                host_port: 100,
+            },
+        );
+        c
+    }
+
+    proptest::proptest! {
+        /// Fingerprinted `FullPacket` keying must release, suppress, advise
+        /// and alarm exactly like byte-exact keying, action for action,
+        /// across random interleavings of copies, repeats, cleanup
+        /// pressure and expiry sweeps.
+        #[test]
+        fn fingerprint_keying_equals_byte_exact_keying(
+            ops in proptest::collection::vec(
+                (0u8..4, 0u8..6, 0u8..3, 0u8..8), 0..250
+            )
+        ) {
+            let mut fp = equivalence_core(CompareStrategy::FullPacket);
+            let mut oracle = equivalence_core(byte_exact_oracle_strategy());
+            let mut now = SimTime::ZERO;
+            for (port_sel, tag, len_sel, advance) in ops {
+                if port_sel == 3 {
+                    // Jump time and sweep both sides.
+                    now += SimDuration::from_millis(advance as u64);
+                    proptest::prop_assert_eq!(fp.sweep(now), oracle.sweep(now));
+                } else {
+                    let frame = Bytes::from(vec![tag; 40 + 20 * len_sel as usize]);
+                    let port = port_sel as u16 + 1;
+                    proptest::prop_assert_eq!(
+                        fp.observe(0, port, frame.clone(), now),
+                        oracle.observe(0, port, frame, now)
+                    );
+                }
+                proptest::prop_assert_eq!(fp.stats(), oracle.stats());
+                proptest::prop_assert_eq!(fp.cache_len(0), oracle.cache_len(0));
+            }
+        }
+    }
+
     #[test]
     fn digest_strategy_works_end_to_end() {
-        let mut c = CompareCore::new(
-            CompareConfig::prevent(3).with_strategy(CompareStrategy::Digest),
-        );
+        let mut c =
+            CompareCore::new(CompareConfig::prevent(3).with_strategy(CompareStrategy::Digest));
         c.attach_lane(
             0,
             LaneInfo {

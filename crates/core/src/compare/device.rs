@@ -143,10 +143,7 @@ impl Device for Compare {
         let Some((msg, _xid)) = of_unwrap(&frame) else {
             return; // not for us; trusted components ignore the unknown
         };
-        if let OfMessage::PacketIn {
-            in_port, data, ..
-        } = msg
-        {
+        if let OfMessage::PacketIn { in_port, data, .. } = msg {
             let now = ctx.now();
             let actions = self.core.observe(port.number(), in_port, data, now);
             self.apply_actions(ctx, actions);
@@ -209,9 +206,8 @@ mod tests {
     fn world() -> (World, NodeId, NodeId) {
         let mut w = World::new(7);
         let guard = w.add_node("guard", CollectorDevice::default(), CpuModel::default());
-        let mut compare = Compare::new(
-            CompareConfig::prevent(3).with_hold_time(SimDuration::from_millis(5)),
-        );
+        let mut compare =
+            Compare::new(CompareConfig::prevent(3).with_hold_time(SimDuration::from_millis(5)));
         compare.attach_guard(
             PortId(0),
             LaneInfo {
@@ -247,7 +243,11 @@ mod tests {
         let (mut w, guard, cmp) = world();
         w.inject_frame(cmp, PortId(0), packet_in(1, b"evil-mirrored"));
         w.run_for(SimDuration::from_millis(50));
-        assert!(w.device::<CollectorDevice>(guard).unwrap().frames.is_empty());
+        assert!(w
+            .device::<CollectorDevice>(guard)
+            .unwrap()
+            .frames
+            .is_empty());
         let compare = w.device::<Compare>(cmp).unwrap();
         assert_eq!(compare.stats().expired_unreleased, 1);
         assert!(compare
@@ -282,7 +282,11 @@ mod tests {
         let (mut w, guard, cmp) = world();
         w.inject_frame(cmp, PortId(0), Bytes::from_static(b"not openflow at all"));
         w.run_for(SimDuration::from_millis(1));
-        assert!(w.device::<CollectorDevice>(guard).unwrap().frames.is_empty());
+        assert!(w
+            .device::<CollectorDevice>(guard)
+            .unwrap()
+            .frames
+            .is_empty());
         assert_eq!(w.device::<Compare>(cmp).unwrap().stats().received, 0);
     }
 

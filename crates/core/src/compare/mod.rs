@@ -10,4 +10,4 @@ pub(crate) use strategy::fnv1a;
 pub use cache::{CacheEntry, Observed, PacketCache};
 pub use core::{CompareAction, CompareCore, CompareStats, LaneInfo};
 pub use device::Compare;
-pub use strategy::{CompareKey, CompareStrategy};
+pub use strategy::{fp128, CompareKey, CompareStrategy};

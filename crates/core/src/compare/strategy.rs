@@ -31,7 +31,10 @@ impl CompareStrategy {
     /// Derives the cache key for a frame under this strategy.
     pub fn key(&self, frame: &Bytes) -> CompareKey {
         match self {
-            CompareStrategy::FullPacket => CompareKey::Bytes(frame.clone()),
+            CompareStrategy::FullPacket => CompareKey::Exact {
+                fp: fp128(frame),
+                dis: 0,
+            },
             CompareStrategy::HeaderOnly { prefix } => {
                 CompareKey::Bytes(frame.slice(..(*prefix).min(frame.len())))
             }
@@ -40,11 +43,24 @@ impl CompareStrategy {
     }
 }
 
-/// A comparison key: either the (possibly truncated) bytes themselves or a
-/// digest.
+/// A comparison key: a verified fingerprint, the (possibly truncated) bytes
+/// themselves, or a digest.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum CompareKey {
-    /// Raw bytes (bit-by-bit semantics; `Bytes` is cheaply clonable).
+    /// Bit-by-bit semantics via a precomputed 128-bit fingerprint. The
+    /// packet cache verifies the full frame bytes on any fingerprint match
+    /// against a *different* frame and bumps `dis` to separate true
+    /// collisions, so `Exact` keys identify frames exactly — unlike
+    /// [`CompareKey::U64`], whose collisions are accepted by design.
+    Exact {
+        /// 128-bit content fingerprint ([`fp128`]).
+        fp: u128,
+        /// Collision disambiguator, assigned by the cache (0 in the
+        /// overwhelmingly common case).
+        dis: u32,
+    },
+    /// Raw bytes (used for header-prefix semantics; `Bytes` is cheaply
+    /// clonable).
     Bytes(Bytes),
     /// A 64-bit digest.
     U64(u64),
@@ -57,6 +73,44 @@ pub(crate) fn fnv1a(data: &[u8]) -> u64 {
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// 128-bit content fingerprint: two independent multiply-rotate lanes over
+/// 8-byte words (Fx-style), length-mixed and finalized with a splitmix64
+/// avalanche per lane. One pass over the frame, no external dependencies.
+///
+/// This replaces hashing the full frame on *every* cache-map operation
+/// (observe + release/advise lookups each re-hashed the bytes under the old
+/// `CompareKey::Bytes` keying) with a single fingerprint computation per
+/// received copy.
+pub fn fp128(data: &[u8]) -> u128 {
+    const K1: u64 = 0x51_7c_c1_b7_27_22_0a_95; // Fx multiplier
+    const K2: u64 = 0x9e37_79b9_7f4a_7c15; // 2^64 / golden ratio
+    let mut h1 = 0x243f_6a88_85a3_08d3u64; // pi fraction digits
+    let mut h2 = 0x1319_8a2e_0370_7344u64;
+    let mut chunks = data.chunks_exact(8);
+    for chunk in chunks.by_ref() {
+        let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        h1 = (h1.rotate_left(5) ^ w).wrapping_mul(K1);
+        h2 = (h2.rotate_left(7) ^ w).wrapping_mul(K2);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut buf = [0u8; 8];
+        buf[..rem.len()].copy_from_slice(rem);
+        let w = u64::from_le_bytes(buf);
+        h1 = (h1.rotate_left(5) ^ w).wrapping_mul(K1);
+        h2 = (h2.rotate_left(7) ^ w).wrapping_mul(K2);
+    }
+    h1 = (h1.rotate_left(5) ^ data.len() as u64).wrapping_mul(K1);
+    h2 = (h2.rotate_left(7) ^ data.len() as u64).wrapping_mul(K2);
+    ((splitmix(h1) as u128) << 64) | splitmix(h2) as u128
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -99,6 +153,46 @@ mod tests {
         assert_eq!(s.key(&a), s.key(&a.clone()));
         let b = Bytes::from_static(b"some framf");
         assert_ne!(s.key(&a), s.key(&b));
+    }
+
+    #[test]
+    fn full_packet_key_is_fingerprint_with_zero_disambiguator() {
+        let a = Bytes::from_static(b"wire frame bytes");
+        match CompareStrategy::FullPacket.key(&a) {
+            CompareKey::Exact { fp, dis } => {
+                assert_eq!(fp, fp128(&a));
+                assert_eq!(dis, 0);
+            }
+            other => panic!("unexpected key {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fp128_is_stable_and_bit_sensitive() {
+        let base = vec![0xabu8; 60];
+        assert_eq!(fp128(&base), fp128(&base.clone()));
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(fp128(&base), fp128(&flipped), "byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn fp128_distinguishes_length_extension() {
+        // A frame and the same frame zero-padded must not collide, even
+        // though the padded tail contributes all-zero words.
+        let a = vec![7u8; 16];
+        let mut b = a.clone();
+        b.extend_from_slice(&[0, 0, 0, 0]);
+        let mut c = a.clone();
+        c.extend_from_slice(&[0; 8]);
+        assert_ne!(fp128(&a), fp128(&b));
+        assert_ne!(fp128(&a), fp128(&c));
+        assert_ne!(fp128(&b), fp128(&c));
+        assert_ne!(fp128(b""), fp128(&[0]));
     }
 
     #[test]

@@ -220,8 +220,14 @@ mod tests {
 
     #[test]
     fn combiner_presets() {
-        assert_eq!(CombinerConfig::central(3).placement, ComparePlacement::CentralHost);
-        assert_eq!(CombinerConfig::pox(3).placement, ComparePlacement::ControllerApp);
+        assert_eq!(
+            CombinerConfig::central(3).placement,
+            ComparePlacement::CentralHost
+        );
+        assert_eq!(
+            CombinerConfig::pox(3).placement,
+            ComparePlacement::ControllerApp
+        );
         assert_eq!(CombinerConfig::dup(5).placement, ComparePlacement::None);
         assert_eq!(CombinerConfig::dup(5).compare.k, 5);
     }

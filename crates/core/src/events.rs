@@ -89,7 +89,10 @@ impl fmt::Display for SecurityEvent {
                 lane,
                 port,
                 repeats,
-            } => write!(f, "lane {lane}: port {port} repeated a packet {repeats} times"),
+            } => write!(
+                f,
+                "lane {lane}: port {port} repeated a packet {repeats} times"
+            ),
             SecurityEvent::PortBlocked { lane, port } => {
                 write!(f, "lane {lane}: advised blocking port {port}")
             }

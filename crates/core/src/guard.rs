@@ -149,7 +149,10 @@ impl GuardSwitch {
             "host port must differ from replica ports"
         );
         if let CompareAttachment::DataPort(p) = cfg.compare {
-            assert!(p != cfg.host_port, "compare port must differ from host port");
+            assert!(
+                p != cfg.host_port,
+                "compare port must differ from host port"
+            );
             assert!(
                 !cfg.replica_ports.contains(&p),
                 "compare port must differ from replica ports"
@@ -270,7 +273,13 @@ impl GuardSwitch {
 
     /// Handles a decision message from the compare (data-port or
     /// controller path).
-    fn handle_compare_msg(&mut self, ctx: &mut Ctx<'_>, msg: OfMessage, xid: u32, reply_control: Option<NodeId>) {
+    fn handle_compare_msg(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        msg: OfMessage,
+        xid: u32,
+        reply_control: Option<NodeId>,
+    ) {
         match msg {
             OfMessage::PacketOut { actions, data, .. } => {
                 let mut sent = false;
@@ -294,8 +303,8 @@ impl GuardSwitch {
             } if actions.is_empty() => {
                 // Port-block advice: an empty-action rule on in_port.
                 if let Some(port) = matcher.in_port {
-                    let until = ctx.now()
-                        + netco_sim::SimDuration::from_secs(hard_timeout_s.max(1) as u64);
+                    let until =
+                        ctx.now() + netco_sim::SimDuration::from_secs(hard_timeout_s.max(1) as u64);
                     self.blocked.insert(port, until);
                 } else {
                     self.stats.invalid_msgs += 1;
@@ -338,8 +347,8 @@ impl GuardSwitch {
 impl Device for GuardSwitch {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         if let Some(core) = &self.embedded {
-            let interval = (core.config().hold_time / 4)
-                .max(netco_sim::SimDuration::from_micros(100));
+            let interval =
+                (core.config().hold_time / 4).max(netco_sim::SimDuration::from_micros(100));
             ctx.schedule_timer(interval, EMBEDDED_SWEEP_TIMER);
         }
     }
@@ -350,8 +359,8 @@ impl Device for GuardSwitch {
         }
         if let Some(mut core) = self.embedded.take() {
             let actions = core.sweep(ctx.now());
-            let interval = (core.config().hold_time / 4)
-                .max(netco_sim::SimDuration::from_micros(100));
+            let interval =
+                (core.config().hold_time / 4).max(netco_sim::SimDuration::from_micros(100));
             self.embedded = Some(core);
             self.apply_embedded(ctx, actions);
             ctx.schedule_timer(interval, EMBEDDED_SWEEP_TIMER);

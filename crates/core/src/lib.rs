@@ -46,14 +46,15 @@ mod compare;
 mod config;
 mod encap;
 mod events;
+mod fxhash;
 mod guard;
 mod hub;
 mod pox;
 pub mod virtualized;
 
 pub use compare::{
-    CacheEntry, Compare, CompareAction, CompareCore, CompareKey, CompareStats, CompareStrategy,
-    LaneInfo, Observed, PacketCache,
+    fp128, CacheEntry, Compare, CompareAction, CompareCore, CompareKey, CompareStats,
+    CompareStrategy, LaneInfo, Observed, PacketCache,
 };
 pub use config::{CombinerConfig, CompareConfig, ComparePlacement, Mode};
 pub use encap::{of_unwrap, of_wrap, NETCO_ETHERTYPE};

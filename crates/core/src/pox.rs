@@ -57,7 +57,12 @@ impl PoxCompareApp {
         &self.events
     }
 
-    fn apply(&mut self, cx: &mut ControllerCtx<'_, '_>, guard: NodeId, actions: Vec<CompareAction>) {
+    fn apply(
+        &mut self,
+        cx: &mut ControllerCtx<'_, '_>,
+        guard: NodeId,
+        actions: Vec<CompareAction>,
+    ) {
         let now = cx.now();
         for action in actions {
             match action {

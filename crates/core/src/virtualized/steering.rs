@@ -76,7 +76,11 @@ impl VirtualGuard {
         let mut dedup = cfg.tunnel_tags.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), cfg.tunnel_tags.len(), "tunnel tags must be unique");
+        assert_eq!(
+            dedup.len(),
+            cfg.tunnel_tags.len(),
+            "tunnel tags must be unique"
+        );
         let mut core = CompareCore::new(cfg.compare.clone());
         core.attach_lane(
             0,
@@ -267,7 +271,10 @@ mod tests {
         w.run_for(SimDuration::from_millis(1));
         let frames = &w.device::<CollectorDevice>(host).unwrap().frames;
         assert_eq!(frames.len(), 1);
-        assert_eq!(frames[0].1, base, "released frame must be untagged original");
+        assert_eq!(
+            frames[0].1, base,
+            "released frame must be untagged original"
+        );
         assert_eq!(w.device::<VirtualGuard>(vg).unwrap().stats().released, 1);
     }
 

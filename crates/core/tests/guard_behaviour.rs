@@ -81,7 +81,10 @@ fn hub_duplicates_host_traffic_to_every_replica() {
     r.world.inject_frame(r.guard, PortId(0), data_frame(1));
     r.world.run_for(SimDuration::from_millis(1));
     for &rep in &r.replicas {
-        assert_eq!(r.world.device::<CollectorDevice>(rep).unwrap().frames.len(), 1);
+        assert_eq!(
+            r.world.device::<CollectorDevice>(rep).unwrap().frames.len(),
+            1
+        );
     }
     assert_eq!(
         r.world
@@ -127,13 +130,18 @@ fn packet_out_from_compare_is_executed() {
         actions: vec![Action::Output(OfPort::Physical(0))],
         data: frame.clone(),
     };
-    r.world.inject_frame(r.guard, r.compare_port, of_wrap(&po, 1));
+    r.world
+        .inject_frame(r.guard, r.compare_port, of_wrap(&po, 1));
     r.world.run_for(SimDuration::from_millis(1));
     let got = &r.world.device::<CollectorDevice>(r.host).unwrap().frames;
     assert_eq!(got.len(), 1);
     assert_eq!(got[0].1, frame);
     assert_eq!(
-        r.world.device::<GuardSwitch>(r.guard).unwrap().stats().released,
+        r.world
+            .device::<GuardSwitch>(r.guard)
+            .unwrap()
+            .stats()
+            .released,
         1
     );
 }
@@ -152,14 +160,23 @@ fn empty_action_flow_mod_blocks_the_port() {
         actions: vec![],
         buffer_id: None,
     };
-    r.world.inject_frame(r.guard, r.compare_port, of_wrap(&block, 1));
+    r.world
+        .inject_frame(r.guard, r.compare_port, of_wrap(&block, 1));
     r.world.run_for(SimDuration::from_millis(1));
     // Traffic on port 2 is now dropped; port 1 still flows.
     r.world.inject_frame(r.guard, PortId(2), data_frame(4));
     r.world.inject_frame(r.guard, PortId(1), data_frame(4));
     r.world.run_for(SimDuration::from_millis(1));
-    let to_compare = r.world.device::<CollectorDevice>(r.compare).unwrap().frames.len();
-    assert_eq!(to_compare, 1, "only the unblocked port's copy reaches the compare");
+    let to_compare = r
+        .world
+        .device::<CollectorDevice>(r.compare)
+        .unwrap()
+        .frames
+        .len();
+    assert_eq!(
+        to_compare, 1,
+        "only the unblocked port's copy reaches the compare"
+    );
     let stats = r.world.device::<GuardSwitch>(r.guard).unwrap().stats();
     assert_eq!(stats.blocked_drops, 1);
     // The block expires with its hard timeout (1 s).
@@ -167,7 +184,11 @@ fn empty_action_flow_mod_blocks_the_port() {
     r.world.inject_frame(r.guard, PortId(2), data_frame(5));
     r.world.run_for(SimDuration::from_millis(1));
     assert_eq!(
-        r.world.device::<CollectorDevice>(r.compare).unwrap().frames.len(),
+        r.world
+            .device::<CollectorDevice>(r.compare)
+            .unwrap()
+            .frames
+            .len(),
         2,
         "port 2 must flow again after the block expires"
     );
@@ -180,9 +201,18 @@ fn garbage_on_the_compare_link_is_ignored() {
         .inject_frame(r.guard, r.compare_port, Bytes::from_static(b"not openflow"));
     r.world.inject_frame(r.guard, r.compare_port, data_frame(1));
     r.world.run_for(SimDuration::from_millis(1));
-    assert!(r.world.device::<CollectorDevice>(r.host).unwrap().frames.is_empty());
+    assert!(r
+        .world
+        .device::<CollectorDevice>(r.host)
+        .unwrap()
+        .frames
+        .is_empty());
     assert_eq!(
-        r.world.device::<GuardSwitch>(r.guard).unwrap().stats().invalid_msgs,
+        r.world
+            .device::<GuardSwitch>(r.guard)
+            .unwrap()
+            .stats()
+            .invalid_msgs,
         2
     );
 }
@@ -197,9 +227,21 @@ fn sampling_passes_primary_copies_directly() {
     }
     r.world.run_for(SimDuration::from_millis(1));
     // Every primary copy reaches the host regardless of sampling.
-    assert_eq!(r.world.device::<CollectorDevice>(r.host).unwrap().frames.len(), 40);
+    assert_eq!(
+        r.world
+            .device::<CollectorDevice>(r.host)
+            .unwrap()
+            .frames
+            .len(),
+        40
+    );
     // Roughly a quarter is additionally sampled to the compare.
-    let sampled = r.world.device::<CollectorDevice>(r.compare).unwrap().frames.len();
+    let sampled = r
+        .world
+        .device::<CollectorDevice>(r.compare)
+        .unwrap()
+        .frames
+        .len();
     assert!((3..=20).contains(&sampled), "sampled {sampled} of 40");
 }
 
@@ -225,7 +267,13 @@ fn sampling_is_consistent_across_replicas() {
     }
     assert!(!counts.is_empty(), "something must be sampled at p = 0.5");
     for (pkt, n) in counts {
-        assert_eq!(n, 3, "packet {:?} sampled on {} of 3 replicas", &pkt[..4], n);
+        assert_eq!(
+            n,
+            3,
+            "packet {:?} sampled on {} of 3 replicas",
+            &pkt[..4],
+            n
+        );
     }
     // Non-primary copies that were not sampled are counted as skipped.
     let stats = r.world.device::<GuardSwitch>(r.guard).unwrap().stats();

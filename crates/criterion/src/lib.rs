@@ -1,0 +1,247 @@
+//! Offline API-compatible subset of the `criterion` crate.
+//!
+//! The NetCo reproduction builds in environments without crates.io access,
+//! so the workspace vendors the benchmarking surface it uses: `Criterion`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark warms up briefly, then runs timed
+//! batches until `CRITERION_MEASURE_MS` (default 300 ms) of samples are
+//! collected, and reports the median, minimum and maximum ns/iteration on
+//! stdout. No statistical regression analysis and no HTML reports — just
+//! stable comparable numbers for the perf trajectory in `BENCH_*.json`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are sized (accepted for API compatibility; the shim
+/// always times per-batch with setup excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// One benchmark's collected samples, in ns/iter.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark id.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest observed nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest observed nanoseconds per iteration.
+    pub max_ns: f64,
+}
+
+/// The benchmark harness.
+pub struct Criterion {
+    measure: Duration,
+    warmup: Duration,
+    samples: Vec<Sample>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let ms = std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        Criterion {
+            measure: Duration::from_millis(ms),
+            warmup: Duration::from_millis(ms / 6 + 10),
+            samples: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with real criterion; no CLI parsing.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Sets the measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measure = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measure: self.measure,
+            warmup: self.warmup,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        let mut ns = b.samples_ns;
+        if ns.is_empty() {
+            ns.push(0.0);
+        }
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let sample = Sample {
+            name: id.to_string(),
+            median_ns: ns[ns.len() / 2],
+            min_ns: ns[0],
+            max_ns: ns[ns.len() - 1],
+        };
+        println!(
+            "{:<40} time: [{} {} {}]",
+            sample.name,
+            fmt_ns(sample.min_ns),
+            fmt_ns(sample.median_ns),
+            fmt_ns(sample.max_ns),
+        );
+        self.samples.push(sample);
+        self
+    }
+
+    /// All samples collected so far (used by `perf_report`).
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} us", ns / 1e3)
+    } else {
+        format!("{ns:.4} ns")
+    }
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    measure: Duration,
+    warmup: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and discover a batch size that runs ~1ms per sample.
+        let mut batch: u64 = 1;
+        let warmup_end = Instant::now() + self.warmup;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            if Instant::now() >= warmup_end {
+                break;
+            }
+            if dt < Duration::from_millis(1) {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        let deadline = Instant::now() + self.measure;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let dt = t0.elapsed();
+            self.samples_ns.push(dt.as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm up.
+        let warmup_end = Instant::now() + self.warmup;
+        while Instant::now() < warmup_end {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.measure;
+        while Instant::now() < deadline {
+            // Batch a handful of prepared inputs per timed region so cheap
+            // routines are not swamped by timer overhead.
+            const BATCH: usize = 16;
+            let inputs: Vec<I> = (0..BATCH).map(|_| setup()).collect();
+            let t0 = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = t0.elapsed();
+            self.samples_ns.push(dt.as_nanos() as f64 / BATCH as f64);
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+        assert_eq!(c.samples().len(), 1);
+        assert!(c.samples()[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        std::env::set_var("CRITERION_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        assert!(!c.samples().is_empty());
+    }
+}

@@ -112,10 +112,7 @@ mod tests {
         let m = CpuModel::per_packet(SimDuration::from_micros(10))
             .with_per_byte(SimDuration::from_nanos(2));
         let mut rng = SimRng::new(0);
-        assert_eq!(
-            m.service_time(1000, &mut rng),
-            SimDuration::from_micros(12)
-        );
+        assert_eq!(m.service_time(1000, &mut rng), SimDuration::from_micros(12));
     }
 
     #[test]

@@ -260,8 +260,9 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert_eq!(t.lookup(Ipv4Addr::new(1, 2, 3, 4)), Some(MacAddr::local(5)));
         assert_eq!(t.lookup(Ipv4Addr::new(4, 3, 2, 1)), None);
-        let t2: NeighborTable =
-            [(Ipv4Addr::new(9, 9, 9, 9), MacAddr::local(9))].into_iter().collect();
+        let t2: NeighborTable = [(Ipv4Addr::new(9, 9, 9, 9), MacAddr::local(9))]
+            .into_iter()
+            .collect();
         assert_eq!(t2.len(), 1);
     }
 }

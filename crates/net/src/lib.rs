@@ -52,5 +52,5 @@ pub use id::{LinkId, MacAddr, NodeId, PortId};
 pub use link::LinkSpec;
 pub use trace::{TraceEntry, TraceRecorder};
 pub use world::{
-    ControlChannelSpec, DropReason, NodeCounters, PortCounters, TapEvent, TapDirection, World,
+    ControlChannelSpec, DropReason, NodeCounters, PortCounters, TapDirection, TapEvent, World,
 };

@@ -5,8 +5,7 @@ use std::net::Ipv4Addr;
 use bytes::Bytes;
 
 use super::{
-    EtherType, EthernetFrame, IcmpMessage, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram,
-    VlanTag,
+    EtherType, EthernetFrame, IcmpMessage, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram, VlanTag,
 };
 use crate::MacAddr;
 
@@ -47,7 +46,12 @@ pub fn tcp_frame(
     segment: &TcpSegment,
     vlan: Option<VlanTag>,
 ) -> Bytes {
-    let ip = Ipv4Packet::new(src_ip, dst_ip, IpProtocol::Tcp, segment.encode(src_ip, dst_ip));
+    let ip = Ipv4Packet::new(
+        src_ip,
+        dst_ip,
+        IpProtocol::Tcp,
+        segment.encode(src_ip, dst_ip),
+    );
     EthernetFrame {
         dst: dst_mac,
         src: src_mac,

@@ -196,7 +196,9 @@ pub fn peek_dst(data: &[u8]) -> Result<MacAddr, CodecError> {
             got: data.len(),
         });
     }
-    Ok(MacAddr([data[0], data[1], data[2], data[3], data[4], data[5]]))
+    Ok(MacAddr([
+        data[0], data[1], data[2], data[3], data[4], data[5],
+    ]))
 }
 
 /// Reads just the source MAC from wire bytes without a full decode.
@@ -212,7 +214,9 @@ pub fn peek_src(data: &[u8]) -> Result<MacAddr, CodecError> {
             got: data.len(),
         });
     }
-    Ok(MacAddr([data[6], data[7], data[8], data[9], data[10], data[11]]))
+    Ok(MacAddr([
+        data[6], data[7], data[8], data[9], data[10], data[11],
+    ]))
 }
 
 #[cfg(test)]

@@ -160,7 +160,9 @@ mod tests {
 
     #[test]
     fn corruption_detected() {
-        let mut wire = IcmpMessage::echo_request(1, 1, Bytes::from_static(b"x")).encode().to_vec();
+        let mut wire = IcmpMessage::echo_request(1, 1, Bytes::from_static(b"x"))
+            .encode()
+            .to_vec();
         wire[6] ^= 1;
         assert_eq!(
             IcmpMessage::decode(&wire),

@@ -176,7 +176,12 @@ impl Ipv4Packet {
     }
 
     /// The 12-byte pseudo-header used by UDP/TCP checksums.
-    pub(crate) fn pseudo_header(src: Ipv4Addr, dst: Ipv4Addr, protocol: IpProtocol, l4_len: usize) -> [u8; 12] {
+    pub(crate) fn pseudo_header(
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        protocol: IpProtocol,
+        l4_len: usize,
+    ) -> [u8; 12] {
         let mut ph = [0u8; 12];
         ph[0..4].copy_from_slice(&src.octets());
         ph[4..8].copy_from_slice(&dst.octets());
@@ -230,7 +235,10 @@ mod tests {
     fn rejects_options() {
         let mut wire = sample().encode().to_vec();
         wire[0] = 0x46; // IHL 6 => options present
-        assert_eq!(Ipv4Packet::decode(&wire), Err(CodecError::BadHeaderLength(6)));
+        assert_eq!(
+            Ipv4Packet::decode(&wire),
+            Err(CodecError::BadHeaderLength(6))
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@
 //! [`builder`] assembles common frame types in one call.
 
 mod arp;
-mod checksum;
 pub mod builder;
+mod checksum;
 mod ethernet;
 mod icmp;
 mod ipv4;
@@ -84,7 +84,10 @@ impl fmt::Display for CodecError {
                 layer,
                 claimed,
                 available,
-            } => write!(f, "{layer}: length field {claimed} vs {available} available"),
+            } => write!(
+                f,
+                "{layer}: length field {claimed} vs {available} available"
+            ),
             CodecError::Unsupported { layer, value } => {
                 write!(f, "{layer}: unsupported protocol {value:#06x}")
             }

@@ -129,8 +129,12 @@ fn summarize(wire: &[u8]) -> String {
         return "malformed".to_string();
     };
     let Some(ip) = view.ipv4() else {
-        return format!("{} > {} ethertype {:#06x}", view.eth.src, view.eth.dst,
-            view.eth.ethertype.to_u16());
+        return format!(
+            "{} > {} ethertype {:#06x}",
+            view.eth.src,
+            view.eth.dst,
+            view.eth.ethertype.to_u16()
+        );
     };
     match view.l4() {
         Ok(Some(L4View::Udp(u))) => format!(
@@ -159,8 +163,9 @@ fn summarize(wire: &[u8]) -> String {
             m.icmp_type.to_u8(),
             m.sequence
         ),
-        Ok(Some(L4View::Opaque)) => format!("IP {} > {} proto={}", ip.src, ip.dst,
-            ip.protocol.to_u8()),
+        Ok(Some(L4View::Opaque)) => {
+            format!("IP {} > {} proto={}", ip.src, ip.dst, ip.protocol.to_u8())
+        }
         Ok(None) => "non-IP".to_string(),
         Err(_) => format!("IP {} > {} (corrupt L4)", ip.src, ip.dst),
     }

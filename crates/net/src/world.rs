@@ -103,13 +103,38 @@ type Tap = Box<dyn FnMut(&TapEvent<'_>)>;
 
 #[derive(Debug)]
 enum Event {
-    Start { node: NodeId },
-    LinkTxDone { link: u32, dir: u8, len: usize },
-    FrameArrival { node: NodeId, port: PortId, frame: Bytes },
-    FrameProcessed { node: NodeId, port: PortId, frame: Bytes },
-    ControlArrival { to: NodeId, from: NodeId, msg: Bytes },
-    ControlProcessed { to: NodeId, from: NodeId, msg: Bytes },
-    Timer { node: NodeId, token: u64 },
+    Start {
+        node: NodeId,
+    },
+    LinkTxDone {
+        link: u32,
+        dir: u8,
+        len: usize,
+    },
+    FrameArrival {
+        node: NodeId,
+        port: PortId,
+        frame: Bytes,
+    },
+    FrameProcessed {
+        node: NodeId,
+        port: PortId,
+        frame: Bytes,
+    },
+    ControlArrival {
+        to: NodeId,
+        from: NodeId,
+        msg: Bytes,
+    },
+    ControlProcessed {
+        to: NodeId,
+        from: NodeId,
+        msg: Bytes,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
     Pin,
 }
 
@@ -175,7 +200,8 @@ impl WorldCore {
     }
 
     pub(crate) fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
-        self.sched.schedule_after(delay, Event::Timer { node, token });
+        self.sched
+            .schedule_after(delay, Event::Timer { node, token });
     }
 
     pub(crate) fn ports_of(&self, node: NodeId) -> Vec<PortId> {
@@ -311,6 +337,7 @@ impl WorldCore {
 pub struct World {
     core: WorldCore,
     devices: Vec<Option<Box<dyn Device>>>,
+    events_processed: u64,
 }
 
 impl World {
@@ -331,6 +358,7 @@ impl World {
                 substrate_drops: HashMap::new(),
             },
             devices: Vec::new(),
+            events_processed: 0,
         }
     }
 
@@ -451,11 +479,7 @@ impl World {
 
     /// Total frames dropped by the substrate, per reason.
     pub fn substrate_drops(&self, reason: DropReason) -> u64 {
-        self.core
-            .substrate_drops
-            .get(&reason)
-            .copied()
-            .unwrap_or(0)
+        self.core.substrate_drops.get(&reason).copied().unwrap_or(0)
     }
 
     /// Immutable access to a device, downcast to its concrete type.
@@ -504,11 +528,18 @@ impl World {
         self.devices.len()
     }
 
+    /// Total events executed by [`step`](World::step) since creation.
+    /// Throughput metric for the perf harness (events / wall-second).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Runs a single event. Returns `false` when no events remain.
     pub fn step(&mut self) -> bool {
         let Some((_, event)) = self.core.sched.pop() else {
             return false;
         };
+        self.events_processed += 1;
         self.dispatch(event);
         true
     }
@@ -623,7 +654,13 @@ mod tests {
         let mut w = World::new(1);
         let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
         let b = w.add_node("b", CollectorDevice::default(), CpuModel::default());
-        w.connect(a, 0.into(), b, 0.into(), LinkSpec::new(1_000_000_000, SimDuration::from_micros(5)));
+        w.connect(
+            a,
+            0.into(),
+            b,
+            0.into(),
+            LinkSpec::new(1_000_000_000, SimDuration::from_micros(5)),
+        );
         w.inject_frame(a, 0.into(), frame(1000));
         w.run_for(SimDuration::from_millis(1));
         let col = w.device::<CollectorDevice>(b).unwrap();
@@ -695,7 +732,13 @@ mod tests {
         let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
         let b = w.add_node("b", CollectorDevice::default(), CpuModel::default());
         // 1 Mbit/s: 1000-byte frame = 8 ms serialization.
-        w.connect(a, 0.into(), b, 0.into(), LinkSpec::new(1_000_000, SimDuration::ZERO));
+        w.connect(
+            a,
+            0.into(),
+            b,
+            0.into(),
+            LinkSpec::new(1_000_000, SimDuration::ZERO),
+        );
         w.inject_frame(a, 0.into(), frame(1000));
         w.inject_frame(a, 0.into(), frame(1000));
         w.run_for(SimDuration::from_secs(1));

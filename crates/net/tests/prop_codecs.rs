@@ -3,8 +3,8 @@
 
 use bytes::Bytes;
 use netco_net::packet::{
-    EtherType, EthernetFrame, FrameView, IcmpMessage, IcmpType, IpProtocol, Ipv4Packet,
-    TcpFlags, TcpSegment, UdpDatagram, VlanTag,
+    EtherType, EthernetFrame, FrameView, IcmpMessage, IcmpType, IpProtocol, Ipv4Packet, TcpFlags,
+    TcpSegment, UdpDatagram, VlanTag,
 };
 use netco_net::MacAddr;
 use proptest::prelude::*;

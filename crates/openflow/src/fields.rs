@@ -107,16 +107,14 @@ impl PacketFields {
         f.nw_dst = Ipv4Addr::new(ip[16], ip[17], ip[18], ip[19]);
         let l4 = &ip[ihl..];
         match f.nw_proto {
-            6 | 17
-                if l4.len() >= 4 => {
-                    f.tp_src = u16::from_be_bytes([l4[0], l4[1]]);
-                    f.tp_dst = u16::from_be_bytes([l4[2], l4[3]]);
-                }
-            1
-                if l4.len() >= 2 => {
-                    f.tp_src = l4[0] as u16; // ICMP type
-                    f.tp_dst = l4[1] as u16; // ICMP code
-                }
+            6 | 17 if l4.len() >= 4 => {
+                f.tp_src = u16::from_be_bytes([l4[0], l4[1]]);
+                f.tp_dst = u16::from_be_bytes([l4[2], l4[3]]);
+            }
+            1 if l4.len() >= 2 => {
+                f.tp_src = l4[0] as u16; // ICMP type
+                f.tp_dst = l4[1] as u16; // ICMP code
+            }
             _ => {}
         }
         f

@@ -278,7 +278,10 @@ mod tests {
     fn specificity_counts() {
         assert_eq!(FlowMatch::any().specificity(), 0);
         assert_eq!(
-            FlowMatch::any().with_in_port(1).with_tp_src(2).specificity(),
+            FlowMatch::any()
+                .with_in_port(1)
+                .with_tp_src(2)
+                .specificity(),
             2
         );
     }
@@ -286,7 +289,9 @@ mod tests {
     #[test]
     fn display_is_readable() {
         assert_eq!(FlowMatch::any().to_string(), "*");
-        let m = FlowMatch::any().with_in_port(3).with_dl_dst(MacAddr::local(1));
+        let m = FlowMatch::any()
+            .with_in_port(3)
+            .with_dl_dst(MacAddr::local(1));
         assert_eq!(m.to_string(), "in_port=3,dl_dst=02:00:00:00:00:01");
     }
 }

@@ -1,5 +1,7 @@
 //! Flow entries and the priority-ordered flow table.
 
+use std::rc::Rc;
+
 use netco_sim::{SimDuration, SimTime};
 
 use crate::action::Action;
@@ -22,7 +24,8 @@ pub enum FlowRemovedReason {
 pub struct FlowEntry {
     priority: u16,
     matcher: FlowMatch,
-    actions: Vec<Action>,
+    // Shared so the per-packet fast path clones a handle, not the list.
+    actions: Rc<[Action]>,
     cookie: u64,
     idle_timeout: Option<SimDuration>,
     hard_timeout: Option<SimDuration>,
@@ -39,7 +42,7 @@ impl FlowEntry {
         FlowEntry {
             priority,
             matcher,
-            actions,
+            actions: actions.into(),
             cookie: 0,
             idle_timeout: None,
             hard_timeout: None,
@@ -93,6 +96,12 @@ impl FlowEntry {
     /// The action list of this entry.
     pub fn actions(&self) -> &[Action] {
         &self.actions
+    }
+
+    /// A shared handle to the action list — what the switch data path
+    /// clones per matched packet (reference-count bump, not a list copy).
+    pub fn shared_actions(&self) -> Rc<[Action]> {
+        Rc::clone(&self.actions)
     }
 
     /// The controller cookie.
@@ -204,12 +213,18 @@ impl FlowTable {
     /// `matcher`; returns how many were updated. When none match, OF 1.0
     /// says modify behaves like add — the caller decides that (the switch
     /// does).
-    pub fn modify(&mut self, matcher: &FlowMatch, priority: Option<u16>, actions: &[Action]) -> usize {
+    pub fn modify(
+        &mut self,
+        matcher: &FlowMatch,
+        priority: Option<u16>,
+        actions: &[Action],
+    ) -> usize {
         let mut n = 0;
+        let mut shared: Option<Rc<[Action]>> = None;
         for e in &mut self.entries {
             let strict_ok = priority.is_none_or(|p| e.priority == p);
             if strict_ok && matcher.subsumes(&e.matcher) {
-                e.actions = actions.to_vec();
+                e.actions = shared.get_or_insert_with(|| actions.into()).clone();
                 n += 1;
             }
         }
@@ -219,7 +234,12 @@ impl FlowTable {
     /// Deletes entries. With `strict`, only the exact (match, priority)
     /// entry is removed; otherwise every entry subsumed by `matcher` goes.
     /// Returns the removed entries.
-    pub fn delete(&mut self, matcher: &FlowMatch, priority: Option<u16>, strict: bool) -> Vec<FlowEntry> {
+    pub fn delete(
+        &mut self,
+        matcher: &FlowMatch,
+        priority: Option<u16>,
+        strict: bool,
+    ) -> Vec<FlowEntry> {
         let mut removed = Vec::new();
         self.entries.retain(|e| {
             let hit = if strict {
@@ -326,9 +346,13 @@ mod tests {
             FlowEntry::new(100, FlowMatch::any().with_dl_dst(MacAddr::local(5)), out(2)),
             SimTime::ZERO,
         );
-        let e = t.lookup(&fields_to(MacAddr::local(5)), SimTime::ZERO).unwrap();
+        let e = t
+            .lookup(&fields_to(MacAddr::local(5)), SimTime::ZERO)
+            .unwrap();
         assert_eq!(e.actions(), out(2).as_slice());
-        let e = t.lookup(&fields_to(MacAddr::local(6)), SimTime::ZERO).unwrap();
+        let e = t
+            .lookup(&fields_to(MacAddr::local(6)), SimTime::ZERO)
+            .unwrap();
         assert_eq!(e.actions(), out(1).as_slice());
     }
 
@@ -355,7 +379,10 @@ mod tests {
             in_port: 3,
             ..PacketFields::default()
         };
-        assert_eq!(t.lookup(&f, SimTime::ZERO).unwrap().actions(), out(2).as_slice());
+        assert_eq!(
+            t.lookup(&f, SimTime::ZERO).unwrap().actions(),
+            out(2).as_slice()
+        );
     }
 
     #[test]
@@ -456,6 +483,9 @@ mod tests {
             in_port: 1,
             ..PacketFields::default()
         };
-        assert_eq!(t.lookup(&f, SimTime::ZERO).unwrap().actions(), out(9).as_slice());
+        assert_eq!(
+            t.lookup(&f, SimTime::ZERO).unwrap().actions(),
+            out(9).as_slice()
+        );
     }
 }

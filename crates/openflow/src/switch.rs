@@ -252,7 +252,9 @@ impl OfSwitch {
             }
             FlowModCommand::Delete | FlowModCommand::DeleteStrict => {
                 let strict = matches!(command, FlowModCommand::DeleteStrict);
-                let removed = self.table.delete(&matcher, strict.then_some(priority), strict);
+                let removed = self
+                    .table
+                    .delete(&matcher, strict.then_some(priority), strict);
                 for entry in removed {
                     if entry.notify_when_removed() {
                         let msg = OfMessage::FlowRemoved {
@@ -312,7 +314,10 @@ impl Device for OfSwitch {
         let fields = PacketFields::sniff(&frame, port.number());
         match self.table.lookup_counted(&fields, frame.len(), now) {
             Some(entry) => {
-                let actions = entry.actions().to_vec();
+                // Clone the Rc handle, not the list: `lookup_counted`
+                // borrows the table mutably, so the actions must outlive
+                // the borrow, but a per-packet Vec copy is not the way.
+                let actions = entry.shared_actions();
                 let outputs = apply_actions(&frame, &actions);
                 if outputs.is_empty() {
                     self.stats.dropped += 1;
@@ -389,7 +394,9 @@ impl Device for OfSwitch {
                     .map(|p| PortDesc {
                         port_no: p.number(),
                         hw_addr: netco_net::MacAddr::local(
-                            0xff00_0000 | ((self.config.datapath_id as u32) << 8) | p.number() as u32,
+                            0xff00_0000
+                                | ((self.config.datapath_id as u32) << 8)
+                                | p.number() as u32,
                         ),
                         name: format!("eth{}", p.number()),
                     })
@@ -539,11 +546,13 @@ mod tests {
     #[test]
     fn forwards_on_match() {
         let (mut w, a, b, c, sw) = three_port_world();
-        w.device_mut::<OfSwitch>(sw).unwrap().preinstall(FlowEntry::new(
-            10,
-            FlowMatch::any().with_dl_dst(MacAddr::local(20)),
-            vec![Action::Output(OfPort::Physical(2))],
-        ));
+        w.device_mut::<OfSwitch>(sw)
+            .unwrap()
+            .preinstall(FlowEntry::new(
+                10,
+                FlowMatch::any().with_dl_dst(MacAddr::local(20)),
+                vec![Action::Output(OfPort::Physical(2))],
+            ));
         w.inject_frame(a, PortId(0), Bytes::new()); // wake a (no-op)
         w.inject_frame(sw, PortId(1), frame_to(MacAddr::local(20)));
         w.run_for(SimDuration::from_millis(1));
@@ -568,11 +577,13 @@ mod tests {
     #[test]
     fn flood_excludes_ingress() {
         let (mut w, a, b, c, sw) = three_port_world();
-        w.device_mut::<OfSwitch>(sw).unwrap().preinstall(FlowEntry::new(
-            1,
-            FlowMatch::any(),
-            vec![Action::Output(OfPort::Flood)],
-        ));
+        w.device_mut::<OfSwitch>(sw)
+            .unwrap()
+            .preinstall(FlowEntry::new(
+                1,
+                FlowMatch::any(),
+                vec![Action::Output(OfPort::Flood)],
+            ));
         w.inject_frame(sw, PortId(1), frame_to(MacAddr::BROADCAST));
         w.run_for(SimDuration::from_millis(1));
         assert_eq!(w.device::<CollectorDevice>(a).unwrap().frames.len(), 0);
@@ -583,11 +594,13 @@ mod tests {
     #[test]
     fn all_includes_ingress() {
         let (mut w, a, b, c, sw) = three_port_world();
-        w.device_mut::<OfSwitch>(sw).unwrap().preinstall(FlowEntry::new(
-            1,
-            FlowMatch::any(),
-            vec![Action::Output(OfPort::All)],
-        ));
+        w.device_mut::<OfSwitch>(sw)
+            .unwrap()
+            .preinstall(FlowEntry::new(
+                1,
+                FlowMatch::any(),
+                vec![Action::Output(OfPort::All)],
+            ));
         w.inject_frame(sw, PortId(1), frame_to(MacAddr::BROADCAST));
         w.run_for(SimDuration::from_millis(1));
         assert_eq!(w.device::<CollectorDevice>(a).unwrap().frames.len(), 1);
@@ -616,14 +629,13 @@ mod tests {
     #[test]
     fn rewrite_actions_apply_in_datapath() {
         let (mut w, _a, b, _c, sw) = three_port_world();
-        w.device_mut::<OfSwitch>(sw).unwrap().preinstall(FlowEntry::new(
-            1,
-            FlowMatch::any(),
-            vec![
-                Action::SetVlanVid(42),
-                Action::Output(OfPort::Physical(2)),
-            ],
-        ));
+        w.device_mut::<OfSwitch>(sw)
+            .unwrap()
+            .preinstall(FlowEntry::new(
+                1,
+                FlowMatch::any(),
+                vec![Action::SetVlanVid(42), Action::Output(OfPort::Physical(2))],
+            ));
         w.inject_frame(sw, PortId(1), frame_to(MacAddr::local(20)));
         w.run_for(SimDuration::from_millis(1));
         let frames = &w.device::<CollectorDevice>(b).unwrap().frames;
@@ -769,8 +781,12 @@ mod tests {
             FlowMatch::any().with_dl_dst(MacAddr::local(20)),
             vec![Action::Output(OfPort::Physical(2))],
         );
-        let (mut w, _a, _b, sw, ctl) =
-            controlled_world(vec![fm, OfMessage::FlowStatsRequest { matcher: FlowMatch::any() }]);
+        let (mut w, _a, _b, sw, ctl) = controlled_world(vec![
+            fm,
+            OfMessage::FlowStatsRequest {
+                matcher: FlowMatch::any(),
+            },
+        ]);
         w.run_for(SimDuration::from_millis(5));
         let frame = frame_to(MacAddr::local(20));
         let bytes = frame.len() as u64;

@@ -761,7 +761,10 @@ mod tests {
         round_trip(OfMessage::PacketOut {
             buffer_id: None,
             in_port: OfPort::None.to_u16(),
-            actions: vec![Action::Output(OfPort::Physical(2)), Action::Output(OfPort::Flood)],
+            actions: vec![
+                Action::Output(OfPort::Physical(2)),
+                Action::Output(OfPort::Flood),
+            ],
             data: Bytes::from_static(b"payload"),
         });
         round_trip(OfMessage::PacketOut {

@@ -89,7 +89,14 @@ fn arb_fields() -> impl Strategy<Value = PacketFields> {
         any::<u16>(),
         any::<u8>(),
         any::<u16>(),
-        (arb_ip(), arb_ip(), any::<u8>(), any::<u8>(), any::<u16>(), any::<u16>()),
+        (
+            arb_ip(),
+            arb_ip(),
+            any::<u8>(),
+            any::<u8>(),
+            any::<u16>(),
+            any::<u16>(),
+        ),
     )
         .prop_map(|(in_port, dl_src, dl_dst, dl_vlan, pcp, dl_type, rest)| {
             let (nw_src, nw_dst, nw_tos, nw_proto, tp_src, tp_dst) = rest;

@@ -39,5 +39,7 @@ mod time;
 
 pub use log::{EventLog, Timestamped};
 pub use rng::SimRng;
+#[doc(hidden)]
+pub use scheduler::baseline;
 pub use scheduler::Scheduler;
 pub use time::{SimDuration, SimTime};

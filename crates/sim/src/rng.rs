@@ -54,10 +54,7 @@ impl SimRng {
 
     /// Returns the next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -228,7 +225,9 @@ mod tests {
         let mut rng = SimRng::new(11);
         let mean = SimDuration::from_micros(50);
         let n = 50_000u64;
-        let total: u128 = (0..n).map(|_| rng.exponential(mean).as_nanos() as u128).sum();
+        let total: u128 = (0..n)
+            .map(|_| rng.exponential(mean).as_nanos() as u128)
+            .sum();
         let avg = (total / n as u128) as f64;
         assert!((avg - 50_000.0).abs() < 1_500.0, "avg {avg}ns");
     }

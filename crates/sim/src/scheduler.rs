@@ -1,12 +1,42 @@
 //! The time-ordered event queue at the heart of the engine.
+//!
+//! [`Scheduler`] is a hierarchical timing wheel: four levels of 256 slots
+//! each, covering 2^32 ns (~4.29 s) of look-ahead at 1 ns resolution, with a
+//! binary-heap overflow for events beyond the horizon. Near-term events —
+//! the overwhelming majority in a packet-level simulation, where delays are
+//! link latencies and queue drains — insert and pop in O(1) instead of the
+//! O(log n) of the previous single [`BinaryHeap`] implementation, which is
+//! kept as [`baseline::HeapScheduler`] and doubles as the oracle for the
+//! differential property test below.
+//!
+//! Determinism is the binding constraint: the wheel must pop the *exact*
+//! same `(time, seq)` sequence as the heap, because downstream experiment
+//! traces are compared bit-for-bit across runs. The wheel guarantees this
+//! structurally:
+//!
+//! * slot lists only ever append, and every append source (direct insert,
+//!   cascade from a higher level, heap drain) visits entries in `(at, seq)`
+//!   order, so entries with equal `at` always sit in a slot in `seq` order;
+//! * cascades are stable drains, preserving that relative order;
+//! * level-0 slots hold exactly one 1 ns tick, so draining a slot yields a
+//!   FIFO run of simultaneous events.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::{SimDuration, SimTime};
 
+/// Bits of slot index per wheel level.
+const SLOT_BITS: u32 = 8;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Number of wheel levels; events further than `2^(SLOT_BITS*(LEVELS+1))` ns
+/// past the wheel base overflow into the heap.
+const LEVELS: usize = 4;
+
 struct Entry<E> {
-    at: SimTime,
+    /// Absolute due time in nanoseconds.
+    at: u64,
     seq: u64,
     event: E,
 }
@@ -34,6 +64,57 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// One wheel level: 256 append-only slot lists plus an occupancy bitmap and
+/// a per-slot minimum due time (`u64::MAX` when empty) so that
+/// [`Scheduler::peek_time`] never has to walk or mutate slot contents.
+struct Level<E> {
+    slots: Vec<Vec<Entry<E>>>,
+    occupied: [u64; SLOTS / 64],
+    mins: Vec<u64>,
+}
+
+impl<E> Level<E> {
+    fn new() -> Self {
+        Level {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; SLOTS / 64],
+            mins: vec![u64::MAX; SLOTS],
+        }
+    }
+
+    fn push(&mut self, slot: usize, entry: Entry<E>) {
+        self.occupied[slot >> 6] |= 1u64 << (slot & 63);
+        if entry.at < self.mins[slot] {
+            self.mins[slot] = entry.at;
+        }
+        self.slots[slot].push(entry);
+    }
+
+    /// Index of the first occupied slot, scanning the bitmap words.
+    fn first_occupied(&self) -> Option<usize> {
+        for (i, word) in self.occupied.iter().enumerate() {
+            if *word != 0 {
+                return Some(i * 64 + word.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Marks `slot` empty after its contents have been drained elsewhere.
+    fn mark_drained(&mut self, slot: usize) {
+        self.occupied[slot >> 6] &= !(1u64 << (slot & 63));
+        self.mins[slot] = u64::MAX;
+    }
+
+    fn reset(&mut self) {
+        for slot in &mut self.slots {
+            slot.clear();
+        }
+        self.occupied = [0; SLOTS / 64];
+        self.mins.iter_mut().for_each(|m| *m = u64::MAX);
+    }
+}
+
 /// A deterministic discrete-event scheduler.
 ///
 /// Events are arbitrary payloads of type `E`. Popping advances the
@@ -52,36 +133,53 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(s.pop().unwrap().1, 2);
 /// assert!(s.pop().is_none());
 /// ```
-#[derive(Default)]
 pub struct Scheduler<E> {
-    now: SimTime,
+    now: u64,
     seq: u64,
+    len: usize,
+    /// Start of the window the wheel levels are aligned to. Invariants:
+    /// 256-aligned (or 0), `wheel_base <= now`, and no pending event is due
+    /// before `wheel_base`.
+    wheel_base: u64,
+    levels: [Level<E>; LEVELS],
+    /// Overflow for events beyond the wheel horizon (same `2^32` ns block
+    /// as `wheel_base`). Drained back into the wheels block by block.
     heap: BinaryHeap<Entry<E>>,
+    /// The single 1 ns tick currently being drained; every entry here has
+    /// `at == ready tick`, and once the first one has popped, `at == now`.
+    ready: VecDeque<Entry<E>>,
+    /// Reusable cascade buffer so window advances do not reallocate.
+    scratch: Vec<Entry<E>>,
 }
 
 impl<E> Scheduler<E> {
     /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         Scheduler {
-            now: SimTime::ZERO,
+            now: 0,
             seq: 0,
+            len: 0,
+            wheel_base: 0,
+            levels: std::array::from_fn(|_| Level::new()),
             heap: BinaryHeap::new(),
+            ready: VecDeque::new(),
+            scratch: Vec::new(),
         }
     }
 
     /// The current simulated time (timestamp of the last popped event).
     pub fn now(&self) -> SimTime {
-        self.now
+        SimTime::from_nanos(self.now)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Schedules `event` at the absolute instant `at`.
@@ -90,49 +188,249 @@ impl<E> Scheduler<E> {
     /// backwards); this is deliberate so that zero-latency feedback loops
     /// cannot rewind time.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        let at = at.max(self.now);
+        let at = at.as_nanos().max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        self.len += 1;
+        let entry = Entry { at, seq, event };
+        if at == self.now && !self.ready.is_empty() {
+            // The tick being drained is `now`; same-instant arrivals join
+            // its tail, which is FIFO because `seq` only grows.
+            self.ready.push_back(entry);
+        } else {
+            self.insert(entry);
+        }
     }
 
     /// Schedules `event` after `delay` from the current time.
     pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
-        self.schedule_at(self.now.saturating_add(delay), event);
+        self.schedule_at(SimTime::from_nanos(self.now).saturating_add(delay), event);
     }
 
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
+        if self.ready.is_empty() && !self.refill_ready() {
+            return None;
+        }
+        let entry = self.ready.pop_front().expect("refill_ready staged a tick");
         debug_assert!(entry.at >= self.now, "time went backwards");
         self.now = entry.at;
-        Some((entry.at, entry.event))
+        self.len -= 1;
+        Some((SimTime::from_nanos(entry.at), entry.event))
     }
 
     /// Timestamp of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        if let Some(front) = self.ready.front() {
+            return Some(SimTime::from_nanos(front.at));
+        }
+        // Wheel levels cover strictly increasing, disjoint time windows, so
+        // the first occupied slot of the lowest occupied level holds the
+        // minimum; the heap only holds events past every wheel window.
+        for level in &self.levels {
+            if let Some(slot) = level.first_occupied() {
+                return Some(SimTime::from_nanos(level.mins[slot]));
+            }
+        }
+        self.heap.peek().map(|e| SimTime::from_nanos(e.at))
     }
 
     /// Discards all pending events (the clock is unaffected).
     pub fn clear(&mut self) {
+        for level in &mut self.levels {
+            level.reset();
+        }
         self.heap.clear();
+        self.ready.clear();
+        self.len = 0;
+        // Keep the base 256-aligned and <= now for future inserts.
+        self.wheel_base = self.now & !(SLOTS as u64 - 1);
+    }
+
+    /// Routes an entry to the shallowest level whose window contains it:
+    /// level `l` iff `at` and `wheel_base` agree on all bits above the
+    /// level's slot index, else the overflow heap.
+    fn insert(&mut self, entry: Entry<E>) {
+        debug_assert!(entry.at >= self.wheel_base);
+        let at = entry.at;
+        for (lvl, level) in self.levels.iter_mut().enumerate() {
+            let window = SLOT_BITS * (lvl as u32 + 1);
+            if (at >> window) == (self.wheel_base >> window) {
+                let slot = ((at >> (SLOT_BITS * lvl as u32)) & (SLOTS as u64 - 1)) as usize;
+                level.push(slot, entry);
+                return;
+            }
+        }
+        self.heap.push(entry);
+    }
+
+    /// Stages the next due tick into `ready`, cascading higher wheel levels
+    /// down and pulling the heap's next block in as needed. Returns `false`
+    /// when nothing is pending.
+    fn refill_ready(&mut self) -> bool {
+        debug_assert!(self.ready.is_empty());
+        loop {
+            // Fast path: a level-0 slot is a single tick; drain it whole.
+            if let Some(slot) = self.levels[0].first_occupied() {
+                let level = &mut self.levels[0];
+                self.ready.extend(level.slots[slot].drain(..));
+                level.mark_drained(slot);
+                return true;
+            }
+            // Cascade the first occupied slot of the shallowest non-empty
+            // level: advance the base to that slot's absolute window start
+            // and redistribute its entries one level down (stable, so
+            // equal-time entries keep their seq order).
+            if let Some((lvl, slot)) =
+                (1..LEVELS).find_map(|l| self.levels[l].first_occupied().map(|s| (l, s)))
+            {
+                let shift = SLOT_BITS * lvl as u32;
+                let above = shift + SLOT_BITS;
+                let slot_start = (self.wheel_base >> above << above) | ((slot as u64) << shift);
+                debug_assert!(slot_start > self.wheel_base);
+                self.wheel_base = slot_start;
+                let mut moved = std::mem::take(&mut self.scratch);
+                #[allow(clippy::extend_with_drain)] // `append` pessimizes codegen here
+                moved.extend(self.levels[lvl].slots[slot].drain(..));
+                self.levels[lvl].mark_drained(slot);
+                for entry in moved.drain(..) {
+                    self.insert(entry);
+                }
+                self.scratch = moved;
+                continue;
+            }
+            // Wheels empty: pull the heap's next 2^32 ns block into the
+            // wheels. Heap pops are (at, seq)-ordered, so equal-time
+            // entries land in their slot in seq order.
+            if let Some(head) = self.heap.peek() {
+                let block_base = self.wheel_base.max(head.at & !(SLOTS as u64 - 1));
+                self.wheel_base = block_base;
+                let horizon = SLOT_BITS * LEVELS as u32;
+                while self
+                    .heap
+                    .peek()
+                    .is_some_and(|e| (e.at >> horizon) == (block_base >> horizon))
+                {
+                    let entry = self.heap.pop().expect("peeked entry");
+                    self.insert(entry);
+                }
+                continue;
+            }
+            return false;
+        }
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler::new()
     }
 }
 
 impl<E> std::fmt::Debug for Scheduler<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
-            .field("now", &self.now)
-            .field("pending", &self.heap.len())
+            .field("now", &SimTime::from_nanos(self.now))
+            .field("pending", &self.len)
             .finish()
+    }
+}
+
+/// The previous `BinaryHeap`-backed scheduler, kept verbatim as the
+/// reference implementation: the differential property test asserts the
+/// timing wheel pops the identical `(time, seq)` sequence, and
+/// `benches/micro.rs` measures the wheel against it.
+#[doc(hidden)]
+pub mod baseline {
+    use std::collections::BinaryHeap;
+
+    use crate::{SimDuration, SimTime};
+
+    use super::Entry;
+
+    /// Single-`BinaryHeap` scheduler with the same API and semantics as
+    /// [`Scheduler`](super::Scheduler).
+    pub struct HeapScheduler<E> {
+        now: SimTime,
+        seq: u64,
+        heap: BinaryHeap<Entry<E>>,
+    }
+
+    impl<E> Default for HeapScheduler<E> {
+        fn default() -> Self {
+            HeapScheduler::new()
+        }
+    }
+
+    impl<E> HeapScheduler<E> {
+        /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
+        pub fn new() -> Self {
+            HeapScheduler {
+                now: SimTime::ZERO,
+                seq: 0,
+                heap: BinaryHeap::new(),
+            }
+        }
+
+        /// The current simulated time.
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+
+        /// Number of pending events.
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+
+        /// `true` when no events are pending.
+        pub fn is_empty(&self) -> bool {
+            self.heap.is_empty()
+        }
+
+        /// Schedules `event` at the absolute instant `at` (past clamps to now).
+        pub fn schedule_at(&mut self, at: SimTime, event: E) {
+            let at = at.max(self.now);
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Entry {
+                at: at.as_nanos(),
+                seq,
+                event,
+            });
+        }
+
+        /// Schedules `event` after `delay` from the current time.
+        pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+            self.schedule_at(self.now.saturating_add(delay), event);
+        }
+
+        /// Removes and returns the earliest event, advancing the clock.
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            let entry = self.heap.pop()?;
+            let at = SimTime::from_nanos(entry.at);
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            Some((at, entry.event))
+        }
+
+        /// Timestamp of the earliest pending event, if any.
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|e| SimTime::from_nanos(e.at))
+        }
+
+        /// Discards all pending events (the clock is unaffected).
+        pub fn clear(&mut self) {
+            self.heap.clear();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::baseline::HeapScheduler;
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn pops_in_time_order() {
@@ -222,5 +520,106 @@ mod tests {
             out
         }
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn far_future_events_cross_the_wheel_horizon() {
+        // Beyond 2^32 ns the wheel overflows into the heap; order must
+        // still be exact when those events are drained back in.
+        let mut s: Scheduler<u32> = Scheduler::new();
+        let horizon = 1u64 << 32;
+        s.schedule_at(SimTime::from_nanos(3 * horizon + 5), 3);
+        s.schedule_at(SimTime::from_nanos(horizon + 7), 1);
+        s.schedule_at(SimTime::from_nanos(12), 0);
+        s.schedule_at(SimTime::from_nanos(2 * horizon), 2);
+        s.schedule_at(SimTime::from_nanos(2 * horizon), 20); // same tick, FIFO
+        let order: Vec<_> = std::iter::from_fn(|| s.pop())
+            .map(|(t, e)| (t.as_nanos(), e))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (12, 0),
+                (horizon + 7, 1),
+                (2 * horizon, 2),
+                (2 * horizon, 20),
+                (3 * horizon + 5, 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_instant_schedule_while_draining_tick() {
+        // Scheduling at `now` while other events at `now` are still queued
+        // must deliver FIFO at the same timestamp.
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(10), 1);
+        s.schedule_at(SimTime::from_nanos(10), 2);
+        let (t, e) = s.pop().unwrap();
+        assert_eq!((t.as_nanos(), e), (10, 1));
+        s.schedule_at(SimTime::from_nanos(10), 3); // joins the live tick
+        s.schedule_at(SimTime::from_nanos(5), 4); // past: clamps to the live tick
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(10)));
+        let rest: Vec<_> = std::iter::from_fn(|| s.pop())
+            .map(|(t, e)| (t.as_nanos(), e))
+            .collect();
+        assert_eq!(rest, vec![(10, 2), (10, 3), (10, 4)]);
+    }
+
+    /// Replays one generated op sequence against both schedulers, asserting
+    /// identical `(time, seq)` pops, peeks and lengths at every step.
+    fn assert_wheel_matches_heap(ops: &[(u8, u64)]) {
+        let mut wheel: Scheduler<u32> = Scheduler::new();
+        let mut heap: HeapScheduler<u32> = HeapScheduler::new();
+        let mut next_id = 0u32;
+        for &(kind, bits) in ops {
+            match kind {
+                0 => {
+                    // Absolute schedule, possibly in the past (clamps).
+                    let at = SimTime::from_nanos(bits & 0xFFFF_FFFF);
+                    wheel.schedule_at(at, next_id);
+                    heap.schedule_at(at, next_id);
+                    next_id += 1;
+                }
+                1..=5 => {
+                    // Relative delays spanning every wheel level plus the
+                    // heap overflow (kind 5 reaches past 2^32 ns).
+                    let mask = match kind {
+                        1 => 0,
+                        2 => 0x3FF,
+                        3 => 0xF_FFFF,
+                        4 => 0x3FFF_FFFF,
+                        _ => 0x7_FFFF_FFFF,
+                    };
+                    let d = SimDuration::from_nanos(bits & mask);
+                    wheel.schedule_after(d, next_id);
+                    heap.schedule_after(d, next_id);
+                    next_id += 1;
+                }
+                _ => {
+                    assert_eq!(wheel.pop(), heap.pop());
+                    assert_eq!(wheel.now(), heap.now());
+                }
+            }
+            assert_eq!(wheel.peek_time(), heap.peek_time());
+            assert_eq!(wheel.len(), heap.len());
+        }
+        // Drain both to the end: the full remaining sequence must agree.
+        loop {
+            let (w, h) = (wheel.pop(), heap.pop());
+            assert_eq!(w, h);
+            if w.is_none() {
+                break;
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn differential_wheel_equals_heap(
+            ops in proptest::collection::vec((0u8..9, proptest::arbitrary::any::<u64>()), 0..300)
+        ) {
+            assert_wheel_matches_heap(&ops);
+        }
     }
 }

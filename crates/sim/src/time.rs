@@ -105,7 +105,10 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((secs * 1e9).round() as u64)
     }
 
@@ -140,7 +143,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or NaN.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor >= 0.0 && !factor.is_nan(), "factor must be non-negative");
+        assert!(
+            factor >= 0.0 && !factor.is_nan(),
+            "factor must be non-negative"
+        );
         let v = self.0 as f64 * factor;
         if v >= u64::MAX as f64 {
             SimDuration::MAX
@@ -270,7 +276,10 @@ mod tests {
         let t0 = SimTime::ZERO;
         let t1 = t0 + SimDuration::from_millis(5);
         assert_eq!(t1 - t0, SimDuration::from_millis(5));
-        assert_eq!(t1 - SimDuration::from_millis(2), t0 + SimDuration::from_millis(3));
+        assert_eq!(
+            t1 - SimDuration::from_millis(2),
+            t0 + SimDuration::from_millis(3)
+        );
     }
 
     #[test]
@@ -319,8 +328,10 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            [1u64, 2, 3].iter().map(|&n| SimDuration::from_nanos(n)).sum();
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&n| SimDuration::from_nanos(n))
+            .sum();
         assert_eq!(total, SimDuration::from_nanos(6));
     }
 }

@@ -17,9 +17,7 @@
 //!    again; the mirrored copies reach the compare but never leave it.
 
 use netco_adversary::{ActivationWindow, Behavior, MaliciousSwitch};
-use netco_core::{
-    Compare, CompareConfig, GuardConfig, GuardSwitch, LaneInfo, SecurityEvent,
-};
+use netco_core::{Compare, CompareConfig, GuardConfig, GuardSwitch, LaneInfo, SecurityEvent};
 use netco_net::{HostNic, MacAddr, NeighborTable, PortId, World};
 use netco_openflow::{Action, FlowEntry, FlowMatch, OfPort, OfSwitch, SwitchConfig};
 use netco_sim::SimDuration;
@@ -69,8 +67,7 @@ pub struct Outcome {
 }
 
 fn nic(mac: MacAddr, ip: Ipv4Addr) -> HostNic {
-    let table: NeighborTable =
-        [(VM1_IP, VM1_MAC), (FW1_IP, FW1_MAC)].into_iter().collect();
+    let table: NeighborTable = [(VM1_IP, VM1_MAC), (FW1_IP, FW1_MAC)].into_iter().collect();
     let mut n = HostNic::new(mac, ip);
     n.neighbors = table;
     n
@@ -309,7 +306,10 @@ mod tests {
         assert_eq!(out.requests_sent, 10);
         assert_eq!(out.requests_at_fw1, 20);
         assert_eq!(out.responses_at_vm1, 0);
-        assert!(out.frames_at_core >= 10, "mirrored copies traverse the core");
+        assert!(
+            out.frames_at_core >= 10,
+            "mirrored copies traverse the core"
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl FatTreeIndex {
     ///
     /// Panics when `k` is odd or below 2.
     pub fn new(k: usize) -> FatTreeIndex {
-        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and ≥ 2");
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity must be even and ≥ 2"
+        );
         FatTreeIndex { k }
     }
 
@@ -343,7 +346,13 @@ impl FatTree {
                         profile.guard_cpu.clone(),
                     );
                     world.connect(id, PortId(0), guard, vg_cfg.host_port, profile.link.clone());
-                    world.connect(guard, vg_cfg.uplink_port, edge_id, edge_port, profile.link.clone());
+                    world.connect(
+                        guard,
+                        vg_cfg.uplink_port,
+                        edge_id,
+                        edge_port,
+                        profile.link.clone(),
+                    );
                     guards.insert(h, guard);
                 }
                 None => {
@@ -450,10 +459,7 @@ mod tests {
                 3,
                 |h, nic| {
                     if h == 0 {
-                        Box::new(Pinger::new(
-                            nic,
-                            PingConfig::new(dst_ip).with_count(5),
-                        ))
+                        Box::new(Pinger::new(nic, PingConfig::new(dst_ip).with_count(5)))
                     } else {
                         Box::new(IcmpEchoResponder::new(nic))
                     }

@@ -26,6 +26,6 @@ pub mod virtual_netco;
 pub use fattree::{ExtraRules, FatTree, FatTreeIndex, FatTreeOptions, InertHost, SwitchRole};
 pub use profile::Profile;
 pub use reference::{
-    AdversarySpec, BuiltScenario, Direction, Scenario, ScenarioKind, TcpRunOutcome,
-    UdpRunOutcome, H1_IP, H1_MAC, H2_IP, H2_MAC,
+    AdversarySpec, BuiltScenario, Direction, Scenario, ScenarioKind, TcpRunOutcome, UdpRunOutcome,
+    H1_IP, H1_MAC, H2_IP, H2_MAC,
 };

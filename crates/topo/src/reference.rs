@@ -6,8 +6,8 @@ use std::net::Ipv4Addr;
 use netco_adversary::MaliciousSwitch;
 use netco_controller::Controller;
 use netco_core::{
-    Compare, CompareAttachment, CompareConfig, CompareStrategy, GuardConfig, GuardSwitch,
-    LaneInfo, PoxCompareApp,
+    Compare, CompareAttachment, CompareConfig, CompareStrategy, GuardConfig, GuardSwitch, LaneInfo,
+    PoxCompareApp,
 };
 use netco_net::{Device, HostNic, LinkId, MacAddr, NeighborTable, NodeId, PortId, World};
 use netco_openflow::{Action, FlowEntry, FlowMatch, OfPort, OfSwitch, SwitchConfig};
@@ -217,7 +217,10 @@ impl Scenario {
     ///
     /// Panics when `probability` is outside `[0, 1]`.
     pub fn with_sampling(mut self, probability: f64) -> Scenario {
-        assert!((0.0..=1.0).contains(&probability), "probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability out of range"
+        );
         self.sampling = Some(probability);
         self
     }
@@ -232,7 +235,10 @@ impl Scenario {
             self.kind != ScenarioKind::Linespeed,
             "Linespeed has no replicas to corrupt"
         );
-        assert!(spec.replica_index < self.kind.k(), "replica index out of range");
+        assert!(
+            spec.replica_index < self.kind.k(),
+            "replica index out of range"
+        );
         self.adversary = Some(spec);
         self
     }
@@ -285,8 +291,7 @@ impl Scenario {
     }
 
     fn nics() -> (HostNic, HostNic) {
-        let table: NeighborTable =
-            [(H1_IP, H1_MAC), (H2_IP, H2_MAC)].into_iter().collect();
+        let table: NeighborTable = [(H1_IP, H1_MAC), (H2_IP, H2_MAC)].into_iter().collect();
         let mut n1 = HostNic::new(H1_MAC, H1_IP);
         n1.neighbors = table.clone();
         let mut n2 = HostNic::new(H2_MAC, H2_IP);
@@ -584,11 +589,8 @@ impl Scenario {
         match dir {
             Direction::H1ToH2 => {
                 cfg.dst_ip = H2_IP;
-                let mut built = self.build_world(
-                    trial,
-                    |nic| Pinger::new(nic, cfg),
-                    IcmpEchoResponder::new,
-                );
+                let mut built =
+                    self.build_world(trial, |nic| Pinger::new(nic, cfg), IcmpEchoResponder::new);
                 built.world.run_for(total);
                 built
                     .world
@@ -598,9 +600,8 @@ impl Scenario {
             }
             Direction::H2ToH1 => {
                 cfg.dst_ip = H1_IP;
-                let mut built = self.build_world(trial, IcmpEchoResponder::new, |nic| {
-                    Pinger::new(nic, cfg)
-                });
+                let mut built =
+                    self.build_world(trial, IcmpEchoResponder::new, |nic| Pinger::new(nic, cfg));
                 built.world.run_for(total);
                 built
                     .world

@@ -105,9 +105,7 @@ fn steering_rules(
 
 /// Computes the tunnels and assembles the [`FatTreeOptions`] (steering
 /// rules, guards, optional adversary) for the experiment.
-fn plan(
-    cfg: &VirtualNetcoConfig,
-) -> (FatTreeIndex, Vec<Vec<usize>>, bool, FatTreeOptions) {
+fn plan(cfg: &VirtualNetcoConfig) -> (FatTreeIndex, Vec<Vec<usize>>, bool, FatTreeOptions) {
     let index = FatTreeIndex::new(cfg.fattree_k);
     let (spod, sedge, _) = index.host_position(cfg.src_host);
     let (dpod, dedge, _) = index.host_position(cfg.dst_host);
@@ -125,7 +123,14 @@ fn plan(
     let dst_mac = index.host_mac(cfg.dst_host);
     let mut options = FatTreeOptions::default();
     for (path, &tag) in paths.iter().zip(&tags) {
-        steering_rules(&index, path, tag, dst_mac, cfg.dst_host, &mut options.extra_rules);
+        steering_rules(
+            &index,
+            path,
+            tag,
+            dst_mac,
+            cfg.dst_host,
+            &mut options.extra_rules,
+        );
         let reversed: Vec<usize> = path.iter().rev().copied().collect();
         steering_rules(
             &index,
@@ -183,11 +188,14 @@ pub fn run_ping(cfg: &VirtualNetcoConfig, profile: &Profile, seed: u64) -> Virtu
         },
         &options,
     );
-    ft.world.run_for(
-        SimDuration::from_millis(10) * cfg.requests as u64 + SimDuration::from_secs(1),
-    );
+    ft.world
+        .run_for(SimDuration::from_millis(10) * cfg.requests as u64 + SimDuration::from_secs(1));
 
-    let ping = ft.world.device::<Pinger>(ft.hosts[src_host]).unwrap().report();
+    let ping = ft
+        .world
+        .device::<Pinger>(ft.hosts[src_host])
+        .unwrap()
+        .report();
     let dst_guard = ft.guards[&dst_host];
     let g = ft.world.device::<VirtualGuard>(dst_guard).unwrap();
     VirtualNetcoOutcome {

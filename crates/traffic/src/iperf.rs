@@ -91,10 +91,7 @@ mod tests {
         // loss = rate / 1e9 * 1% → crosses 0.5% at 500 Mbit/s.
         let f = |rate: u64| (rate as f64 / 1e9) * 0.01;
         let best = max_rate_search(&cfg(), f).unwrap();
-        assert!(
-            (498_000_000..=501_000_000).contains(&best),
-            "found {best}"
-        );
+        assert!((498_000_000..=501_000_000).contains(&best), "found {best}");
     }
 
     #[test]

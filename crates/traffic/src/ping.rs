@@ -140,7 +140,8 @@ impl Device for Pinger {
         let Ok(Some(l4)) = view.l4() else { return };
         match &l4 {
             L4View::Icmp(msg)
-                if msg.icmp_type == IcmpType::EchoReply && msg.identifier == self.cfg.identifier =>
+                if msg.icmp_type == IcmpType::EchoReply
+                    && msg.identifier == self.cfg.identifier =>
             {
                 if let Some((_, sent_at)) = parse_measurement(&msg.payload) {
                     // Count each sequence once; late duplicates ignored.
@@ -238,8 +239,9 @@ mod tests {
     const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
     fn nics() -> (HostNic, HostNic) {
-        let table: NeighborTable =
-            [(A, MacAddr::local(1)), (B, MacAddr::local(2))].into_iter().collect();
+        let table: NeighborTable = [(A, MacAddr::local(1)), (B, MacAddr::local(2))]
+            .into_iter()
+            .collect();
         let mut a = HostNic::new(MacAddr::local(1), A);
         a.neighbors = table.clone();
         let mut b = HostNic::new(MacAddr::local(2), B);
@@ -256,11 +258,7 @@ mod tests {
             Pinger::new(na, PingConfig::new(B)),
             CpuModel::default(),
         );
-        let responder = w.add_node(
-            "responder",
-            IcmpEchoResponder::new(nb),
-            CpuModel::default(),
-        );
+        let responder = w.add_node("responder", IcmpEchoResponder::new(nb), CpuModel::default());
         w.connect(
             pinger,
             PortId(0),
@@ -275,7 +273,10 @@ mod tests {
         // RTT = 2 × (50 µs prop + serialization); must be ≥ 100 µs.
         assert!(report.min.unwrap() >= SimDuration::from_micros(100));
         assert!(report.avg.unwrap() < SimDuration::from_millis(1));
-        assert_eq!(w.device::<IcmpEchoResponder>(responder).unwrap().replied(), 50);
+        assert_eq!(
+            w.device::<IcmpEchoResponder>(responder).unwrap().replied(),
+            50
+        );
     }
 
     #[test]
@@ -308,8 +309,7 @@ mod tests {
             Pinger::new(na, PingConfig::new(B).with_count(1)),
             CpuModel::default(),
         );
-        let responder =
-            w.add_node("responder", IcmpEchoResponder::new(nb), CpuModel::default());
+        let responder = w.add_node("responder", IcmpEchoResponder::new(nb), CpuModel::default());
         w.connect(pinger, PortId(0), responder, PortId(0), LinkSpec::ideal());
         w.run_for(SimDuration::from_secs(1));
         assert_eq!(w.device::<Pinger>(pinger).unwrap().report().received, 1);

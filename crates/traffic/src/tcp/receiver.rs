@@ -222,9 +222,9 @@ impl Device for TcpReceiver {
                     // Rate-limit pure-duplicate ACKs to one per 100 µs; a
                     // genuinely retransmitted segment (≥ RTO later) still
                     // gets its ACK.
-                    let due = self.last_dup_ack.is_none_or(|t| {
-                        now.saturating_since(t) >= SimDuration::from_micros(100)
-                    });
+                    let due = self
+                        .last_dup_ack
+                        .is_none_or(|t| now.saturating_since(t) >= SimDuration::from_micros(100));
                     if due {
                         self.last_dup_ack = Some(now);
                         self.unacked_segments = 0;

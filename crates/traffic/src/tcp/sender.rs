@@ -329,8 +329,9 @@ mod tests {
     const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
     fn nics() -> (HostNic, HostNic) {
-        let table: NeighborTable =
-            [(A, MacAddr::local(1)), (B, MacAddr::local(2))].into_iter().collect();
+        let table: NeighborTable = [(A, MacAddr::local(1)), (B, MacAddr::local(2))]
+            .into_iter()
+            .collect();
         let mut a = HostNic::new(MacAddr::local(1), A);
         a.neighbors = table.clone();
         let mut b = HostNic::new(MacAddr::local(2), B);
@@ -377,8 +378,8 @@ mod tests {
     fn bottleneck_limits_throughput_without_collapse() {
         // 10 Mbit/s bottleneck with a reasonable queue: Reno sawtooth
         // should still average well above half the bottleneck.
-        let link = LinkSpec::new(10_000_000, SimDuration::from_micros(500))
-            .with_queue_bytes(32 * 1024);
+        let link =
+            LinkSpec::new(10_000_000, SimDuration::from_micros(500)).with_queue_bytes(32 * 1024);
         let (report, stats) = run_transfer(link, 5);
         let mbps = report.goodput_bps / 1e6;
         assert!(mbps > 6.0 && mbps <= 10.5, "goodput {mbps:.2} Mbit/s");
@@ -387,8 +388,8 @@ mod tests {
 
     #[test]
     fn loss_triggers_fast_retransmit_not_timeout() {
-        let link = LinkSpec::new(50_000_000, SimDuration::from_micros(100))
-            .with_queue_bytes(20_000);
+        let link =
+            LinkSpec::new(50_000_000, SimDuration::from_micros(100)).with_queue_bytes(20_000);
         let (_, stats) = run_transfer(link, 3);
         assert!(stats.fast_retransmits >= 1);
         // Fast retransmit should keep the pipeline alive; timeouts rare.
@@ -402,10 +403,8 @@ mod tests {
 
     #[test]
     fn everything_delivered_is_in_order_and_exact() {
-        let (report, stats) = run_transfer(
-            LinkSpec::new(100_000_000, SimDuration::from_micros(100)),
-            1,
-        );
+        let (report, stats) =
+            run_transfer(LinkSpec::new(100_000_000, SimDuration::from_micros(100)), 1);
         // The receiver's delivered byte count equals the sender's acked
         // count (no FIN, so compare directly).
         assert_eq!(report.bytes_delivered, stats.bytes_acked);

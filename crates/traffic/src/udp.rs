@@ -267,12 +267,9 @@ mod tests {
     const DST_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
     fn nics() -> (HostNic, HostNic) {
-        let table: NeighborTable = [
-            (SRC_IP, MacAddr::local(1)),
-            (DST_IP, MacAddr::local(2)),
-        ]
-        .into_iter()
-        .collect();
+        let table: NeighborTable = [(SRC_IP, MacAddr::local(1)), (DST_IP, MacAddr::local(2))]
+            .into_iter()
+            .collect();
         let mut a = HostNic::new(MacAddr::local(1), SRC_IP);
         a.neighbors = table.clone();
         let mut b = HostNic::new(MacAddr::local(2), DST_IP);
@@ -325,7 +322,11 @@ mod tests {
             .with_rate(5_000_000)
             .with_duration(SimDuration::from_secs(1));
         let (report, _) = run(cfg, LinkSpec::default(), 2);
-        assert!(report.jitter < SimDuration::from_micros(5), "{}", report.jitter);
+        assert!(
+            report.jitter < SimDuration::from_micros(5),
+            "{}",
+            report.jitter
+        );
     }
 
     #[test]

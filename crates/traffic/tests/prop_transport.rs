@@ -10,8 +10,9 @@ const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
 const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
 
 fn nics() -> (HostNic, HostNic) {
-    let table: NeighborTable =
-        [(A, MacAddr::local(1)), (B, MacAddr::local(2))].into_iter().collect();
+    let table: NeighborTable = [(A, MacAddr::local(1)), (B, MacAddr::local(2))]
+        .into_iter()
+        .collect();
     let mut a = HostNic::new(MacAddr::local(1), A);
     a.neighbors = table.clone();
     let mut b = HostNic::new(MacAddr::local(2), B);

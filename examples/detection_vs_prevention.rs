@@ -33,7 +33,10 @@ fn main() {
         );
         built.world.run_for(SimDuration::from_secs(2));
         let report = built.world.device::<Pinger>(built.h1).unwrap().report();
-        let compare = built.world.device::<Compare>(built.compare.unwrap()).unwrap();
+        let compare = built
+            .world
+            .device::<Compare>(built.compare.unwrap())
+            .unwrap();
         let mismatches = compare
             .events()
             .iter()
@@ -41,7 +44,10 @@ fn main() {
             .count();
         let suppressed = compare.stats().expired_unreleased;
         println!("{kind} (k = {}):", kind.k());
-        println!("  ping cycles ........ {}/{}", report.received, report.transmitted);
+        println!(
+            "  ping cycles ........ {}/{}",
+            report.received, report.transmitted
+        );
         println!("  copies suppressed .. {suppressed}");
         println!("  mismatch alarms .... {mismatches}");
         match kind {
@@ -56,7 +62,11 @@ fn main() {
 
     // The cost side: detection needs one replica fewer and is faster.
     println!("TCP goodput (800 ms transfer):");
-    for kind in [ScenarioKind::Linespeed, ScenarioKind::Detect2, ScenarioKind::Central3] {
+    for kind in [
+        ScenarioKind::Linespeed,
+        ScenarioKind::Detect2,
+        ScenarioKind::Central3,
+    ] {
         let out = Scenario::build(kind, Profile::default(), 3).run_tcp(
             Direction::H1ToH2,
             SimDuration::from_millis(800),

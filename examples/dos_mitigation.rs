@@ -53,9 +53,15 @@ fn main() {
     built.world.run_for(SimDuration::from_secs(2));
 
     let report = built.world.device::<Pinger>(built.h1).unwrap().report();
-    let compare = built.world.device::<Compare>(built.compare.unwrap()).unwrap();
+    let compare = built
+        .world
+        .device::<Compare>(built.compare.unwrap())
+        .unwrap();
     let guard_s2 = built.world.device::<GuardSwitch>(built.guards[1]).unwrap();
-    println!("legitimate pings : {}/{} completed", report.received, report.transmitted);
+    println!(
+        "legitimate pings : {}/{} completed",
+        report.received, report.transmitted
+    );
     println!(
         "adversary        : {} crafted frames injected",
         built
@@ -75,14 +81,17 @@ fn main() {
         match &e.record {
             SecurityEvent::DosSuspected { .. }
             | SecurityEvent::PortBlocked { .. }
-            | SecurityEvent::ReplicaSuspectedDown { .. } => {
-                if shown < 6 {
-                    println!("  [{}] {}", e.at, e.record);
-                    shown += 1;
-                }
+            | SecurityEvent::ReplicaSuspectedDown { .. }
+                if shown < 6 =>
+            {
+                println!("  [{}] {}", e.at, e.record);
+                shown += 1;
             }
             _ => {}
         }
     }
-    assert_eq!(report.received, report.transmitted, "flood must not harm service");
+    assert_eq!(
+        report.received, report.transmitted,
+        "flood must not harm service"
+    );
 }

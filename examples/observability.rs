@@ -58,7 +58,10 @@ fn main() {
     built.world.run_for(SimDuration::from_secs(1));
 
     let report = built.world.device::<Pinger>(built.h1).unwrap().report();
-    println!("pings          : {}/{}", report.received, report.transmitted);
+    println!(
+        "pings          : {}/{}",
+        report.received, report.transmitted
+    );
 
     println!("\nflow counters (honest replicas):");
     let monitor = built

@@ -15,8 +15,12 @@ fn main() {
     //    compare on a trusted host h3.
     let scenario = Scenario::build(ScenarioKind::Central3, Profile::default(), 42);
     let report = scenario.run_ping(PingConfig::default().with_count(20));
-    println!("clean combiner : {}/{} pings, avg RTT {}", report.received, report.transmitted,
-        report.avg.map(|d| d.to_string()).unwrap_or_default());
+    println!(
+        "clean combiner : {}/{} pings, avg RTT {}",
+        report.received,
+        report.transmitted,
+        report.avg.map(|d| d.to_string()).unwrap_or_default()
+    );
 
     // 2. Now replica r2 corrupts every packet it forwards.
     let attacked = scenario.clone_with_corrupting_replica();
@@ -27,7 +31,10 @@ fn main() {
     );
     built.world.run_for(SimDuration::from_secs(2));
     let report = built.world.device::<Pinger>(built.h1).unwrap().report();
-    let compare = built.world.device::<Compare>(built.compare.unwrap()).unwrap();
+    let compare = built
+        .world
+        .device::<Compare>(built.compare.unwrap())
+        .unwrap();
     println!(
         "corrupting r2  : {}/{} pings still complete (2-of-3 majority)",
         report.received, report.transmitted

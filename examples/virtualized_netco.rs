@@ -13,7 +13,10 @@ fn main() {
     let profile = Profile::default();
 
     let clean = run_ping(&VirtualNetcoConfig::default(), &profile, 11);
-    println!("vendor-diverse tunnels (diverse = {}):", clean.vendor_diverse);
+    println!(
+        "vendor-diverse tunnels (diverse = {}):",
+        clean.vendor_diverse
+    );
     for (i, path) in clean.tunnel_paths.iter().enumerate() {
         println!("  tunnel {i}: {}", path.join(" -> "));
     }

@@ -113,7 +113,11 @@ fn prevent_survives_rerouting_replica() {
     assert_eq!(out.delivered, PINGS);
     // Misrouted copies arrive at the wrong guard as single-source packets
     // and must be suppressed with alarms.
-    assert!(out.suppressed >= PINGS as u64, "suppressed {}", out.suppressed);
+    assert!(
+        out.suppressed >= PINGS as u64,
+        "suppressed {}",
+        out.suppressed
+    );
     assert!(out.single_path_alarms >= PINGS as usize);
 }
 
@@ -130,7 +134,10 @@ fn prevent_suppresses_mirrored_copies() {
         }),
     );
     assert_eq!(out.delivered, PINGS);
-    assert!(out.suppressed > 0, "mirrored copies must die in the compare");
+    assert!(
+        out.suppressed > 0,
+        "mirrored copies must die in the compare"
+    );
     assert!(out.single_path_alarms > 0);
 }
 
@@ -157,7 +164,10 @@ fn prevent_survives_vlan_rewriting() {
             vid: 666,
         }),
     );
-    assert_eq!(out.delivered, PINGS, "isolation-breaking retags must not win");
+    assert_eq!(
+        out.delivered, PINGS,
+        "isolation-breaking retags must not win"
+    );
     assert!(out.suppressed >= PINGS as u64);
 }
 
@@ -240,7 +250,10 @@ fn detect_delivers_through_dropping_replica_with_alarms() {
             select: FlowMatch::any(),
         }),
     );
-    assert_eq!(out.delivered, PINGS, "detection still forwards first copies");
+    assert_eq!(
+        out.delivered, PINGS,
+        "detection still forwards first copies"
+    );
     assert!(
         out.mismatch_alarms >= PINGS as usize,
         "missing copies must raise mismatch alarms (got {})",

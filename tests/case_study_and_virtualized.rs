@@ -13,7 +13,10 @@ fn case_study_phase1_baseline() {
     assert_eq!(out.requests_sent, 10);
     assert_eq!(out.requests_at_fw1, 10);
     assert_eq!(out.responses_at_vm1, 10, "10 perfect cycles");
-    assert_eq!(out.frames_at_core, 0, "no packet strays from the benign path");
+    assert_eq!(
+        out.frames_at_core, 0,
+        "no packet strays from the benign path"
+    );
 }
 
 #[test]

@@ -30,9 +30,15 @@ fn rtt_ordering_matches_fig7() {
     let central3 = avg_rtt_us(ScenarioKind::Central3);
     let central5 = avg_rtt_us(ScenarioKind::Central5);
     let pox3 = avg_rtt_us(ScenarioKind::Pox3);
-    assert!(linespeed < central3, "linespeed {linespeed} vs central3 {central3}");
+    assert!(
+        linespeed < central3,
+        "linespeed {linespeed} vs central3 {central3}"
+    );
     assert!(dup3 < central3, "dup3 {dup3} vs central3 {central3}");
-    assert!(central3 < central5, "central3 {central3} vs central5 {central5}");
+    assert!(
+        central3 < central5,
+        "central3 {central3} vs central5 {central5}"
+    );
     assert!(
         pox3 > 3.0 * central3,
         "POX ({pox3}) must be far above Central3 ({central3})"
@@ -67,11 +73,8 @@ fn udp_duplicates_only_in_dup_scenarios() {
 fn tcp_combining_beats_duplication() {
     // The paper's headline TCP observation (§V.B): "removing the duplicate
     // packets (by combining) increases the throughput visibly".
-    let dup = scenario(ScenarioKind::Dup3).run_tcp(
-        Direction::H1ToH2,
-        SimDuration::from_millis(800),
-        0,
-    );
+    let dup =
+        scenario(ScenarioKind::Dup3).run_tcp(Direction::H1ToH2, SimDuration::from_millis(800), 0);
     let central = scenario(ScenarioKind::Central3).run_tcp(
         Direction::H1ToH2,
         SimDuration::from_millis(800),
@@ -115,8 +118,20 @@ fn udp_duplication_beats_combining_slightly() {
 #[test]
 fn both_directions_behave_symmetrically() {
     let s = scenario(ScenarioKind::Central3);
-    let fwd = s.run_udp(Direction::H1ToH2, 50_000_000, 1470, SimDuration::from_millis(300), 0);
-    let rev = s.run_udp(Direction::H2ToH1, 50_000_000, 1470, SimDuration::from_millis(300), 0);
+    let fwd = s.run_udp(
+        Direction::H1ToH2,
+        50_000_000,
+        1470,
+        SimDuration::from_millis(300),
+        0,
+    );
+    let rev = s.run_udp(
+        Direction::H2ToH1,
+        50_000_000,
+        1470,
+        SimDuration::from_millis(300),
+        0,
+    );
     assert!(fwd.report.received > 0 && rev.report.received > 0);
     let ratio = fwd.report.goodput_bps / rev.report.goodput_bps;
     assert!((0.8..1.25).contains(&ratio), "direction asymmetry {ratio}");
@@ -141,7 +156,10 @@ fn compare_cache_stays_bounded_under_load() {
         |nic| netco_traffic::UdpSink::new(nic, 5001),
     );
     built.world.run_for(SimDuration::from_secs(1));
-    let compare = built.world.device::<Compare>(built.compare.unwrap()).unwrap();
+    let compare = built
+        .world
+        .device::<Compare>(built.compare.unwrap())
+        .unwrap();
     let cap = s.profile().compare_cache_entries;
     for lane in [0u16, 1] {
         assert!(

@@ -18,8 +18,8 @@ fn inband_combiner_delivers_and_dedups() {
 
 #[test]
 fn inband_combiner_stops_a_corrupting_replica() {
-    let scenario = Scenario::build(ScenarioKind::Inband3, Profile::functional(), 8)
-        .with_adversary(AdversarySpec {
+    let scenario = Scenario::build(ScenarioKind::Inband3, Profile::functional(), 8).with_adversary(
+        AdversarySpec {
             replica_index: 2,
             behaviors: vec![(
                 Behavior::CorruptPayload {
@@ -28,7 +28,8 @@ fn inband_combiner_stops_a_corrupting_replica() {
                 },
                 ActivationWindow::always(),
             )],
-        });
+        },
+    );
     let mut built = scenario.build_world(
         0,
         |nic| Pinger::new(nic, PingConfig::new(H2_IP).with_count(10)),

@@ -24,7 +24,9 @@ fn nic(mac: MacAddr, ip: Ipv4Addr) -> HostNic {
 }
 
 /// hostA — sw1 — sw2 — hostB, both switches managed by one controller.
-fn two_switch_world(app: impl netco_controller::ControllerApp) -> (World, NodeId, NodeId, NodeId, NodeId, NodeId) {
+fn two_switch_world(
+    app: impl netco_controller::ControllerApp,
+) -> (World, NodeId, NodeId, NodeId, NodeId, NodeId) {
     let mut w = World::new(77);
     let a = w.add_node(
         "a",
@@ -244,7 +246,16 @@ fn packet_out_floods_reach_every_port() {
     w.inject_frame(sw, PortId(1), frame);
     w.run_for(SimDuration::from_millis(20));
     use netco_net::testutil::CollectorDevice;
-    assert_eq!(w.device::<CollectorDevice>(hosts[0]).unwrap().frames.len(), 0);
-    assert_eq!(w.device::<CollectorDevice>(hosts[1]).unwrap().frames.len(), 1);
-    assert_eq!(w.device::<CollectorDevice>(hosts[2]).unwrap().frames.len(), 1);
+    assert_eq!(
+        w.device::<CollectorDevice>(hosts[0]).unwrap().frames.len(),
+        0
+    );
+    assert_eq!(
+        w.device::<CollectorDevice>(hosts[1]).unwrap().frames.len(),
+        1
+    );
+    assert_eq!(
+        w.device::<CollectorDevice>(hosts[2]).unwrap().frames.len(),
+        1
+    );
 }

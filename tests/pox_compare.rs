@@ -11,11 +11,12 @@ use netco_topo::{AdversarySpec, Profile, Scenario, ScenarioKind, H2_IP};
 use netco_traffic::{IcmpEchoResponder, PingConfig, Pinger};
 
 fn run_attacked(behaviors: Vec<(Behavior, ActivationWindow)>) -> (u32, u32, u64, usize) {
-    let scenario = Scenario::build(ScenarioKind::Pox3, Profile::functional(), 12)
-        .with_adversary(AdversarySpec {
+    let scenario = Scenario::build(ScenarioKind::Pox3, Profile::functional(), 12).with_adversary(
+        AdversarySpec {
             replica_index: 1,
             behaviors,
-        });
+        },
+    );
     let mut built = scenario.build_world(
         0,
         |nic| {
@@ -71,7 +72,10 @@ fn pox_compare_suppresses_corruption_with_alarms() {
     )]);
     assert_eq!(tx, 10);
     assert_eq!(rx, 10);
-    assert!(suppressed >= 20, "corrupted copies die at the controller: {suppressed}");
+    assert!(
+        suppressed >= 20,
+        "corrupted copies die at the controller: {suppressed}"
+    );
     assert!(alarms >= 20);
 }
 

@@ -61,7 +61,10 @@ fn compare_raises_down_alarm_and_recovery() {
     built.world.set_link_enabled(l2, false);
     built.world.run_for(SimDuration::from_millis(1500));
     {
-        let compare = built.world.device::<Compare>(built.compare.unwrap()).unwrap();
+        let compare = built
+            .world
+            .device::<Compare>(built.compare.unwrap())
+            .unwrap();
         assert!(
             compare
                 .events()
@@ -82,7 +85,10 @@ fn compare_raises_down_alarm_and_recovery() {
     built.world.set_link_enabled(l1, true);
     built.world.set_link_enabled(l2, true);
     built.world.run_for(SimDuration::from_secs(2));
-    let compare = built.world.device::<Compare>(built.compare.unwrap()).unwrap();
+    let compare = built
+        .world
+        .device::<Compare>(built.compare.unwrap())
+        .unwrap();
     assert!(
         compare
             .events()
@@ -118,7 +124,10 @@ fn detection_mode_survives_replica_crash_too() {
     built.world.run_for(SimDuration::from_secs(2));
     let report = built.world.device::<Pinger>(built.h1).unwrap().report();
     assert_eq!(report.received, 50);
-    let compare = built.world.device::<Compare>(built.compare.unwrap()).unwrap();
+    let compare = built
+        .world
+        .device::<Compare>(built.compare.unwrap())
+        .unwrap();
     assert!(compare
         .events()
         .iter()

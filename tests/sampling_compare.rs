@@ -44,7 +44,10 @@ fn run(sample: f64) -> (u64, usize, u64) {
         |nic| UdpSink::new(nic, 5001),
     );
     built.world.run_for(SimDuration::from_secs(2));
-    let compare = built.world.device::<Compare>(built.compare.unwrap()).unwrap();
+    let compare = built
+        .world
+        .device::<Compare>(built.compare.unwrap())
+        .unwrap();
     let alarms = compare
         .events()
         .iter()
