@@ -1,7 +1,7 @@
 //! `perf_report`: one-shot hot-path performance snapshot, printed as a
 //! single JSON object on stdout.
 //!
-//! Three measurements:
+//! Five measurements:
 //!
 //! 1. Scheduler churn — a steady-state pop-one/push-one loop over the
 //!    timing-wheel [`netco_sim::Scheduler`], with the retired binary-heap
@@ -13,17 +13,29 @@
 //!    [`ExperimentScale::quick`] duration — reporting whole-simulator
 //!    event throughput, the sim-time/wall-time ratio and the compare
 //!    cache high-water mark.
+//! 4. Flow-table classification — lookup ns/op over tables of 16/256/4096
+//!    wildcard-free entries, the indexed [`FlowTable`] against the
+//!    retired linear scan ([`netco_openflow::baseline::LinearFlowTable`]).
+//! 5. Parallel figure sweeps — Fig. 4 (TCP) and Fig. 7 (RTT) fanned over
+//!    the [`netco_harness::Pool`] at several worker counts, reporting
+//!    wall-clock, aggregate simulator events/sec and whether the rows
+//!    stayed bit-identical across thread counts (they must).
 //!
 //! Everything simulated is deterministic; wall-clock rates vary with the
 //! host. Run with `cargo run --release -p netco-bench --bin perf_report`.
+//! Pass `--threads 1,2,4` (or set `NETCO_THREADS`) to choose the sweep
+//! worker counts; the default is `1,2,4,8`.
 
 use std::time::Instant;
 
 use bytes::Bytes;
+use netco_bench::experiments::{fig4_tcp_on, fig7_rtt_on, Sweep, TcpRow};
 use netco_bench::ExperimentScale;
 use netco_core::{Compare, CompareConfig, CompareCore, LaneInfo};
+use netco_harness::Pool;
 use netco_net::packet::builder;
 use netco_net::MacAddr;
+use netco_openflow::{Action, FlowEntry, FlowMatch, FlowTable, OfPort, PacketFields};
 use netco_sim::{SimDuration, SimTime};
 use netco_topo::{Profile, Scenario, ScenarioKind, H2_IP};
 use netco_traffic::{TcpConfig, TcpReceiver, TcpSender};
@@ -206,21 +218,212 @@ fn end_to_end(scale: ExperimentScale) -> EndToEnd {
     }
 }
 
+/// Table sizes for the flow-table lookup measurement.
+const FLOW_TABLE_SIZES: [usize; 3] = [16, 256, 4096];
+/// Lookups per flow-table measurement pass.
+const FLOW_LOOKUPS: u64 = 1_000_000;
+/// Measured passes per table; the best is reported.
+const FLOW_PASSES: usize = 3;
+
+/// A distinct, wildcard-free key for slot `i` of the microbench table.
+fn bench_fields(i: usize) -> PacketFields {
+    PacketFields {
+        in_port: (i % 48) as u16,
+        dl_src: MacAddr::local((i % 251) as u32 + 1),
+        dl_dst: MacAddr::local((i % 127) as u32 + 1),
+        dl_type: 0x0800,
+        nw_proto: 17,
+        nw_src: std::net::Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8),
+        nw_dst: std::net::Ipv4Addr::new(10, 1, (i >> 8) as u8, i as u8),
+        tp_src: 10_000 + (i % 40_000) as u16,
+        tp_dst: 5001,
+        ..PacketFields::default()
+    }
+}
+
+/// Lookup cost over a table of `n` wildcard-free entries, hitting keys in
+/// an LCG-scrambled order. `F` builds either the indexed [`FlowTable`] or
+/// the retired linear baseline wrapped behind the same closure shape.
+fn flow_lookup_ns<T>(
+    n: usize,
+    mut add: impl FnMut(&mut T, FlowEntry),
+    mut lookup: impl FnMut(&mut T, &PacketFields) -> bool,
+    table: &mut T,
+) -> f64 {
+    for i in 0..n {
+        add(
+            table,
+            FlowEntry::new(
+                100,
+                FlowMatch::exact(&bench_fields(i)),
+                vec![Action::Output(OfPort::Physical((i % 4) as u16 + 1))],
+            ),
+        );
+    }
+    let keys: Vec<PacketFields> = (0..n).map(bench_fields).collect();
+    let mut state = 0xD1B5_4A32u64;
+    // Warmup pass.
+    for _ in 0..FLOW_LOOKUPS / 4 {
+        let k = &keys[(lcg(&mut state) as usize) % n];
+        std::hint::black_box(lookup(table, k));
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..FLOW_PASSES {
+        let start = Instant::now();
+        for _ in 0..FLOW_LOOKUPS {
+            let k = &keys[(lcg(&mut state) as usize) % n];
+            std::hint::black_box(lookup(table, k));
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best * 1e9 / FLOW_LOOKUPS as f64
+}
+
+struct FlowTablePoint {
+    entries: usize,
+    indexed_ns: f64,
+    linear_ns: f64,
+}
+
+fn flow_table_points() -> Vec<FlowTablePoint> {
+    let now = SimTime::ZERO;
+    FLOW_TABLE_SIZES
+        .iter()
+        .map(|&n| {
+            let indexed_ns = flow_lookup_ns(
+                n,
+                |t: &mut FlowTable, e| t.add(e, now),
+                |t, k| t.lookup(k, now).is_some(),
+                &mut FlowTable::new(),
+            );
+            let linear_ns = flow_lookup_ns(
+                n,
+                |t: &mut netco_openflow::baseline::LinearFlowTable, e| t.add(e, now),
+                |t, k| t.lookup(k, now).is_some(),
+                &mut netco_openflow::baseline::LinearFlowTable::new(),
+            );
+            FlowTablePoint {
+                entries: n,
+                indexed_ns,
+                linear_ns,
+            }
+        })
+        .collect()
+}
+
+struct SweepPoint {
+    threads: usize,
+    fig4_wall_s: f64,
+    fig4_events_per_sec: f64,
+    fig7_wall_s: f64,
+    fig7_events_per_sec: f64,
+}
+
+/// Collapses Fig. 4 rows to bit patterns for cross-thread-count equality.
+fn tcp_bits(rows: &[TcpRow]) -> Vec<(u64, u64, u64)> {
+    rows.iter()
+        .map(|r| {
+            (
+                r.mbps.to_bits(),
+                r.fast_retransmits_per_s.to_bits(),
+                r.timeouts_per_s.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn sweep_points(thread_counts: &[usize], scale: ExperimentScale) -> (Vec<SweepPoint>, bool) {
+    let profile = Profile::default();
+    let mut points = Vec::new();
+    let mut reference: Option<Vec<(u64, u64, u64)>> = None;
+    let mut identical = true;
+    for &threads in thread_counts {
+        let pool = Pool::new(threads);
+        let fig4: Sweep<Vec<TcpRow>> = fig4_tcp_on(&pool, &profile, scale);
+        let fig7 = fig7_rtt_on(&pool, &profile, scale);
+        let bits = tcp_bits(&fig4.rows);
+        match &reference {
+            None => reference = Some(bits),
+            Some(r) => identical &= *r == bits,
+        }
+        points.push(SweepPoint {
+            threads,
+            fig4_wall_s: fig4.wall_seconds,
+            fig4_events_per_sec: fig4.events_per_sec(),
+            fig7_wall_s: fig7.wall_seconds,
+            fig7_events_per_sec: fig7.events_per_sec(),
+        });
+    }
+    (points, identical)
+}
+
+/// `--threads 1,2,4` from argv, else `NETCO_THREADS`, else 1/2/4/8.
+fn thread_counts() -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    let from_flag = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| std::env::var(netco_harness::THREADS_ENV).ok());
+    match from_flag {
+        Some(list) => list
+            .split(',')
+            .filter_map(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .collect(),
+        None => vec![1, 2, 4, 8],
+    }
+}
+
 fn main() {
     let scale = ExperimentScale::quick();
     let wheel = wheel_events_per_sec();
     let heap = heap_events_per_sec();
     let observes = compare_observes_per_sec();
     let e2e = end_to_end(scale);
+    let flow = flow_table_points();
+    let counts = thread_counts();
+    let (sweeps, identical) = sweep_points(&counts, scale);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("{{");
+    println!("  \"scheduler_wheel_events_per_sec\": {wheel:.0},");
+    println!("  \"scheduler_heap_events_per_sec\": {heap:.0},");
+    println!("  \"compare_observes_per_sec\": {observes:.0},");
+    println!("  \"e2e_scenario\": \"central3_tcp\",");
     println!(
-        "{{\n  \"scheduler_wheel_events_per_sec\": {:.0},\n  \"scheduler_heap_events_per_sec\": {:.0},\n  \"compare_observes_per_sec\": {:.0},\n  \"e2e_scenario\": \"central3_tcp\",\n  \"e2e_sim_duration_s\": {:.3},\n  \"e2e_events_per_sec\": {:.0},\n  \"e2e_sim_seconds_per_wall_second\": {:.3},\n  \"e2e_peak_cache_entries\": {},\n  \"e2e_tcp_mbps\": {:.1}\n}}",
-        wheel,
-        heap,
-        observes,
-        scale.duration.as_secs_f64(),
-        e2e.events_per_sec,
-        e2e.sim_seconds_per_wall_second,
-        e2e.peak_cache_entries,
-        e2e.tcp_mbps,
+        "  \"e2e_sim_duration_s\": {:.3},",
+        scale.duration.as_secs_f64()
     );
+    println!("  \"e2e_events_per_sec\": {:.0},", e2e.events_per_sec);
+    println!(
+        "  \"e2e_sim_seconds_per_wall_second\": {:.3},",
+        e2e.sim_seconds_per_wall_second
+    );
+    println!("  \"e2e_peak_cache_entries\": {},", e2e.peak_cache_entries);
+    println!("  \"e2e_tcp_mbps\": {:.1},", e2e.tcp_mbps);
+    println!("  \"host_cpus\": {host_cpus},");
+    println!("  \"flow_table_lookup\": [");
+    for (i, p) in flow.iter().enumerate() {
+        let comma = if i + 1 < flow.len() { "," } else { "" };
+        println!(
+            "    {{\"entries\": {}, \"indexed_ns_per_lookup\": {:.1}, \"linear_ns_per_lookup\": {:.1}, \"speedup\": {:.2}}}{comma}",
+            p.entries,
+            p.indexed_ns,
+            p.linear_ns,
+            p.linear_ns / p.indexed_ns
+        );
+    }
+    println!("  ],");
+    println!("  \"sweep_rows_bit_identical\": {identical},");
+    println!("  \"sweeps\": [");
+    for (i, p) in sweeps.iter().enumerate() {
+        let comma = if i + 1 < sweeps.len() { "," } else { "" };
+        println!(
+            "    {{\"threads\": {}, \"fig4_wall_s\": {:.3}, \"fig4_events_per_sec\": {:.0}, \"fig7_wall_s\": {:.3}, \"fig7_events_per_sec\": {:.0}}}{comma}",
+            p.threads, p.fig4_wall_s, p.fig4_events_per_sec, p.fig7_wall_s, p.fig7_events_per_sec
+        );
+    }
+    println!("  ]");
+    println!("}}");
 }

@@ -1,13 +1,32 @@
 //! Quick calibration probe (not part of the benches).
+//!
+//! Runs Table I at smoke scale on the [`netco_harness::Pool`] (honouring
+//! `NETCO_THREADS` or a `--threads N` flag) and prints the rendered table
+//! plus the sweep's wall-clock and aggregate event throughput.
 use netco_bench::{experiments, render, ExperimentScale};
+use netco_harness::Pool;
 use netco_topo::Profile;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let pool = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<usize>().ok())
+        .map_or_else(Pool::from_env, Pool::new);
     let profile = Profile::default();
     let scale = ExperimentScale::smoke();
-    let t1 = experiments::table1(&profile, scale);
-    print!("{}", render::table1(&t1));
+    let sweep = experiments::table1_on(&pool, &profile, scale);
+    print!("{}", render::table1(&sweep.rows));
     println!(
         "(paper: tcp 474/122/72/145/78, udp 278/266/149/245/156, rtt 0.181/0.189/0.26/0.319/0.415)"
+    );
+    println!(
+        "{} jobs on {} thread(s): {:.2} s wall, {:.0} sim events/s aggregate",
+        sweep.jobs,
+        sweep.threads,
+        sweep.wall_seconds,
+        sweep.events_per_sec()
     );
 }

@@ -1,0 +1,86 @@
+//! Regression: pooled figure sweeps are bit-identical at every thread
+//! count. Worlds share nothing and the pool folds results in canonical
+//! job order, so even float accumulation must not change by a single ulp
+//! when the worker count does.
+
+use netco_bench::experiments::{fig4_tcp_on, fig7_rtt_on, TcpRow};
+use netco_bench::ExperimentScale;
+use netco_harness::Pool;
+use netco_topo::{Direction, Profile, Scenario, ScenarioKind};
+
+fn tcp_bits(rows: &[TcpRow]) -> Vec<(u64, u64, u64)> {
+    rows.iter()
+        .map(|r| {
+            (
+                r.mbps.to_bits(),
+                r.fast_retransmits_per_s.to_bits(),
+                r.timeouts_per_s.to_bits(),
+            )
+        })
+        .collect()
+}
+
+/// The ISSUE's canonical check: a fixed-seed Central3 TCP sweep run
+/// serially and on a 4-worker pool produces bit-identical goodput.
+#[test]
+fn central3_tcp_sweep_bit_identical_serial_vs_pooled() {
+    let profile = Profile::default();
+    let scale = ExperimentScale::smoke();
+    let jobs: Vec<(u64, Direction)> = (0..3)
+        .flat_map(|run| {
+            [Direction::H1ToH2, Direction::H2ToH1]
+                .into_iter()
+                .map(move |dir| (run, dir))
+        })
+        .collect();
+    let run_one = |&(run, dir): &(u64, Direction)| {
+        let scenario = Scenario::build(ScenarioKind::Central3, profile.clone(), profile.seed);
+        let out = scenario.run_tcp(dir, scale.duration, run);
+        (out.mbps.to_bits(), out.events)
+    };
+    let serial = Pool::serial().map(&jobs, run_one);
+    let pooled = Pool::new(4).map(&jobs, run_one);
+    assert_eq!(serial, pooled);
+    assert!(serial.iter().all(|&(_, events)| events > 0));
+}
+
+/// Whole-figure check: Fig. 4 rows (all six scenarios) at 1, 2 and 4
+/// workers, compared through `f64::to_bits`.
+#[test]
+fn fig4_rows_bit_identical_across_thread_counts() {
+    let profile = Profile::default();
+    let scale = ExperimentScale::smoke();
+    let reference = fig4_tcp_on(&Pool::serial(), &profile, scale);
+    assert_eq!(reference.jobs, 12); // 6 scenarios × 1 run × 2 directions
+    assert!(reference.events > 0);
+    for threads in [2, 4] {
+        let sweep = fig4_tcp_on(&Pool::new(threads), &profile, scale);
+        assert_eq!(sweep.threads, threads);
+        assert_eq!(sweep.events, reference.events);
+        assert_eq!(tcp_bits(&sweep.rows), tcp_bits(&reference.rows));
+    }
+}
+
+/// Fig. 7 exercises Option-valued min/max folds; they too must not move.
+#[test]
+fn fig7_rows_bit_identical_across_thread_counts() {
+    let profile = Profile::default();
+    let scale = ExperimentScale::smoke();
+    let reference = fig7_rtt_on(&Pool::serial(), &profile, scale);
+    let pooled = fig7_rtt_on(&Pool::new(3), &profile, scale);
+    assert_eq!(pooled.events, reference.events);
+    let bits = |rows: &[netco_bench::experiments::RttRow]| {
+        rows.iter()
+            .map(|r| {
+                (
+                    r.avg_us.to_bits(),
+                    r.min_us.to_bits(),
+                    r.max_us.to_bits(),
+                    r.received,
+                    r.transmitted,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(bits(&pooled.rows), bits(&reference.rows));
+}

@@ -6,7 +6,7 @@ use bytes::Bytes;
 use netco_sim::{SimDuration, SimTime};
 
 use super::strategy::CompareKey;
-use crate::fxhash::FxBuildHasher;
+use netco_sim::fxhash::FxBuildHasher;
 
 /// Upper bound on replica indices a single entry can track (`k` is 3 or 5
 /// in every paper configuration; the mask is a `u32`).

@@ -282,17 +282,29 @@ impl GuardSwitch {
     ) {
         match msg {
             OfMessage::PacketOut { actions, data, .. } => {
-                let mut sent = false;
-                for action in &actions {
-                    if let Action::Output(OfPort::Physical(p)) = action {
-                        ctx.send_frame(PortId(*p), data.clone());
-                        sent = true;
-                    }
-                }
-                if sent {
-                    self.stats.released += 1;
-                } else {
+                let outputs = actions
+                    .iter()
+                    .filter_map(|a| match a {
+                        Action::Output(OfPort::Physical(p)) => Some(*p),
+                        _ => None,
+                    })
+                    .count();
+                if outputs == 0 {
                     self.stats.invalid_msgs += 1;
+                } else {
+                    // Move the payload into the last output.
+                    let mut remaining = outputs;
+                    for action in &actions {
+                        if let Action::Output(OfPort::Physical(p)) = action {
+                            remaining -= 1;
+                            if remaining == 0 {
+                                ctx.send_frame(PortId(*p), data);
+                                break;
+                            }
+                            ctx.send_frame(PortId(*p), data.clone());
+                        }
+                    }
+                    self.stats.released += 1;
                 }
             }
             OfMessage::FlowMod {
@@ -370,10 +382,14 @@ impl Device for GuardSwitch {
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
         let now = ctx.now();
         if port == self.cfg.host_port {
-            // Hub: duplicate toward every replica.
-            for rp in self.cfg.replica_ports.clone() {
-                self.stats.hubbed += 1;
-                ctx.send_frame(rp, frame.clone());
+            // Hub: duplicate toward every replica, moving the frame into
+            // the final send (k-1 refcount bumps instead of k).
+            if let Some((&last, rest)) = self.cfg.replica_ports.split_last() {
+                self.stats.hubbed += rest.len() as u64 + 1;
+                for &rp in rest {
+                    ctx.send_frame(rp, frame.clone());
+                }
+                ctx.send_frame(last, frame);
             }
             return;
         }
@@ -413,11 +429,17 @@ impl Device for GuardSwitch {
                     let sampled = self.sampled(&frame);
                     if port == primary {
                         self.stats.direct += 1;
-                        ctx.send_frame(self.cfg.host_port, frame.clone());
-                    }
-                    if sampled {
+                        if sampled {
+                            ctx.send_frame(self.cfg.host_port, frame.clone());
+                            self.forward_to_compare(ctx, port, frame);
+                        } else {
+                            // Unsampled primary copy: delivered without a
+                            // detour, no clone needed.
+                            ctx.send_frame(self.cfg.host_port, frame);
+                        }
+                    } else if sampled {
                         self.forward_to_compare(ctx, port, frame);
-                    } else if port != primary {
+                    } else {
                         self.stats.sample_skipped += 1;
                     }
                 }

@@ -28,11 +28,15 @@ impl Hub {
 
 impl Device for Hub {
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
-        for p in ctx.ports() {
-            if p != port {
-                self.copies += 1;
+        let mut targets = ctx.ports();
+        targets.retain(|&p| p != port);
+        self.copies += targets.len() as u64;
+        // Move the frame into the final send — k-1 refcount bumps, not k.
+        if let Some((&last, rest)) = targets.split_last() {
+            for &p in rest {
                 ctx.send_frame(p, frame.clone());
             }
+            ctx.send_frame(last, frame);
         }
     }
 }

@@ -46,7 +46,6 @@ mod compare;
 mod config;
 mod encap;
 mod events;
-mod fxhash;
 mod guard;
 mod hub;
 mod pox;

@@ -15,7 +15,10 @@ use netco_net::MacAddr;
 pub const OFP_VLAN_NONE: u16 = 0xffff;
 
 /// The 12-tuple of header fields OpenFlow 1.0 matches on.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash` (with a deterministic hasher) lets the full tuple serve as the
+/// key of the flow table's exact-match index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PacketFields {
     /// Ingress port (physical port number).
     pub in_port: u16,

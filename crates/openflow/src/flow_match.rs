@@ -164,6 +164,45 @@ impl FlowMatch {
             && sub(&self.tp_dst, &other.tp_dst)
     }
 
+    /// When this match is wildcard-free (all 12 fields concrete), the one
+    /// [`PacketFields`] value it matches — the key of the flow table's
+    /// exact-match index. `None` as soon as any field is wildcarded.
+    pub fn exact_key(&self) -> Option<PacketFields> {
+        Some(PacketFields {
+            in_port: self.in_port?,
+            dl_src: self.dl_src?,
+            dl_dst: self.dl_dst?,
+            dl_vlan: self.dl_vlan?,
+            dl_vlan_pcp: self.dl_vlan_pcp?,
+            dl_type: self.dl_type?,
+            nw_tos: self.nw_tos?,
+            nw_proto: self.nw_proto?,
+            nw_src: self.nw_src?,
+            nw_dst: self.nw_dst?,
+            tp_src: self.tp_src?,
+            tp_dst: self.tp_dst?,
+        })
+    }
+
+    /// Builds the wildcard-free match for exactly `fields` (the inverse of
+    /// [`FlowMatch::exact_key`]) — what a microflow rule installs.
+    pub fn exact(fields: &PacketFields) -> FlowMatch {
+        FlowMatch {
+            in_port: Some(fields.in_port),
+            dl_src: Some(fields.dl_src),
+            dl_dst: Some(fields.dl_dst),
+            dl_vlan: Some(fields.dl_vlan),
+            dl_vlan_pcp: Some(fields.dl_vlan_pcp),
+            dl_type: Some(fields.dl_type),
+            nw_tos: Some(fields.nw_tos),
+            nw_proto: Some(fields.nw_proto),
+            nw_src: Some(fields.nw_src),
+            nw_dst: Some(fields.nw_dst),
+            tp_src: Some(fields.tp_src),
+            tp_dst: Some(fields.tp_dst),
+        }
+    }
+
     /// Number of concrete (non-wildcarded) fields.
     pub fn specificity(&self) -> u32 {
         self.in_port.is_some() as u32
@@ -284,6 +323,26 @@ mod tests {
                 .specificity(),
             2
         );
+    }
+
+    #[test]
+    fn exact_key_roundtrips() {
+        let f = fields();
+        let m = FlowMatch::exact(&f);
+        assert_eq!(m.specificity(), 12);
+        assert_eq!(m.exact_key().as_ref(), Some(&f));
+        assert!(m.matches(&f));
+        let mut other = f.clone();
+        other.tp_dst ^= 1;
+        assert!(!m.matches(&other));
+    }
+
+    #[test]
+    fn any_wildcard_defeats_exact_key() {
+        let f = fields();
+        let mut m = FlowMatch::exact(&f);
+        m.nw_tos = None;
+        assert_eq!(m.exact_key(), None);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Flow entries and the priority-ordered flow table.
 
+use std::collections::HashMap;
 use std::rc::Rc;
 
+use netco_sim::fxhash::FxBuildHasher;
 use netco_sim::{SimDuration, SimTime};
 
 use crate::action::Action;
@@ -149,10 +151,29 @@ impl FlowEntry {
 /// Lookup returns the highest-priority matching entry; among equal
 /// priorities, the earliest-installed entry wins (deterministic, like a
 /// TCAM scan order).
+///
+/// # Classification index
+///
+/// Wildcard-free entries (the microflow rules a reactive controller
+/// installs per flow) are additionally indexed by their full-tuple
+/// [`PacketFields`] key in a deterministic Fx-hashed map, making the
+/// common lookup O(1): hash the packet's 12-tuple, then consult only the
+/// (usually empty) list of *wildcard* entries that precede the exact hit
+/// in scan order. The linear scan remains as the general path — and as
+/// the semantics reference: [`baseline::LinearFlowTable`] is the
+/// scan-only implementation, and a differential proptest drives both
+/// through random add/delete/lookup/expire interleavings to prove the
+/// index changes nothing observable.
 #[derive(Debug, Clone, Default)]
 pub struct FlowTable {
-    // Sorted by descending priority; stable within a priority.
+    // Sorted by descending priority; stable within a priority. This order
+    // (the "scan order") *is* the match precedence.
     entries: Vec<FlowEntry>,
+    // Full-tuple key → scan-order-first wildcard-free entry with that key.
+    // Deterministic hasher; only point queries, never iterated.
+    exact: HashMap<PacketFields, usize, FxBuildHasher>,
+    // Scan-order slots of entries with at least one wildcarded field.
+    wildcard_slots: Vec<usize>,
     lookups: u64,
     misses: u64,
 }
@@ -199,6 +220,7 @@ impl FlowTable {
             .iter_mut()
             .find(|e| e.priority == entry.priority && e.matcher == entry.matcher)
         {
+            // Same slot, same matcher: the index stays valid as-is.
             *existing = entry;
             return;
         }
@@ -207,6 +229,24 @@ impl FlowTable {
             .entries
             .partition_point(|e| e.priority >= entry.priority);
         self.entries.insert(pos, entry);
+        self.reindex();
+    }
+
+    /// Rebuilds the exact-match index and the wildcard slot list after a
+    /// structural change (slots shift on insert/remove). O(n) per
+    /// flow-mod — negligible next to the per-packet lookups it buys.
+    fn reindex(&mut self) {
+        self.exact.clear();
+        self.wildcard_slots.clear();
+        for (i, e) in self.entries.iter().enumerate() {
+            match e.matcher.exact_key() {
+                // First scan-order slot per key wins, mirroring the scan.
+                Some(key) => {
+                    self.exact.entry(key).or_insert(i);
+                }
+                None => self.wildcard_slots.push(i),
+            }
+        }
     }
 
     /// Modifies the actions of all entries matched (strictly or loosely) by
@@ -240,20 +280,29 @@ impl FlowTable {
         priority: Option<u16>,
         strict: bool,
     ) -> Vec<FlowEntry> {
-        let mut removed = Vec::new();
-        self.entries.retain(|e| {
-            let hit = if strict {
+        let hit = |e: &FlowEntry| {
+            if strict {
                 priority.is_none_or(|p| e.priority == p) && e.matcher == *matcher
             } else {
                 matcher.subsumes(&e.matcher)
-            };
-            if hit {
-                removed.push(e.clone());
-                false
-            } else {
-                true
             }
-        });
+        };
+        // The common flow-mod deletes nothing (or the table is clean):
+        // skip the rebuild and return without allocating.
+        if !self.entries.iter().any(hit) {
+            return Vec::new();
+        }
+        let old = std::mem::take(&mut self.entries);
+        let mut removed = Vec::new();
+        self.entries = Vec::with_capacity(old.len());
+        for e in old {
+            if hit(&e) {
+                removed.push(e); // moved, not cloned
+            } else {
+                self.entries.push(e);
+            }
+        }
+        self.reindex();
         removed
     }
 
@@ -261,23 +310,7 @@ impl FlowTable {
     /// timestamp. Expired entries are skipped (lazily collected by
     /// [`FlowTable::expire`]).
     pub fn lookup(&mut self, fields: &PacketFields, now: SimTime) -> Option<&FlowEntry> {
-        self.lookups += 1;
-        let idx = self
-            .entries
-            .iter()
-            .position(|e| e.expired(now).is_none() && e.matcher.matches(fields));
-        match idx {
-            Some(i) => {
-                let e = &mut self.entries[i];
-                e.packets += 1;
-                e.last_matched = now;
-                Some(&self.entries[i])
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+        self.lookup_inner(fields, 0, now)
     }
 
     /// Like [`FlowTable::lookup`] but also charges `bytes` to the entry.
@@ -287,16 +320,24 @@ impl FlowTable {
         bytes: usize,
         now: SimTime,
     ) -> Option<&FlowEntry> {
+        self.lookup_inner(fields, bytes as u64, now)
+    }
+
+    /// The single classification path behind [`FlowTable::lookup`] and
+    /// [`FlowTable::lookup_counted`].
+    fn lookup_inner(
+        &mut self,
+        fields: &PacketFields,
+        bytes: u64,
+        now: SimTime,
+    ) -> Option<&FlowEntry> {
         self.lookups += 1;
-        let idx = self
-            .entries
-            .iter()
-            .position(|e| e.expired(now).is_none() && e.matcher.matches(fields));
-        match idx {
+        let slot = self.classify(fields, now);
+        match slot {
             Some(i) => {
                 let e = &mut self.entries[i];
                 e.packets += 1;
-                e.bytes += bytes as u64;
+                e.bytes += bytes;
                 e.last_matched = now;
                 Some(&self.entries[i])
             }
@@ -307,17 +348,219 @@ impl FlowTable {
         }
     }
 
+    /// The winning (live, matching) slot for `fields`, or `None` on a
+    /// table miss — the indexed equivalent of the priority-ordered scan.
+    fn classify(&self, fields: &PacketFields, now: SimTime) -> Option<usize> {
+        match self.exact.get(fields).copied() {
+            // A wildcard-free entry matches the tuple exactly. Any entry
+            // beating it sits strictly earlier in scan order, and — since
+            // the index maps each key to its scan-order-first exact slot —
+            // such an entry must carry a wildcard. Scan only those.
+            Some(i) if self.entries[i].expired(now).is_none() => Some(
+                self.wildcard_slots
+                    .iter()
+                    .copied()
+                    .take_while(|&j| j < i)
+                    .find(|&j| {
+                        let e = &self.entries[j];
+                        e.expired(now).is_none() && e.matcher.matches(fields)
+                    })
+                    .unwrap_or(i),
+            ),
+            // The indexed entry has lazily expired: a same-key duplicate
+            // at lower priority may hide behind it, so fall back to the
+            // full reference scan (rare — the next `expire` sweep removes
+            // the entry and restores the fast path).
+            Some(_) => self
+                .entries
+                .iter()
+                .position(|e| e.expired(now).is_none() && e.matcher.matches(fields)),
+            // No exact entry carries this tuple; only wildcard entries
+            // can match.
+            None => self.wildcard_slots.iter().copied().find(|&j| {
+                let e = &self.entries[j];
+                e.expired(now).is_none() && e.matcher.matches(fields)
+            }),
+        }
+    }
+
     /// Removes expired entries, returning them with their removal reasons.
     pub fn expire(&mut self, now: SimTime) -> Vec<(FlowEntry, FlowRemovedReason)> {
+        // Steady state: nothing has expired — no allocation, no rebuild.
+        if !self.entries.iter().any(|e| e.expired(now).is_some()) {
+            return Vec::new();
+        }
+        let old = std::mem::take(&mut self.entries);
         let mut removed = Vec::new();
-        self.entries.retain(|e| match e.expired(now) {
-            Some(reason) => {
-                removed.push((e.clone(), reason));
-                false
+        self.entries = Vec::with_capacity(old.len());
+        for e in old {
+            match e.expired(now) {
+                Some(reason) => removed.push((e, reason)), // moved, not cloned
+                None => self.entries.push(e),
             }
-            None => true,
-        });
+        }
+        self.reindex();
         removed
+    }
+}
+
+/// The retired scan-only flow table, kept as the semantics oracle for the
+/// indexed [`FlowTable`].
+///
+/// Every operation is the pre-index implementation verbatim: one
+/// priority-ordered linear scan, no auxiliary structures. The workspace
+/// differential proptest (`prop_flow_table.rs`) drives this and the
+/// indexed table through identical random interleavings of
+/// add/modify/delete/lookup/expire and asserts step-for-step equality of
+/// results, counters and table contents.
+#[doc(hidden)]
+pub mod baseline {
+    use super::*;
+
+    /// Scan-only reference implementation of [`FlowTable`].
+    #[derive(Debug, Clone, Default)]
+    pub struct LinearFlowTable {
+        entries: Vec<FlowEntry>,
+        lookups: u64,
+        misses: u64,
+    }
+
+    impl LinearFlowTable {
+        /// Creates an empty table.
+        pub fn new() -> LinearFlowTable {
+            LinearFlowTable::default()
+        }
+
+        /// Number of installed entries.
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        /// `true` when the table has no entries.
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+
+        /// Total lookups performed.
+        pub fn lookup_count(&self) -> u64 {
+            self.lookups
+        }
+
+        /// Lookups that matched no entry.
+        pub fn miss_count(&self) -> u64 {
+            self.misses
+        }
+
+        /// Iterates over entries in priority order.
+        pub fn iter(&self) -> std::slice::Iter<'_, FlowEntry> {
+            self.entries.iter()
+        }
+
+        /// See [`FlowTable::add`].
+        pub fn add(&mut self, mut entry: FlowEntry, now: SimTime) {
+            entry.created_at = now;
+            entry.last_matched = now;
+            if let Some(existing) = self
+                .entries
+                .iter_mut()
+                .find(|e| e.priority == entry.priority && e.matcher == entry.matcher)
+            {
+                *existing = entry;
+                return;
+            }
+            let pos = self
+                .entries
+                .partition_point(|e| e.priority >= entry.priority);
+            self.entries.insert(pos, entry);
+        }
+
+        /// See [`FlowTable::modify`].
+        pub fn modify(
+            &mut self,
+            matcher: &FlowMatch,
+            priority: Option<u16>,
+            actions: &[Action],
+        ) -> usize {
+            let mut n = 0;
+            let mut shared: Option<Rc<[Action]>> = None;
+            for e in &mut self.entries {
+                let strict_ok = priority.is_none_or(|p| e.priority == p);
+                if strict_ok && matcher.subsumes(&e.matcher) {
+                    e.actions = shared.get_or_insert_with(|| actions.into()).clone();
+                    n += 1;
+                }
+            }
+            n
+        }
+
+        /// See [`FlowTable::delete`].
+        pub fn delete(
+            &mut self,
+            matcher: &FlowMatch,
+            priority: Option<u16>,
+            strict: bool,
+        ) -> Vec<FlowEntry> {
+            let mut removed = Vec::new();
+            self.entries.retain(|e| {
+                let hit = if strict {
+                    priority.is_none_or(|p| e.priority == p) && e.matcher == *matcher
+                } else {
+                    matcher.subsumes(&e.matcher)
+                };
+                if hit {
+                    removed.push(e.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            removed
+        }
+
+        /// See [`FlowTable::lookup`].
+        pub fn lookup(&mut self, fields: &PacketFields, now: SimTime) -> Option<&FlowEntry> {
+            self.lookup_counted(fields, 0, now)
+        }
+
+        /// See [`FlowTable::lookup_counted`].
+        pub fn lookup_counted(
+            &mut self,
+            fields: &PacketFields,
+            bytes: usize,
+            now: SimTime,
+        ) -> Option<&FlowEntry> {
+            self.lookups += 1;
+            let idx = self
+                .entries
+                .iter()
+                .position(|e| e.expired(now).is_none() && e.matcher.matches(fields));
+            match idx {
+                Some(i) => {
+                    let e = &mut self.entries[i];
+                    e.packets += 1;
+                    e.bytes += bytes as u64;
+                    e.last_matched = now;
+                    Some(&self.entries[i])
+                }
+                None => {
+                    self.misses += 1;
+                    None
+                }
+            }
+        }
+
+        /// See [`FlowTable::expire`].
+        pub fn expire(&mut self, now: SimTime) -> Vec<(FlowEntry, FlowRemovedReason)> {
+            let mut removed = Vec::new();
+            self.entries.retain(|e| match e.expired(now) {
+                Some(reason) => {
+                    removed.push((e.clone(), reason));
+                    false
+                }
+                None => true,
+            });
+            removed
+        }
     }
 }
 

@@ -52,6 +52,8 @@ pub mod wire;
 pub use action::{apply_actions, apply_rewrites, Action};
 pub use fields::{PacketFields, OFP_VLAN_NONE};
 pub use flow_match::FlowMatch;
+#[doc(hidden)]
+pub use flow_table::baseline;
 pub use flow_table::{FlowEntry, FlowRemovedReason, FlowTable};
 pub use messages::{FlowModCommand, FlowStats, OfMessage, PacketInReason, PortDesc};
 pub use ports::OfPort;

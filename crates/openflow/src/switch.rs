@@ -184,11 +184,16 @@ impl OfSwitch {
                     }
                 }
                 OfPort::Flood | OfPort::All => {
-                    for p in ctx.ports() {
-                        if port == OfPort::Flood && Some(p.number()) == in_port {
-                            continue;
+                    let mut targets = ctx.ports();
+                    if port == OfPort::Flood {
+                        targets.retain(|p| Some(p.number()) != in_port);
+                    }
+                    // Move the frame into the final replica send.
+                    if let Some((&last, rest)) = targets.split_last() {
+                        for &p in rest {
+                            ctx.send_frame(p, frame.clone());
                         }
-                        ctx.send_frame(p, frame.clone());
+                        ctx.send_frame(last, frame);
                         sent_any = true;
                     }
                 }

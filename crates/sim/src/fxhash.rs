@@ -1,11 +1,13 @@
-//! A deterministic, fast hasher for the compare's hot-path hash maps.
+//! A deterministic, fast hasher for hot-path hash maps (the compare's
+//! packet cache, the flow table's exact-match index).
 //!
 //! The std `RandomState`/SipHash default is DoS-hardened but slow and — per
 //! process — randomly seeded, which is wasted on a deterministic simulator:
 //! reproducibility is a design requirement (DESIGN.md §4), and keys are
 //! either fixed-width fingerprints or simulator-controlled identifiers.
 //! This is the rustc-style "Fx" multiply-rotate hash, hand-rolled to avoid
-//! an external dependency.
+//! an external dependency. It lives in `netco-sim` (the dependency root)
+//! so every layer of the stack shares one implementation.
 
 use std::hash::{BuildHasher, Hasher};
 
@@ -14,7 +16,7 @@ const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 /// [`BuildHasher`] producing [`FxHasher`]s with a fixed (deterministic)
 /// initial state.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub(crate) struct FxBuildHasher;
+pub struct FxBuildHasher;
 
 impl BuildHasher for FxBuildHasher {
     type Hasher = FxHasher;
@@ -26,7 +28,7 @@ impl BuildHasher for FxBuildHasher {
 
 /// Multiply-rotate hasher over native words.
 #[derive(Debug, Clone, Copy, Default)]
-pub(crate) struct FxHasher {
+pub struct FxHasher {
     hash: u64,
 }
 

@@ -135,6 +135,9 @@ pub struct TcpRunOutcome {
     pub sender: TcpSenderStats,
     /// Goodput in Mbit/s (convenience).
     pub mbps: f64,
+    /// Simulator events processed by this run's world (deterministic;
+    /// feeds the harness's aggregate events/sec reporting).
+    pub events: u64,
 }
 
 /// Result of a UDP run.
@@ -146,6 +149,9 @@ pub struct UdpRunOutcome {
     pub sent: u64,
     /// The offered rate (bits/s).
     pub offered_bps: u64,
+    /// Simulator events processed by this run's world (deterministic;
+    /// feeds the harness's aggregate events/sec reporting).
+    pub events: u64,
 }
 
 /// A reference-topology scenario: deterministic factory for experiment
@@ -584,7 +590,19 @@ impl Scenario {
     }
 
     /// Like [`Scenario::run_ping`] with explicit direction and trial id.
-    pub fn run_ping_trial(&self, mut cfg: PingConfig, dir: Direction, trial: u64) -> PingReport {
+    pub fn run_ping_trial(&self, cfg: PingConfig, dir: Direction, trial: u64) -> PingReport {
+        self.run_ping_trial_counted(cfg, dir, trial).0
+    }
+
+    /// Like [`Scenario::run_ping_trial`], additionally returning the
+    /// number of simulator events the world processed (for the harness's
+    /// aggregate events/sec reporting).
+    pub fn run_ping_trial_counted(
+        &self,
+        mut cfg: PingConfig,
+        dir: Direction,
+        trial: u64,
+    ) -> (PingReport, u64) {
         let total = cfg.start_after + cfg.interval * cfg.count as u64 + SimDuration::from_secs(1);
         match dir {
             Direction::H1ToH2 => {
@@ -592,22 +610,24 @@ impl Scenario {
                 let mut built =
                     self.build_world(trial, |nic| Pinger::new(nic, cfg), IcmpEchoResponder::new);
                 built.world.run_for(total);
-                built
+                let report = built
                     .world
                     .device::<Pinger>(built.h1)
                     .expect("pinger at h1")
-                    .report()
+                    .report();
+                (report, built.world.events_processed())
             }
             Direction::H2ToH1 => {
                 cfg.dst_ip = H1_IP;
                 let mut built =
                     self.build_world(trial, IcmpEchoResponder::new, |nic| Pinger::new(nic, cfg));
                 built.world.run_for(total);
-                built
+                let report = built
                     .world
                     .device::<Pinger>(built.h2)
                     .expect("pinger at h2")
-                    .report()
+                    .report();
+                (report, built.world.events_processed())
             }
         }
     }
@@ -654,6 +674,7 @@ impl Scenario {
             report,
             sender,
             mbps: report.goodput_bps / 1e6,
+            events: built.world.events_processed(),
         }
     }
 
@@ -707,6 +728,7 @@ impl Scenario {
             report,
             sent,
             offered_bps: rate_bps,
+            events: built.world.events_processed(),
         }
     }
 
@@ -722,15 +744,33 @@ impl Scenario {
         trial_duration: SimDuration,
         final_duration: SimDuration,
     ) -> Option<(u64, UdpReport)> {
-        let threshold = iperf.loss_threshold;
+        self.run_udp_max_rate_counted(dir, iperf, payload_len, trial_duration, final_duration)
+            .0
+    }
+
+    /// Like [`Scenario::run_udp_max_rate`], additionally returning the
+    /// total simulator events processed across the ramp trials and the
+    /// final measurement (for the harness's events/sec reporting).
+    pub fn run_udp_max_rate_counted(
+        &self,
+        dir: Direction,
+        iperf: &IperfConfig,
+        payload_len: usize,
+        trial_duration: SimDuration,
+        final_duration: SimDuration,
+    ) -> (Option<(u64, UdpReport)>, u64) {
+        let mut events = 0u64;
         let best = max_rate_search(iperf, |rate| {
-            self.run_udp(dir, rate, payload_len, trial_duration, rate)
-                .report
-                .loss_fraction
-        })?;
-        let _ = threshold;
+            let out = self.run_udp(dir, rate, payload_len, trial_duration, rate);
+            events += out.events;
+            out.report.loss_fraction
+        });
+        let Some(best) = best else {
+            return (None, events);
+        };
         let outcome = self.run_udp(dir, best, payload_len, final_duration, 0xF1A7);
-        Some((best, outcome.report))
+        events += outcome.events;
+        (Some((best, outcome.report)), events)
     }
 }
 
