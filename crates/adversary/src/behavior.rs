@@ -3,44 +3,12 @@
 use bytes::Bytes;
 use netco_net::{MacAddr, PortId};
 use netco_openflow::FlowMatch;
-use netco_sim::{SimDuration, SimTime};
+use netco_sim::SimDuration;
 
-/// The time span during which a behaviour is active.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ActivationWindow {
-    /// Behaviour starts at this instant.
-    pub from: SimTime,
-    /// Behaviour ends at this instant (`None` = forever).
-    pub until: Option<SimTime>,
-}
-
-impl ActivationWindow {
-    /// Active for the whole simulation.
-    pub fn always() -> ActivationWindow {
-        ActivationWindow {
-            from: SimTime::ZERO,
-            until: None,
-        }
-    }
-
-    /// Active from `from` onwards.
-    pub fn starting_at(from: SimTime) -> ActivationWindow {
-        ActivationWindow { from, until: None }
-    }
-
-    /// Active inside `[from, until)`.
-    pub fn between(from: SimTime, until: SimTime) -> ActivationWindow {
-        ActivationWindow {
-            from,
-            until: Some(until),
-        }
-    }
-
-    /// `true` when the window covers `now`.
-    pub fn contains(&self, now: SimTime) -> bool {
-        now >= self.from && self.until.is_none_or(|u| now < u)
-    }
-}
+/// Re-export: the shared time-span type now lives in `netco-sim`, so the
+/// substrate fault-injection layer ([`netco_net::FaultPlan`]) and the
+/// adversary share one vocabulary of activation windows.
+pub use netco_sim::ActivationWindow;
 
 /// One adversarial behaviour (paper §II attack taxonomy).
 ///
@@ -119,22 +87,4 @@ pub enum Behavior {
         /// Added latency.
         extra: SimDuration,
     },
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn window_semantics() {
-        let w = ActivationWindow::between(SimTime::from_nanos(10), SimTime::from_nanos(20));
-        assert!(!w.contains(SimTime::from_nanos(9)));
-        assert!(w.contains(SimTime::from_nanos(10)));
-        assert!(w.contains(SimTime::from_nanos(19)));
-        assert!(!w.contains(SimTime::from_nanos(20)));
-        assert!(ActivationWindow::always().contains(SimTime::from_nanos(0)));
-        let s = ActivationWindow::starting_at(SimTime::from_nanos(5));
-        assert!(!s.contains(SimTime::from_nanos(4)));
-        assert!(s.contains(SimTime::from_nanos(1_000_000_000)));
-    }
 }

@@ -6,7 +6,8 @@ use std::collections::HashMap;
 
 use super::cache::{CacheEntry, Observed, PacketCache};
 use crate::config::{CompareConfig, Mode};
-use crate::events::SecurityEvent;
+use crate::events::{EventCounts, SecurityEvent};
+use crate::supervisor::{LaneSupervisor, ReplicaStatus};
 
 /// Description of one *lane*: the traffic of one guard attached to the
 /// compare (the paper's compare serves both `s1` and `s2`, whose buffers
@@ -76,6 +77,8 @@ pub struct CompareStats {
     pub unknown_port: u64,
     /// High-water mark of live cache entries across all lanes.
     pub peak_cache_entries: u64,
+    /// Per-kind counters of every [`SecurityEvent`] this compare emitted.
+    pub events: EventCounts,
 }
 
 #[derive(Debug)]
@@ -84,6 +87,9 @@ struct Lane {
     cache: PacketCache,
     consecutive_miss: Vec<u32>,
     alarmed_down: Vec<bool>,
+    /// Self-healing state machine; present when the config carries a
+    /// [`SupervisorConfig`](crate::SupervisorConfig).
+    supervisor: Option<LaneSupervisor>,
 }
 
 /// The NetCo compare: majority voting over per-lane packet caches, with
@@ -132,6 +138,11 @@ impl CompareCore {
             "lane must have exactly k replica ports"
         );
         let k = info.replica_ports.len();
+        let supervisor = self
+            .cfg
+            .supervisor
+            .clone()
+            .map(|sup_cfg| LaneSupervisor::new(sup_cfg, k));
         self.lanes.insert(
             lane,
             Lane {
@@ -139,8 +150,55 @@ impl CompareCore {
                 cache: PacketCache::new(),
                 consecutive_miss: vec![0; k],
                 alarmed_down: vec![false; k],
+                supervisor,
             },
         );
+    }
+
+    /// Replica ports of `lane` currently quarantined by the supervisor
+    /// (empty for unknown lanes or without a supervisor).
+    pub fn quarantined_ports(&self, lane: u16) -> Vec<u16> {
+        let Some(l) = self.lanes.get(&lane) else {
+            return Vec::new();
+        };
+        let Some(sup) = &l.supervisor else {
+            return Vec::new();
+        };
+        l.info
+            .replica_ports
+            .iter()
+            .enumerate()
+            .filter(|&(idx, _)| sup.is_quarantined(idx))
+            .map(|(_, &p)| p)
+            .collect()
+    }
+
+    /// Supervisor status of the replica behind `port` on `lane`
+    /// (`None` for unknown lanes/ports or without a supervisor).
+    pub fn replica_status(&self, lane: u16, port: u16) -> Option<ReplicaStatus> {
+        let l = self.lanes.get(&lane)?;
+        let sup = l.supervisor.as_ref()?;
+        let idx = l.info.replica_ports.iter().position(|&p| p == port)?;
+        Some(sup.status(idx))
+    }
+
+    /// Whether `lane` currently runs with degraded (detection) semantics
+    /// because too few replicas are healthy for prevention.
+    pub fn lane_degraded(&self, lane: u16) -> bool {
+        self.lanes
+            .get(&lane)
+            .and_then(|l| l.supervisor.as_ref())
+            .is_some_and(|s| s.degraded())
+    }
+
+    /// The release quorum currently in force on `lane`: the configured
+    /// [`release_threshold`](CompareConfig::release_threshold) without a
+    /// supervisor, the healthy-set quorum with one.
+    pub fn active_release_threshold(&self, lane: u16) -> usize {
+        match self.lanes.get(&lane).and_then(|l| l.supervisor.as_ref()) {
+            Some(sup) => sup.active_release_threshold(&self.cfg),
+            None => self.cfg.release_threshold(),
+        }
     }
 
     /// Live cache size of a lane (0 for unknown lanes).
@@ -184,6 +242,7 @@ impl CompareCore {
                     lane_id,
                     lane,
                     entry,
+                    now,
                     &mut evict_actions,
                     &mut self.stats,
                 );
@@ -192,10 +251,14 @@ impl CompareCore {
                 lane: lane_id,
                 duration: self.cfg.cleanup_cost_per_entry * n as u64,
             });
-            actions.push(CompareAction::Event(SecurityEvent::CacheCleanup {
-                lane: lane_id,
-                evicted: n,
-            }));
+            Self::emit(
+                &mut self.stats,
+                &mut actions,
+                SecurityEvent::CacheCleanup {
+                    lane: lane_id,
+                    evicted: n,
+                },
+            );
             actions.extend(evict_actions);
         }
 
@@ -211,17 +274,39 @@ impl CompareCore {
                 };
                 if released {
                     self.stats.suppressed_duplicates += 1;
-                } else if distinct >= release_threshold {
-                    if let Some(out) = lane.cache.mark_released(&key) {
-                        self.stats.released += 1;
-                        if !self.cfg.passive {
-                            actions.push(CompareAction::Release {
-                                lane: lane_id,
-                                host_port: lane.info.host_port,
-                                frame: out,
-                            });
-                        } else {
-                            let _ = out;
+                } else {
+                    // Quorum over the healthy set: with quarantined
+                    // replicas, their copies are shadow-compared but do
+                    // not count toward release, and the threshold is
+                    // recomputed over the healthy replicas.
+                    let (effective_distinct, threshold) = match &lane.supervisor {
+                        Some(sup) if sup.any_quarantined() => {
+                            let entry = lane.cache.entry(&key).expect("entry just observed");
+                            let healthy_distinct = lane
+                                .info
+                                .replica_ports
+                                .iter()
+                                .enumerate()
+                                .filter(|&(idx, p)| {
+                                    !sup.is_quarantined(idx) && entry.ports.contains(p)
+                                })
+                                .count();
+                            (healthy_distinct, sup.active_release_threshold(&self.cfg))
+                        }
+                        _ => (distinct, release_threshold),
+                    };
+                    if effective_distinct >= threshold {
+                        if let Some(out) = lane.cache.mark_released(&key) {
+                            self.stats.released += 1;
+                            if !self.cfg.passive {
+                                actions.push(CompareAction::Release {
+                                    lane: lane_id,
+                                    host_port: lane.info.host_port,
+                                    frame: out,
+                                });
+                            } else {
+                                let _ = out;
+                            }
                         }
                     }
                 }
@@ -234,20 +319,43 @@ impl CompareCore {
                     && lane.cache.mark_dos_advised(&key)
                 {
                     self.stats.dos_advices += 1;
-                    actions.push(CompareAction::Event(SecurityEvent::DosSuspected {
-                        lane: lane_id,
-                        port: in_port,
-                        repeats: count,
-                    }));
+                    Self::emit(
+                        &mut self.stats,
+                        &mut actions,
+                        SecurityEvent::DosSuspected {
+                            lane: lane_id,
+                            port: in_port,
+                            repeats: count,
+                        },
+                    );
                     actions.push(CompareAction::BlockReplicaPort {
                         lane: lane_id,
                         port: in_port,
                         duration: self.cfg.block_duration,
                     });
-                    actions.push(CompareAction::Event(SecurityEvent::PortBlocked {
-                        lane: lane_id,
-                        port: in_port,
-                    }));
+                    Self::emit(
+                        &mut self.stats,
+                        &mut actions,
+                        SecurityEvent::PortBlocked {
+                            lane: lane_id,
+                            port: in_port,
+                        },
+                    );
+                    // A DoS alarm is attributable: it strikes the replica.
+                    if let Some(sup) = lane.supervisor.as_mut() {
+                        let mut transitions = Vec::new();
+                        sup.note_strike(
+                            lane_id,
+                            replica_idx,
+                            in_port,
+                            now,
+                            &self.cfg,
+                            &mut transitions,
+                        );
+                        for ev in transitions {
+                            Self::emit(&mut self.stats, &mut actions, ev);
+                        }
+                    }
                 }
             }
         }
@@ -269,12 +377,19 @@ impl CompareCore {
                     lane_id,
                     lane,
                     entry,
+                    now,
                     &mut actions,
                     &mut self.stats,
                 );
             }
         }
         actions
+    }
+
+    /// Counts an event and appends it to the action list.
+    fn emit(stats: &mut CompareStats, actions: &mut Vec<CompareAction>, event: SecurityEvent) {
+        stats.events.note(&event);
+        actions.push(CompareAction::Event(event));
     }
 
     /// Miss/alarm bookkeeping when an entry leaves the cache for good.
@@ -286,6 +401,7 @@ impl CompareCore {
         lane_id: u16,
         lane: &mut Lane,
         entry: CacheEntry,
+        now: SimTime,
         actions: &mut Vec<CompareAction>,
         stats: &mut CompareStats,
     ) {
@@ -295,43 +411,113 @@ impl CompareCore {
         // order (mismatch/single-path event, then liveness events) is
         // unchanged; the buffer allocates nothing in the common quiet case.
         let mut liveness = Vec::new();
+        // Replica indices freshly alarmed down by this entry (they strike).
+        let mut fresh_down = Vec::new();
         for (idx, &port) in lane.info.replica_ports.iter().enumerate() {
             if entry.ports.contains(&port) {
                 lane.consecutive_miss[idx] = 0;
                 if lane.alarmed_down[idx] {
                     lane.alarmed_down[idx] = false;
-                    liveness.push(CompareAction::Event(SecurityEvent::ReplicaRecovered {
+                    let ev = SecurityEvent::ReplicaRecovered {
                         lane: lane_id,
                         port,
-                    }));
+                    };
+                    stats.events.note(&ev);
+                    liveness.push(CompareAction::Event(ev));
                 }
             } else {
                 lane.consecutive_miss[idx] += 1;
                 if lane.consecutive_miss[idx] >= cfg.miss_alarm_threshold && !lane.alarmed_down[idx]
                 {
                     lane.alarmed_down[idx] = true;
-                    liveness.push(CompareAction::Event(SecurityEvent::ReplicaSuspectedDown {
+                    fresh_down.push(idx);
+                    let ev = SecurityEvent::ReplicaSuspectedDown {
                         lane: lane_id,
                         port,
-                    }));
+                    };
+                    stats.events.note(&ev);
+                    liveness.push(CompareAction::Event(ev));
+                }
+            }
+        }
+        // Supervisor pass (reads the port list before it is moved into the
+        // primary event below): strikes from attributable alarms, shadow
+        // agreement bookkeeping for quarantined replicas.
+        let mut transitions = Vec::new();
+        if let Some(sup) = lane.supervisor.as_mut() {
+            if !entry.released {
+                // This entry expired unreleased: every port that delivered
+                // it is a single-path suspect and strikes (for quarantined
+                // replicas the strike resets their probation streak).
+                for (idx, &port) in lane.info.replica_ports.iter().enumerate() {
+                    if entry.ports.contains(&port) {
+                        sup.note_strike(lane_id, idx, port, now, cfg, &mut transitions);
+                    }
+                }
+            }
+            for &idx in &fresh_down {
+                let port = lane.info.replica_ports[idx];
+                sup.note_strike(lane_id, idx, port, now, cfg, &mut transitions);
+            }
+            if entry.released {
+                // The released bytes are the healthy majority's verdict:
+                // a quarantined replica's shadow copy either matched it
+                // (it shares the entry) or went missing/diverged.
+                for (idx, &port) in lane.info.replica_ports.iter().enumerate() {
+                    if !sup.is_quarantined(idx) {
+                        continue;
+                    }
+                    if entry.ports.contains(&port) {
+                        sup.note_shadow_agreement(lane_id, idx, port, now, &mut transitions);
+                    } else {
+                        sup.note_shadow_disagreement(idx);
+                    }
                 }
             }
         }
         if entry.released {
-            if cfg.mode == Mode::Detect && entry.distinct_ports() < cfg.k {
-                actions.push(CompareAction::Event(SecurityEvent::DetectionMismatch {
-                    lane: lane_id,
-                    delivering_ports: entry.ports,
-                }));
+            // Mismatch accounting runs against the semantics currently in
+            // force: the healthy set and, for degraded prevention lanes,
+            // detection-mode expectations.
+            let (active_mode, expected) = match &lane.supervisor {
+                Some(sup) => (sup.active_mode(cfg), sup.healthy_count()),
+                None => (cfg.mode, cfg.k),
+            };
+            let healthy_delivered = match &lane.supervisor {
+                Some(sup) if sup.any_quarantined() => lane
+                    .info
+                    .replica_ports
+                    .iter()
+                    .enumerate()
+                    .filter(|&(idx, p)| !sup.is_quarantined(idx) && entry.ports.contains(p))
+                    .count(),
+                _ => entry.distinct_ports(),
+            };
+            if active_mode == Mode::Detect && healthy_delivered < expected {
+                Self::emit(
+                    stats,
+                    actions,
+                    SecurityEvent::DetectionMismatch {
+                        lane: lane_id,
+                        delivering_ports: entry.ports,
+                    },
+                );
             }
         } else {
             stats.expired_unreleased += 1;
-            actions.push(CompareAction::Event(SecurityEvent::SinglePathPacket {
-                lane: lane_id,
-                suspect_ports: entry.ports,
-            }));
+            Self::emit(
+                stats,
+                actions,
+                SecurityEvent::SinglePathPacket {
+                    lane: lane_id,
+                    suspect_ports: entry.ports,
+                },
+            );
         }
         actions.extend(liveness);
+        for ev in transitions {
+            Self::emit(stats, actions, ev);
+        }
     }
 }
 
@@ -686,6 +872,135 @@ mod tests {
                 proptest::prop_assert_eq!(fp.cache_len(0), oracle.cache_len(0));
             }
         }
+    }
+
+    #[test]
+    fn supervisor_full_cycle_quarantine_degrade_probation_readmit_restore() {
+        use crate::supervisor::SupervisorConfig;
+        let mut cfg = CompareConfig::prevent(3)
+            .with_hold_time(SimDuration::from_millis(1))
+            .with_supervisor(
+                SupervisorConfig::default()
+                    .with_quarantine_strikes(1)
+                    .with_probation_delay(SimDuration::from_millis(5))
+                    .with_readmit_streak(3),
+            );
+        cfg.miss_alarm_threshold = 2;
+        let mut c = CompareCore::new(cfg);
+        c.attach_lane(
+            0,
+            LaneInfo {
+                replica_ports: vec![1, 2, 3],
+                host_port: 9,
+            },
+        );
+        let mut events = Vec::new();
+        let mut t = SimTime::ZERO;
+        fn drive(events: &mut Vec<SecurityEvent>, actions: Vec<CompareAction>) {
+            for a in actions {
+                if let CompareAction::Event(e) = a {
+                    events.push(e);
+                }
+            }
+        }
+
+        // Phase 1: replica 3 goes silent. Two expired entries without its
+        // copy hit miss_alarm_threshold → down alarm → strike → quarantine
+        // → degraded (healthy 2 < 3).
+        for i in 0..2u8 {
+            drive(&mut events, c.observe(0, 1, pkt(i), t));
+            drive(&mut events, c.observe(0, 2, pkt(i), t));
+            t += SimDuration::from_millis(2);
+            drive(&mut events, c.sweep(t));
+        }
+        assert_eq!(c.quarantined_ports(0), vec![3]);
+        assert!(c.lane_degraded(0));
+        assert_eq!(c.active_release_threshold(0), 1);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SecurityEvent::ReplicaQuarantined { port: 3, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SecurityEvent::ModeDegraded { healthy: 2, .. })));
+
+        // Phase 2: degraded detection — one healthy copy releases at once,
+        // while a copy from the quarantined port alone never releases.
+        let a = c.observe(0, 1, pkt(10), t);
+        assert_eq!(
+            releases(&a),
+            1,
+            "degraded lane releases on first healthy copy"
+        );
+        drive(&mut events, a);
+        drive(&mut events, c.observe(0, 2, pkt(10), t));
+        let a = c.observe(0, 3, pkt(11), t);
+        assert_eq!(releases(&a), 0, "quarantined copies never win the quorum");
+        drive(&mut events, a);
+        t += SimDuration::from_millis(2);
+        drive(&mut events, c.sweep(t)); // expires both; pkt(11) single-path
+
+        // Phase 3: replica 3 returns; agreeing shadow copies past the
+        // probation gate rebuild trust and re-admit it. (The first round
+        // sweeps before the probation window opens and does not count.)
+        for i in 20..24u8 {
+            drive(&mut events, c.observe(0, 1, pkt(i), t));
+            drive(&mut events, c.observe(0, 2, pkt(i), t));
+            drive(&mut events, c.observe(0, 3, pkt(i), t));
+            t += SimDuration::from_millis(2);
+            drive(&mut events, c.sweep(t));
+        }
+        assert!(c.quarantined_ports(0).is_empty());
+        assert!(!c.lane_degraded(0));
+        assert_eq!(c.active_release_threshold(0), 2);
+        let order: Vec<usize> = [
+            events
+                .iter()
+                .position(|e| matches!(e, SecurityEvent::ReplicaQuarantined { .. })),
+            events
+                .iter()
+                .position(|e| matches!(e, SecurityEvent::ModeDegraded { .. })),
+            events
+                .iter()
+                .position(|e| matches!(e, SecurityEvent::ReplicaProbation { .. })),
+            events
+                .iter()
+                .position(|e| matches!(e, SecurityEvent::ReplicaReadmitted { .. })),
+            events
+                .iter()
+                .position(|e| matches!(e, SecurityEvent::ModeRestored { .. })),
+        ]
+        .into_iter()
+        .map(|p| p.expect("every lifecycle event fired"))
+        .collect();
+        assert!(
+            order.windows(2).all(|w| w[0] < w[1]),
+            "lifecycle order quarantine→degrade→probation→readmit→restore, got {order:?}"
+        );
+        let counts = c.stats().events;
+        assert_eq!(counts.quarantines, 1);
+        assert_eq!(counts.degradations, 1);
+        assert_eq!(counts.probations, 1);
+        assert_eq!(counts.readmissions, 1);
+        assert_eq!(counts.restorations, 1);
+        assert!(counts.alarms() >= 1);
+    }
+
+    #[test]
+    fn event_counts_track_emitted_events() {
+        let mut c = core(3);
+        let t = SimTime::ZERO;
+        c.observe(0, 2, pkt(7), t);
+        c.sweep(t + SimDuration::from_millis(10));
+        assert_eq!(c.stats().events.single_path, 1);
+        assert_eq!(c.stats().events.alarms(), 1);
+        // DoS repeats: DosSuspected + PortBlocked counted.
+        let mut c = core(3);
+        c.observe(0, 1, pkt(1), t);
+        for _ in 0..40 {
+            c.observe(0, 1, pkt(1), t);
+        }
+        assert_eq!(c.stats().events.dos_suspected, 1);
+        assert_eq!(c.stats().events.port_blocked, 1);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use netco_sim::SimDuration;
 
 use crate::compare::CompareStrategy;
+use crate::supervisor::SupervisorConfig;
 
 /// What the combiner guarantees against misbehaving replicas.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,9 +65,19 @@ pub struct CompareConfig {
     /// Modeled processing pause per entry evicted by a cleanup sweep.
     pub cleanup_cost_per_entry: SimDuration,
     /// Copies of one packet on one ingress port before the compare advises
-    /// blocking that port (DoS containment, §IV case 2).
+    /// blocking that port (DoS containment, §IV case 2). A port block is
+    /// one remediation among several: with a [`supervisor`] attached, the
+    /// same `DosSuspected` alarm also counts as a quarantine strike
+    /// ([`SupervisorConfig::quarantine_strikes`]), so a persistently
+    /// repeating replica is eventually excluded from the quorum rather
+    /// than merely rate-limited.
+    ///
+    /// [`supervisor`]: CompareConfig::supervisor
     pub dos_repeat_threshold: u8,
-    /// How long an advised port block lasts.
+    /// How long an advised port block lasts. Blocks are temporary by
+    /// design; the [`supervisor`](CompareConfig::supervisor) provides the
+    /// durable remediation (quarantine with probation-gated re-admission)
+    /// when a replica keeps misbehaving after its blocks expire.
     pub block_duration: SimDuration,
     /// Consecutive packets missing from a replica before the replica is
     /// reported down (§IV case 3).
@@ -75,6 +86,9 @@ pub struct CompareConfig {
     /// the §IX *sampling* deployment, where the data path forwards packets
     /// directly and the compare only screens a sampled subset.
     pub passive: bool,
+    /// Self-healing supervisor (quarantine, adaptive quorum, probation).
+    /// `None` (the default) keeps the paper's alarm-only behaviour.
+    pub supervisor: Option<SupervisorConfig>,
 }
 
 impl CompareConfig {
@@ -113,6 +127,7 @@ impl CompareConfig {
             block_duration: SimDuration::from_millis(500),
             miss_alarm_threshold: 64,
             passive: false,
+            supervisor: None,
         }
     }
 
@@ -131,6 +146,12 @@ impl CompareConfig {
     /// Builder: sets the cache capacity.
     pub fn with_cache_capacity(mut self, entries: usize) -> CompareConfig {
         self.cache_capacity = entries;
+        self
+    }
+
+    /// Builder: attaches a self-healing supervisor.
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> CompareConfig {
+        self.supervisor = Some(supervisor);
         self
     }
 

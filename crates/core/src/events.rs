@@ -66,6 +66,110 @@ pub enum SecurityEvent {
         /// Entries evicted.
         evicted: usize,
     },
+    /// The supervisor quarantined a replica after repeated attributable
+    /// alarms: its copies are shadow-compared but excluded from the quorum.
+    ReplicaQuarantined {
+        /// The lane concerned.
+        lane: u16,
+        /// The quarantined replica port.
+        port: u16,
+        /// Strikes accumulated when the quarantine triggered.
+        strikes: u32,
+    },
+    /// A quarantined replica's probation window opened: agreeing shadow
+    /// copies now count toward re-admission.
+    ReplicaProbation {
+        /// The lane concerned.
+        lane: u16,
+        /// The replica port on probation.
+        port: u16,
+    },
+    /// A quarantined replica delivered enough consecutive agreeing shadow
+    /// copies and was re-admitted to the quorum.
+    ReplicaReadmitted {
+        /// The lane concerned.
+        lane: u16,
+        /// The re-admitted replica port.
+        port: u16,
+    },
+    /// Too few healthy replicas remain for prevention: the lane degraded
+    /// to detection semantics (first copy released, alarms on mismatch)
+    /// instead of stalling traffic.
+    ModeDegraded {
+        /// The lane concerned.
+        lane: u16,
+        /// Healthy replicas remaining.
+        healthy: usize,
+    },
+    /// Enough replicas were re-admitted: the lane restored its configured
+    /// prevention semantics.
+    ModeRestored {
+        /// The lane concerned.
+        lane: u16,
+        /// Healthy replicas now.
+        healthy: usize,
+    },
+}
+
+/// Per-kind counters of emitted [`SecurityEvent`]s, embedded in
+/// [`CompareStats`](crate::CompareStats): a cheap always-on summary of
+/// what the compare alarmed on and how the supervisor reacted, without
+/// replaying the event log.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// [`SecurityEvent::SinglePathPacket`] alarms.
+    pub single_path: u64,
+    /// [`SecurityEvent::DetectionMismatch`] alarms.
+    pub detection_mismatch: u64,
+    /// [`SecurityEvent::DosSuspected`] alarms.
+    pub dos_suspected: u64,
+    /// [`SecurityEvent::PortBlocked`] containment actions.
+    pub port_blocked: u64,
+    /// [`SecurityEvent::ReplicaSuspectedDown`] alarms.
+    pub replica_suspected_down: u64,
+    /// [`SecurityEvent::ReplicaRecovered`] notices.
+    pub replica_recovered: u64,
+    /// [`SecurityEvent::CacheCleanup`] performance events.
+    pub cache_cleanup: u64,
+    /// [`SecurityEvent::ReplicaQuarantined`] supervisor actions.
+    pub quarantines: u64,
+    /// [`SecurityEvent::ReplicaProbation`] supervisor transitions.
+    pub probations: u64,
+    /// [`SecurityEvent::ReplicaReadmitted`] supervisor transitions.
+    pub readmissions: u64,
+    /// [`SecurityEvent::ModeDegraded`] supervisor transitions.
+    pub degradations: u64,
+    /// [`SecurityEvent::ModeRestored`] supervisor transitions.
+    pub restorations: u64,
+}
+
+impl EventCounts {
+    /// Counts one event.
+    pub fn note(&mut self, event: &SecurityEvent) {
+        match event {
+            SecurityEvent::SinglePathPacket { .. } => self.single_path += 1,
+            SecurityEvent::DetectionMismatch { .. } => self.detection_mismatch += 1,
+            SecurityEvent::DosSuspected { .. } => self.dos_suspected += 1,
+            SecurityEvent::PortBlocked { .. } => self.port_blocked += 1,
+            SecurityEvent::ReplicaSuspectedDown { .. } => self.replica_suspected_down += 1,
+            SecurityEvent::ReplicaRecovered { .. } => self.replica_recovered += 1,
+            SecurityEvent::CacheCleanup { .. } => self.cache_cleanup += 1,
+            SecurityEvent::ReplicaQuarantined { .. } => self.quarantines += 1,
+            SecurityEvent::ReplicaProbation { .. } => self.probations += 1,
+            SecurityEvent::ReplicaReadmitted { .. } => self.readmissions += 1,
+            SecurityEvent::ModeDegraded { .. } => self.degradations += 1,
+            SecurityEvent::ModeRestored { .. } => self.restorations += 1,
+        }
+    }
+
+    /// Total alarms raised (misbehaviour evidence, not supervisor
+    /// transitions or performance events).
+    pub fn alarms(&self) -> u64 {
+        self.single_path
+            + self.detection_mismatch
+            + self.dos_suspected
+            + self.replica_suspected_down
+    }
 }
 
 impl fmt::Display for SecurityEvent {
@@ -105,6 +209,31 @@ impl fmt::Display for SecurityEvent {
             SecurityEvent::CacheCleanup { lane, evicted } => {
                 write!(f, "lane {lane}: cache cleanup evicted {evicted} entries")
             }
+            SecurityEvent::ReplicaQuarantined {
+                lane,
+                port,
+                strikes,
+            } => write!(
+                f,
+                "lane {lane}: replica on port {port} quarantined after {strikes} strike(s)"
+            ),
+            SecurityEvent::ReplicaProbation { lane, port } => {
+                write!(f, "lane {lane}: replica on port {port} entered probation")
+            }
+            SecurityEvent::ReplicaReadmitted { lane, port } => {
+                write!(
+                    f,
+                    "lane {lane}: replica on port {port} re-admitted to quorum"
+                )
+            }
+            SecurityEvent::ModeDegraded { lane, healthy } => write!(
+                f,
+                "lane {lane}: degraded to detection ({healthy} healthy replica(s))"
+            ),
+            SecurityEvent::ModeRestored { lane, healthy } => write!(
+                f,
+                "lane {lane}: prevention restored ({healthy} healthy replicas)"
+            ),
         }
     }
 }

@@ -49,6 +49,7 @@ mod events;
 mod guard;
 mod hub;
 mod pox;
+mod supervisor;
 pub mod virtualized;
 
 pub use compare::{
@@ -57,7 +58,8 @@ pub use compare::{
 };
 pub use config::{CombinerConfig, CompareConfig, ComparePlacement, Mode};
 pub use encap::{of_unwrap, of_wrap, NETCO_ETHERTYPE};
-pub use events::SecurityEvent;
+pub use events::{EventCounts, SecurityEvent};
 pub use guard::{CompareAttachment, GuardConfig, GuardStats, GuardSwitch};
 pub use hub::Hub;
 pub use pox::PoxCompareApp;
+pub use supervisor::{LaneSupervisor, ReplicaStatus, SupervisorConfig};

@@ -1,0 +1,177 @@
+//! Scripted, deterministic fault injection for the substrate.
+//!
+//! Availability experiments used to hand-roll timelines of
+//! [`World::set_link_enabled`](crate::World::set_link_enabled) calls
+//! interleaved with `run_until`. A [`FaultPlan`] replaces those timelines
+//! with a declarative, seedable script that a scenario attaches once before
+//! the run starts:
+//!
+//! * **Outages** — a link goes down for an [`ActivationWindow`] and (if the
+//!   window is bounded) comes back up, modelling a crash–recovery cycle.
+//! * **Flaps** — repeated down/up cycles, the classic misbehaving optic.
+//! * **Loss** — each frame entering the link inside the window is dropped
+//!   independently with a fixed probability.
+//! * **Corruption** — each frame inside the window has one bit flipped with
+//!   a fixed probability (NetCo's compare detects the mismatch downstream).
+//!
+//! Probabilistic faults draw from a dedicated per-link RNG derived from
+//! [`FaultPlan::seed`], **not** from the world RNG — injecting faults never
+//! perturbs CPU-jitter or workload streams, so a faulty run differs from a
+//! clean run only where the faults actually bite. Scheduled state changes
+//! ride the ordinary event queue ([`World::schedule_link_state`]), keeping
+//! runs bit-for-bit reproducible.
+//!
+//! [`World::schedule_link_state`]: crate::World::schedule_link_state
+
+use netco_sim::{ActivationWindow, SimDuration, SimTime};
+
+use crate::id::LinkId;
+
+/// One scripted impairment, independent of the link it applies to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Hard outage: the link is down for the whole window (forever when the
+    /// window is unbounded), then comes back up.
+    Outage(ActivationWindow),
+    /// Repeated down/up cycles: down at `first_down`, up `down_for` later,
+    /// down again `up_for` after that, for `cycles` total cycles.
+    Flaps {
+        /// Start of the first outage.
+        first_down: SimTime,
+        /// Length of each outage.
+        down_for: SimDuration,
+        /// Healthy gap between consecutive outages.
+        up_for: SimDuration,
+        /// Number of down/up cycles (0 = no-op).
+        cycles: u32,
+    },
+    /// Intermittent loss: while the window is active, each frame entering
+    /// the link is dropped with `probability`.
+    Loss {
+        /// Per-frame drop probability in `[0, 1]`.
+        probability: f64,
+        /// When the impairment is active.
+        window: ActivationWindow,
+    },
+    /// Intermittent corruption: while the window is active, each frame has
+    /// one bit of a random byte flipped with `probability`.
+    Corrupt {
+        /// Per-frame corruption probability in `[0, 1]`.
+        probability: f64,
+        /// When the impairment is active.
+        window: ActivationWindow,
+    },
+}
+
+/// A [`FaultKind`] bound to the link it impairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// The impaired link.
+    pub link: LinkId,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A deterministic script of substrate faults for one run.
+///
+/// Build with the chained helpers and hand the finished plan to
+/// [`World::apply_fault_plan`](crate::World::apply_fault_plan) before the
+/// run starts.
+///
+/// # Example
+///
+/// ```
+/// use netco_net::{FaultPlan, LinkSpec, World};
+/// use netco_net::testutil::{CollectorDevice, EchoDevice};
+/// use netco_sim::{ActivationWindow, SimDuration, SimTime};
+///
+/// let mut w = World::new(1);
+/// let a = w.add_node("a", EchoDevice::default(), Default::default());
+/// let b = w.add_node("b", CollectorDevice::default(), Default::default());
+/// let link = w.connect(a, 0.into(), b, 0.into(), LinkSpec::ideal());
+/// let plan = FaultPlan::new(42).outage(
+///     link,
+///     ActivationWindow::between(SimTime::ZERO, SimTime::from_nanos(1_000)),
+/// );
+/// w.apply_fault_plan(&plan);
+/// w.inject_frame(a, 0.into(), bytes::Bytes::from_static(b"dropped"));
+/// w.run_for(SimDuration::from_micros(10));
+/// assert_eq!(w.device::<CollectorDevice>(b).unwrap().frames.len(), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the probabilistic impairments (loss/corruption). Separate
+    /// from the world seed so fault randomness never perturbs other streams.
+    pub seed: u64,
+    /// The scripted faults, applied in order.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan drawing probabilistic faults from `seed`.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds an arbitrary fault.
+    pub fn with(mut self, link: LinkId, kind: FaultKind) -> FaultPlan {
+        self.faults.push(FaultSpec { link, kind });
+        self
+    }
+
+    /// Adds a hard outage over `window`.
+    pub fn outage(self, link: LinkId, window: ActivationWindow) -> FaultPlan {
+        self.with(link, FaultKind::Outage(window))
+    }
+
+    /// Adds `cycles` down/up flaps starting at `first_down`.
+    pub fn flaps(
+        self,
+        link: LinkId,
+        first_down: SimTime,
+        down_for: SimDuration,
+        up_for: SimDuration,
+        cycles: u32,
+    ) -> FaultPlan {
+        self.with(
+            link,
+            FaultKind::Flaps {
+                first_down,
+                down_for,
+                up_for,
+                cycles,
+            },
+        )
+    }
+
+    /// Adds intermittent loss with the given per-frame probability.
+    pub fn loss(self, link: LinkId, probability: f64, window: ActivationWindow) -> FaultPlan {
+        self.with(
+            link,
+            FaultKind::Loss {
+                probability,
+                window,
+            },
+        )
+    }
+
+    /// Adds intermittent single-bit corruption with the given per-frame
+    /// probability.
+    pub fn corrupt(self, link: LinkId, probability: f64, window: ActivationWindow) -> FaultPlan {
+        self.with(
+            link,
+            FaultKind::Corrupt {
+                probability,
+                window,
+            },
+        )
+    }
+
+    /// `true` when the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}

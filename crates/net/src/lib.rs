@@ -37,6 +37,7 @@
 
 mod cpu;
 mod device;
+mod fault;
 mod host;
 mod id;
 mod link;
@@ -47,6 +48,7 @@ mod world;
 
 pub use cpu::CpuModel;
 pub use device::{Ctx, Device};
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use host::{HostNic, NeighborTable};
 pub use id::{LinkId, MacAddr, NodeId, PortId};
 pub use link::LinkSpec;

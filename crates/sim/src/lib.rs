@@ -37,6 +37,7 @@ mod log;
 mod rng;
 mod scheduler;
 mod time;
+mod window;
 
 pub use log::{EventLog, Timestamped};
 pub use rng::SimRng;
@@ -44,3 +45,4 @@ pub use rng::SimRng;
 pub use scheduler::baseline;
 pub use scheduler::Scheduler;
 pub use time::{SimDuration, SimTime};
+pub use window::ActivationWindow;

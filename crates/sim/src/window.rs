@@ -1,0 +1,63 @@
+//! Activation windows: half-open simulated-time spans.
+
+use crate::SimTime;
+
+/// The time span during which something (an adversarial behaviour, an
+/// injected fault, a probabilistic link impairment) is active.
+///
+/// Lives in `netco-sim` so both the adversary layer (scripted attack
+/// behaviours) and the substrate fault-injection layer (link outages,
+/// loss/corruption windows) share one vocabulary of time spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivationWindow {
+    /// Behaviour starts at this instant.
+    pub from: SimTime,
+    /// Behaviour ends at this instant (`None` = forever).
+    pub until: Option<SimTime>,
+}
+
+impl ActivationWindow {
+    /// Active for the whole simulation.
+    pub fn always() -> ActivationWindow {
+        ActivationWindow {
+            from: SimTime::ZERO,
+            until: None,
+        }
+    }
+
+    /// Active from `from` onwards.
+    pub fn starting_at(from: SimTime) -> ActivationWindow {
+        ActivationWindow { from, until: None }
+    }
+
+    /// Active inside `[from, until)`.
+    pub fn between(from: SimTime, until: SimTime) -> ActivationWindow {
+        ActivationWindow {
+            from,
+            until: Some(until),
+        }
+    }
+
+    /// `true` when the window covers `now`.
+    pub fn contains(&self, now: SimTime) -> bool {
+        now >= self.from && self.until.is_none_or(|u| now < u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_semantics() {
+        let w = ActivationWindow::between(SimTime::from_nanos(10), SimTime::from_nanos(20));
+        assert!(!w.contains(SimTime::from_nanos(9)));
+        assert!(w.contains(SimTime::from_nanos(10)));
+        assert!(w.contains(SimTime::from_nanos(19)));
+        assert!(!w.contains(SimTime::from_nanos(20)));
+        assert!(ActivationWindow::always().contains(SimTime::from_nanos(0)));
+        let s = ActivationWindow::starting_at(SimTime::from_nanos(5));
+        assert!(!s.contains(SimTime::from_nanos(4)));
+        assert!(s.contains(SimTime::from_nanos(1_000_000_000)));
+    }
+}

@@ -24,6 +24,7 @@ mod reference;
 pub mod virtual_netco;
 
 pub use fattree::{ExtraRules, FatTree, FatTreeIndex, FatTreeOptions, InertHost, SwitchRole};
+pub use netco_net::{FaultKind, FaultPlan, FaultSpec};
 pub use profile::Profile;
 pub use reference::{
     AdversarySpec, BuiltScenario, Direction, Scenario, ScenarioKind, TcpRunOutcome, UdpRunOutcome,

@@ -7,9 +7,11 @@ use netco_adversary::MaliciousSwitch;
 use netco_controller::Controller;
 use netco_core::{
     Compare, CompareAttachment, CompareConfig, CompareStrategy, GuardConfig, GuardSwitch, LaneInfo,
-    PoxCompareApp,
+    PoxCompareApp, SupervisorConfig,
 };
-use netco_net::{Device, HostNic, LinkId, MacAddr, NeighborTable, NodeId, PortId, World};
+use netco_net::{
+    Device, FaultKind, FaultPlan, HostNic, LinkId, MacAddr, NeighborTable, NodeId, PortId, World,
+};
 use netco_openflow::{Action, FlowEntry, FlowMatch, OfPort, OfSwitch, SwitchConfig};
 use netco_sim::SimDuration;
 use netco_traffic::{
@@ -175,6 +177,10 @@ pub struct Scenario {
     strategy: Option<CompareStrategy>,
     adversary: Option<AdversarySpec>,
     sampling: Option<f64>,
+    supervisor: Option<SupervisorConfig>,
+    miss_alarm_threshold: Option<u32>,
+    replica_faults: Vec<(usize, FaultKind)>,
+    fault_seed: Option<u64>,
 }
 
 /// Replaces one replica router with a malicious one.
@@ -196,6 +202,10 @@ impl Scenario {
             strategy: None,
             adversary: None,
             sampling: None,
+            supervisor: None,
+            miss_alarm_threshold: None,
+            replica_faults: Vec::new(),
+            fault_seed: None,
         }
     }
 
@@ -231,6 +241,48 @@ impl Scenario {
         self
     }
 
+    /// Attaches the self-healing supervisor (quarantine, adaptive quorum,
+    /// probation-gated re-admission) to every compare in the scenario.
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> Scenario {
+        self.supervisor = Some(supervisor);
+        self
+    }
+
+    /// Overrides the compare's consecutive-miss threshold before a replica
+    /// is reported down (useful to make liveness alarms trip within short
+    /// chaos experiments).
+    pub fn with_miss_alarm_threshold(mut self, misses: u32) -> Scenario {
+        self.miss_alarm_threshold = Some(misses);
+        self
+    }
+
+    /// Schedules a substrate fault against one replica's path: `kind` is
+    /// applied to **both** of the replica's links (`s1`-side and
+    /// `s2`-side), so an [`FaultKind::Outage`] models a full crash and
+    /// [`FaultKind::Flaps`] a crash–recovery cycle. Replaces hand-rolled
+    /// `set_link_enabled` timelines.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `replica_index` is out of range for the scenario kind.
+    pub fn with_replica_fault(mut self, replica_index: usize, kind: FaultKind) -> Scenario {
+        assert!(
+            replica_index < self.kind.k(),
+            "replica index {replica_index} out of range for {}",
+            self.kind
+        );
+        self.replica_faults.push((replica_index, kind));
+        self
+    }
+
+    /// Overrides the seed feeding probabilistic faults (loss/corruption).
+    /// Defaults to the world seed of each trial; setting it decouples the
+    /// fault dice from the scenario seed.
+    pub fn with_fault_seed(mut self, seed: u64) -> Scenario {
+        self.fault_seed = Some(seed);
+        self
+    }
+
     /// Corrupts one replica with scripted behaviours.
     ///
     /// # Panics
@@ -261,6 +313,10 @@ impl Scenario {
         if let Some(s) = self.strategy {
             cfg.strategy = s;
         }
+        if let Some(m) = self.miss_alarm_threshold {
+            cfg.miss_alarm_threshold = m;
+        }
+        cfg.supervisor = self.supervisor.clone();
         cfg
     }
 
@@ -327,7 +383,7 @@ impl Scenario {
         let h2 = world.add_node("h2", make2(n2), p.host_cpu.clone());
 
         let k = self.kind.k();
-        match self.kind {
+        let mut built = match self.kind {
             ScenarioKind::Linespeed => {
                 let mut s1 = OfSwitch::new(SwitchConfig::with_datapath_id(1));
                 s1.preinstall(FlowEntry::new(
@@ -529,7 +585,16 @@ impl Scenario {
                     replica_links,
                 }
             }
+        };
+        if !self.replica_faults.is_empty() {
+            let mut plan = FaultPlan::new(self.fault_seed.unwrap_or(seed));
+            for (idx, kind) in &self.replica_faults {
+                let (l1, l2) = built.replica_links[*idx];
+                plan = plan.with(l1, kind.clone()).with(l2, kind.clone());
+            }
+            built.world.apply_fault_plan(&plan);
         }
+        built
     }
 
     /// Adds the `k` replica routers and wires them between `s1` and `s2`

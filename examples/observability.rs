@@ -1,17 +1,19 @@
 //! The paper's two screening methods as reusable tools: a tcpdump-style
 //! trace ([`TraceRecorder`]) and periodic flow-counter polling
 //! ([`FlowStatsMonitor`]) — here watching a combiner under a mirroring
-//! attack.
+//! attack — plus the self-healing supervisor's quarantine timeline under
+//! a scripted flapping replica.
 //!
 //! Run with: `cargo run --example observability`
 
 use netco_adversary::{ActivationWindow, Behavior};
 use netco_controller::apps::FlowStatsMonitor;
 use netco_controller::Controller;
+use netco_core::{Compare, SecurityEvent, SupervisorConfig};
 use netco_net::{CpuModel, PortId, TraceRecorder};
 use netco_openflow::{FlowMatch, OfSwitch};
-use netco_sim::SimDuration;
-use netco_topo::{AdversarySpec, Profile, Scenario, ScenarioKind, H2_IP};
+use netco_sim::{SimDuration, SimTime};
+use netco_topo::{AdversarySpec, FaultKind, Profile, Scenario, ScenarioKind, H2_IP};
 use netco_traffic::{IcmpEchoResponder, PingConfig, Pinger};
 
 fn main() {
@@ -92,4 +94,84 @@ fn main() {
     for e in trace.received_at(compare).iter().rev().take(3).rev() {
         println!("  [{}] {}", e.at, e.summary);
     }
+
+    quarantine_timeline();
+}
+
+/// Screening method 3: the supervisor's own event log. A flapping replica
+/// is quarantined, the lane degrades to detection, and after probation the
+/// replica is re-admitted — all visible as timestamped security events.
+fn quarantine_timeline() {
+    let at_ms = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+    let scenario = Scenario::build(ScenarioKind::Central3, Profile::functional(), 33)
+        .with_miss_alarm_threshold(3)
+        .with_supervisor(
+            SupervisorConfig::default()
+                .with_quarantine_strikes(1)
+                .with_probation_delay(SimDuration::from_millis(50))
+                .with_readmit_streak(4)
+                .with_escalation_cap(2),
+        )
+        .with_replica_fault(
+            1,
+            FaultKind::Flaps {
+                first_down: at_ms(150),
+                down_for: SimDuration::from_millis(100),
+                up_for: SimDuration::from_millis(150),
+                cycles: 3,
+            },
+        );
+    let mut built = scenario.build_world(
+        0,
+        |nic| {
+            Pinger::new(
+                nic,
+                PingConfig::new(H2_IP)
+                    .with_count(100)
+                    .with_interval(SimDuration::from_millis(10)),
+            )
+        },
+        IcmpEchoResponder::new,
+    );
+    built.world.run_for(SimDuration::from_secs(2));
+
+    let report = built.world.device::<Pinger>(built.h1).unwrap().report();
+    println!("\nquarantine timeline (r2 flaps 3×, supervisor attached):");
+    println!(
+        "  pings          : {}/{}",
+        report.received, report.transmitted
+    );
+    let compare = built
+        .world
+        .device::<Compare>(built.compare.unwrap())
+        .unwrap();
+    for e in compare.events().iter() {
+        let interesting = matches!(
+            e.record,
+            SecurityEvent::ReplicaQuarantined { .. }
+                | SecurityEvent::ReplicaProbation { .. }
+                | SecurityEvent::ReplicaReadmitted { .. }
+                | SecurityEvent::ModeDegraded { .. }
+                | SecurityEvent::ModeRestored { .. }
+        );
+        if interesting {
+            println!("  [{:>7.3} ms] {}", e.at.as_nanos() as f64 / 1e6, e.record);
+        }
+    }
+
+    let counts = compare.stats().events;
+    println!("\nper-kind event counters:");
+    println!("  single-path alarms     : {}", counts.single_path);
+    println!("  detection mismatches   : {}", counts.detection_mismatch);
+    println!(
+        "  replica-down alarms    : {}",
+        counts.replica_suspected_down
+    );
+    println!("  replica recoveries     : {}", counts.replica_recovered);
+    println!("  quarantines            : {}", counts.quarantines);
+    println!("  probations             : {}", counts.probations);
+    println!("  re-admissions          : {}", counts.readmissions);
+    println!("  degradations           : {}", counts.degradations);
+    println!("  restorations           : {}", counts.restorations);
+    println!("  total alarms           : {}", counts.alarms());
 }

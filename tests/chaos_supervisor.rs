@@ -1,0 +1,154 @@
+//! The PR-3 chaos acceptance scenario: replica `r2` flaps three times
+//! during a 100-ping Central3 run while the self-healing supervisor is
+//! attached. Service must stay at 100/100, the supervisor event log must
+//! show the full quarantine → degrade → probation → re-admit → restore
+//! cycle, and the whole run must be bit-identical across reruns of the
+//! same seed.
+
+use std::fmt::Write as _;
+
+use netco_core::{Compare, EventCounts, SecurityEvent, SupervisorConfig};
+use netco_sim::{SimDuration, SimTime};
+use netco_topo::{FaultKind, Profile, Scenario, ScenarioKind, H2_IP};
+use netco_traffic::{IcmpEchoResponder, PingConfig, PingReport, Pinger};
+
+/// One run's observable outcome: ping report, the compare's full security
+/// event log (timestamped), and the per-kind counters.
+#[derive(Debug, Clone, PartialEq)]
+struct ChaosOutcome {
+    report: PingReport,
+    log: Vec<(SimTime, SecurityEvent)>,
+    counts: EventCounts,
+}
+
+fn flapping_scenario() -> Scenario {
+    let mut profile = Profile::functional();
+    profile.seed = 33;
+    // r2 (replica index 1) flaps three times: down during
+    // [150, 250), [400, 500) and [650, 750) ms — well inside the
+    // 100-ping × 10 ms traffic window.
+    Scenario::build(ScenarioKind::Central3, profile, 33)
+        .with_miss_alarm_threshold(3)
+        .with_supervisor(
+            SupervisorConfig::default()
+                .with_quarantine_strikes(1)
+                .with_probation_delay(SimDuration::from_millis(50))
+                .with_readmit_streak(4)
+                .with_escalation_cap(2),
+        )
+        .with_replica_fault(
+            1,
+            FaultKind::Flaps {
+                first_down: SimTime::ZERO + SimDuration::from_millis(150),
+                down_for: SimDuration::from_millis(100),
+                up_for: SimDuration::from_millis(150),
+                cycles: 3,
+            },
+        )
+}
+
+fn run_chaos() -> ChaosOutcome {
+    let scenario = flapping_scenario();
+    let mut built = scenario.build_world(
+        0,
+        |nic| {
+            Pinger::new(
+                nic,
+                PingConfig::new(H2_IP)
+                    .with_count(100)
+                    .with_interval(SimDuration::from_millis(10)),
+            )
+        },
+        IcmpEchoResponder::new,
+    );
+    built
+        .world
+        .run_for(SimDuration::from_secs(1) + SimDuration::from_secs(1));
+    let report = built.world.device::<Pinger>(built.h1).unwrap().report();
+    let compare = built
+        .world
+        .device::<Compare>(built.compare.unwrap())
+        .unwrap();
+    ChaosOutcome {
+        report,
+        log: compare
+            .events()
+            .iter()
+            .map(|e| (e.at, e.record.clone()))
+            .collect(),
+        counts: compare.stats().events,
+    }
+}
+
+/// First-occurrence index of a supervisor lifecycle stage on one lane.
+fn first(log: &[(SimTime, SecurityEvent)], lane_id: u16, stage: &str) -> Option<usize> {
+    log.iter().position(|(_, e)| match (stage, e) {
+        ("quarantine", SecurityEvent::ReplicaQuarantined { lane, .. }) => *lane == lane_id,
+        ("degrade", SecurityEvent::ModeDegraded { lane, .. }) => *lane == lane_id,
+        ("probation", SecurityEvent::ReplicaProbation { lane, .. }) => *lane == lane_id,
+        ("readmit", SecurityEvent::ReplicaReadmitted { lane, .. }) => *lane == lane_id,
+        ("restore", SecurityEvent::ModeRestored { lane, .. }) => *lane == lane_id,
+        _ => false,
+    })
+}
+
+#[test]
+fn flapping_replica_heals_without_losing_a_single_ping() {
+    let out = run_chaos();
+
+    // Availability: the flapping replica never costs a ping.
+    assert_eq!(out.report.transmitted, 100);
+    assert_eq!(out.report.received, 100, "chaos must not cost availability");
+
+    // The supervisor healed every episode on both lanes (one per guard).
+    assert_eq!(
+        out.counts.quarantines, 6,
+        "three flaps must quarantine on both lanes: {:?}",
+        out.counts
+    );
+    assert_eq!(
+        out.counts.quarantines, out.counts.readmissions,
+        "every quarantine must heal: {:?}",
+        out.counts
+    );
+    assert_eq!(out.counts.degradations, out.counts.restorations);
+    assert!(out.counts.probations >= 1);
+
+    // Full lifecycle, in causal order, on each lane that quarantined.
+    for lane in [0u16, 1] {
+        let order: Vec<usize> = ["quarantine", "degrade", "probation", "readmit", "restore"]
+            .into_iter()
+            .map(|s| {
+                first(&out.log, lane, s).unwrap_or_else(|| panic!("lane {lane}: missing {s} event"))
+            })
+            .collect();
+        assert!(
+            order.windows(2).all(|w| w[0] < w[1]),
+            "lane {lane}: lifecycle out of order: {order:?}"
+        );
+    }
+
+    // The quarantined replica is always r2 (guard replica port 2).
+    assert!(out.log.iter().all(|(_, e)| match e {
+        SecurityEvent::ReplicaQuarantined { port, .. } => *port == 2,
+        _ => true,
+    }));
+
+    // Persist the supervisor event log for the CI chaos job's artifact.
+    let mut rendered = String::new();
+    for (at, event) in &out.log {
+        let _ = writeln!(rendered, "{:>12} ns  {event}", at.as_nanos());
+    }
+    let dir = std::path::Path::new("target/chaos");
+    std::fs::create_dir_all(dir).expect("create target/chaos");
+    std::fs::write(dir.join("supervisor_events.log"), rendered)
+        .expect("write supervisor event log");
+}
+
+#[test]
+fn chaos_run_is_bit_identical_across_reruns() {
+    let a = run_chaos();
+    let b = run_chaos();
+    assert_eq!(a, b, "same seed must reproduce the identical run");
+    assert!(!a.log.is_empty());
+}

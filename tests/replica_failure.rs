@@ -2,17 +2,29 @@
 //! links go down mid-run; the combiner keeps delivering, the compare
 //! raises a replica-down alarm, and recovery is detected when the links
 //! come back.
+//!
+//! Faults are scripted with a declarative [`FaultKind`] attached to the
+//! scenario (applied to both of the replica's links), not hand-rolled
+//! `set_link_enabled` timelines.
 
 use netco_core::{Compare, SecurityEvent};
-use netco_sim::SimDuration;
-use netco_topo::{Profile, Scenario, ScenarioKind, H2_IP};
+use netco_sim::{ActivationWindow, SimDuration, SimTime};
+use netco_topo::{FaultKind, Profile, Scenario, ScenarioKind, H2_IP};
 use netco_traffic::{IcmpEchoResponder, PingConfig, Pinger, UdpConfig, UdpSink, UdpSource};
+
+fn at_ms(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
 
 #[test]
 fn replica_crash_does_not_interrupt_service() {
     let mut profile = Profile::functional();
     profile.seed = 3;
-    let scenario = Scenario::build(ScenarioKind::Central3, profile, 3);
+    // Crash replica r2 (both links down) after 30 ping cycles, forever.
+    let scenario = Scenario::build(ScenarioKind::Central3, profile, 3).with_replica_fault(
+        1,
+        FaultKind::Outage(ActivationWindow::starting_at(at_ms(300))),
+    );
     let mut built = scenario.build_world(
         0,
         |nic| {
@@ -25,12 +37,9 @@ fn replica_crash_does_not_interrupt_service() {
         },
         IcmpEchoResponder::new,
     );
-    // Let 30 cycles run, then crash replica r2 (both links down).
-    built.world.run_for(SimDuration::from_millis(300));
-    let (l1, l2) = built.replica_links[1];
-    built.world.set_link_enabled(l1, false);
-    built.world.set_link_enabled(l2, false);
-    built.world.run_for(SimDuration::from_secs(2));
+    built
+        .world
+        .run_for(SimDuration::from_millis(300) + SimDuration::from_secs(2));
     let report = built.world.device::<Pinger>(built.h1).unwrap().report();
     assert_eq!(report.transmitted, 100);
     assert_eq!(report.received, 100, "2-of-3 majority must mask the crash");
@@ -38,10 +47,14 @@ fn replica_crash_does_not_interrupt_service() {
 
 #[test]
 fn compare_raises_down_alarm_and_recovery() {
-    // Sustained traffic so the consecutive-miss counter can trip.
+    // Sustained traffic so the consecutive-miss counter can trip. Replica
+    // r3 crashes at 500 ms and recovers at 2 s — one bounded outage window.
     let mut profile = Profile::functional();
     profile.seed = 4;
-    let scenario = Scenario::build(ScenarioKind::Central3, profile, 4);
+    let scenario = Scenario::build(ScenarioKind::Central3, profile, 4).with_replica_fault(
+        2,
+        FaultKind::Outage(ActivationWindow::between(at_ms(500), at_ms(2000))),
+    );
     let mut built = scenario.build_world(
         0,
         |nic| {
@@ -55,11 +68,7 @@ fn compare_raises_down_alarm_and_recovery() {
         },
         |nic| UdpSink::new(nic, 5001),
     );
-    built.world.run_for(SimDuration::from_millis(500));
-    let (l1, l2) = built.replica_links[2];
-    built.world.set_link_enabled(l1, false);
-    built.world.set_link_enabled(l2, false);
-    built.world.run_for(SimDuration::from_millis(1500));
+    built.world.run_for(SimDuration::from_millis(2000));
     {
         let compare = built
             .world
@@ -81,9 +90,7 @@ fn compare_raises_down_alarm_and_recovery() {
             .loss_fraction;
         assert!(sink_loss < 0.001, "loss {sink_loss}");
     }
-    // Bring the replica back; the compare must notice.
-    built.world.set_link_enabled(l1, true);
-    built.world.set_link_enabled(l2, true);
+    // The outage window ends at 2 s; the compare must notice the recovery.
     built.world.run_for(SimDuration::from_secs(2));
     let compare = built
         .world
@@ -104,7 +111,10 @@ fn detection_mode_survives_replica_crash_too() {
     // one replica costs nothing but alarms.
     let mut profile = Profile::functional();
     profile.seed = 5;
-    let scenario = Scenario::build(ScenarioKind::Detect2, profile, 5);
+    let scenario = Scenario::build(ScenarioKind::Detect2, profile, 5).with_replica_fault(
+        0,
+        FaultKind::Outage(ActivationWindow::starting_at(at_ms(100))),
+    );
     let mut built = scenario.build_world(
         0,
         |nic| {
@@ -117,11 +127,9 @@ fn detection_mode_survives_replica_crash_too() {
         },
         IcmpEchoResponder::new,
     );
-    built.world.run_for(SimDuration::from_millis(100));
-    let (l1, l2) = built.replica_links[0];
-    built.world.set_link_enabled(l1, false);
-    built.world.set_link_enabled(l2, false);
-    built.world.run_for(SimDuration::from_secs(2));
+    built
+        .world
+        .run_for(SimDuration::from_millis(100) + SimDuration::from_secs(2));
     let report = built.world.device::<Pinger>(built.h1).unwrap().report();
     assert_eq!(report.received, 50);
     let compare = built
