@@ -24,7 +24,10 @@
 //! Everything simulated is deterministic; wall-clock rates vary with the
 //! host. Run with `cargo run --release -p netco-bench --bin perf_report`.
 //! Pass `--threads 1,2,4` (or set `NETCO_THREADS`) to choose the sweep
-//! worker counts; the default is `1,2,4,8`.
+//! worker counts; the default is `1,2,4,8`. Pass `--telemetry <dir>` to
+//! additionally run the canonical chaos scenario with a telemetry sink
+//! and dump `chaos_metrics.json` (registry snapshot) and
+//! `chaos_trace.json` (chrome://tracing document) into `<dir>`.
 
 use std::time::Instant;
 
@@ -357,6 +360,31 @@ fn sweep_points(thread_counts: &[usize], scale: ExperimentScale) -> (Vec<SweepPo
     (points, identical)
 }
 
+/// `--telemetry <dir>` from argv: run the canonical chaos scenario with a
+/// telemetry sink installed and dump the metrics snapshot plus the
+/// chrome://tracing document into `<dir>`.
+fn telemetry_dir() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--telemetry")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+}
+
+fn dump_telemetry(dir: &std::path::Path) {
+    let artifacts = netco_bench::chaos::artifacts();
+    std::fs::create_dir_all(dir).expect("create telemetry dir");
+    std::fs::write(dir.join("chaos_metrics.json"), &artifacts.metrics_json)
+        .expect("write chaos metrics snapshot");
+    std::fs::write(dir.join("chaos_trace.json"), &artifacts.trace_json)
+        .expect("write chaos chrome trace");
+    eprintln!(
+        "telemetry: wrote {} and {} (open the trace in chrome://tracing)",
+        dir.join("chaos_metrics.json").display(),
+        dir.join("chaos_trace.json").display()
+    );
+}
+
 /// `--threads 1,2,4` from argv, else `NETCO_THREADS`, else 1/2/4/8.
 fn thread_counts() -> Vec<usize> {
     let args: Vec<String> = std::env::args().collect();
@@ -377,6 +405,9 @@ fn thread_counts() -> Vec<usize> {
 }
 
 fn main() {
+    if let Some(dir) = telemetry_dir() {
+        dump_telemetry(&dir);
+    }
     let scale = ExperimentScale::quick();
     let wheel = wheel_events_per_sec();
     let heap = heap_events_per_sec();

@@ -6,7 +6,7 @@ use std::collections::{HashMap, HashSet};
 use bytes::Bytes;
 use netco_net::{Ctx, Device, NodeId, PortId};
 use netco_openflow::{wire, OfMessage};
-use netco_sim::SimDuration;
+use netco_sim::{SimDuration, SimTime};
 
 use crate::app::{ControllerApp, ControllerCtx};
 
@@ -38,6 +38,10 @@ struct Liveness {
     interval: SimDuration,
     missed_threshold: u32,
     outstanding: HashMap<NodeId, u32>,
+    /// When the latest probe to each switch left, so the echo reply can
+    /// be turned into a control-channel round-trip-time sample
+    /// (`controller.echo_rtt_ns`).
+    sent_at: HashMap<NodeId, SimTime>,
 }
 
 const TICK_TIMER: u64 = 0;
@@ -73,6 +77,7 @@ impl Controller {
             interval,
             missed_threshold: missed_threshold.max(1),
             outstanding: HashMap::new(),
+            sent_at: HashMap::new(),
         });
         self
     }
@@ -158,6 +163,7 @@ impl Device for Controller {
                     let probe = OfMessage::EchoRequest(Bytes::from_static(b"liveness"));
                     let xid = self.next_xid;
                     self.next_xid = self.next_xid.wrapping_add(1);
+                    liveness.sent_at.insert(sw, ctx.now());
                     ctx.send_control(sw, wire::encode(&probe, xid));
                 }
                 for sw in went_down {
@@ -210,6 +216,15 @@ impl Device for Controller {
             OfMessage::EchoReply(_) => {
                 if let Some(l) = &mut self.liveness {
                     l.outstanding.insert(from, 0);
+                    if let Some(sent) = l.sent_at.remove(&from) {
+                        // Replies are rare (one per liveness interval per
+                        // switch): the registry lookup is fine here.
+                        let rtt = cx.ctx.now().saturating_since(sent);
+                        cx.ctx
+                            .telemetry()
+                            .histogram("controller.echo_rtt_ns")
+                            .record(rtt.as_nanos());
+                    }
                 }
             }
             OfMessage::FeaturesReply { .. } if self.up.insert(from) => {
@@ -222,6 +237,7 @@ impl Device for Controller {
                 data,
             } => {
                 self.packet_ins += 1;
+                cx.ctx.telemetry().counter("controller.packet_ins").inc();
                 self.app
                     .on_packet_in(&mut cx, from, buffer_id, in_port, reason, data);
             }

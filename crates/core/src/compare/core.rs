@@ -2,9 +2,11 @@
 
 use bytes::Bytes;
 use netco_sim::{SimDuration, SimTime};
+use netco_telemetry::{Counter, Gauge, TelemetrySink};
 use std::collections::HashMap;
 
 use super::cache::{CacheEntry, Observed, PacketCache};
+use super::strategy::fp128;
 use crate::config::{CompareConfig, Mode};
 use crate::events::{EventCounts, SecurityEvent};
 use crate::supervisor::{LaneSupervisor, ReplicaStatus};
@@ -81,6 +83,64 @@ pub struct CompareStats {
     pub events: EventCounts,
 }
 
+/// The live stat cells behind [`CompareStats`]. Detached (always-counting)
+/// telemetry handles so the [`CompareCore::stats`] façade works with or
+/// without an installed [`TelemetrySink`]; [`CompareCore::set_telemetry`]
+/// adopts them into the world registry under scoped `compare.<scope>.*`
+/// names without losing counts accumulated before installation.
+#[derive(Debug)]
+struct StatCells {
+    received: Counter,
+    released: Counter,
+    suppressed_duplicates: Counter,
+    expired_unreleased: Counter,
+    dos_advices: Counter,
+    cleanups: Counter,
+    evicted: Counter,
+    unknown_port: Counter,
+    /// Entries that expired unreleased out of a *sweep* (the paper's hold
+    /// timeout), as opposed to capacity eviction.
+    hold_timeouts: Counter,
+    /// Live cache entries of the lane last touched; its peak is the
+    /// [`CompareStats::peak_cache_entries`] high-water mark.
+    cache_entries: Gauge,
+}
+
+impl StatCells {
+    fn detached() -> StatCells {
+        StatCells {
+            received: Counter::detached(),
+            released: Counter::detached(),
+            suppressed_duplicates: Counter::detached(),
+            expired_unreleased: Counter::detached(),
+            dos_advices: Counter::detached(),
+            cleanups: Counter::detached(),
+            evicted: Counter::detached(),
+            unknown_port: Counter::detached(),
+            hold_timeouts: Counter::detached(),
+            cache_entries: Gauge::detached(),
+        }
+    }
+}
+
+/// Why an entry left the cache for good (lifecycle drop attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RemovalCause {
+    /// Expired after `hold_time` (sweep).
+    Expired,
+    /// Evicted by a capacity cleanup.
+    Evicted,
+}
+
+impl RemovalCause {
+    fn slug(self) -> &'static str {
+        match self {
+            RemovalCause::Expired => "hold_timeout",
+            RemovalCause::Evicted => "cache_evicted",
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Lane {
     info: LaneInfo,
@@ -102,7 +162,9 @@ struct Lane {
 pub struct CompareCore {
     cfg: CompareConfig,
     lanes: HashMap<u16, Lane>,
-    stats: CompareStats,
+    cells: StatCells,
+    event_counts: EventCounts,
+    telemetry: TelemetrySink,
 }
 
 impl CompareCore {
@@ -111,7 +173,9 @@ impl CompareCore {
         CompareCore {
             cfg,
             lanes: HashMap::new(),
-            stats: CompareStats::default(),
+            cells: StatCells::detached(),
+            event_counts: EventCounts::default(),
+            telemetry: TelemetrySink::disabled(),
         }
     }
 
@@ -120,9 +184,70 @@ impl CompareCore {
         &self.cfg
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics, assembled from the registry-adoptable stat
+    /// cells — [`CompareStats`] is a thin façade over the live handles.
     pub fn stats(&self) -> CompareStats {
-        self.stats
+        CompareStats {
+            received: self.cells.received.get(),
+            released: self.cells.released.get(),
+            suppressed_duplicates: self.cells.suppressed_duplicates.get(),
+            expired_unreleased: self.cells.expired_unreleased.get(),
+            dos_advices: self.cells.dos_advices.get(),
+            cleanups: self.cells.cleanups.get(),
+            evicted: self.cells.evicted.get(),
+            unknown_port: self.cells.unknown_port.get(),
+            peak_cache_entries: self.cells.cache_entries.peak(),
+            events: self.event_counts,
+        }
+    }
+
+    /// Installs a telemetry sink: the stat cells are adopted into the
+    /// registry under `compare.<scope>.*` (carrying over anything counted
+    /// so far), and packet verdicts start feeding the sink's packet
+    /// lifecycle recorder. `scope` should name the hosting device (node
+    /// name) so two compares in one world never collide.
+    pub fn set_telemetry(&mut self, sink: &TelemetrySink, scope: &str) {
+        if !sink.is_enabled() {
+            return;
+        }
+        sink.adopt_counter(
+            &format!("compare.{scope}.received"),
+            &mut self.cells.received,
+        );
+        sink.adopt_counter(
+            &format!("compare.{scope}.released"),
+            &mut self.cells.released,
+        );
+        sink.adopt_counter(
+            &format!("compare.{scope}.suppressed_duplicates"),
+            &mut self.cells.suppressed_duplicates,
+        );
+        sink.adopt_counter(
+            &format!("compare.{scope}.expired_unreleased"),
+            &mut self.cells.expired_unreleased,
+        );
+        sink.adopt_counter(
+            &format!("compare.{scope}.dos_advices"),
+            &mut self.cells.dos_advices,
+        );
+        sink.adopt_counter(
+            &format!("compare.{scope}.cleanups"),
+            &mut self.cells.cleanups,
+        );
+        sink.adopt_counter(&format!("compare.{scope}.evicted"), &mut self.cells.evicted);
+        sink.adopt_counter(
+            &format!("compare.{scope}.unknown_port"),
+            &mut self.cells.unknown_port,
+        );
+        sink.adopt_counter(
+            &format!("compare.{scope}.hold_timeouts"),
+            &mut self.cells.hold_timeouts,
+        );
+        sink.adopt_gauge(
+            &format!("compare.{scope}.cache_entries"),
+            &mut self.cells.cache_entries,
+        );
+        self.telemetry = sink.clone();
     }
 
     /// Registers (or replaces) a lane.
@@ -218,14 +343,18 @@ impl CompareCore {
         let mut actions = Vec::new();
         let release_threshold = self.cfg.release_threshold();
         let Some(lane) = self.lanes.get_mut(&lane_id) else {
-            self.stats.unknown_port += 1;
+            self.cells.unknown_port.inc();
             return actions;
         };
         let Some(replica_idx) = lane.info.replica_ports.iter().position(|&p| p == in_port) else {
-            self.stats.unknown_port += 1;
+            self.cells.unknown_port.inc();
             return actions;
         };
-        self.stats.received += 1;
+        self.cells.received.inc();
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .lifecycle_observe(fp128(&frame), now.as_nanos());
+        }
 
         // Capacity cleanup before inserting (paper §V: "once the packet
         // cache is full, a clean up procedure starts").
@@ -233,8 +362,8 @@ impl CompareCore {
             let target = self.cfg.cache_capacity / 2;
             let evicted = lane.cache.cleanup(target);
             let n = evicted.len();
-            self.stats.cleanups += 1;
-            self.stats.evicted += n as u64;
+            self.cells.cleanups.inc();
+            self.cells.evicted.add(n as u64);
             let mut evict_actions = Vec::new();
             for (_, entry) in evicted {
                 Self::account_removed_entry(
@@ -243,8 +372,11 @@ impl CompareCore {
                     lane,
                     entry,
                     now,
+                    RemovalCause::Evicted,
                     &mut evict_actions,
-                    &mut self.stats,
+                    &self.cells,
+                    &mut self.event_counts,
+                    &self.telemetry,
                 );
             }
             actions.push(CompareAction::Stall {
@@ -252,7 +384,7 @@ impl CompareCore {
                 duration: self.cfg.cleanup_cost_per_entry * n as u64,
             });
             Self::emit(
-                &mut self.stats,
+                &mut self.event_counts,
                 &mut actions,
                 SecurityEvent::CacheCleanup {
                     lane: lane_id,
@@ -264,7 +396,7 @@ impl CompareCore {
 
         let key = self.cfg.strategy.key(&frame);
         let (key, observed) = lane.cache.observe(key, in_port, replica_idx, &frame, now);
-        self.stats.peak_cache_entries = self.stats.peak_cache_entries.max(lane.cache.len() as u64);
+        self.cells.cache_entries.set(lane.cache.len() as u64);
         match observed {
             Observed::New | Observed::AdditionalPort { .. } => {
                 let (distinct, released) = match observed {
@@ -273,7 +405,7 @@ impl CompareCore {
                     Observed::Repeat { .. } => unreachable!(),
                 };
                 if released {
-                    self.stats.suppressed_duplicates += 1;
+                    self.cells.suppressed_duplicates.inc();
                 } else {
                     // Quorum over the healthy set: with quarantined
                     // replicas, their copies are shadow-compared but do
@@ -297,7 +429,11 @@ impl CompareCore {
                     };
                     if effective_distinct >= threshold {
                         if let Some(out) = lane.cache.mark_released(&key) {
-                            self.stats.released += 1;
+                            self.cells.released.inc();
+                            if self.telemetry.is_enabled() {
+                                self.telemetry
+                                    .lifecycle_release(fp128(&out), now.as_nanos());
+                            }
                             if !self.cfg.passive {
                                 actions.push(CompareAction::Release {
                                     lane: lane_id,
@@ -313,14 +449,14 @@ impl CompareCore {
             }
             Observed::Repeat { count, released } => {
                 if released {
-                    self.stats.suppressed_duplicates += 1;
+                    self.cells.suppressed_duplicates.inc();
                 }
                 if count >= self.cfg.dos_repeat_threshold as u32
                     && lane.cache.mark_dos_advised(&key)
                 {
-                    self.stats.dos_advices += 1;
+                    self.cells.dos_advices.inc();
                     Self::emit(
-                        &mut self.stats,
+                        &mut self.event_counts,
                         &mut actions,
                         SecurityEvent::DosSuspected {
                             lane: lane_id,
@@ -334,7 +470,7 @@ impl CompareCore {
                         duration: self.cfg.block_duration,
                     });
                     Self::emit(
-                        &mut self.stats,
+                        &mut self.event_counts,
                         &mut actions,
                         SecurityEvent::PortBlocked {
                             lane: lane_id,
@@ -353,7 +489,7 @@ impl CompareCore {
                             &mut transitions,
                         );
                         for ev in transitions {
-                            Self::emit(&mut self.stats, &mut actions, ev);
+                            Self::emit(&mut self.event_counts, &mut actions, ev);
                         }
                     }
                 }
@@ -378,8 +514,11 @@ impl CompareCore {
                     lane,
                     entry,
                     now,
+                    RemovalCause::Expired,
                     &mut actions,
-                    &mut self.stats,
+                    &self.cells,
+                    &mut self.event_counts,
+                    &self.telemetry,
                 );
             }
         }
@@ -387,8 +526,8 @@ impl CompareCore {
     }
 
     /// Counts an event and appends it to the action list.
-    fn emit(stats: &mut CompareStats, actions: &mut Vec<CompareAction>, event: SecurityEvent) {
-        stats.events.note(&event);
+    fn emit(events: &mut EventCounts, actions: &mut Vec<CompareAction>, event: SecurityEvent) {
+        events.note(&event);
         actions.push(CompareAction::Event(event));
     }
 
@@ -396,14 +535,18 @@ impl CompareCore {
     ///
     /// Takes the entry by value: its port list is moved into the emitted
     /// event instead of cloned (this runs for every expiry and eviction).
+    #[allow(clippy::too_many_arguments)]
     fn account_removed_entry(
         cfg: &CompareConfig,
         lane_id: u16,
         lane: &mut Lane,
         entry: CacheEntry,
         now: SimTime,
+        cause: RemovalCause,
         actions: &mut Vec<CompareAction>,
-        stats: &mut CompareStats,
+        cells: &StatCells,
+        event_counts: &mut EventCounts,
+        telemetry: &TelemetrySink,
     ) {
         // Liveness first (it only reads the ports): replicas that did not
         // deliver this packet accumulate consecutive misses; replicas that
@@ -422,7 +565,7 @@ impl CompareCore {
                         lane: lane_id,
                         port,
                     };
-                    stats.events.note(&ev);
+                    event_counts.note(&ev);
                     liveness.push(CompareAction::Event(ev));
                 }
             } else {
@@ -435,7 +578,7 @@ impl CompareCore {
                         lane: lane_id,
                         port,
                     };
-                    stats.events.note(&ev);
+                    event_counts.note(&ev);
                     liveness.push(CompareAction::Event(ev));
                 }
             }
@@ -495,7 +638,7 @@ impl CompareCore {
             };
             if active_mode == Mode::Detect && healthy_delivered < expected {
                 Self::emit(
-                    stats,
+                    event_counts,
                     actions,
                     SecurityEvent::DetectionMismatch {
                         lane: lane_id,
@@ -504,9 +647,15 @@ impl CompareCore {
                 );
             }
         } else {
-            stats.expired_unreleased += 1;
+            cells.expired_unreleased.inc();
+            if cause == RemovalCause::Expired {
+                cells.hold_timeouts.inc();
+            }
+            if telemetry.is_enabled() {
+                telemetry.lifecycle_drop(fp128(&entry.frame), now.as_nanos(), cause.slug());
+            }
             Self::emit(
-                stats,
+                event_counts,
                 actions,
                 SecurityEvent::SinglePathPacket {
                     lane: lane_id,
@@ -516,7 +665,7 @@ impl CompareCore {
         }
         actions.extend(liveness);
         for ev in transitions {
-            Self::emit(stats, actions, ev);
+            Self::emit(event_counts, actions, ev);
         }
     }
 }

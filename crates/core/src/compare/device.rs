@@ -127,6 +127,12 @@ impl Compare {
                     self.stall_until = self.stall_until.max(now) + duration;
                 }
                 CompareAction::Event(e) => {
+                    crate::events::trace_security_event(
+                        ctx.telemetry(),
+                        ctx.node_name(ctx.node()),
+                        &e,
+                        now.as_nanos(),
+                    );
                     self.events.push(now, e);
                 }
             }
@@ -136,6 +142,9 @@ impl Compare {
 
 impl Device for Compare {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let sink = ctx.telemetry().clone();
+        let scope = ctx.node_name(ctx.node()).to_string();
+        self.core.set_telemetry(&sink, &scope);
         ctx.schedule_timer(self.sweep_interval(), SWEEP_TIMER);
     }
 
@@ -254,6 +263,34 @@ mod tests {
             .events()
             .iter()
             .any(|e| matches!(e.record, SecurityEvent::SinglePathPacket { .. })));
+    }
+
+    #[test]
+    fn telemetry_backs_compare_stats_facade() {
+        let (mut w, _guard, cmp) = world();
+        w.set_telemetry(netco_telemetry::TelemetrySink::enabled());
+        w.inject_frame(cmp, PortId(0), packet_in(1, b"payload-bytes"));
+        w.inject_frame(cmp, PortId(0), packet_in(2, b"payload-bytes"));
+        w.run_for(SimDuration::from_millis(1));
+        let sink = w.telemetry().clone();
+        let stats = w.device::<Compare>(cmp).unwrap().stats();
+        assert_eq!(stats.received, 2);
+        assert_eq!(
+            sink.counter("compare.compare.received").get(),
+            stats.received
+        );
+        assert_eq!(
+            sink.counter("compare.compare.released").get(),
+            stats.released
+        );
+        assert_eq!(
+            sink.gauge("compare.compare.cache_entries").peak(),
+            stats.peak_cache_entries
+        );
+        assert!(stats.peak_cache_entries >= 1);
+        // This mini-world has no guard hub tagging frames, so the release
+        // verdict is counted as untracked rather than invented.
+        assert_eq!(sink.counter("lifecycle.untracked_verdicts").get(), 1);
     }
 
     #[test]

@@ -172,6 +172,82 @@ impl EventCounts {
     }
 }
 
+/// Maps a [`SecurityEvent`] onto the chrome-trace timeline of `process`
+/// (the emitting device's node name): supervisor episodes become spans —
+/// `ReplicaQuarantined` opens a `quarantine port N` span on the lane's
+/// track that `ReplicaReadmitted` closes, `ModeDegraded`/`ModeRestored`
+/// bracket a `degraded` span on the lane's mode track — and every other
+/// event is an instant marker. No-op on a disabled sink.
+pub fn trace_security_event(
+    sink: &netco_telemetry::TelemetrySink,
+    process: &str,
+    event: &SecurityEvent,
+    ts_ns: u64,
+) {
+    if !sink.is_enabled() {
+        return;
+    }
+    match event {
+        SecurityEvent::ReplicaQuarantined { lane, port, .. } => sink.span_begin(
+            process,
+            &format!("lane{lane}"),
+            &format!("quarantine port {port}"),
+            ts_ns,
+        ),
+        SecurityEvent::ReplicaReadmitted { lane, port } => sink.span_end(
+            process,
+            &format!("lane{lane}"),
+            &format!("quarantine port {port}"),
+            ts_ns,
+        ),
+        SecurityEvent::ReplicaProbation { lane, port } => sink.instant(
+            process,
+            &format!("lane{lane}"),
+            &format!("probation port {port}"),
+            ts_ns,
+        ),
+        SecurityEvent::ModeDegraded { lane, .. } => {
+            sink.span_begin(process, &format!("lane{lane}.mode"), "degraded", ts_ns)
+        }
+        SecurityEvent::ModeRestored { lane, .. } => {
+            sink.span_end(process, &format!("lane{lane}.mode"), "degraded", ts_ns)
+        }
+        SecurityEvent::SinglePathPacket { lane, .. } => {
+            sink.instant(process, &format!("lane{lane}"), "single-path packet", ts_ns)
+        }
+        SecurityEvent::DetectionMismatch { lane, .. } => {
+            sink.instant(process, &format!("lane{lane}"), "detection mismatch", ts_ns)
+        }
+        SecurityEvent::DosSuspected { lane, port, .. } => sink.instant(
+            process,
+            &format!("lane{lane}"),
+            &format!("dos suspected port {port}"),
+            ts_ns,
+        ),
+        SecurityEvent::PortBlocked { lane, port } => sink.instant(
+            process,
+            &format!("lane{lane}"),
+            &format!("port {port} blocked"),
+            ts_ns,
+        ),
+        SecurityEvent::ReplicaSuspectedDown { lane, port } => sink.instant(
+            process,
+            &format!("lane{lane}"),
+            &format!("replica port {port} down"),
+            ts_ns,
+        ),
+        SecurityEvent::ReplicaRecovered { lane, port } => sink.instant(
+            process,
+            &format!("lane{lane}"),
+            &format!("replica port {port} recovered"),
+            ts_ns,
+        ),
+        SecurityEvent::CacheCleanup { lane, .. } => {
+            sink.instant(process, &format!("lane{lane}"), "cache cleanup", ts_ns)
+        }
+    }
+}
+
 impl fmt::Display for SecurityEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

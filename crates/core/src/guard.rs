@@ -7,7 +7,7 @@ use netco_net::{Ctx, Device, NodeId, PortId};
 use netco_openflow::{wire, Action, OfMessage, OfPort, PacketInReason};
 use netco_sim::SimTime;
 
-use crate::compare::{fnv1a, CompareAction, CompareCore, CompareStats, LaneInfo};
+use crate::compare::{fnv1a, fp128, CompareAction, CompareCore, CompareStats, LaneInfo};
 use crate::config::CompareConfig;
 use crate::encap::{of_unwrap, of_wrap};
 use crate::events::SecurityEvent;
@@ -214,6 +214,12 @@ impl GuardSwitch {
                 }
                 CompareAction::Stall { .. } => {}
                 CompareAction::Event(e) => {
+                    crate::events::trace_security_event(
+                        ctx.telemetry(),
+                        ctx.node_name(ctx.node()),
+                        &e,
+                        now.as_nanos(),
+                    );
                     self.events.push(now, e);
                 }
             }
@@ -358,7 +364,10 @@ impl GuardSwitch {
 
 impl Device for GuardSwitch {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        if let Some(core) = &self.embedded {
+        if let Some(core) = &mut self.embedded {
+            let sink = ctx.telemetry().clone();
+            let scope = ctx.node_name(ctx.node()).to_string();
+            core.set_telemetry(&sink, &scope);
             let interval =
                 (core.config().hold_time / 4).max(netco_sim::SimDuration::from_micros(100));
             ctx.schedule_timer(interval, EMBEDDED_SWEEP_TIMER);
@@ -382,6 +391,10 @@ impl Device for GuardSwitch {
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
         let now = ctx.now();
         if port == self.cfg.host_port {
+            if ctx.telemetry().is_enabled() {
+                ctx.telemetry()
+                    .lifecycle_hub_ingress(fp128(&frame), now.as_nanos());
+            }
             // Hub: duplicate toward every replica, moving the frame into
             // the final send (k-1 refcount bumps instead of k).
             if let Some((&last, rest)) = self.cfg.replica_ports.split_last() {
@@ -406,6 +419,13 @@ impl Device for GuardSwitch {
             if self.is_port_blocked(port, now) {
                 self.stats.blocked_drops += 1;
                 return;
+            }
+            // Lifecycle: a replica's copy leaves the untrusted segment
+            // here; only combining deployments close these flights, so
+            // dup-mode copies are not tagged.
+            if self.cfg.compare != CompareAttachment::None && ctx.telemetry().is_enabled() {
+                ctx.telemetry()
+                    .lifecycle_replica_egress(fp128(&frame), now.as_nanos());
             }
             match self.cfg.compare {
                 CompareAttachment::None => {

@@ -58,7 +58,7 @@ pub use compare::{
 };
 pub use config::{CombinerConfig, CompareConfig, ComparePlacement, Mode};
 pub use encap::{of_unwrap, of_wrap, NETCO_ETHERTYPE};
-pub use events::{EventCounts, SecurityEvent};
+pub use events::{trace_security_event, EventCounts, SecurityEvent};
 pub use guard::{CompareAttachment, GuardConfig, GuardStats, GuardSwitch};
 pub use hub::Hub;
 pub use pox::PoxCompareApp;

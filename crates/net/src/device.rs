@@ -108,4 +108,12 @@ impl Ctx<'_> {
     pub fn node_name(&self, id: NodeId) -> &str {
         self.core.name_of(id)
     }
+
+    /// The world's telemetry sink (disabled unless the experiment
+    /// installed one via [`crate::World::set_telemetry`]). Devices use it
+    /// to register their own counters and emit spans; with the default
+    /// disabled sink every such call is a no-op.
+    pub fn telemetry(&self) -> &netco_telemetry::TelemetrySink {
+        &self.core.telemetry
+    }
 }

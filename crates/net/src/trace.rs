@@ -12,6 +12,7 @@ use std::fmt::Write as _;
 use std::rc::Rc;
 
 use netco_sim::SimTime;
+use netco_telemetry::FlightRing;
 
 use crate::packet::{FrameView, L4View};
 use crate::world::{TapDirection, TapEvent, World};
@@ -36,22 +37,53 @@ pub struct TraceEntry {
 
 /// Shared, cloneable handle to a recording (the tap closure holds one
 /// clone; the test/analysis code holds another).
-#[derive(Debug, Clone, Default)]
+///
+/// Since the telemetry refactor the storage is a
+/// [`FlightRing`] from `netco-telemetry`: unbounded by default (the
+/// historical behavior), or bounded via
+/// [`with_capacity`](TraceRecorder::with_capacity) to act as a true
+/// flight recorder that retains only the most recent observations.
+#[derive(Debug, Clone)]
 pub struct TraceRecorder {
-    inner: Rc<RefCell<Vec<TraceEntry>>>,
+    inner: Rc<RefCell<FlightRing<TraceEntry>>>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::new()
+    }
 }
 
 impl TraceRecorder {
-    /// Creates an empty recorder.
+    /// Creates an empty, unbounded recorder.
     pub fn new() -> TraceRecorder {
-        TraceRecorder::default()
+        TraceRecorder {
+            inner: Rc::new(RefCell::new(FlightRing::unbounded())),
+        }
+    }
+
+    /// Creates a recorder that retains at most `capacity` observations,
+    /// evicting the oldest (and counting evictions — see
+    /// [`dropped`](TraceRecorder::dropped)).
+    pub fn with_capacity(capacity: usize) -> TraceRecorder {
+        TraceRecorder {
+            inner: Rc::new(RefCell::new(FlightRing::new(capacity))),
+        }
     }
 
     /// Attaches this recorder to `world`, capturing every tapped frame.
-    /// Call before running the simulation.
+    /// Call before running the simulation. If the world has telemetry
+    /// enabled, observations are also counted under `trace.rx_frames` /
+    /// `trace.tx_frames` in the metrics registry.
     pub fn attach(&self, world: &mut World) {
         let inner = self.inner.clone();
+        let rx = world.telemetry().counter("trace.rx_frames");
+        let tx = world.telemetry().counter("trace.tx_frames");
         world.add_tap(move |ev: &TapEvent<'_>| {
+            match ev.direction {
+                TapDirection::Rx => rx.inc(),
+                TapDirection::Tx => tx.inc(),
+            }
             inner.borrow_mut().push(TraceEntry {
                 at: ev.at,
                 node: ev.node,
@@ -61,6 +93,12 @@ impl TraceRecorder {
                 summary: summarize(ev.frame),
             });
         });
+    }
+
+    /// Observations evicted by a bounded recorder (always 0 when
+    /// unbounded).
+    pub fn dropped(&self) -> u64 {
+        self.inner.borrow().dropped()
     }
 
     /// Number of recorded observations.
@@ -73,9 +111,9 @@ impl TraceRecorder {
         self.inner.borrow().is_empty()
     }
 
-    /// A copy of all entries (in observation order).
+    /// A copy of all retained entries (in observation order).
     pub fn entries(&self) -> Vec<TraceEntry> {
-        self.inner.borrow().clone()
+        self.inner.borrow().iter().cloned().collect()
     }
 
     /// Frames received (`Rx`) at `node`, like `tcpdump` on its interfaces.
@@ -212,6 +250,29 @@ mod tests {
         let rendered = trace.render(&w);
         assert!(rendered.contains("b"));
         assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn bounded_recorder_keeps_most_recent() {
+        let mut w = World::new(1);
+        let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
+        let b = w.add_node("b", CollectorDevice::default(), CpuModel::default());
+        w.connect(a, PortId(0), b, PortId(0), LinkSpec::ideal());
+        w.set_telemetry(netco_telemetry::TelemetrySink::enabled());
+        let trace = TraceRecorder::with_capacity(2);
+        trace.attach(&mut w);
+        for _ in 0..3 {
+            w.inject_frame(a, PortId(0), Bytes::from_static(b"xx"));
+        }
+        w.run_for(SimDuration::from_millis(1));
+        assert_eq!(trace.len(), 2, "ring retains only the newest entries");
+        assert!(trace.dropped() > 0);
+        let sink = w.telemetry();
+        // Counters see every observation, bounded ring or not.
+        assert_eq!(
+            sink.counter("trace.rx_frames").get() + sink.counter("trace.tx_frames").get(),
+            trace.len() as u64 + trace.dropped()
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 use netco_sim::{ActivationWindow, Scheduler, SimDuration, SimRng, SimTime};
+use netco_telemetry::{Counter, Histogram, TelemetrySink};
 
 use crate::cpu::CpuModel;
 use crate::device::{Ctx, Device};
@@ -27,6 +28,21 @@ pub enum DropReason {
     NoControlChannel,
     /// A scripted [`FaultPlan`](crate::FaultPlan) loss fault ate the frame.
     FaultInjected,
+}
+
+impl DropReason {
+    /// Canonical lower-snake-case slug, used as the metric-name suffix in
+    /// telemetry snapshots (`net.drops.<slug>`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            DropReason::LinkQueueFull => "link_queue_full",
+            DropReason::CpuQueueFull => "cpu_queue_full",
+            DropReason::NoLink => "no_link",
+            DropReason::LinkDown => "link_down",
+            DropReason::NoControlChannel => "no_control_channel",
+            DropReason::FaultInjected => "fault_injected",
+        }
+    }
 }
 
 /// Byte/frame counters for one port of a node.
@@ -169,6 +185,11 @@ struct LinkState {
     ends: [(NodeId, PortId); 2],
     dirs: [LinkDirState; 2],
     dropped: [u64; 2],
+    /// The subset of `dropped` eaten by scripted loss faults
+    /// ([`DropReason::FaultInjected`]), kept separately so chaos
+    /// experiments can tell injected loss from congestion on the same
+    /// link.
+    fault_dropped: [u64; 2],
     enabled: bool,
     fault: Option<LinkFault>,
 }
@@ -247,6 +268,11 @@ pub(crate) struct WorldCore {
     control: HashMap<(NodeId, NodeId), ControlChannelSpec>,
     taps: Vec<Tap>,
     substrate_drops: HashMap<DropReason, u64>,
+    pub(crate) telemetry: TelemetrySink,
+    tel_link_queue: Histogram,
+    tel_cpu_service: Histogram,
+    tel_cpu_busy: Counter,
+    tel_control_latency: Histogram,
 }
 
 impl WorldCore {
@@ -276,6 +302,12 @@ impl WorldCore {
 
     fn drop_frame(&mut self, reason: DropReason) {
         *self.substrate_drops.entry(reason).or_insert(0) += 1;
+        if self.telemetry.is_enabled() {
+            // Rare path (drops, not deliveries): the name lookup is fine.
+            self.telemetry
+                .counter(&format!("net.drops.{}", reason.slug()))
+                .inc();
+        }
     }
 
     fn run_taps(&mut self, node: NodeId, port: PortId, direction: TapDirection, frame: &Bytes) {
@@ -322,6 +354,7 @@ impl WorldCore {
         let lost = link.fault.as_mut().is_some_and(|f| f.loss_roll(now));
         if lost {
             link.dropped[dir as usize] += 1;
+            link.fault_dropped[dir as usize] += 1;
             self.counters[node.index()].port_mut(port).tx_dropped += 1;
             self.drop_frame(DropReason::FaultInjected);
             return;
@@ -347,6 +380,8 @@ impl WorldCore {
             return;
         }
         d.queued_bytes += len;
+        let depth = d.queued_bytes;
+        self.tel_link_queue.record(depth as u64);
         let start = d.busy_until.max(now);
         let done = start + link.spec.tx_time(len);
         d.busy_until = done;
@@ -376,6 +411,7 @@ impl WorldCore {
             return;
         };
         let latency = spec.latency;
+        self.tel_control_latency.record(latency.as_nanos());
         self.sched
             .schedule_after(latency, Event::ControlArrival { to, from, msg });
     }
@@ -403,6 +439,8 @@ impl WorldCore {
         let start = state.busy_until.max(now);
         let done = start + service;
         state.busy_until = done;
+        self.tel_cpu_service.record(service.as_nanos());
+        self.tel_cpu_busy.add(service.as_nanos());
         Some(done)
     }
 }
@@ -414,7 +452,10 @@ impl WorldCore {
 pub struct World {
     core: WorldCore,
     devices: Vec<Option<Box<dyn Device>>>,
-    events_processed: u64,
+    /// Detached telemetry counter: always live (the perf harness reads it
+    /// with telemetry off) and adopted into the registry as
+    /// `sim.events_processed` by [`set_telemetry`](World::set_telemetry).
+    events_processed: Counter,
 }
 
 impl World {
@@ -433,10 +474,36 @@ impl World {
                 control: HashMap::new(),
                 taps: Vec::new(),
                 substrate_drops: HashMap::new(),
+                telemetry: TelemetrySink::disabled(),
+                tel_link_queue: Histogram::disabled(),
+                tel_cpu_service: Histogram::disabled(),
+                tel_cpu_busy: Counter::disabled(),
+                tel_control_latency: Histogram::disabled(),
             },
             devices: Vec::new(),
-            events_processed: 0,
+            events_processed: Counter::detached(),
         }
+    }
+
+    /// Installs a telemetry sink on this world: substrate instrumentation
+    /// (scheduler, links, CPUs, control channels, drop reasons) starts
+    /// reporting into the sink's registry, and the always-on counters are
+    /// adopted so the registry and the legacy accessors read one cell.
+    /// With the default [`TelemetrySink::disabled`] sink all handles are
+    /// inert and the per-event cost is a branch on a null pointer.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        sink.adopt_counter("sim.events_processed", &mut self.events_processed);
+        self.core.sched.attach_telemetry(&sink);
+        self.core.tel_link_queue = sink.histogram("net.link_queue_bytes");
+        self.core.tel_cpu_service = sink.histogram("net.cpu_service_ns");
+        self.core.tel_cpu_busy = sink.counter("net.cpu_busy_ns");
+        self.core.tel_control_latency = sink.histogram("net.control_latency_ns");
+        self.core.telemetry = sink;
+    }
+
+    /// The telemetry sink installed on this world (disabled by default).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.core.telemetry
     }
 
     /// Adds a device with the given human-readable name and CPU model.
@@ -499,6 +566,7 @@ impl World {
                 },
             ],
             dropped: [0, 0],
+            fault_dropped: [0, 0],
             enabled: true,
             fault: None,
         });
@@ -541,6 +609,12 @@ impl World {
     /// Frames dropped by a link, per direction `[a→b, b→a]`.
     pub fn link_drops(&self, link: LinkId) -> [u64; 2] {
         self.core.links[link.index()].dropped
+    }
+
+    /// The subset of [`link_drops`](World::link_drops) caused by scripted
+    /// loss faults ([`DropReason::FaultInjected`]), per direction.
+    pub fn link_fault_drops(&self, link: LinkId) -> [u64; 2] {
+        self.core.links[link.index()].fault_dropped
     }
 
     /// Takes a link down (frames are dropped) or brings it back up.
@@ -677,7 +751,7 @@ impl World {
     /// Total events executed by [`step`](World::step) since creation.
     /// Throughput metric for the perf harness (events / wall-second).
     pub fn events_processed(&self) -> u64 {
-        self.events_processed
+        self.events_processed.get()
     }
 
     /// Runs a single event. Returns `false` when no events remain.
@@ -685,7 +759,7 @@ impl World {
         let Some((_, event)) = self.core.sched.pop() else {
             return false;
         };
-        self.events_processed += 1;
+        self.events_processed.inc();
         self.dispatch(event);
         true
     }
@@ -1045,6 +1119,7 @@ mod tests {
             ActivationWindow::between(SimTime::from_nanos(10_000), SimTime::from_nanos(20_000)),
         );
         w.apply_fault_plan(&plan);
+        w.set_telemetry(TelemetrySink::enabled());
         // 15 µs lands inside the loss window, 5 and 25 µs outside.
         for t_us in [5u64, 15, 25] {
             w.run_until(SimTime::from_nanos(t_us * 1_000));
@@ -1054,6 +1129,30 @@ mod tests {
         assert_eq!(w.device::<CollectorDevice>(b).unwrap().frames.len(), 2);
         assert_eq!(w.substrate_drops(DropReason::FaultInjected), 1);
         assert_eq!(w.link_drops(link), [1, 0]);
+        // Injected loss is attributed, not folded into generic drops.
+        assert_eq!(w.link_fault_drops(link), [1, 0]);
+        assert_eq!(w.telemetry().counter("net.drops.fault_injected").get(), 1);
+    }
+
+    #[test]
+    fn telemetry_backs_events_processed_and_substrate_metrics() {
+        let mut w = World::new(1);
+        let a = w.add_node("a", EchoDevice::default(), CpuModel::default());
+        let b = w.add_node("b", CollectorDevice::default(), CpuModel::default());
+        w.connect(a, 0.into(), b, 0.into(), LinkSpec::default());
+        w.set_telemetry(TelemetrySink::enabled());
+        w.inject_frame(a, 0.into(), frame(100));
+        w.run_for(SimDuration::from_millis(1));
+        let sink = w.telemetry().clone();
+        // The façade accessor and the registry read the same cell.
+        assert_eq!(
+            sink.counter("sim.events_processed").get(),
+            w.events_processed()
+        );
+        assert!(w.events_processed() > 0);
+        assert!(sink.counter("sim.sched.pops").get() >= w.events_processed());
+        assert!(sink.histogram("net.link_queue_bytes").snapshot().count >= 1);
+        assert!(sink.histogram("net.cpu_service_ns").snapshot().count >= 2);
     }
 
     #[test]

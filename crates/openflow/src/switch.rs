@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use netco_net::{Ctx, Device, NodeId, PortId};
 use netco_sim::{SimDuration, SimTime};
+use netco_telemetry::Counter;
 
 use crate::action::{apply_actions, Action};
 use crate::fields::PacketFields;
@@ -84,6 +85,16 @@ pub struct OfSwitch {
     next_xid: u32,
     blocked_ports: HashMap<u16, SimTime>,
     stats: SwitchStats,
+    tel: SwitchTelemetry,
+}
+
+/// Workspace-wide datapath counters (aggregated over every switch in the
+/// world); inert until the world enables telemetry.
+#[derive(Default)]
+struct SwitchTelemetry {
+    table_hits: Counter,
+    table_misses: Counter,
+    packet_ins: Counter,
 }
 
 impl OfSwitch {
@@ -100,6 +111,7 @@ impl OfSwitch {
             next_xid: 1,
             blocked_ports: HashMap::new(),
             stats: SwitchStats::default(),
+            tel: SwitchTelemetry::default(),
         }
     }
 
@@ -300,6 +312,13 @@ fn truncate(frame: &Bytes, len: usize) -> Bytes {
 
 impl Device for OfSwitch {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.telemetry().is_enabled() {
+            self.tel = SwitchTelemetry {
+                table_hits: ctx.telemetry().counter("openflow.table_hits"),
+                table_misses: ctx.telemetry().counter("openflow.table_misses"),
+                packet_ins: ctx.telemetry().counter("openflow.packet_ins"),
+            };
+        }
         let now = ctx.now();
         for entry in std::mem::take(&mut self.preinstalled) {
             self.table.add(entry, now);
@@ -319,6 +338,7 @@ impl Device for OfSwitch {
         let fields = PacketFields::sniff(&frame, port.number());
         match self.table.lookup_counted(&fields, frame.len(), now) {
             Some(entry) => {
+                self.tel.table_hits.inc();
                 // Clone the Rc handle, not the list: `lookup_counted`
                 // borrows the table mutably, so the actions must outlive
                 // the borrow, but a per-packet Vec copy is not the way.
@@ -330,6 +350,7 @@ impl Device for OfSwitch {
                 self.emit(ctx, Some(port.number()), outputs);
             }
             None => {
+                self.tel.table_misses.inc();
                 if self.controller.is_some() {
                     let data = truncate(&frame, self.config.miss_send_len);
                     let msg = OfMessage::PacketIn {
@@ -340,6 +361,7 @@ impl Device for OfSwitch {
                     };
                     self.send_to_controller(ctx, &msg);
                     self.stats.to_controller += 1;
+                    self.tel.packet_ins.inc();
                 } else {
                     self.stats.dropped += 1;
                 }

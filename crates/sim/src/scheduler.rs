@@ -150,6 +150,10 @@ pub struct Scheduler<E> {
     ready: VecDeque<Entry<E>>,
     /// Reusable cascade buffer so window advances do not reallocate.
     scratch: Vec<Entry<E>>,
+    /// Telemetry handles (inert by default; see [`Scheduler::attach_telemetry`]).
+    tel_scheduled: netco_telemetry::Counter,
+    tel_pops: netco_telemetry::Counter,
+    tel_depth: netco_telemetry::Gauge,
 }
 
 impl<E> Scheduler<E> {
@@ -164,7 +168,21 @@ impl<E> Scheduler<E> {
             heap: BinaryHeap::new(),
             ready: VecDeque::new(),
             scratch: Vec::new(),
+            tel_scheduled: netco_telemetry::Counter::disabled(),
+            tel_pops: netco_telemetry::Counter::disabled(),
+            tel_depth: netco_telemetry::Gauge::disabled(),
         }
+    }
+
+    /// Wires this scheduler into a telemetry sink: every schedule and pop
+    /// is counted under `sim.sched.*` and the pending-event depth (the
+    /// "event budget" still outstanding) is tracked as a gauge with a
+    /// high-water mark. With a disabled sink the handles stay inert and
+    /// the hot-path cost is one branch per operation.
+    pub fn attach_telemetry(&mut self, sink: &netco_telemetry::TelemetrySink) {
+        self.tel_scheduled = sink.counter("sim.sched.scheduled");
+        self.tel_pops = sink.counter("sim.sched.pops");
+        self.tel_depth = sink.gauge("sim.sched.depth");
     }
 
     /// The current simulated time (timestamp of the last popped event).
@@ -192,6 +210,8 @@ impl<E> Scheduler<E> {
         let seq = self.seq;
         self.seq += 1;
         self.len += 1;
+        self.tel_scheduled.inc();
+        self.tel_depth.set(self.len as u64);
         let entry = Entry { at, seq, event };
         if at == self.now && !self.ready.is_empty() {
             // The tick being drained is `now`; same-instant arrivals join
@@ -217,6 +237,7 @@ impl<E> Scheduler<E> {
         debug_assert!(entry.at >= self.now, "time went backwards");
         self.now = entry.at;
         self.len -= 1;
+        self.tel_pops.inc();
         Some((SimTime::from_nanos(entry.at), entry.event))
     }
 

@@ -1,0 +1,40 @@
+//! `netco-telemetry`: the unified observability plane for the NetCo
+//! reproduction.
+//!
+//! One crate, four pieces (DESIGN.md §13):
+//!
+//! - [`MetricsRegistry`] — named counters, gauges and deterministic
+//!   log-linear histograms behind cheap [`Counter`]/[`Gauge`]/
+//!   [`Histogram`] handles, with a canonical (sorted-name, integer-only)
+//!   JSON snapshot.
+//! - [`PacketLifecycle`] — a flight recorder keyed by content
+//!   fingerprint that attributes latency to each NetCo pipeline stage
+//!   (hub → replica → compare → verdict).
+//! - [`Tracer`] — spans and instants rendered as chrome://tracing
+//!   trace-event JSON, backed by a bounded [`FlightRing`].
+//! - [`TelemetrySink`] — the handle a `World` carries. Disabled by
+//!   default: the hot-path cost of instrumentation is then one branch on
+//!   a null `Rc`.
+//!
+//! The crate is deliberately dependency-free (timestamps are plain `u64`
+//! nanoseconds) so that every crate in the workspace, including
+//! `netco-sim` at the bottom of the stack, can report into it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod lifecycle;
+mod metrics;
+mod ring;
+mod sink;
+mod trace;
+
+pub use histogram::{
+    bucket_index, bucket_lower_bound, HistogramSnapshot, LogLinearHistogram, NUM_BUCKETS,
+};
+pub use lifecycle::PacketLifecycle;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use ring::FlightRing;
+pub use sink::TelemetrySink;
+pub use trace::{SpanPhase, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};

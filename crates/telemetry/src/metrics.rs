@@ -1,0 +1,406 @@
+//! Named counters, gauges and histograms behind cheap shared handles.
+//!
+//! Handles are `Option<Rc<…>>`: a *disabled* handle is `None` and every
+//! operation on it is a single branch; an *enabled* handle shares its
+//! cell with the [`MetricsRegistry`], so instrumented code updates a
+//! plain `Cell` with no lookup on the hot path. A *detached* handle owns
+//! a live cell that is not (yet) in any registry — the always-on façade
+//! statistics (`World::events_processed`, `CompareStats`) use detached
+//! handles and are *adopted* into the registry when telemetry is
+//! enabled, which is how one cell can back both the legacy accessor and
+//! the registry snapshot.
+
+use std::cell::{Cell, RefCell};
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::histogram::{HistogramSnapshot, LogLinearHistogram};
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A monotonically increasing counter handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Rc<Cell<u64>>>);
+
+impl Counter {
+    /// An inert handle: every operation is a no-op.
+    pub fn disabled() -> Counter {
+        Counter(None)
+    }
+
+    /// A live handle that is not registered anywhere. It counts from
+    /// zero and can later be folded into a registry with
+    /// [`MetricsRegistry::adopt_counter`].
+    pub fn detached() -> Counter {
+        Counter(Some(Rc::new(Cell::new(0))))
+    }
+
+    /// Whether operations on this handle record anything.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.set(cell.get().wrapping_add(n));
+        }
+    }
+
+    /// Current value (0 for a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.get())
+    }
+}
+
+/// Shared storage for a gauge: last-set value plus high-water mark.
+#[derive(Debug, Default)]
+pub(crate) struct GaugeCell {
+    pub(crate) value: Cell<u64>,
+    pub(crate) peak: Cell<u64>,
+}
+
+/// A last-value gauge handle that also tracks its peak.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Rc<GaugeCell>>);
+
+impl Gauge {
+    /// An inert handle: every operation is a no-op.
+    pub fn disabled() -> Gauge {
+        Gauge(None)
+    }
+
+    /// A live handle that is not registered anywhere.
+    pub fn detached() -> Gauge {
+        Gauge(Some(Rc::new(GaugeCell::default())))
+    }
+
+    /// Whether operations on this handle record anything.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Sets the current value, raising the peak if needed.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        if let Some(cell) = &self.0 {
+            cell.value.set(value);
+            if value > cell.peak.get() {
+                cell.peak.set(value);
+            }
+        }
+    }
+
+    /// Last-set value (0 for a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.value.get())
+    }
+
+    /// Largest value ever set (0 for a disabled handle).
+    pub fn peak(&self) -> u64 {
+        self.0.as_ref().map_or(0, |cell| cell.peak.get())
+    }
+}
+
+/// A histogram handle; see [`LogLinearHistogram`] for the bucketing.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Rc<RefCell<LogLinearHistogram>>>);
+
+impl Histogram {
+    /// An inert handle: every operation is a no-op.
+    pub fn disabled() -> Histogram {
+        Histogram(None)
+    }
+
+    /// A live handle that is not registered anywhere.
+    pub fn detached() -> Histogram {
+        Histogram(Some(Rc::new(RefCell::new(LogLinearHistogram::new()))))
+    }
+
+    /// Whether operations on this handle record anything.
+    pub fn is_active(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if let Some(hist) = &self.0 {
+            hist.borrow_mut().record(value);
+        }
+    }
+
+    /// Summary of everything recorded (zeroed for a disabled handle).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map_or_else(HistogramSnapshot::default, |hist| hist.borrow().snapshot())
+    }
+}
+
+/// Storage behind one registered metric name.
+enum Metric {
+    Counter(Rc<Cell<u64>>),
+    Gauge(Rc<GaugeCell>),
+    Histogram(Rc<RefCell<LogLinearHistogram>>),
+}
+
+/// A name → metric map. Names are free-form dotted paths
+/// (`"compare.cmp.received"`); serialization walks them in canonical
+/// (lexicographic) order so the JSON snapshot is deterministic.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether no metric has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Gets or creates the counter named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&mut self, name: &str) -> Counter {
+        let metric = self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Rc::new(Cell::new(0))));
+        match metric {
+            Metric::Counter(cell) => Counter(Some(cell.clone())),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Gets or creates the gauge named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&mut self, name: &str) -> Gauge {
+        let metric = self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Rc::new(GaugeCell::default())));
+        match metric {
+            Metric::Gauge(cell) => Gauge(Some(cell.clone())),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Gets or creates the histogram named `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&mut self, name: &str) -> Histogram {
+        let metric = self
+            .metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Rc::new(RefCell::new(LogLinearHistogram::new()))));
+        match metric {
+            Metric::Histogram(hist) => Histogram(Some(hist.clone())),
+            _ => panic!("metric `{name}` already registered with a different type"),
+        }
+    }
+
+    /// Registers a detached counter handle under `name`, so the cell the
+    /// caller has been incrementing becomes the registry's cell. If
+    /// `name` already exists the carried count is folded in and the
+    /// handle is repointed at the registered cell. Idempotent: adopting
+    /// an already-adopted handle is a no-op.
+    pub fn adopt_counter(&mut self, name: &str, handle: &mut Counter) {
+        match self.metrics.entry(name.to_string()) {
+            Entry::Occupied(entry) => match entry.get() {
+                Metric::Counter(cell) => {
+                    if let Some(cur) = &handle.0 {
+                        if Rc::ptr_eq(cur, cell) {
+                            return;
+                        }
+                    }
+                    cell.set(cell.get().wrapping_add(handle.get()));
+                    handle.0 = Some(cell.clone());
+                }
+                _ => panic!("metric `{name}` already registered with a different type"),
+            },
+            Entry::Vacant(entry) => {
+                let cell = handle
+                    .0
+                    .get_or_insert_with(|| Rc::new(Cell::new(0)))
+                    .clone();
+                entry.insert(Metric::Counter(cell));
+            }
+        }
+    }
+
+    /// Registers a detached gauge handle under `name`; the counterpart of
+    /// [`adopt_counter`](MetricsRegistry::adopt_counter). On a name
+    /// collision the handle's value/peak are folded in (peak = max).
+    pub fn adopt_gauge(&mut self, name: &str, handle: &mut Gauge) {
+        match self.metrics.entry(name.to_string()) {
+            Entry::Occupied(entry) => match entry.get() {
+                Metric::Gauge(cell) => {
+                    if let Some(cur) = &handle.0 {
+                        if Rc::ptr_eq(cur, cell) {
+                            return;
+                        }
+                        cell.value.set(cur.value.get());
+                        cell.peak.set(cell.peak.get().max(cur.peak.get()));
+                    }
+                    handle.0 = Some(cell.clone());
+                }
+                _ => panic!("metric `{name}` already registered with a different type"),
+            },
+            Entry::Vacant(entry) => {
+                let cell = handle.0.get_or_insert_with(Rc::default).clone();
+                entry.insert(Metric::Gauge(cell));
+            }
+        }
+    }
+
+    /// Renders every metric as one canonical JSON object: names in
+    /// lexicographic order, integer values only, fixed field order per
+    /// metric kind. Byte-identical for identical metric contents.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (name, metric) in &self.metrics {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(out, "  \"{}\": ", escape_json(name));
+            match metric {
+                Metric::Counter(cell) => {
+                    let _ = write!(out, "{}", cell.get());
+                }
+                Metric::Gauge(cell) => {
+                    let _ = write!(
+                        out,
+                        "{{\"value\": {}, \"peak\": {}}}",
+                        cell.value.get(),
+                        cell.peak.get()
+                    );
+                }
+                Metric::Histogram(hist) => {
+                    let s = hist.borrow().snapshot();
+                    let _ = write!(
+                        out,
+                        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                         \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                        s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99
+                    );
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = Counter::disabled();
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::disabled();
+        g.set(7);
+        assert_eq!((g.get(), g.peak()), (0, 0));
+        let h = Histogram::disabled();
+        h.record(7);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn registry_handles_share_storage() {
+        let mut reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+    }
+
+    #[test]
+    fn adopt_preserves_and_merges_counts() {
+        let mut reg = MetricsRegistry::new();
+        let mut detached = Counter::detached();
+        detached.add(5);
+        reg.adopt_counter("n", &mut detached);
+        assert_eq!(reg.counter("n").get(), 5);
+        detached.inc();
+        assert_eq!(reg.counter("n").get(), 6);
+        // Idempotent.
+        reg.adopt_counter("n", &mut detached);
+        assert_eq!(detached.get(), 6);
+        // A second detached handle folds its count in.
+        let mut other = Counter::detached();
+        other.add(10);
+        reg.adopt_counter("n", &mut other);
+        assert_eq!(detached.get(), 16);
+    }
+
+    #[test]
+    fn gauge_tracks_peak() {
+        let mut reg = MetricsRegistry::new();
+        let g = reg.gauge("depth");
+        g.set(9);
+        g.set(3);
+        assert_eq!((g.get(), g.peak()), (3, 9));
+    }
+
+    #[test]
+    fn json_is_canonical() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("b.count").inc();
+        reg.gauge("a.depth").set(2);
+        let h = reg.histogram("c.lat");
+        h.record(10);
+        let json = reg.render_json();
+        let a = json.find("a.depth").unwrap();
+        let b = json.find("b.count").unwrap();
+        let c = json.find("c.lat").unwrap();
+        assert!(a < b && b < c, "names must serialize in sorted order");
+        assert_eq!(json, reg.render_json());
+    }
+}

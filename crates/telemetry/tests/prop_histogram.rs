@@ -1,0 +1,81 @@
+//! Property tests for the deterministic log-linear histogram: bucket
+//! boundaries bracket every value, quantiles are monotone and bounded by
+//! the exact extrema, and merging is associative, commutative and
+//! equivalent to recording the concatenated stream.
+
+use netco_telemetry::{bucket_index, bucket_lower_bound, LogLinearHistogram, NUM_BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn build(values: &[u64]) -> LogLinearHistogram {
+    let mut h = LogLinearHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn bucket_boundaries_bracket_every_value(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < NUM_BUCKETS);
+        prop_assert!(bucket_lower_bound(i) <= v, "lower bound exceeds value");
+        if i + 1 < NUM_BUCKETS {
+            prop_assert!(v < bucket_lower_bound(i + 1), "value reaches next bucket");
+        }
+    }
+
+    #[test]
+    fn bucket_lower_bounds_are_strictly_increasing(i in 0usize..NUM_BUCKETS - 1) {
+        prop_assert!(bucket_lower_bound(i) < bucket_lower_bound(i + 1));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded(values in vec(any::<u64>(), 1..300)) {
+        let h = build(&values);
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.min, *values.iter().min().unwrap());
+        prop_assert_eq!(snap.max, *values.iter().max().unwrap());
+        prop_assert!(snap.p50 <= snap.p90);
+        prop_assert!(snap.p90 <= snap.p99);
+        prop_assert!(snap.p99 <= snap.max);
+        // Quantiles report bucket lower bounds clamped by the exact max,
+        // so the lowest rank never exceeds the minimum and the highest
+        // rank never exceeds (but may undershoot) the maximum.
+        prop_assert!(h.quantile(0.0) <= snap.min);
+        prop_assert!(h.quantile(1.0) <= snap.max);
+        prop_assert!(h.quantile(0.99) <= h.quantile(1.0));
+    }
+
+    #[test]
+    fn merge_is_associative_commutative_and_stream_equivalent(
+        a in vec(any::<u64>(), 0..120),
+        b in vec(any::<u64>(), 0..120),
+        c in vec(any::<u64>(), 0..120),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+
+        // (a ⊎ b) ⊎ c == a ⊎ (b ⊎ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // a ⊎ b == b ⊎ a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merging equals recording the concatenated stream.
+        let concat: Vec<u64> = a.iter().chain(&b).chain(&c).copied().collect();
+        prop_assert_eq!(&left, &build(&concat));
+    }
+}

@@ -2,9 +2,14 @@
 //! trace ([`TraceRecorder`]) and periodic flow-counter polling
 //! ([`FlowStatsMonitor`]) — here watching a combiner under a mirroring
 //! attack — plus the self-healing supervisor's quarantine timeline under
-//! a scripted flapping replica.
+//! a scripted flapping replica, with every run observed through the
+//! `netco-telemetry` registry.
 //!
 //! Run with: `cargo run --example observability`
+//!
+//! Pass `--json` to print the quarantine run's canonical metrics
+//! snapshot as a single JSON document on stdout (nothing else), suitable
+//! for piping into `python3 -m json.tool` or CI artifact checks.
 
 use netco_adversary::{ActivationWindow, Behavior};
 use netco_controller::apps::FlowStatsMonitor;
@@ -13,11 +18,25 @@ use netco_core::{Compare, SecurityEvent, SupervisorConfig};
 use netco_net::{CpuModel, PortId, TraceRecorder};
 use netco_openflow::{FlowMatch, OfSwitch};
 use netco_sim::{SimDuration, SimTime};
-use netco_topo::{AdversarySpec, FaultKind, Profile, Scenario, ScenarioKind, H2_IP};
+use netco_telemetry::TelemetrySink;
+use netco_topo::{AdversarySpec, BuiltScenario, FaultKind, Profile, Scenario, ScenarioKind, H2_IP};
 use netco_traffic::{IcmpEchoResponder, PingConfig, Pinger};
 
 fn main() {
-    // A combiner whose replica r1 mirrors fw-bound packets the wrong way.
+    if std::env::args().any(|a| a == "--json") {
+        // Machine mode: one canonical registry snapshot, nothing else.
+        let (_, sink) = run_quarantine_scenario();
+        print!("{}", sink.metrics_json());
+        return;
+    }
+    mirror_attack_screening();
+    quarantine_timeline();
+}
+
+/// A combiner whose replica r1 mirrors fw-bound packets the wrong way,
+/// screened three ways: tcpdump-style trace, honest flow counters, and
+/// the telemetry registry's frame/drop counters.
+fn mirror_attack_screening() {
     let scenario = Scenario::build(ScenarioKind::Central3, Profile::default(), 17).with_adversary(
         AdversarySpec {
             replica_index: 0,
@@ -35,6 +54,8 @@ fn main() {
         |nic| Pinger::new(nic, PingConfig::new(H2_IP).with_count(5)),
         IcmpEchoResponder::new,
     );
+    let sink = TelemetrySink::enabled();
+    built.world.set_telemetry(sink.clone());
 
     // Screening method 1: tcpdump on every interface.
     let trace = TraceRecorder::new();
@@ -95,13 +116,27 @@ fn main() {
         println!("  [{}] {}", e.at, e.summary);
     }
 
-    quarantine_timeline();
+    // Screening method 3: the registry the trace and world now feed.
+    println!("\ntelemetry registry (mirror-attack world):");
+    println!(
+        "  events processed       : {}",
+        sink.counter("sim.events_processed").get()
+    );
+    println!(
+        "  frames traced (rx/tx)  : {}/{}",
+        sink.counter("trace.rx_frames").get(),
+        sink.counter("trace.tx_frames").get()
+    );
+    println!(
+        "  flow-table hits/misses : {}/{}",
+        sink.counter("openflow.table_hits").get(),
+        sink.counter("openflow.table_misses").get()
+    );
 }
 
-/// Screening method 3: the supervisor's own event log. A flapping replica
-/// is quarantined, the lane degrades to detection, and after probation the
-/// replica is re-admitted — all visible as timestamped security events.
-fn quarantine_timeline() {
+/// Builds and runs the flapping-replica scenario with telemetry on,
+/// returning the finished world and its sink.
+fn run_quarantine_scenario() -> (BuiltScenario, TelemetrySink) {
     let at_ms = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
     let scenario = Scenario::build(ScenarioKind::Central3, Profile::functional(), 33)
         .with_miss_alarm_threshold(3)
@@ -133,7 +168,18 @@ fn quarantine_timeline() {
         },
         IcmpEchoResponder::new,
     );
+    let sink = TelemetrySink::enabled();
+    built.world.set_telemetry(sink.clone());
     built.world.run_for(SimDuration::from_secs(2));
+    (built, sink)
+}
+
+/// Screening method 4: the supervisor's own event log. A flapping replica
+/// is quarantined, the lane degrades to detection, and after probation the
+/// replica is re-admitted — all visible as timestamped security events and
+/// as packet-lifecycle latency histograms in the registry snapshot.
+fn quarantine_timeline() {
+    let (built, sink) = run_quarantine_scenario();
 
     let report = built.world.device::<Pinger>(built.h1).unwrap().report();
     println!("\nquarantine timeline (r2 flaps 3×, supervisor attached):");
@@ -141,10 +187,8 @@ fn quarantine_timeline() {
         "  pings          : {}/{}",
         report.received, report.transmitted
     );
-    let compare = built
-        .world
-        .device::<Compare>(built.compare.unwrap())
-        .unwrap();
+    let compare_node = built.compare.unwrap();
+    let compare = built.world.device::<Compare>(compare_node).unwrap();
     for e in compare.events().iter() {
         let interesting = matches!(
             e.record,
@@ -174,4 +218,29 @@ fn quarantine_timeline() {
     println!("  degradations           : {}", counts.degradations);
     println!("  restorations           : {}", counts.restorations);
     println!("  total alarms           : {}", counts.alarms());
+
+    // The same story, told by the registry: per-stage packet latencies
+    // and the compare's scoped counters.
+    let scope = built.world.node_name(compare_node);
+    println!("\ntelemetry registry (quarantine world):");
+    println!(
+        "  compare received/released : {}/{}",
+        sink.counter(&format!("compare.{scope}.received")).get(),
+        sink.counter(&format!("compare.{scope}.released")).get()
+    );
+    for name in [
+        "lifecycle.hub_to_replica_ns",
+        "lifecycle.replica_to_compare_ns",
+        "lifecycle.compare_to_verdict_ns",
+        "lifecycle.end_to_end_ns",
+    ] {
+        let s = sink.histogram(name).snapshot();
+        println!(
+            "  {name:<32} count {:>4}  p50 {:>7}  p99 {:>7}  max {:>7}",
+            s.count, s.p50, s.p99, s.max
+        );
+    }
+    println!(
+        "  (run with --json for the full canonical snapshot; a chrome-trace\n   of the same scenario comes from `perf_report --telemetry <dir>`)"
+    );
 }

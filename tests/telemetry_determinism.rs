@@ -1,0 +1,39 @@
+//! Telemetry determinism: the same seed and scenario must render
+//! byte-identical metrics snapshots and chrome-trace documents across
+//! reruns and across `netco_harness::Pool` worker counts — the
+//! `harness_determinism` pattern applied to the telemetry artifacts.
+//!
+//! Sinks are `Rc`-based and single-world, so each pool job builds its own
+//! world and sink inside the worker and ships only the rendered strings
+//! back; the fold order of the pool is canonical, so nothing about the
+//! worker count may leak into the bytes.
+
+use netco_bench::chaos;
+use netco_harness::Pool;
+
+fn rendered_artifacts(_job: &u64) -> (String, String) {
+    let a = chaos::artifacts();
+    (a.metrics_json, a.trace_json)
+}
+
+#[test]
+fn telemetry_artifacts_identical_across_reruns_and_thread_counts() {
+    let jobs: Vec<u64> = (0..3).collect();
+    let reference = Pool::serial().map(&jobs, rendered_artifacts);
+    assert!(reference
+        .iter()
+        .all(|(m, t)| !m.is_empty() && t.contains("traceEvents")));
+    // Rerun determinism: every job is the identical scenario.
+    assert!(
+        reference.windows(2).all(|w| w[0] == w[1]),
+        "identical runs must render identical artifacts"
+    );
+    // Thread-count determinism: pooled workers change nothing.
+    for threads in [2, 3] {
+        let pooled = Pool::new(threads).map(&jobs, rendered_artifacts);
+        assert_eq!(
+            pooled, reference,
+            "{threads} workers must render byte-identical artifacts"
+        );
+    }
+}
