@@ -2,9 +2,9 @@
 
 use std::collections::HashMap;
 
-use bytes::{Bytes, BytesMut};
-use netco_net::{Ctx, Device, MacAddr, PortId};
-use netco_openflow::{apply_rewrites, Action, PacketFields};
+use bytes::BytesMut;
+use netco_net::{Ctx, Device, Frame, MacAddr, PortId};
+use netco_openflow::{apply_rewrites, Action};
 use netco_sim::SimDuration;
 
 use crate::behavior::{ActivationWindow, Behavior};
@@ -42,7 +42,7 @@ pub struct MaliciousSwitch {
     routes: HashMap<MacAddr, PortId>,
     behaviors: Vec<(Behavior, ActivationWindow)>,
     corrupt_seen: u64,
-    delayed: Vec<(PortId, Bytes)>,
+    delayed: Vec<(PortId, Frame)>,
     stats: AdversaryStats,
 }
 
@@ -79,12 +79,12 @@ impl MaliciousSwitch {
         self.stats
     }
 
-    fn normal_route(&self, frame: &Bytes) -> Option<PortId> {
+    fn normal_route(&self, frame: &Frame) -> Option<PortId> {
         let dst = netco_net::packet::peek_dst(frame).ok()?;
         self.routes.get(&dst).copied()
     }
 
-    fn forward_normally(&mut self, ctx: &mut Ctx<'_>, frame: Bytes) {
+    fn forward_normally(&mut self, ctx: &mut Ctx<'_>, frame: Frame) {
         match self.normal_route(&frame) {
             Some(port) => {
                 self.stats.forwarded += 1;
@@ -114,9 +114,11 @@ impl Device for MaliciousSwitch {
         }
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Frame) {
         let now = ctx.now();
-        let fields = PacketFields::sniff(&frame, port.number());
+        // Memoized parse: reuses the header view if any earlier hop
+        // already sniffed this exact content.
+        let fields = frame.fields_on(port.number());
         let mut frame = frame;
         let behaviors = self.behaviors.clone();
         for (behavior, window) in &behaviors {
@@ -146,13 +148,13 @@ impl Device for MaliciousSwitch {
                 Behavior::SetVlan { select, vid } => {
                     if select.matches(&fields) {
                         self.stats.modified += 1;
-                        frame = apply_rewrites(&frame, &[Action::SetVlanVid(*vid)]);
+                        frame = apply_rewrites(frame.bytes(), &[Action::SetVlanVid(*vid)]).into();
                     }
                 }
                 Behavior::RewriteDlDst { select, mac } => {
                     if select.matches(&fields) {
                         self.stats.modified += 1;
-                        frame = apply_rewrites(&frame, &[Action::SetDlDst(*mac)]);
+                        frame = apply_rewrites(frame.bytes(), &[Action::SetDlDst(*mac)]).into();
                     }
                 }
                 Behavior::CorruptPayload { select, every_nth } => {
@@ -163,7 +165,8 @@ impl Device for MaliciousSwitch {
                             let mut buf = BytesMut::from(&frame[..]);
                             let idx = buf.len() - 1;
                             buf[idx] ^= 0xff;
-                            frame = buf.freeze();
+                            // Corrupted bytes are new content: fresh memo.
+                            frame = Frame::from(buf.freeze());
                         }
                     }
                 }
@@ -240,6 +243,7 @@ impl std::fmt::Debug for MaliciousSwitch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use netco_net::packet::{builder, FrameView};
     use netco_net::testutil::CollectorDevice;
     use netco_net::{CpuModel, LinkSpec, NodeId, World};

@@ -1,7 +1,7 @@
 //! `perf_report`: one-shot hot-path performance snapshot, printed as a
 //! single JSON object on stdout.
 //!
-//! Five measurements:
+//! Six measurements:
 //!
 //! 1. Scheduler churn — a steady-state pop-one/push-one loop over the
 //!    timing-wheel [`netco_sim::Scheduler`], with the retired binary-heap
@@ -9,14 +9,17 @@
 //!    the identical loop as the comparison point.
 //! 2. Compare observe — 3-way voting over distinct full-size UDP frames
 //!    under [`CompareStrategy::FullPacket`] fingerprint keying.
-//! 3. A Fig.-4-shaped end-to-end run — Central3 TCP at
+//! 3. Frame memo — fingerprint and header-sniff ns/op on a full-size
+//!    frame, cold (fresh [`Frame`] per touch) vs memoized (shared-memo
+//!    hits, the steady state of a frame traversing the combiner).
+//! 4. A Fig.-4-shaped end-to-end run — Central3 TCP at
 //!    [`ExperimentScale::quick`] duration — reporting whole-simulator
 //!    event throughput, the sim-time/wall-time ratio and the compare
 //!    cache high-water mark.
-//! 4. Flow-table classification — lookup ns/op over tables of 16/256/4096
+//! 5. Flow-table classification — lookup ns/op over tables of 16/256/4096
 //!    wildcard-free entries, the indexed [`FlowTable`] against the
 //!    retired linear scan ([`netco_openflow::baseline::LinearFlowTable`]).
-//! 5. Parallel figure sweeps — Fig. 4 (TCP) and Fig. 7 (RTT) fanned over
+//! 6. Parallel figure sweeps — Fig. 4 (TCP) and Fig. 7 (RTT) fanned over
 //!    the [`netco_harness::Pool`] at several worker counts, reporting
 //!    wall-clock, aggregate simulator events/sec and whether the rows
 //!    stayed bit-identical across thread counts (they must).
@@ -37,7 +40,7 @@ use netco_bench::ExperimentScale;
 use netco_core::{Compare, CompareConfig, CompareCore, LaneInfo};
 use netco_harness::Pool;
 use netco_net::packet::builder;
-use netco_net::MacAddr;
+use netco_net::{Frame, MacAddr};
 use netco_openflow::{Action, FlowEntry, FlowMatch, FlowTable, OfPort, PacketFields};
 use netco_sim::{SimDuration, SimTime};
 use netco_topo::{Profile, Scenario, ScenarioKind, H2_IP};
@@ -179,6 +182,75 @@ fn compare_observes_per_sec() -> f64 {
         }
     }
     observes as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Touches per frame-memo measurement pass.
+const MEMO_OPS: u64 = 1_000_000;
+/// Measured passes per memo variant; the best is reported.
+const MEMO_PASSES: usize = 3;
+
+struct FrameMemoPoint {
+    frame_len: usize,
+    cold_fp128_ns: f64,
+    memoized_fp128_ns: f64,
+    cold_parse_ns: f64,
+    memoized_parse_ns: f64,
+}
+
+/// Best-of-[`MEMO_PASSES`] ns/op over [`MEMO_OPS`] iterations of `op`,
+/// with a quarter-length warmup pass first.
+fn memo_ns(mut op: impl FnMut()) -> f64 {
+    for _ in 0..MEMO_OPS / 4 {
+        op();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..MEMO_PASSES {
+        let start = Instant::now();
+        for _ in 0..MEMO_OPS {
+            op();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best * 1e9 / MEMO_OPS as f64
+}
+
+/// Fingerprint and header-sniff cost on a full-size UDP frame, cold
+/// (fresh [`Frame`] per touch, so the memo never helps) against memoized
+/// (every touch after the first is a shared-memo hit — the steady state
+/// of a frame crossing hub, replicas, guard and compare).
+fn frame_memo_point() -> FrameMemoPoint {
+    let wire = builder::udp_frame(
+        MacAddr::local(1),
+        MacAddr::local(2),
+        std::net::Ipv4Addr::new(10, 0, 0, 1),
+        std::net::Ipv4Addr::new(10, 0, 0, 2),
+        10_000,
+        5001,
+        Bytes::from(vec![0xA5u8; 1400]),
+        None,
+    );
+    let cold_fp128_ns = memo_ns(|| {
+        let f = Frame::new(wire.clone());
+        std::hint::black_box(f.fp128());
+    });
+    let hot = Frame::new(wire.clone());
+    let memoized_fp128_ns = memo_ns(|| {
+        std::hint::black_box(hot.fp128());
+    });
+    let cold_parse_ns = memo_ns(|| {
+        let f = Frame::new(wire.clone());
+        std::hint::black_box(f.fields().dl_type);
+    });
+    let memoized_parse_ns = memo_ns(|| {
+        std::hint::black_box(hot.fields().dl_type);
+    });
+    FrameMemoPoint {
+        frame_len: wire.len(),
+        cold_fp128_ns,
+        memoized_fp128_ns,
+        cold_parse_ns,
+        memoized_parse_ns,
+    }
 }
 
 struct EndToEnd {
@@ -412,6 +484,7 @@ fn main() {
     let wheel = wheel_events_per_sec();
     let heap = heap_events_per_sec();
     let observes = compare_observes_per_sec();
+    let memo = frame_memo_point();
     let e2e = end_to_end(scale);
     let flow = flow_table_points();
     let counts = thread_counts();
@@ -421,6 +494,21 @@ fn main() {
     println!("  \"scheduler_wheel_events_per_sec\": {wheel:.0},");
     println!("  \"scheduler_heap_events_per_sec\": {heap:.0},");
     println!("  \"compare_observes_per_sec\": {observes:.0},");
+    println!("  \"frame_memo\": {{");
+    println!("    \"frame_len\": {},", memo.frame_len);
+    println!("    \"cold_fp128_ns\": {:.1},", memo.cold_fp128_ns);
+    println!("    \"memoized_fp128_ns\": {:.1},", memo.memoized_fp128_ns);
+    println!(
+        "    \"fp128_speedup\": {:.2},",
+        memo.cold_fp128_ns / memo.memoized_fp128_ns
+    );
+    println!("    \"cold_parse_ns\": {:.1},", memo.cold_parse_ns);
+    println!("    \"memoized_parse_ns\": {:.1},", memo.memoized_parse_ns);
+    println!(
+        "    \"parse_speedup\": {:.2}",
+        memo.cold_parse_ns / memo.memoized_parse_ns
+    );
+    println!("  }},");
     println!("  \"e2e_scenario\": \"central3_tcp\",");
     println!(
         "  \"e2e_sim_duration_s\": {:.3},",

@@ -4,7 +4,7 @@ use std::any::Any;
 use std::collections::{HashMap, HashSet};
 
 use bytes::Bytes;
-use netco_net::{Ctx, Device, NodeId, PortId};
+use netco_net::{Ctx, Device, Frame, NodeId, PortId};
 use netco_openflow::{wire, OfMessage};
 use netco_sim::{SimDuration, SimTime};
 
@@ -182,7 +182,7 @@ impl Device for Controller {
         }
     }
 
-    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _frame: Bytes) {
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _frame: Frame) {
         // Controllers have no data-plane ports.
     }
 
@@ -291,7 +291,7 @@ mod tests {
     }
 
     impl netco_net::Device for MuteableSwitch {
-        fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: Bytes) {}
+        fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: Frame) {}
         fn on_control(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Bytes) {
             if self.muted {
                 return;

@@ -2,7 +2,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bytes::Bytes;
+use netco_net::Frame;
 use netco_sim::{SimDuration, SimTime};
 
 use super::strategy::CompareKey;
@@ -15,8 +15,10 @@ const MAX_REPLICAS: usize = 32;
 /// Voting state of one cached packet.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CacheEntry {
-    /// The first received copy (the one released on majority).
-    pub frame: Bytes,
+    /// The first received copy (the one released on majority). Its memo
+    /// carries the fingerprint computed when the compare key was derived,
+    /// so expiry/drop accounting never re-hashes the bytes.
+    pub frame: Frame,
     /// When the first copy arrived (expiry is measured from here).
     pub first_seen: SimTime,
     /// Distinct replica ports that delivered a copy, in arrival order.
@@ -120,7 +122,7 @@ impl PacketCache {
         key: CompareKey,
         port: u16,
         replica_idx: usize,
-        frame: &Bytes,
+        frame: &Frame,
         now: SimTime,
     ) -> (CompareKey, Observed) {
         debug_assert!(replica_idx < MAX_REPLICAS);
@@ -176,7 +178,7 @@ impl PacketCache {
     /// live entries: returns the key of the entry holding byte-identical
     /// `frame` bytes, or the key a new entry for `frame` should use. Other
     /// key kinds pass through untouched.
-    fn resolve(&mut self, key: CompareKey, frame: &Bytes) -> CompareKey {
+    fn resolve(&mut self, key: CompareKey, frame: &Frame) -> CompareKey {
         let CompareKey::Exact { fp, .. } = key else {
             return key;
         };
@@ -220,7 +222,7 @@ impl PacketCache {
 
     /// Marks `key` released, returning the cached frame to emit.
     /// Returns `None` if the entry vanished or was already released.
-    pub fn mark_released(&mut self, key: &CompareKey) -> Option<Bytes> {
+    pub fn mark_released(&mut self, key: &CompareKey) -> Option<Frame> {
         let entry = self.map.get_mut(key)?;
         if entry.released {
             return None;
@@ -302,13 +304,14 @@ impl PacketCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     fn key(s: &'static [u8]) -> CompareKey {
         CompareKey::Bytes(Bytes::from_static(s))
     }
 
-    fn frame() -> Bytes {
-        Bytes::from_static(b"frame")
+    fn frame() -> Frame {
+        Frame::from(b"frame" as &'static [u8])
     }
 
     #[test]
@@ -443,7 +446,7 @@ mod tests {
     #[test]
     fn exact_key_same_frame_resolves_to_same_entry() {
         let mut c = PacketCache::new();
-        let f = Bytes::from_static(b"copy");
+        let f = Frame::from(b"copy" as &'static [u8]);
         assert_eq!(
             c.observe(exact(42), 1, 0, &f, SimTime::ZERO),
             (exact(42), Observed::New)
@@ -465,8 +468,8 @@ mod tests {
         // Two different frames with the same fingerprint (forged here; a
         // real fp128 collision is a 2^-128 event) must vote independently.
         let mut c = PacketCache::new();
-        let a = Bytes::from_static(b"frame-a");
-        let b = Bytes::from_static(b"frame-b");
+        let a = Frame::from(b"frame-a" as &'static [u8]);
+        let b = Frame::from(b"frame-b" as &'static [u8]);
         assert_eq!(
             c.observe(exact(7), 1, 0, &a, SimTime::ZERO),
             (exact(7), Observed::New)
@@ -493,8 +496,8 @@ mod tests {
         // frame must still find it rather than open a fresh entry at
         // dis = 0 and split the vote.
         let mut c = PacketCache::new();
-        let a = Bytes::from_static(b"frame-a");
-        let b = Bytes::from_static(b"frame-b");
+        let a = Frame::from(b"frame-a" as &'static [u8]);
+        let b = Frame::from(b"frame-b" as &'static [u8]);
         let t0 = SimTime::ZERO;
         let t1 = SimTime::from_nanos(5_000_000);
         c.observe(exact(9), 1, 0, &a, t0);
@@ -510,7 +513,7 @@ mod tests {
         assert_eq!(kb2, CompareKey::Exact { fp: 9, dis: 1 });
         assert!(matches!(ob2, Observed::AdditionalPort { distinct: 2, .. }));
         // A third, new frame with the same fingerprint reuses the gap.
-        let d = Bytes::from_static(b"frame-d");
+        let d = Frame::from(b"frame-d" as &'static [u8]);
         let (kd, od) = c.observe(exact(9), 1, 0, &d, t1);
         assert_eq!(kd, exact(9));
         assert_eq!(od, Observed::New);
@@ -519,8 +522,8 @@ mod tests {
     #[test]
     fn collision_bookkeeping_resets_when_chain_dies() {
         let mut c = PacketCache::new();
-        let a = Bytes::from_static(b"frame-a");
-        let b = Bytes::from_static(b"frame-b");
+        let a = Frame::from(b"frame-a" as &'static [u8]);
+        let b = Frame::from(b"frame-b" as &'static [u8]);
         c.observe(exact(3), 1, 0, &a, SimTime::ZERO);
         c.observe(exact(3), 1, 0, &b, SimTime::ZERO);
         assert_eq!(c.collided.len(), 1);

@@ -1,12 +1,11 @@
 //! The protocol-agnostic voting logic shared by every compare deployment.
 
-use bytes::Bytes;
+use netco_net::Frame;
 use netco_sim::{SimDuration, SimTime};
 use netco_telemetry::{Counter, Gauge, TelemetrySink};
 use std::collections::HashMap;
 
 use super::cache::{CacheEntry, Observed, PacketCache};
-use super::strategy::fp128;
 use crate::config::{CompareConfig, Mode};
 use crate::events::{EventCounts, SecurityEvent};
 use crate::supervisor::{LaneSupervisor, ReplicaStatus};
@@ -33,8 +32,9 @@ pub enum CompareAction {
         lane: u16,
         /// The guard port to output on.
         host_port: u16,
-        /// The released frame.
-        frame: Bytes,
+        /// The released frame (memo intact: its fingerprint was computed
+        /// at most once on the way in and is reused on the way out).
+        frame: Frame,
     },
     /// Advise the guard to block a replica port for `duration`.
     BlockReplicaPort {
@@ -337,9 +337,10 @@ impl CompareCore {
         &mut self,
         lane_id: u16,
         in_port: u16,
-        frame: Bytes,
+        frame: impl Into<Frame>,
         now: SimTime,
     ) -> Vec<CompareAction> {
+        let frame = frame.into();
         let mut actions = Vec::new();
         let release_threshold = self.cfg.release_threshold();
         let Some(lane) = self.lanes.get_mut(&lane_id) else {
@@ -352,8 +353,9 @@ impl CompareCore {
         };
         self.cells.received.inc();
         if self.telemetry.is_enabled() {
+            // Memoized: the same fingerprint the compare key uses below.
             self.telemetry
-                .lifecycle_observe(fp128(&frame), now.as_nanos());
+                .lifecycle_observe(frame.fp128(), now.as_nanos());
         }
 
         // Capacity cleanup before inserting (paper §V: "once the packet
@@ -432,7 +434,7 @@ impl CompareCore {
                             self.cells.released.inc();
                             if self.telemetry.is_enabled() {
                                 self.telemetry
-                                    .lifecycle_release(fp128(&out), now.as_nanos());
+                                    .lifecycle_release(out.fp128(), now.as_nanos());
                             }
                             if !self.cfg.passive {
                                 actions.push(CompareAction::Release {
@@ -652,7 +654,9 @@ impl CompareCore {
                 cells.hold_timeouts.inc();
             }
             if telemetry.is_enabled() {
-                telemetry.lifecycle_drop(fp128(&entry.frame), now.as_nanos(), cause.slug());
+                // The entry's frame carries the fingerprint computed when
+                // its compare key was derived — no re-hash on expiry.
+                telemetry.lifecycle_drop(entry.frame.fp128(), now.as_nanos(), cause.slug());
             }
             Self::emit(
                 event_counts,
@@ -674,6 +678,7 @@ impl CompareCore {
 mod tests {
     use super::*;
     use crate::compare::strategy::CompareStrategy;
+    use bytes::Bytes;
 
     fn core(k: usize) -> CompareCore {
         let mut c = CompareCore::new(

@@ -3,7 +3,7 @@
 use std::collections::VecDeque;
 
 use bytes::Bytes;
-use netco_net::{Ctx, Device, PortId};
+use netco_net::{Ctx, Device, Frame, PortId};
 use netco_openflow::{Action, FlowMatch, FlowModCommand, OfMessage, OfPort};
 use netco_sim::{EventLog, SimDuration, SimTime};
 
@@ -94,7 +94,7 @@ impl Compare {
                         buffer_id: None,
                         in_port: OfPort::None.to_u16(),
                         actions: vec![Action::Output(OfPort::Physical(host_port))],
-                        data: frame,
+                        data: frame.into_bytes(),
                     };
                     let xid = self.next_xid;
                     self.next_xid = self.next_xid.wrapping_add(1);
@@ -148,7 +148,7 @@ impl Device for Compare {
         ctx.schedule_timer(self.sweep_interval(), SWEEP_TIMER);
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Frame) {
         let Some((msg, _xid)) = of_unwrap(&frame) else {
             return; // not for us; trusted components ignore the unknown
         };

@@ -1,6 +1,11 @@
 //! How the compare decides that two copies are "the same packet".
 
 use bytes::Bytes;
+use netco_net::Frame;
+
+// The fingerprint/digest primitives moved next to the `Frame` memo in
+// `netco_net`; re-exported here so `netco_core::fp128` keeps working.
+pub use netco_net::frame::{fnv1a, fp128};
 
 /// The comparison granularity (paper §III: "packets may be compared
 /// bit-by-bit, or just based on the header, or hashing can be used").
@@ -29,14 +34,18 @@ impl CompareStrategy {
     }
 
     /// Derives the cache key for a frame under this strategy.
-    pub fn key(&self, frame: &Bytes) -> CompareKey {
+    ///
+    /// `FullPacket` reads the frame's memoized fingerprint, so the bytes
+    /// are hashed at most once per content no matter how many replicas
+    /// deliver copies.
+    pub fn key(&self, frame: &Frame) -> CompareKey {
         match self {
             CompareStrategy::FullPacket => CompareKey::Exact {
-                fp: fp128(frame),
+                fp: frame.fp128(),
                 dis: 0,
             },
             CompareStrategy::HeaderOnly { prefix } => {
-                CompareKey::Bytes(frame.slice(..(*prefix).min(frame.len())))
+                CompareKey::Bytes(frame.bytes().slice(..(*prefix).min(frame.len())))
             }
             CompareStrategy::Digest => CompareKey::U64(fnv1a(frame)),
         }
@@ -66,61 +75,18 @@ pub enum CompareKey {
     U64(u64),
 }
 
-pub(crate) fn fnv1a(data: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in data {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// 128-bit content fingerprint: two independent multiply-rotate lanes over
-/// 8-byte words (Fx-style), length-mixed and finalized with a splitmix64
-/// avalanche per lane. One pass over the frame, no external dependencies.
-///
-/// This replaces hashing the full frame on *every* cache-map operation
-/// (observe + release/advise lookups each re-hashed the bytes under the old
-/// `CompareKey::Bytes` keying) with a single fingerprint computation per
-/// received copy.
-pub fn fp128(data: &[u8]) -> u128 {
-    const K1: u64 = 0x51_7c_c1_b7_27_22_0a_95; // Fx multiplier
-    const K2: u64 = 0x9e37_79b9_7f4a_7c15; // 2^64 / golden ratio
-    let mut h1 = 0x243f_6a88_85a3_08d3u64; // pi fraction digits
-    let mut h2 = 0x1319_8a2e_0370_7344u64;
-    let mut chunks = data.chunks_exact(8);
-    for chunk in chunks.by_ref() {
-        let w = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
-        h1 = (h1.rotate_left(5) ^ w).wrapping_mul(K1);
-        h2 = (h2.rotate_left(7) ^ w).wrapping_mul(K2);
-    }
-    let rem = chunks.remainder();
-    if !rem.is_empty() {
-        let mut buf = [0u8; 8];
-        buf[..rem.len()].copy_from_slice(rem);
-        let w = u64::from_le_bytes(buf);
-        h1 = (h1.rotate_left(5) ^ w).wrapping_mul(K1);
-        h2 = (h2.rotate_left(7) ^ w).wrapping_mul(K2);
-    }
-    h1 = (h1.rotate_left(5) ^ data.len() as u64).wrapping_mul(K1);
-    h2 = (h2.rotate_left(7) ^ data.len() as u64).wrapping_mul(K2);
-    ((splitmix(h1) as u128) << 64) | splitmix(h2) as u128
-}
-
-fn splitmix(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn frame(data: &'static [u8]) -> Frame {
+        Frame::from(data)
+    }
+
     #[test]
     fn full_packet_distinguishes_any_bit() {
-        let a = Bytes::from_static(b"packet-one");
-        let b = Bytes::from_static(b"packet-onE");
+        let a = frame(b"packet-one");
+        let b = frame(b"packet-onE");
         let s = CompareStrategy::FullPacket;
         assert_eq!(s.key(&a), s.key(&a.clone()));
         assert_ne!(s.key(&a), s.key(&b));
@@ -133,31 +99,31 @@ mod tests {
         x[58] = 1; // differ beyond the 54-byte prefix
         y[58] = 2;
         let s = CompareStrategy::headers();
-        assert_eq!(s.key(&Bytes::from(x.clone())), s.key(&Bytes::from(y)));
+        assert_eq!(s.key(&Frame::from(x.clone())), s.key(&Frame::from(y)));
         let mut z = x.clone();
         z[10] = 9; // differ inside the prefix
-        assert_ne!(s.key(&Bytes::from(x)), s.key(&Bytes::from(z)));
+        assert_ne!(s.key(&Frame::from(x)), s.key(&Frame::from(z)));
     }
 
     #[test]
     fn header_only_handles_short_frames() {
         let s = CompareStrategy::headers();
-        let short = Bytes::from_static(b"tiny");
+        let short = frame(b"tiny");
         assert_eq!(s.key(&short), s.key(&short.clone()));
     }
 
     #[test]
     fn digest_is_stable_and_sensitive() {
         let s = CompareStrategy::Digest;
-        let a = Bytes::from_static(b"some frame");
+        let a = frame(b"some frame");
         assert_eq!(s.key(&a), s.key(&a.clone()));
-        let b = Bytes::from_static(b"some framf");
+        let b = frame(b"some framf");
         assert_ne!(s.key(&a), s.key(&b));
     }
 
     #[test]
     fn full_packet_key_is_fingerprint_with_zero_disambiguator() {
-        let a = Bytes::from_static(b"wire frame bytes");
+        let a = frame(b"wire frame bytes");
         match CompareStrategy::FullPacket.key(&a) {
             CompareKey::Exact { fp, dis } => {
                 assert_eq!(fp, fp128(&a));
@@ -168,37 +134,13 @@ mod tests {
     }
 
     #[test]
-    fn fp128_is_stable_and_bit_sensitive() {
-        let base = vec![0xabu8; 60];
-        assert_eq!(fp128(&base), fp128(&base.clone()));
-        for i in 0..base.len() {
-            for bit in 0..8 {
-                let mut flipped = base.clone();
-                flipped[i] ^= 1 << bit;
-                assert_ne!(fp128(&base), fp128(&flipped), "byte {i} bit {bit}");
-            }
-        }
-    }
-
-    #[test]
-    fn fp128_distinguishes_length_extension() {
-        // A frame and the same frame zero-padded must not collide, even
-        // though the padded tail contributes all-zero words.
-        let a = vec![7u8; 16];
-        let mut b = a.clone();
-        b.extend_from_slice(&[0, 0, 0, 0]);
-        let mut c = a.clone();
-        c.extend_from_slice(&[0; 8]);
-        assert_ne!(fp128(&a), fp128(&b));
-        assert_ne!(fp128(&a), fp128(&c));
-        assert_ne!(fp128(&b), fp128(&c));
-        assert_ne!(fp128(b""), fp128(&[0]));
-    }
-
-    #[test]
-    fn fnv_known_vector() {
-        // FNV-1a("a") = 0xaf63dc4c8601ec8c
-        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    fn full_packet_key_reuses_the_memoized_fingerprint() {
+        let a = frame(b"keyed once");
+        let before = netco_net::memo_stats();
+        let _ = CompareStrategy::FullPacket.key(&a);
+        let _ = CompareStrategy::FullPacket.key(&a.clone());
+        let d = netco_net::memo_stats().since(before);
+        assert_eq!(d.fp_misses, 1, "one hash per content");
+        assert_eq!(d.fp_hits, 1);
     }
 }

@@ -3,11 +3,11 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use netco_net::{Ctx, Device, NodeId, PortId};
+use netco_net::{Ctx, Device, Frame, NodeId, PortId};
 use netco_openflow::{wire, Action, OfMessage, OfPort, PacketInReason};
 use netco_sim::SimTime;
 
-use crate::compare::{fnv1a, fp128, CompareAction, CompareCore, CompareStats, LaneInfo};
+use crate::compare::{fnv1a, CompareAction, CompareCore, CompareStats, LaneInfo};
 use crate::config::CompareConfig;
 use crate::encap::{of_unwrap, of_wrap};
 use crate::events::SecurityEvent;
@@ -246,7 +246,7 @@ impl GuardSwitch {
 
     /// Deterministic, content-based sampling so the *same* packet is
     /// sampled (or not) consistently across all replicas.
-    fn sampled(&self, frame: &Bytes) -> bool {
+    fn sampled(&self, frame: &Frame) -> bool {
         if self.cfg.sample_probability >= 1.0 {
             return true;
         }
@@ -254,12 +254,12 @@ impl GuardSwitch {
         (h as f64 / u64::MAX as f64) < self.cfg.sample_probability
     }
 
-    fn forward_to_compare(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, frame: Bytes) {
+    fn forward_to_compare(&mut self, ctx: &mut Ctx<'_>, in_port: PortId, frame: Frame) {
         let msg = OfMessage::PacketIn {
             buffer_id: None,
             in_port: in_port.number(),
             reason: PacketInReason::NoMatch,
-            data: frame,
+            data: frame.into_bytes(),
         };
         let xid = self.fresh_xid();
         match self.cfg.compare {
@@ -388,12 +388,12 @@ impl Device for GuardSwitch {
         }
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Frame) {
         let now = ctx.now();
         if port == self.cfg.host_port {
             if ctx.telemetry().is_enabled() {
                 ctx.telemetry()
-                    .lifecycle_hub_ingress(fp128(&frame), now.as_nanos());
+                    .lifecycle_hub_ingress(frame.fp128(), now.as_nanos());
             }
             // Hub: duplicate toward every replica, moving the frame into
             // the final send (k-1 refcount bumps instead of k).
@@ -425,7 +425,7 @@ impl Device for GuardSwitch {
             // dup-mode copies are not tagged.
             if self.cfg.compare != CompareAttachment::None && ctx.telemetry().is_enabled() {
                 ctx.telemetry()
-                    .lifecycle_replica_egress(fp128(&frame), now.as_nanos());
+                    .lifecycle_replica_egress(frame.fp128(), now.as_nanos());
             }
             match self.cfg.compare {
                 CompareAttachment::None => {

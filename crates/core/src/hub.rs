@@ -1,7 +1,6 @@
 //! The trusted hub: a stateless duplicator.
 
-use bytes::Bytes;
-use netco_net::{Ctx, Device, PortId};
+use netco_net::{Ctx, Device, Frame, PortId};
 
 /// The simplest trusted component of the combiner (paper §III): every frame
 /// received on any port is copied to every *other* port, statelessly.
@@ -27,7 +26,7 @@ impl Hub {
 }
 
 impl Device for Hub {
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Frame) {
         let mut targets = ctx.ports();
         targets.retain(|&p| p != port);
         self.copies += targets.len() as u64;
@@ -44,6 +43,7 @@ impl Device for Hub {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
     use netco_net::testutil::CollectorDevice;
     use netco_net::{CpuModel, LinkSpec, World};
     use netco_sim::SimDuration;

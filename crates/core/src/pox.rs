@@ -69,7 +69,13 @@ impl PoxCompareApp {
                 CompareAction::Release {
                     host_port, frame, ..
                 } => {
-                    cx.packet_out(guard, None, 0, OfPort::Physical(host_port), frame);
+                    cx.packet_out(
+                        guard,
+                        None,
+                        0,
+                        OfPort::Physical(host_port),
+                        frame.into_bytes(),
+                    );
                 }
                 CompareAction::BlockReplicaPort { port, duration, .. } => {
                     let secs = (duration.as_millis() / 1000).max(1) as u16;

@@ -1,9 +1,8 @@
 //! The virtual guard: VLAN splitting at the ingress, inband combining at
 //! the egress.
 
-use bytes::Bytes;
 use netco_net::packet::{EthernetFrame, VlanTag};
-use netco_net::{Ctx, Device, PortId};
+use netco_net::{Ctx, Device, Frame, PortId};
 use netco_sim::{EventLog, SimDuration, SimTime};
 
 use crate::compare::{CompareAction, CompareCore, CompareStats, LaneInfo};
@@ -138,7 +137,7 @@ impl Device for VirtualGuard {
         ctx.schedule_timer(interval, SWEEP_TIMER);
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Frame) {
         if port == self.cfg.host_port {
             // Split: one tagged copy per tunnel.
             let Ok(mut eth) = EthernetFrame::decode(&frame) else {
@@ -197,6 +196,7 @@ impl std::fmt::Debug for VirtualGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bytes::Bytes;
 
     /// Is this frame tagged with `tag`?
     fn has_tag(frame: &[u8], tag: u16) -> bool {

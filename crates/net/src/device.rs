@@ -5,6 +5,7 @@ use std::any::Any;
 use bytes::Bytes;
 use netco_sim::{SimDuration, SimRng, SimTime};
 
+use crate::frame::Frame;
 use crate::id::{NodeId, PortId};
 use crate::world::WorldCore;
 
@@ -25,7 +26,10 @@ pub trait Device: Any {
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
 
     /// A frame has been received on `port` and has cleared this node's CPU.
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes);
+    ///
+    /// The [`Frame`] carries memoized derived data (fingerprint, parsed
+    /// header fields) shared with every other clone of the same content.
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Frame);
 
     /// A timer scheduled via [`Ctx::schedule_timer`] has fired.
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
@@ -38,7 +42,7 @@ impl Device for Box<dyn Device> {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         (**self).on_start(ctx);
     }
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Frame) {
         (**self).on_frame(ctx, port, frame);
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
@@ -81,8 +85,11 @@ impl Ctx<'_> {
     /// propagation models, and then to the receiving node's CPU model.
     /// Sending on a port with no attached link silently discards the frame
     /// (counted as a tx drop) — matching a cable that isn't plugged in.
-    pub fn send_frame(&mut self, port: PortId, frame: Bytes) {
-        self.core.transmit(self.node, port, frame);
+    ///
+    /// Accepts anything convertible into a [`Frame`] ([`Bytes`],
+    /// `Vec<u8>`, or a `Frame` whose memo is preserved across the hop).
+    pub fn send_frame(&mut self, port: PortId, frame: impl Into<Frame>) {
+        self.core.transmit(self.node, port, frame.into());
     }
 
     /// Schedules [`Device::on_timer`] with `token` after `delay`.

@@ -6,9 +6,11 @@
 //!   newtypes ([`std::net::Ipv4Addr`] is reused for L3 addresses).
 //! * **Packets** — byte-accurate codecs for Ethernet II (with 802.1Q),
 //!   IPv4, UDP, TCP and ICMP in [`packet`]. Frames travel through the
-//!   simulator as [`bytes::Bytes`], so the NetCo *compare* element can
-//!   perform the paper's `memcmp()`-style bit-by-bit comparison on real
-//!   wire bytes.
+//!   simulator as [`Frame`] — immutable wire bytes plus lazily-memoized,
+//!   share-on-clone derived data (fingerprint, parsed header view) — so
+//!   the NetCo *compare* element can perform the paper's
+//!   `memcmp()`-style bit-by-bit comparison on real wire bytes without
+//!   ever rederiving them twice for the same content.
 //! * **Links** — rate/latency/drop-tail-queue models ([`LinkSpec`]).
 //! * **CPU** — per-node packet-processing cost models ([`CpuModel`]); these
 //!   reproduce the software-forwarding bottleneck that dominated the paper's
@@ -38,6 +40,7 @@
 mod cpu;
 mod device;
 mod fault;
+pub mod frame;
 mod host;
 mod id;
 mod link;
@@ -49,6 +52,7 @@ mod world;
 pub use cpu::CpuModel;
 pub use device::{Ctx, Device};
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
+pub use frame::{fnv1a, fp128, memo_stats, Frame, MemoStats};
 pub use host::{HostNic, NeighborTable};
 pub use id::{LinkId, MacAddr, NodeId, PortId};
 pub use link::LinkSpec;

@@ -5,11 +5,15 @@
 //! simply leave the corresponding fields at their defaults (and a malformed
 //! IPv4 header leaves L3/L4 fields zeroed, matching only fully wildcarded
 //! entries on those fields).
+//!
+//! This lives in `netco_net` (rather than the OpenFlow crate) so the
+//! [`Frame`](crate::Frame) memo can cache a parsed view right next to the
+//! wire bytes; `netco_openflow` re-exports the types unchanged.
 
 use std::net::Ipv4Addr;
 
-use netco_net::packet::{ETHERNET_HEADER_LEN, IPV4_HEADER_LEN};
-use netco_net::MacAddr;
+use super::{ETHERNET_HEADER_LEN, IPV4_HEADER_LEN};
+use crate::MacAddr;
 
 /// The OF 1.0 value of `dl_vlan` meaning "no VLAN tag present".
 pub const OFP_VLAN_NONE: u16 = 0xffff;
@@ -127,8 +131,8 @@ impl PacketFields {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::packet::{builder, IcmpMessage, VlanTag};
     use bytes::Bytes;
-    use netco_net::packet::{builder, IcmpMessage, VlanTag};
 
     const A: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
     const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);

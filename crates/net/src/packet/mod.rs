@@ -15,6 +15,7 @@ mod arp;
 pub mod builder;
 mod checksum;
 mod ethernet;
+mod fields;
 mod icmp;
 mod ipv4;
 mod tcp;
@@ -24,6 +25,7 @@ mod view;
 pub use arp::{ArpOperation, ArpPacket, ARP_LEN};
 pub use checksum::internet_checksum;
 pub use ethernet::{peek_dst, peek_src, EtherType, EthernetFrame, VlanTag, ETHERNET_HEADER_LEN};
+pub use fields::{PacketFields, OFP_VLAN_NONE};
 pub use icmp::{IcmpMessage, IcmpType};
 pub use ipv4::{IpProtocol, Ipv4Packet, IPV4_HEADER_LEN};
 pub use tcp::{TcpFlags, TcpSegment, TCP_HEADER_LEN};

@@ -4,6 +4,7 @@ use bytes::Bytes;
 use netco_sim::{SimDuration, SimTime};
 
 use crate::device::{Ctx, Device};
+use crate::frame::Frame;
 use crate::id::{NodeId, PortId};
 
 /// A device that retransmits every received frame out of the same port.
@@ -14,7 +15,7 @@ pub struct EchoDevice {
 }
 
 impl Device for EchoDevice {
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Frame) {
         self.echoed += 1;
         ctx.send_frame(port, frame);
     }
@@ -30,8 +31,8 @@ pub struct CollectorDevice {
 }
 
 impl Device for CollectorDevice {
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Bytes) {
-        self.frames.push((ctx.now(), frame));
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Frame) {
+        self.frames.push((ctx.now(), frame.into_bytes()));
     }
 
     fn on_control(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Bytes) {
@@ -54,7 +55,7 @@ impl Device for ControlEchoDevice {
         ctx.schedule_timer(SimDuration::ZERO, 0);
     }
 
-    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _frame: Bytes) {}
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _frame: Frame) {}
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
         if self.started {
@@ -83,7 +84,7 @@ impl Device for TimerRecorder {
         ctx.schedule_timer(SimDuration::from_micros(20), 2);
     }
 
-    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _frame: Bytes) {}
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _frame: Frame) {}
 
     fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
         self.fired.push(token);

@@ -10,6 +10,7 @@ use netco_telemetry::{Counter, Histogram, TelemetrySink};
 use crate::cpu::CpuModel;
 use crate::device::{Ctx, Device};
 use crate::fault::{FaultKind, FaultPlan};
+use crate::frame::Frame;
 use crate::id::{LinkId, NodeId, PortId};
 use crate::link::LinkSpec;
 
@@ -133,12 +134,12 @@ enum Event {
     FrameArrival {
         node: NodeId,
         port: PortId,
-        frame: Bytes,
+        frame: Frame,
     },
     FrameProcessed {
         node: NodeId,
         port: PortId,
-        frame: Bytes,
+        frame: Frame,
     },
     ControlArrival {
         to: NodeId,
@@ -329,8 +330,8 @@ impl WorldCore {
         self.taps = taps;
     }
 
-    pub(crate) fn transmit(&mut self, node: NodeId, port: PortId, frame: Bytes) {
-        self.run_taps(node, port, TapDirection::Tx, &frame);
+    pub(crate) fn transmit(&mut self, node: NodeId, port: PortId, frame: Frame) {
+        self.run_taps(node, port, TapDirection::Tx, frame.bytes());
         let len = frame.len();
         let counters = self.counters[node.index()].port_mut(port);
         let Some(&(link_idx, dir)) = self.adjacency.get(&(node, port)) else {
@@ -366,9 +367,10 @@ impl WorldCore {
             .and_then(|f| f.corrupt_roll(now, frame.len()));
         let frame = match corrupt_at {
             Some(idx) => {
+                // New content: the corrupted copy starts a fresh memo.
                 let mut bytes = frame.to_vec();
                 bytes[idx] ^= 0x01;
-                Bytes::from(bytes)
+                Frame::from(bytes)
             }
             None => frame,
         };
@@ -590,7 +592,8 @@ impl World {
 
     /// Delivers `frame` to `node` as if it had just arrived on `port`
     /// (subject to the node's CPU model).
-    pub fn inject_frame(&mut self, node: NodeId, port: PortId, frame: Bytes) {
+    pub fn inject_frame(&mut self, node: NodeId, port: PortId, frame: impl Into<Frame>) {
+        let frame = frame.into();
         self.core
             .sched
             .schedule_after(SimDuration::ZERO, Event::FrameArrival { node, port, frame });
@@ -809,7 +812,8 @@ impl World {
                 d.queued_bytes = d.queued_bytes.saturating_sub(len);
             }
             Event::FrameArrival { node, port, frame } => {
-                self.core.run_taps(node, port, TapDirection::Rx, &frame);
+                self.core
+                    .run_taps(node, port, TapDirection::Rx, frame.bytes());
                 match self.core.cpu_admit(node, frame.len()) {
                     Some(done) => {
                         self.core

@@ -1,0 +1,93 @@
+//! Differential property tests for the memoized frame path: for arbitrary
+//! byte content, every memoized derivation on [`Frame`] is bit-identical
+//! to the stateless computation on the raw bytes, and stays identical
+//! across clones and slices (which share or fork the memo).
+
+use bytes::Bytes;
+use netco_net::packet::PacketFields;
+use netco_net::{fp128, memo_stats, Frame};
+use proptest::prelude::*;
+
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+}
+
+proptest! {
+    /// The memoized fingerprint equals the stateless hash of the same
+    /// bytes, on the first call (the computing one) and on every repeat.
+    #[test]
+    fn memoized_fp128_matches_fresh(data in arb_bytes()) {
+        let fresh = fp128(&data);
+        let frame = Frame::from(data);
+        prop_assert_eq!(frame.fp128(), fresh);
+        prop_assert_eq!(frame.fp128(), fresh);
+    }
+
+    /// The memoized header view equals a fresh sniff of the same bytes,
+    /// and `fields_on` only differs in the stamped ingress port.
+    #[test]
+    fn memoized_fields_match_fresh_sniff(data in arb_bytes(), port in any::<u16>()) {
+        let fresh = PacketFields::sniff(&data, 0);
+        let frame = Frame::from(data.clone());
+        prop_assert_eq!(frame.fields().clone(), fresh);
+        let mut stamped = PacketFields::sniff(&data, port);
+        prop_assert_eq!(frame.fields_on(port), stamped.clone());
+        stamped.in_port = 0;
+        prop_assert_eq!(frame.fields().clone(), stamped);
+    }
+
+    /// Clones share the memo: a value computed through any clone is the
+    /// same value (and costs nothing) through every other clone.
+    #[test]
+    fn memo_survives_clone(data in arb_bytes()) {
+        let frame = Frame::from(data.clone());
+        let copy = frame.clone();
+        let before = memo_stats();
+        let via_copy = copy.fp128();
+        let via_original = frame.fp128();
+        let d = memo_stats().since(before);
+        prop_assert_eq!(via_copy, via_original);
+        prop_assert_eq!(via_copy, fp128(&data));
+        prop_assert_eq!(d.fp_misses, 1);
+        prop_assert_eq!(d.fp_hits, 1);
+    }
+
+    /// A full-range slice is the same content and keeps the memo; a
+    /// proper sub-slice is new content whose derivations match a fresh
+    /// computation over the sub-range.
+    #[test]
+    fn memo_survives_full_slice_and_forks_on_sub_slice(
+        data in arb_bytes(),
+        a in any::<u16>(),
+        b in any::<u16>(),
+    ) {
+        let frame = Frame::from(data.clone());
+        let full = frame.slice(..);
+        prop_assert_eq!(full.fp128(), frame.fp128());
+
+        let (mut lo, mut hi) = (a as usize % (data.len() + 1), b as usize % (data.len() + 1));
+        if lo > hi {
+            std::mem::swap(&mut lo, &mut hi);
+        }
+        let sub = frame.slice(lo..hi);
+        prop_assert_eq!(sub.fp128(), fp128(&data[lo..hi]));
+        prop_assert_eq!(
+            sub.fields().clone(),
+            PacketFields::sniff(&data[lo..hi], 0)
+        );
+        // Zero-copy: the sub-slice views the original frame's buffer.
+        prop_assert_eq!(sub.bytes().as_ptr(), frame.bytes()[lo..].as_ptr());
+    }
+
+    /// Round-tripping through `Bytes` (the facade every legacy call site
+    /// uses) never changes what the derivations see.
+    #[test]
+    fn facade_round_trip_is_content_preserving(data in arb_bytes()) {
+        let frame = Frame::from(data.clone());
+        let bytes = Bytes::from(frame.clone());
+        prop_assert_eq!(&bytes[..], &data[..]);
+        let back = Frame::from(bytes);
+        prop_assert_eq!(back.fp128(), frame.fp128());
+        prop_assert_eq!(back, frame);
+    }
+}

@@ -8,7 +8,7 @@ use bytes::Bytes;
 use netco_net::packet::{
     EtherType, EthernetFrame, FrameView, IpProtocol, L3View, TcpSegment, UdpDatagram, VlanTag,
 };
-use netco_net::MacAddr;
+use netco_net::{Frame, MacAddr};
 
 use crate::ports::OfPort;
 
@@ -62,7 +62,7 @@ impl fmt::Display for Action {
 /// recognized layers fail to decode) are skipped — a real ASIC would have
 /// rewritten garbage; skipping keeps behaviour deterministic and
 /// observable via the unchanged bytes.
-pub fn apply_actions(frame: &Bytes, actions: &[Action]) -> Vec<(OfPort, Bytes)> {
+pub fn apply_actions(frame: &Frame, actions: &[Action]) -> Vec<(OfPort, Frame)> {
     let mut current = frame.clone();
     let mut out = Vec::new();
     for action in actions {
@@ -70,7 +70,8 @@ pub fn apply_actions(frame: &Bytes, actions: &[Action]) -> Vec<(OfPort, Bytes)> 
             Action::Output(port) => out.push((*port, current.clone())),
             other => {
                 if let Some(rewritten) = rewrite(&current, other) {
-                    current = rewritten;
+                    // Rewritten bytes are new content: fresh memo.
+                    current = Frame::new(rewritten);
                 }
             }
         }
@@ -94,7 +95,7 @@ pub fn apply_rewrites(frame: &Bytes, actions: &[Action]) -> Bytes {
     current
 }
 
-fn rewrite(wire: &Bytes, action: &Action) -> Option<Bytes> {
+fn rewrite(wire: &[u8], action: &Action) -> Option<Bytes> {
     let mut eth = EthernetFrame::decode(wire).ok()?;
     match action {
         Action::SetDlSrc(mac) => {
@@ -193,7 +194,7 @@ mod tests {
     const B: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 2);
     const C: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 3);
 
-    fn udp() -> Bytes {
+    fn udp() -> Frame {
         builder::udp_frame(
             MacAddr::local(1),
             MacAddr::local(2),
@@ -204,6 +205,7 @@ mod tests {
             Bytes::from_static(b"payload"),
             None,
         )
+        .into()
     }
 
     #[test]
@@ -303,7 +305,14 @@ mod tests {
             window: 1000,
             payload: Bytes::from_static(b"t"),
         };
-        let tcp_frame = builder::tcp_frame(MacAddr::local(1), MacAddr::local(2), A, B, &seg, None);
+        let tcp_frame = Frame::from(builder::tcp_frame(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            A,
+            B,
+            &seg,
+            None,
+        ));
         let out = apply_actions(
             &tcp_frame,
             &[Action::SetTpSrc(4242), Action::Output(OfPort::Physical(1))],
@@ -317,14 +326,16 @@ mod tests {
 
     #[test]
     fn l3_rewrite_on_non_ip_is_skipped() {
-        let eth = EthernetFrame {
-            dst: MacAddr::local(1),
-            src: MacAddr::local(2),
-            vlan: None,
-            ethertype: EtherType::Other(0x1234),
-            payload: Bytes::from_static(b"opaque"),
-        }
-        .encode();
+        let eth = Frame::from(
+            EthernetFrame {
+                dst: MacAddr::local(1),
+                src: MacAddr::local(2),
+                vlan: None,
+                ethertype: EtherType::Other(0x1234),
+                payload: Bytes::from_static(b"opaque"),
+            }
+            .encode(),
+        );
         let out = apply_actions(
             &eth,
             &[Action::SetNwDst(C), Action::Output(OfPort::Physical(1))],

@@ -5,7 +5,7 @@ use std::net::Ipv4Addr;
 
 use netco_net::MacAddr;
 
-use crate::fields::PacketFields;
+use netco_net::packet::PacketFields;
 
 /// An OF 1.0 match: each field is either a concrete value or wildcarded
 /// (`None`).

@@ -7,8 +7,8 @@ use netco_sim::fxhash::FxBuildHasher;
 use netco_sim::{SimDuration, SimTime};
 
 use crate::action::Action;
-use crate::fields::PacketFields;
 use crate::flow_match::FlowMatch;
+use netco_net::packet::PacketFields;
 
 /// Why a flow entry left the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

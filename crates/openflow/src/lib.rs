@@ -41,7 +41,6 @@
 #![warn(missing_docs)]
 
 mod action;
-mod fields;
 mod flow_match;
 mod flow_table;
 mod messages;
@@ -50,11 +49,13 @@ mod switch;
 pub mod wire;
 
 pub use action::{apply_actions, apply_rewrites, Action};
-pub use fields::{PacketFields, OFP_VLAN_NONE};
+// Header-field extraction moved next to the `Frame` memo in `netco_net`;
+// re-exported here so OpenFlow callers keep their import paths.
 pub use flow_match::FlowMatch;
 #[doc(hidden)]
 pub use flow_table::baseline;
 pub use flow_table::{FlowEntry, FlowRemovedReason, FlowTable};
 pub use messages::{FlowModCommand, FlowStats, OfMessage, PacketInReason, PortDesc};
+pub use netco_net::packet::{PacketFields, OFP_VLAN_NONE};
 pub use ports::OfPort;
 pub use switch::{OfSwitch, SwitchConfig};

@@ -3,12 +3,11 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use netco_net::{Ctx, Device, NodeId, PortId};
+use netco_net::{Ctx, Device, Frame, NodeId, PortId};
 use netco_sim::{SimDuration, SimTime};
 use netco_telemetry::Counter;
 
 use crate::action::{apply_actions, Action};
-use crate::fields::PacketFields;
 use crate::flow_table::{FlowEntry, FlowTable};
 use crate::messages::{FlowModCommand, OfMessage, PacketInReason, PortDesc};
 use crate::ports::OfPort;
@@ -79,7 +78,7 @@ pub struct OfSwitch {
     controller: Option<NodeId>,
     table: FlowTable,
     preinstalled: Vec<FlowEntry>,
-    buffers: HashMap<u32, (u16, Bytes)>,
+    buffers: HashMap<u32, (u16, Frame)>,
     buffer_order: Vec<u32>,
     next_buffer_id: u32,
     next_xid: u32,
@@ -163,7 +162,7 @@ impl OfSwitch {
         }
     }
 
-    fn buffer_packet(&mut self, in_port: u16, frame: &Bytes) -> Option<u32> {
+    fn buffer_packet(&mut self, in_port: u16, frame: &Frame) -> Option<u32> {
         if self.config.n_buffers == 0 {
             return None;
         }
@@ -181,7 +180,7 @@ impl OfSwitch {
         Some(id)
     }
 
-    fn emit(&mut self, ctx: &mut Ctx<'_>, in_port: Option<u16>, outputs: Vec<(OfPort, Bytes)>) {
+    fn emit(&mut self, ctx: &mut Ctx<'_>, in_port: Option<u16>, outputs: Vec<(OfPort, Frame)>) {
         let mut sent_any = false;
         for (port, frame) in outputs {
             match port {
@@ -210,7 +209,7 @@ impl OfSwitch {
                     }
                 }
                 OfPort::Controller => {
-                    let data = truncate(&frame, self.config.miss_send_len);
+                    let data = truncate(frame.bytes(), self.config.miss_send_len);
                     let msg = OfMessage::PacketIn {
                         buffer_id: self.buffer_packet(in_port.unwrap_or(0), &frame),
                         in_port: in_port.unwrap_or(0),
@@ -296,12 +295,14 @@ impl OfSwitch {
         }
     }
 
-    fn take_buffer(&mut self, id: u32) -> Option<(u16, Bytes)> {
+    fn take_buffer(&mut self, id: u32) -> Option<(u16, Frame)> {
         self.buffer_order.retain(|&b| b != id);
         self.buffers.remove(&id)
     }
 }
 
+/// Zero-copy truncation: a shared sub-slice of the same buffer, never a
+/// reallocation.
 fn truncate(frame: &Bytes, len: usize) -> Bytes {
     if frame.len() <= len {
         frame.clone()
@@ -329,13 +330,15 @@ impl Device for OfSwitch {
         ctx.schedule_timer(self.config.expiry_interval, EXPIRY_TIMER);
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Frame) {
         let now = ctx.now();
         if self.is_port_blocked(port, now) {
             self.stats.blocked += 1;
             return;
         }
-        let fields = PacketFields::sniff(&frame, port.number());
+        // Memoized parse: the byte sniff ran at most once for this content
+        // anywhere in the world; this hop only stamps its ingress port.
+        let fields = frame.fields_on(port.number());
         match self.table.lookup_counted(&fields, frame.len(), now) {
             Some(entry) => {
                 self.tel.table_hits.inc();
@@ -352,7 +355,7 @@ impl Device for OfSwitch {
             None => {
                 self.tel.table_misses.inc();
                 if self.controller.is_some() {
-                    let data = truncate(&frame, self.config.miss_send_len);
+                    let data = truncate(frame.bytes(), self.config.miss_send_len);
                     let msg = OfMessage::PacketIn {
                         buffer_id: self.buffer_packet(port.number(), &frame),
                         in_port: port.number(),
@@ -446,7 +449,7 @@ impl Device for OfSwitch {
             } => {
                 let payload = match buffer_id.and_then(|id| self.take_buffer(id)) {
                     Some((buf_port, frame)) => Some((buf_port, frame)),
-                    None if !data.is_empty() => Some((in_port, data)),
+                    None if !data.is_empty() => Some((in_port, Frame::new(data))),
                     None => None,
                 };
                 if let Some((port, frame)) = payload {
@@ -685,7 +688,7 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             ctx.schedule_timer(SimDuration::from_micros(1), 0);
         }
-        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _frame: Bytes) {}
+        fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _frame: Frame) {}
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
             if let Some(sw) = self.switch {
                 for (i, m) in self.script.drain(..).enumerate() {
@@ -859,7 +862,7 @@ mod tests {
             fn on_start(&mut self, ctx: &mut Ctx<'_>) {
                 ctx.schedule_timer(SimDuration::ZERO, 0);
             }
-            fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: Bytes) {}
+            fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: Frame) {}
             fn on_timer(&mut self, ctx: &mut Ctx<'_>, _: u64) {
                 if let Some(to) = self.to {
                     ctx.send_control(to, Bytes::from_static(b"\x01\xff\x00\x09\x00\x00\x00\x01x"));
@@ -893,5 +896,48 @@ mod tests {
         let _ = ctl;
         w.run_for(SimDuration::from_millis(10));
         assert_eq!(w.device::<OfSwitch>(sw).unwrap().table().len(), 0);
+    }
+
+    /// Packet-in truncation is a shared view of the frame's buffer — the
+    /// miss path must never reallocate the (possibly jumbo) payload just
+    /// to ship the controller its first `miss_send_len` bytes.
+    #[test]
+    fn packet_in_truncation_is_zero_copy() {
+        let wire = builder::udp_frame(
+            MacAddr::local(1),
+            MacAddr::local(2),
+            IP_A,
+            IP_B,
+            1,
+            2,
+            Bytes::from(vec![0xEEu8; 1400]),
+            None,
+        );
+        let cut = truncate(&wire, 128);
+        assert_eq!(cut.len(), 128);
+        assert_eq!(cut.as_ptr(), wire.as_ptr(), "sub-slice views the buffer");
+        let whole = truncate(&wire, usize::MAX);
+        assert_eq!(whole.len(), wire.len());
+        assert_eq!(whole.as_ptr(), wire.as_ptr(), "no-op cut stays shared");
+    }
+
+    /// A buffered frame comes back from `take_buffer` as the same Frame:
+    /// same underlying buffer (pointer and length) and the same memo, so
+    /// the post-`PacketOut` emit reuses the ingress parse.
+    #[test]
+    fn buffered_frame_handoff_is_zero_copy() {
+        let mut sw = OfSwitch::new(SwitchConfig::default());
+        let frame = Frame::from(frame_to(MacAddr::local(9)));
+        let fp = frame.fp128();
+        let id = sw.buffer_packet(7, &frame).expect("buffering enabled");
+        let (in_port, back) = sw.take_buffer(id).expect("buffer held");
+        assert_eq!(in_port, 7);
+        assert_eq!(back.bytes().as_ptr(), frame.bytes().as_ptr());
+        assert_eq!(back.len(), frame.len());
+        let before = netco_net::memo_stats();
+        assert_eq!(back.fp128(), fp);
+        let d = netco_net::memo_stats().since(before);
+        assert_eq!(d.fp_misses, 0, "handoff kept the memoized fingerprint");
+        assert_eq!(d.fp_hits, 1);
     }
 }

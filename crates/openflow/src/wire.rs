@@ -25,11 +25,11 @@ use bytes::{BufMut, Bytes, BytesMut};
 use netco_net::MacAddr;
 
 use crate::action::Action;
-use crate::fields::OFP_VLAN_NONE;
 use crate::flow_match::FlowMatch;
 use crate::flow_table::FlowRemovedReason;
 use crate::messages::{FlowModCommand, OfMessage, PacketInReason, PortDesc};
 use crate::ports::OfPort;
+use netco_net::packet::OFP_VLAN_NONE;
 
 /// The OpenFlow version byte this codec speaks.
 pub const OFP_VERSION: u8 = 0x01;

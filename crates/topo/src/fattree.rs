@@ -383,7 +383,8 @@ impl FatTree {
 pub struct InertHost;
 
 impl Device for InertHost {
-    fn on_frame(&mut self, _ctx: &mut netco_net::Ctx<'_>, _port: PortId, _frame: bytes::Bytes) {}
+    fn on_frame(&mut self, _ctx: &mut netco_net::Ctx<'_>, _port: PortId, _frame: netco_net::Frame) {
+    }
 }
 
 #[cfg(test)]

@@ -2,9 +2,8 @@
 
 use std::net::Ipv4Addr;
 
-use bytes::Bytes;
 use netco_net::packet::{builder, IcmpMessage, IcmpType, L4View};
-use netco_net::{Ctx, Device, HostNic, PortId};
+use netco_net::{Ctx, Device, Frame, HostNic, PortId};
 use netco_sim::SimDuration;
 
 use crate::common::{maybe_reply_echo, measurement_payload, parse_measurement, NIC_PORT};
@@ -126,7 +125,7 @@ impl Device for Pinger {
         ctx.schedule_timer(self.cfg.start_after, PING_TIMER);
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Frame) {
         if let Some(reply) = self.nic.handle_arp(&frame) {
             ctx.send_frame(NIC_PORT, reply);
             return;
@@ -211,7 +210,7 @@ impl IcmpEchoResponder {
 }
 
 impl Device for IcmpEchoResponder {
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Frame) {
         if let Some(reply) = self.nic.handle_arp(&frame) {
             ctx.send_frame(NIC_PORT, reply);
             return;

@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use netco_net::packet::{builder, L4View, TcpFlags, TcpSegment};
-use netco_net::{Ctx, Device, HostNic, PortId};
+use netco_net::{Ctx, Device, Frame, HostNic, PortId};
 use netco_sim::{SimDuration, SimTime};
 
 use super::seq::{seq_gt, seq_le};
@@ -165,7 +165,7 @@ impl TcpReceiver {
 }
 
 impl Device for TcpReceiver {
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Frame) {
         if let Some(reply) = self.nic.handle_arp(&frame) {
             ctx.send_frame(NIC_PORT, reply);
             return;

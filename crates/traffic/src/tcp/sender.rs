@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use netco_net::packet::{builder, L4View, TcpFlags, TcpSegment};
-use netco_net::{Ctx, Device, HostNic, PortId};
+use netco_net::{Ctx, Device, Frame, HostNic, PortId};
 use netco_sim::{SimDuration, SimTime};
 
 use super::seq::{seq_ge, seq_gt};
@@ -271,7 +271,7 @@ impl Device for TcpSender {
         ctx.schedule_timer(self.cfg.start_after, START_TIMER);
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Frame) {
         if let Some(reply) = self.nic.handle_arp(&frame) {
             ctx.send_frame(NIC_PORT, reply);
             return;

@@ -2,9 +2,8 @@
 
 use std::net::Ipv4Addr;
 
-use bytes::Bytes;
 use netco_net::packet::{builder, L4View};
-use netco_net::{Ctx, Device, HostNic, PortId};
+use netco_net::{Ctx, Device, Frame, HostNic, PortId};
 use netco_sim::{SimDuration, SimTime};
 
 use crate::common::{maybe_reply_echo, measurement_payload, parse_measurement, NIC_PORT};
@@ -119,7 +118,7 @@ impl Device for UdpSource {
         ctx.schedule_timer(self.cfg.start_after, SEND_TIMER);
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Frame) {
         if let Some(reply) = self.nic.handle_arp(&frame) {
             ctx.send_frame(NIC_PORT, reply);
             return;
@@ -227,7 +226,7 @@ impl UdpSink {
 }
 
 impl Device for UdpSink {
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Bytes) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, _port: PortId, frame: Frame) {
         if let Some(reply) = self.nic.handle_arp(&frame) {
             ctx.send_frame(NIC_PORT, reply);
             return;
