@@ -1,7 +1,7 @@
 //! `perf_report`: one-shot hot-path performance snapshot, printed as a
 //! single JSON object on stdout.
 //!
-//! Six measurements:
+//! Seven measurements:
 //!
 //! 1. Scheduler churn — a steady-state pop-one/push-one loop over the
 //!    timing-wheel [`netco_sim::Scheduler`], with the retired binary-heap
@@ -19,7 +19,10 @@
 //! 5. Flow-table classification — lookup ns/op over tables of 16/256/4096
 //!    wildcard-free entries, the indexed [`FlowTable`] against the
 //!    retired linear scan ([`netco_openflow::baseline::LinearFlowTable`]).
-//! 6. Parallel figure sweeps — Fig. 4 (TCP) and Fig. 7 (RTT) fanned over
+//! 6. Flow-scale sweep — a [`netco_traffic::FlowSet`] world at 1 k / 100 k
+//!    / 1 M concurrent flows: whole-simulator events/sec, peak RSS
+//!    (`VmHWM`), and a rerun bit-identity check on the sink digest.
+//! 7. Parallel figure sweeps — Fig. 4 (TCP) and Fig. 7 (RTT) fanned over
 //!    the [`netco_harness::Pool`] at several worker counts, reporting
 //!    wall-clock, aggregate simulator events/sec and whether the rows
 //!    stayed bit-identical across thread counts (they must).
@@ -432,6 +435,47 @@ fn sweep_points(thread_counts: &[usize], scale: ExperimentScale) -> (Vec<SweepPo
     (points, identical)
 }
 
+/// Concurrent-flow counts for the traffic-engine scale sweep.
+const FLOW_SCALE_COUNTS: [usize; 3] = [1_000, 100_000, 1_000_000];
+
+struct FlowScalePoint {
+    flows: usize,
+    events_per_sec: f64,
+    events: u64,
+    packets_delivered: u64,
+    peak_flows_active: u64,
+    peak_rss_mb: f64,
+    digest_identical: bool,
+}
+
+/// Million-flow scale sweep over [`netco_bench::flows::run_flow_world`].
+/// Every count runs twice with the same seed; `digest_identical` asserts
+/// the reruns were bit-identical (the second run's wall clock is the one
+/// reported — caches are warm, matching the steady state the other
+/// sections report). `peak_rss_mb` is a process-lifetime high-water mark
+/// (`VmHWM`), so the sweep runs in ascending flow count and each row
+/// reports the mark *after* its run — the 1M row is the honest number,
+/// smaller rows are upper bounds.
+fn flow_scale_points() -> Vec<FlowScalePoint> {
+    use netco_bench::flows::{peak_rss_mb, run_flow_world};
+    FLOW_SCALE_COUNTS
+        .iter()
+        .map(|&flows| {
+            let first = run_flow_world(flows, 7);
+            let second = run_flow_world(flows, 7);
+            FlowScalePoint {
+                flows,
+                events_per_sec: second.events_per_sec(),
+                events: second.events,
+                packets_delivered: second.packets,
+                peak_flows_active: second.spawned, // pre-spawned → peak = spawned
+                peak_rss_mb: peak_rss_mb(),
+                digest_identical: first.digest == second.digest && first.events == second.events,
+            }
+        })
+        .collect()
+}
+
 /// `--telemetry <dir>` from argv: run the canonical chaos scenario with a
 /// telemetry sink installed and dump the metrics snapshot plus the
 /// chrome://tracing document into `<dir>`.
@@ -483,10 +527,20 @@ fn main() {
     let scale = ExperimentScale::quick();
     let wheel = wheel_events_per_sec();
     let heap = heap_events_per_sec();
+    // Sections run back to back in one process; zero the frame-memo
+    // counters at each boundary so a section's hit ratios describe that
+    // section alone (never reset *inside* a measured region).
+    netco_net::reset_memo_stats();
     let observes = compare_observes_per_sec();
+    netco_net::reset_memo_stats();
     let memo = frame_memo_point();
+    netco_net::reset_memo_stats();
     let e2e = end_to_end(scale);
+    netco_net::reset_memo_stats();
     let flow = flow_table_points();
+    netco_net::reset_memo_stats();
+    let flow_scale = flow_scale_points();
+    netco_net::reset_memo_stats();
     let counts = thread_counts();
     let (sweeps, identical) = sweep_points(&counts, scale);
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -531,6 +585,21 @@ fn main() {
             p.indexed_ns,
             p.linear_ns,
             p.linear_ns / p.indexed_ns
+        );
+    }
+    println!("  ],");
+    println!("  \"flow_scale\": [");
+    for (i, p) in flow_scale.iter().enumerate() {
+        let comma = if i + 1 < flow_scale.len() { "," } else { "" };
+        println!(
+            "    {{\"flows\": {}, \"events_per_sec\": {:.0}, \"events\": {}, \"packets_delivered\": {}, \"peak_flows_active\": {}, \"peak_rss_mb\": {:.1}, \"digest_identical\": {}}}{comma}",
+            p.flows,
+            p.events_per_sec,
+            p.events,
+            p.packets_delivered,
+            p.peak_flows_active,
+            p.peak_rss_mb,
+            p.digest_identical
         );
     }
     println!("  ],");

@@ -14,6 +14,7 @@
 
 pub mod chaos;
 pub mod experiments;
+pub mod flows;
 pub mod render;
 
 use netco_sim::SimDuration;

@@ -1,0 +1,199 @@
+//! Differential regression: the batched dispatch loop (`World::run_until`,
+//! which drains whole timing-wheel ticks per scheduler call) must be
+//! observationally bit-identical to the retired per-event loop
+//! (`World::run_until_per_event`, one wheel scan per event). Any
+//! divergence in `(time, seq)` delivery order shows up here as a frame
+//! appearing at a different tap timestamp or in a different order.
+
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+use netco_bench::experiments::fig4_tcp_on;
+use netco_bench::ExperimentScale;
+use netco_harness::Pool;
+use netco_net::{CpuModel, HostNic, LinkSpec, MacAddr, NeighborTable, PortId, TapDirection, World};
+use netco_sim::{SimDuration, SimTime};
+use netco_topo::{Profile, Scenario, ScenarioKind, H2_IP};
+use netco_traffic::{
+    FlowSet, FlowSetConfig, FlowSink, SizeDist, TcpConfig, TcpReceiver, TcpSender,
+};
+
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Folds every tap observation — time, node, port, direction and the
+/// frame's own bytes (length + FNV) — into one order-sensitive digest.
+fn install_digest_tap(world: &mut World) -> Rc<RefCell<(u64, u64)>> {
+    let acc = Rc::new(RefCell::new((0u64, 0u64)));
+    let tap_acc = Rc::clone(&acc);
+    world.add_tap(move |ev| {
+        let mut g = tap_acc.borrow_mut();
+        let mut d = g.0;
+        d = splitmix(d ^ ev.at.as_nanos());
+        d = splitmix(d ^ ev.node.index() as u64);
+        d = splitmix(d ^ ev.port.0 as u64);
+        d = splitmix(d ^ matches!(ev.direction, TapDirection::Tx) as u64);
+        d = splitmix(d ^ netco_net::fnv1a(ev.frame));
+        g.0 = d;
+        g.1 += 1;
+    });
+    acc
+}
+
+/// One (digest, taps, events, final clock, goodput bits) observation of
+/// the Central3 TCP scenario, run batched or per-event.
+fn central3_observation(per_event: bool) -> (u64, u64, u64, u64, u64) {
+    let scale = ExperimentScale::smoke();
+    let scenario = Scenario::build(ScenarioKind::Central3, Profile::default(), 7);
+    let cfg = TcpConfig::new(H2_IP).with_duration(scale.duration);
+    let cfg2 = cfg.clone();
+    let mut built = scenario.build_world(
+        0,
+        |nic| TcpSender::new(nic, cfg),
+        |nic| TcpReceiver::new(nic, cfg2),
+    );
+    let acc = install_digest_tap(&mut built.world);
+    let deadline = built.world.now() + scale.duration + SimDuration::from_millis(500);
+    if per_event {
+        built.world.run_until_per_event(deadline);
+    } else {
+        built.world.run_until(deadline);
+    }
+    let report = built
+        .world
+        .device::<TcpReceiver>(built.h2)
+        .expect("receiver")
+        .report();
+    let (digest, taps) = *acc.borrow();
+    (
+        digest,
+        taps,
+        built.world.events_processed(),
+        built.world.now().as_nanos(),
+        report.goodput_bps.to_bits(),
+    )
+}
+
+#[test]
+fn central3_tcp_batched_matches_per_event_bit_for_bit() {
+    let batched = central3_observation(false);
+    let per_event = central3_observation(true);
+    assert_eq!(batched, per_event);
+    assert!(batched.1 > 0, "tap saw no frames");
+    assert!(batched.2 > 0, "no events processed");
+}
+
+fn flowset_world() -> (World, netco_net::NodeId, netco_net::NodeId) {
+    let src_ip = Ipv4Addr::new(10, 9, 0, 1);
+    let dst_ip = Ipv4Addr::new(10, 9, 0, 2);
+    let table: NeighborTable = [(src_ip, MacAddr::local(1)), (dst_ip, MacAddr::local(2))]
+        .into_iter()
+        .collect();
+    let mut na = HostNic::new(MacAddr::local(1), src_ip);
+    na.neighbors = table.clone();
+    let mut nb = HostNic::new(MacAddr::local(2), dst_ip);
+    nb.neighbors = table;
+    let cfg = FlowSetConfig::new(dst_ip)
+        .with_initial_flows(5_000)
+        .with_arrival_rate(2_000.0)
+        .with_arrival_window(SimDuration::from_millis(500))
+        .with_size_dist(SizeDist::Pareto {
+            alpha: 1.3,
+            min_bytes: 2_000,
+        })
+        .with_payload_len(1_000)
+        .with_flow_rate(20_000_000)
+        .with_start_spread(SimDuration::from_millis(200));
+    let mut w = World::new(11);
+    let src = w.add_node("flows", FlowSet::new(na, cfg), CpuModel::default());
+    let dst = w.add_node("sink", FlowSink::new(nb), CpuModel::default());
+    w.connect(
+        src,
+        PortId(0),
+        dst,
+        PortId(0),
+        LinkSpec::new(10_000_000_000, SimDuration::from_micros(5)),
+    );
+    (w, src, dst)
+}
+
+#[test]
+fn flowset_batched_matches_per_event_bit_for_bit() {
+    let deadline = SimTime::ZERO + SimDuration::from_secs(2);
+    let observe = |per_event: bool| {
+        let (mut w, src, dst) = flowset_world();
+        let acc = install_digest_tap(&mut w);
+        if per_event {
+            w.run_until_per_event(deadline);
+        } else {
+            w.run_until(deadline);
+        }
+        let stats = w.device::<FlowSet>(src).expect("flowset").stats();
+        let sink = w.device::<FlowSink>(dst).expect("sink");
+        let (digest, taps) = *acc.borrow();
+        (
+            digest,
+            taps,
+            w.events_processed(),
+            stats,
+            sink.packets(),
+            sink.digest(),
+        )
+    };
+    let batched = observe(false);
+    let per_event = observe(true);
+    assert_eq!(batched, per_event);
+    assert!(batched.3.spawned > 5_000, "arrivals never fired");
+    assert!(batched.4 > 0, "sink saw nothing");
+}
+
+/// Sweep rows must stay bit-identical at every worker count now that the
+/// batched loop runs under the pool. Honors `NETCO_THREADS` (the CI axis),
+/// defaulting to 1/2/4.
+#[test]
+fn fig4_sweep_rows_identical_at_every_thread_count() {
+    let counts: Vec<usize> = std::env::var(netco_harness::THREADS_ENV)
+        .ok()
+        .map(|list| {
+            list.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&n| n > 0)
+                .collect()
+        })
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4]);
+    let profile = Profile::default();
+    let scale = ExperimentScale::smoke();
+    let reference = fig4_tcp_on(&Pool::serial(), &profile, scale);
+    let ref_bits: Vec<(u64, u64, u64)> = reference
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r.mbps.to_bits(),
+                r.fast_retransmits_per_s.to_bits(),
+                r.timeouts_per_s.to_bits(),
+            )
+        })
+        .collect();
+    for threads in counts {
+        let sweep = fig4_tcp_on(&Pool::new(threads), &profile, scale);
+        let bits: Vec<(u64, u64, u64)> = sweep
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    r.mbps.to_bits(),
+                    r.fast_retransmits_per_s.to_bits(),
+                    r.timeouts_per_s.to_bits(),
+                )
+            })
+            .collect();
+        assert_eq!(bits, ref_bits, "rows diverged at {threads} workers");
+        assert_eq!(sweep.events, reference.events);
+    }
+}

@@ -9,7 +9,7 @@ use netco_sim::{EventLog, SimDuration, SimTime};
 
 use super::core::{CompareAction, CompareCore, CompareStats, LaneInfo};
 use crate::config::CompareConfig;
-use crate::encap::{of_unwrap, of_wrap};
+use crate::encap::{of_unwrap_shared, of_wrap};
 use crate::events::SecurityEvent;
 
 const SWEEP_TIMER: u64 = 1;
@@ -149,7 +149,7 @@ impl Device for Compare {
     }
 
     fn on_frame(&mut self, ctx: &mut Ctx<'_>, port: PortId, frame: Frame) {
-        let Some((msg, _xid)) = of_unwrap(&frame) else {
+        let Some((msg, _xid)) = of_unwrap_shared(frame.bytes()) else {
             return; // not for us; trusted components ignore the unknown
         };
         if let OfMessage::PacketIn { in_port, data, .. } = msg {
@@ -195,6 +195,7 @@ impl std::fmt::Debug for Compare {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encap::of_unwrap;
     use netco_net::testutil::CollectorDevice;
     use netco_net::{CpuModel, LinkSpec, NodeId, World};
     use netco_openflow::PacketInReason;

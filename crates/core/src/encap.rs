@@ -6,8 +6,8 @@
 //! that literally: guards wrap OpenFlow 1.0 wire bytes in an Ethernet frame
 //! with a dedicated EtherType and send it down the compare link.
 
-use bytes::Bytes;
-use netco_net::packet::{EtherType, EthernetFrame};
+use bytes::{BufMut, Bytes, BytesMut};
+use netco_net::packet::ETHERNET_HEADER_LEN;
 use netco_net::MacAddr;
 use netco_openflow::{wire, OfMessage};
 
@@ -15,17 +15,47 @@ use netco_openflow::{wire, OfMessage};
 /// (`0x88B5`, IEEE 802 local experimental 1).
 pub const NETCO_ETHERTYPE: u16 = 0x88b5;
 
+const TPID_8021Q: u16 = 0x8100;
+
 /// Wraps an OpenFlow message into an Ethernet frame for a point-to-point
 /// compare link.
+///
+/// Everything is written into one buffer: compare links carry every
+/// replicated copy of every data frame, so the nested
+/// `EthernetFrame`/`wire::encode` allocations were a measurable share of the
+/// guard's per-frame cost.
 pub fn of_wrap(msg: &OfMessage, xid: u32) -> Bytes {
-    EthernetFrame {
-        dst: MacAddr::ZERO,
-        src: MacAddr::ZERO,
-        vlan: None,
-        ethertype: EtherType::Other(NETCO_ETHERTYPE),
-        payload: wire::encode(msg, xid),
+    let mut buf = BytesMut::with_capacity(ETHERNET_HEADER_LEN + 2048);
+    buf.put_slice(&MacAddr::ZERO.octets());
+    buf.put_slice(&MacAddr::ZERO.octets());
+    buf.put_u16(NETCO_ETHERTYPE);
+    wire::encode_into(msg, xid, &mut buf);
+    buf.freeze()
+}
+
+/// Offset of the OpenFlow payload in a NetCo-framed Ethernet frame, or
+/// `None` when the frame is not NetCo-framed OpenFlow.
+///
+/// Hand-rolled Ethernet header walk: `EthernetFrame::decode` would copy the
+/// whole OpenFlow payload just to hand it to the wire codec.
+fn of_payload_offset(frame: &[u8]) -> Option<usize> {
+    if frame.len() < ETHERNET_HEADER_LEN {
+        return None;
     }
-    .encode()
+    let tpid = u16::from_be_bytes([frame[12], frame[13]]);
+    if tpid == TPID_8021Q {
+        if frame.len() >= ETHERNET_HEADER_LEN + 4
+            && u16::from_be_bytes([frame[16], frame[17]]) == NETCO_ETHERTYPE
+        {
+            Some(ETHERNET_HEADER_LEN + 4)
+        } else {
+            None
+        }
+    } else if tpid == NETCO_ETHERTYPE {
+        Some(ETHERNET_HEADER_LEN)
+    } else {
+        None
+    }
 }
 
 /// Unwraps a compare-link frame back into an OpenFlow message.
@@ -34,11 +64,14 @@ pub fn of_wrap(msg: &OfMessage, xid: u32) -> Bytes {
 /// EtherType or undecodable payload) — a trusted component simply ignores
 /// anything it does not understand.
 pub fn of_unwrap(frame: &[u8]) -> Option<(OfMessage, u32)> {
-    let eth = EthernetFrame::decode(frame).ok()?;
-    if eth.ethertype != EtherType::Other(NETCO_ETHERTYPE) {
-        return None;
-    }
-    wire::decode(&eth.payload).ok()
+    wire::decode(&frame[of_payload_offset(frame)?..]).ok()
+}
+
+/// Like [`of_unwrap`], but payload fields of the decoded message are
+/// zero-copy slices of `frame` (see [`wire::decode_shared`]).
+pub fn of_unwrap_shared(frame: &Bytes) -> Option<(OfMessage, u32)> {
+    let off = of_payload_offset(frame)?;
+    wire::decode_shared(&frame.slice(off..)).ok()
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@ use netco_sim::SimTime;
 
 use crate::compare::{fnv1a, CompareAction, CompareCore, CompareStats, LaneInfo};
 use crate::config::CompareConfig;
-use crate::encap::{of_unwrap, of_wrap};
+use crate::encap::{of_unwrap_shared, of_wrap};
 use crate::events::SecurityEvent;
 
 /// Where this guard sends replica copies for combining.
@@ -408,7 +408,7 @@ impl Device for GuardSwitch {
         }
         if let CompareAttachment::DataPort(cp) = self.cfg.compare {
             if port == cp {
-                match of_unwrap(&frame) {
+                match of_unwrap_shared(frame.bytes()) {
                     Some((msg, xid)) => self.handle_compare_msg(ctx, msg, xid, None),
                     None => self.stats.invalid_msgs += 1,
                 }

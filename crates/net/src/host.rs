@@ -7,6 +7,8 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
+use netco_sim::fxhash::FxBuildHasher;
+
 use bytes::Bytes;
 
 use crate::id::MacAddr;
@@ -15,7 +17,7 @@ use crate::packet::{ArpOperation, ArpPacket, EtherType, EthernetFrame, FrameView
 /// A static IPv4 → MAC mapping.
 #[derive(Debug, Clone, Default)]
 pub struct NeighborTable {
-    entries: HashMap<Ipv4Addr, MacAddr>,
+    entries: HashMap<Ipv4Addr, MacAddr, FxBuildHasher>,
 }
 
 impl NeighborTable {
@@ -121,6 +123,11 @@ impl HostNic {
     /// request targeting this interface, returns the is-at reply frame to
     /// transmit. Returns `None` for non-ARP frames (no learning, no reply).
     pub fn handle_arp(&mut self, wire: &[u8]) -> Option<Bytes> {
+        // EtherType peek first: every received frame funnels through here,
+        // and a full decode copies the payload just to discard non-ARP.
+        if !ethertype_is_arp(wire) {
+            return None;
+        }
         let eth = EthernetFrame::decode(wire).ok()?;
         if eth.ethertype != EtherType::Arp || !self.accepts(&eth) {
             return None;
@@ -150,7 +157,16 @@ impl HostNic {
     /// Malformed frames are also `None` — a real NIC would have discarded
     /// them on checksum grounds.
     pub fn deliver(&self, wire: &[u8]) -> Option<FrameView> {
-        let view = FrameView::parse(wire).ok()?;
+        self.filter(FrameView::parse(wire).ok()?)
+    }
+
+    /// [`deliver`](HostNic::deliver) without the payload copies: the view's
+    /// layers alias `wire` (see [`FrameView::parse_shared`]).
+    pub fn deliver_shared(&self, wire: &Bytes) -> Option<FrameView> {
+        self.filter(FrameView::parse_shared(wire).ok()?)
+    }
+
+    fn filter(&self, view: FrameView) -> Option<FrameView> {
         if !self.accepts(&view.eth) {
             return None;
         }
@@ -159,6 +175,21 @@ impl HostNic {
             return None;
         }
         Some(view)
+    }
+}
+
+/// `true` when `wire` is an ARP frame (possibly 802.1Q-tagged), judged from
+/// the EtherType field alone.
+fn ethertype_is_arp(wire: &[u8]) -> bool {
+    const TPID_8021Q: u16 = 0x8100;
+    const ETHERTYPE_ARP: u16 = 0x0806;
+    if wire.len() < 14 {
+        return false;
+    }
+    match u16::from_be_bytes([wire[12], wire[13]]) {
+        ETHERTYPE_ARP => true,
+        TPID_8021Q => wire.len() >= 18 && u16::from_be_bytes([wire[16], wire[17]]) == ETHERTYPE_ARP,
+        _ => false,
     }
 }
 

@@ -1,13 +1,60 @@
 //! One-call builders for complete wire frames.
+//!
+//! The UDP and TCP builders are the traffic hot path: they write all three
+//! layers into one allocation instead of nesting `encode()` calls (which
+//! would allocate and copy the payload once per layer). The flat output is
+//! byte-identical to the nested encoders — a test below proves it.
 
 use std::net::Ipv4Addr;
 
-use bytes::Bytes;
+use bytes::{BufMut, Bytes, BytesMut};
 
+use super::checksum::{add_fold, finish, internet_checksum, sum_words};
 use super::{
-    EtherType, EthernetFrame, IcmpMessage, IpProtocol, Ipv4Packet, TcpSegment, UdpDatagram, VlanTag,
+    EtherType, EthernetFrame, IcmpMessage, IpProtocol, Ipv4Packet, TcpSegment, VlanTag,
+    IPV4_HEADER_LEN, TCP_HEADER_LEN, UDP_HEADER_LEN,
 };
 use crate::MacAddr;
+
+const TPID_8021Q: u16 = 0x8100;
+
+/// Writes the Ethernet header and the IPv4 header (checksum filled in) for a
+/// packet carrying `l4_len` L4 bytes. Returns the offset of the L4 layer.
+#[allow(clippy::too_many_arguments)]
+fn put_eth_ipv4(
+    buf: &mut BytesMut,
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    protocol: IpProtocol,
+    l4_len: usize,
+    vlan: Option<VlanTag>,
+) -> usize {
+    let total_len = IPV4_HEADER_LEN + l4_len;
+    assert!(total_len <= u16::MAX as usize, "IPv4 packet too large");
+    buf.put_slice(&dst_mac.octets());
+    buf.put_slice(&src_mac.octets());
+    if let Some(tag) = vlan {
+        buf.put_u16(TPID_8021Q);
+        buf.put_u16(tag.to_tci());
+    }
+    buf.put_u16(EtherType::Ipv4.to_u16());
+    let ip_off = buf.len();
+    buf.put_u8(0x45); // version 4, IHL 5
+    buf.put_u8(0); // dscp_ecn
+    buf.put_u16(total_len as u16);
+    buf.put_u16(0); // identification
+    buf.put_u16(0x4000); // flags: DF set, no fragmentation in this simulator
+    buf.put_u8(64); // ttl
+    buf.put_u8(protocol.to_u8());
+    buf.put_u16(0); // checksum placeholder
+    buf.put_slice(&src_ip.octets());
+    buf.put_slice(&dst_ip.octets());
+    let ck = internet_checksum(&buf[ip_off..ip_off + IPV4_HEADER_LEN]);
+    buf[ip_off + 10..ip_off + 12].copy_from_slice(&ck.to_be_bytes());
+    buf.len()
+}
 
 /// Builds a full Ethernet/IPv4/UDP frame.
 #[allow(clippy::too_many_arguments)]
@@ -21,20 +68,32 @@ pub fn udp_frame(
     payload: Bytes,
     vlan: Option<VlanTag>,
 ) -> Bytes {
-    let udp = UdpDatagram {
-        src_port,
-        dst_port,
-        payload,
-    };
-    let ip = Ipv4Packet::new(src_ip, dst_ip, IpProtocol::Udp, udp.encode(src_ip, dst_ip));
-    EthernetFrame {
-        dst: dst_mac,
-        src: src_mac,
+    let eth_len = super::ETHERNET_HEADER_LEN + if vlan.is_some() { 4 } else { 0 };
+    let l4_len = UDP_HEADER_LEN + payload.len();
+    let mut buf = BytesMut::with_capacity(eth_len + IPV4_HEADER_LEN + l4_len);
+    let udp_off = put_eth_ipv4(
+        &mut buf,
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        IpProtocol::Udp,
+        l4_len,
         vlan,
-        ethertype: EtherType::Ipv4,
-        payload: ip.encode(),
+    );
+    buf.put_u16(src_port);
+    buf.put_u16(dst_port);
+    buf.put_u16(l4_len as u16);
+    buf.put_u16(0); // checksum placeholder
+    buf.put_slice(&payload);
+    let ph = Ipv4Packet::pseudo_header(src_ip, dst_ip, IpProtocol::Udp, l4_len);
+    let sum = add_fold(sum_words(&ph), sum_words(&buf[udp_off..]));
+    let mut ck = finish(sum);
+    if ck == 0 {
+        ck = 0xffff; // RFC 768: zero checksum means "not computed"
     }
-    .encode()
+    buf[udp_off + 6..udp_off + 8].copy_from_slice(&ck.to_be_bytes());
+    buf.freeze()
 }
 
 /// Builds a full Ethernet/IPv4/TCP frame from a prepared segment.
@@ -46,20 +105,34 @@ pub fn tcp_frame(
     segment: &TcpSegment,
     vlan: Option<VlanTag>,
 ) -> Bytes {
-    let ip = Ipv4Packet::new(
+    let eth_len = super::ETHERNET_HEADER_LEN + if vlan.is_some() { 4 } else { 0 };
+    let l4_len = TCP_HEADER_LEN + segment.payload.len();
+    let mut buf = BytesMut::with_capacity(eth_len + IPV4_HEADER_LEN + l4_len);
+    let tcp_off = put_eth_ipv4(
+        &mut buf,
+        src_mac,
+        dst_mac,
         src_ip,
         dst_ip,
         IpProtocol::Tcp,
-        segment.encode(src_ip, dst_ip),
-    );
-    EthernetFrame {
-        dst: dst_mac,
-        src: src_mac,
+        l4_len,
         vlan,
-        ethertype: EtherType::Ipv4,
-        payload: ip.encode(),
-    }
-    .encode()
+    );
+    buf.put_u16(segment.src_port);
+    buf.put_u16(segment.dst_port);
+    buf.put_u32(segment.seq);
+    buf.put_u32(segment.ack);
+    buf.put_u8((5u8) << 4); // data offset 5 words, no options
+    buf.put_u8(segment.flags.bits());
+    buf.put_u16(segment.window);
+    buf.put_u16(0); // checksum placeholder
+    buf.put_u16(0); // urgent pointer
+    buf.put_slice(&segment.payload);
+    let ph = Ipv4Packet::pseudo_header(src_ip, dst_ip, IpProtocol::Tcp, l4_len);
+    let sum = add_fold(sum_words(&ph), sum_words(&buf[tcp_off..]));
+    let ck = finish(sum);
+    buf[tcp_off + 16..tcp_off + 18].copy_from_slice(&ck.to_be_bytes());
+    buf.freeze()
 }
 
 /// Builds a full Ethernet/IPv4/ICMP frame.
@@ -124,6 +197,59 @@ mod tests {
         match v.l4().unwrap().unwrap() {
             L4View::Tcp(t) => assert_eq!(t, seg),
             other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flat_builders_match_nested_encoders() {
+        use crate::packet::{TcpFlags, UdpDatagram};
+        for vlan in [None, Some(VlanTag::new(7))] {
+            // Odd payload length exercises the checksum padding byte.
+            let payload = Bytes::from_static(b"thirteen byte");
+            let udp = UdpDatagram {
+                src_port: 4000,
+                dst_port: 5201,
+                payload: payload.clone(),
+            };
+            let nested = EthernetFrame {
+                dst: MacAddr::local(2),
+                src: MacAddr::local(1),
+                vlan,
+                ethertype: EtherType::Ipv4,
+                payload: Ipv4Packet::new(A, B, IpProtocol::Udp, udp.encode(A, B)).encode(),
+            }
+            .encode();
+            let flat = udp_frame(
+                MacAddr::local(1),
+                MacAddr::local(2),
+                A,
+                B,
+                4000,
+                5201,
+                payload.clone(),
+                vlan,
+            );
+            assert_eq!(flat, nested, "udp vlan={vlan:?}");
+
+            let seg = TcpSegment {
+                src_port: 4000,
+                dst_port: 5001,
+                seq: 0xdead_beef,
+                ack: 0x0102_0304,
+                flags: TcpFlags::ACK | TcpFlags::PSH,
+                window: 29200,
+                payload,
+            };
+            let nested = EthernetFrame {
+                dst: MacAddr::local(2),
+                src: MacAddr::local(1),
+                vlan,
+                ethertype: EtherType::Ipv4,
+                payload: Ipv4Packet::new(A, B, IpProtocol::Tcp, seg.encode(A, B)).encode(),
+            }
+            .encode();
+            let flat = tcp_frame(MacAddr::local(1), MacAddr::local(2), A, B, &seg, vlan);
+            assert_eq!(flat, nested, "tcp vlan={vlan:?}");
         }
     }
 

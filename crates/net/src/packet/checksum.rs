@@ -13,15 +13,39 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
 /// Accumulates 16-bit words of `data` into a running 32-bit sum. Used for
 /// pseudo-header checksums that cover several buffers.
 pub(crate) fn sum_words(data: &[u8]) -> u32 {
-    let mut sum = 0u32;
-    let mut chunks = data.chunks_exact(2);
+    // One's-complement addition is associative mod 0xffff, so wide
+    // accumulation with a single end-around fold matches the word-at-a-time
+    // sum bit for bit. Each 8-byte chunk contributes two u32 halves (lane
+    // boundaries stay on 16-bit words), so the u64 accumulator cannot
+    // overflow for any frame this simulator builds.
+    // Two accumulators so the loop-carried add is not one serial chain;
+    // one's-complement addition is commutative, so the split is free.
+    let mut s1 = 0u64;
+    let mut s2 = 0u64;
+    let mut pairs = data.chunks_exact(16);
+    for c in &mut pairs {
+        let a = u64::from_be_bytes(c[..8].try_into().expect("8-byte chunk"));
+        let b = u64::from_be_bytes(c[8..].try_into().expect("8-byte chunk"));
+        s1 += (a >> 32) + (a & 0xffff_ffff);
+        s2 += (b >> 32) + (b & 0xffff_ffff);
+    }
+    let mut sum = s1 + s2;
+    let mut chunks = pairs.remainder().chunks_exact(8);
     for c in &mut chunks {
-        sum = add_fold(sum, u16::from_be_bytes([c[0], c[1]]) as u32);
+        let v = u64::from_be_bytes(c.try_into().expect("8-byte chunk"));
+        sum += (v >> 32) + (v & 0xffff_ffff);
     }
-    if let [last] = chunks.remainder() {
-        sum = add_fold(sum, u16::from_be_bytes([*last, 0]) as u32);
+    let mut rest = chunks.remainder().chunks_exact(2);
+    for c in &mut rest {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u64;
     }
-    sum
+    if let [last] = rest.remainder() {
+        sum += (*last as u64) << 8;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    sum as u32
 }
 
 pub(crate) fn add_fold(mut sum: u32, v: u32) -> u32 {

@@ -71,7 +71,7 @@ impl VlanTag {
         }
     }
 
-    fn to_tci(self) -> u16 {
+    pub(crate) fn to_tci(self) -> u16 {
         ((self.pcp as u16) << 13) | ((self.dei as u16) << 12) | (self.vid & 0x0fff)
     }
 
@@ -143,6 +143,20 @@ impl EthernetFrame {
     /// Returns [`CodecError::Truncated`] when the buffer is shorter than the
     /// (possibly tagged) header.
     pub fn decode(data: &[u8]) -> Result<EthernetFrame, CodecError> {
+        Self::decode_inner(data, |r| Bytes::copy_from_slice(&data[r]))
+    }
+
+    /// Like [`decode`](EthernetFrame::decode), but the payload is a
+    /// zero-copy slice of `data` (a refcount bump instead of an allocation
+    /// and copy — this runs for every frame a host receives).
+    pub fn decode_shared(data: &Bytes) -> Result<EthernetFrame, CodecError> {
+        Self::decode_inner(data, |r| data.slice(r))
+    }
+
+    fn decode_inner(
+        data: &[u8],
+        payload: impl FnOnce(std::ops::Range<usize>) -> Bytes,
+    ) -> Result<EthernetFrame, CodecError> {
         if data.len() < ETHERNET_HEADER_LEN {
             return Err(CodecError::Truncated {
                 layer: "ethernet",
@@ -167,7 +181,7 @@ impl EthernetFrame {
             (None, 12)
         };
         let ethertype = EtherType::from_u16(u16::from_be_bytes([data[et_off], data[et_off + 1]]));
-        let payload = Bytes::copy_from_slice(&data[et_off + 2..]);
+        let payload = payload(et_off + 2..data.len());
         Ok(EthernetFrame {
             dst,
             src,

@@ -133,6 +133,19 @@ impl Ipv4Packet {
     /// * [`CodecError::LengthMismatch`] — total-length field disagrees with
     ///   the buffer.
     pub fn decode(data: &[u8]) -> Result<Ipv4Packet, CodecError> {
+        Self::decode_inner(data, |r| Bytes::copy_from_slice(&data[r]))
+    }
+
+    /// Like [`decode`](Ipv4Packet::decode), but the payload is a zero-copy
+    /// slice of `data` (a refcount bump instead of an allocation and copy).
+    pub fn decode_shared(data: &Bytes) -> Result<Ipv4Packet, CodecError> {
+        Self::decode_inner(data, |r| data.slice(r))
+    }
+
+    fn decode_inner(
+        data: &[u8],
+        payload: impl FnOnce(std::ops::Range<usize>) -> Bytes,
+    ) -> Result<Ipv4Packet, CodecError> {
         if data.len() < IPV4_HEADER_LEN {
             return Err(CodecError::Truncated {
                 layer: "ipv4",
@@ -166,7 +179,7 @@ impl Ipv4Packet {
             protocol: IpProtocol::from_u8(data[9]),
             src: Ipv4Addr::new(data[12], data[13], data[14], data[15]),
             dst: Ipv4Addr::new(data[16], data[17], data[18], data[19]),
-            payload: Bytes::copy_from_slice(&data[IPV4_HEADER_LEN..total_len]),
+            payload: payload(IPV4_HEADER_LEN..total_len),
         })
     }
 

@@ -160,6 +160,26 @@ impl TcpSegment {
     /// [`CodecError::Truncated`], [`CodecError::BadHeaderLength`] (options
     /// unsupported) or [`CodecError::BadChecksum`].
     pub fn decode(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<TcpSegment, CodecError> {
+        Self::decode_inner(data, src, dst, |r| Bytes::copy_from_slice(&data[r]))
+    }
+
+    /// Like [`decode`](TcpSegment::decode), but the payload is a zero-copy
+    /// slice of `data` (a refcount bump instead of an allocation and copy —
+    /// this runs for every data segment a receiver accepts).
+    pub fn decode_shared(
+        data: &Bytes,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+    ) -> Result<TcpSegment, CodecError> {
+        Self::decode_inner(data, src, dst, |r| data.slice(r))
+    }
+
+    fn decode_inner(
+        data: &[u8],
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: impl FnOnce(std::ops::Range<usize>) -> Bytes,
+    ) -> Result<TcpSegment, CodecError> {
         if data.len() < TCP_HEADER_LEN {
             return Err(CodecError::Truncated {
                 layer: "tcp",
@@ -184,7 +204,7 @@ impl TcpSegment {
             ack: u32::from_be_bytes([data[8], data[9], data[10], data[11]]),
             flags: TcpFlags::from_bits(data[13]),
             window: u16::from_be_bytes([data[14], data[15]]),
-            payload: Bytes::copy_from_slice(&data[TCP_HEADER_LEN..]),
+            payload: payload(TCP_HEADER_LEN..data.len()),
         })
     }
 

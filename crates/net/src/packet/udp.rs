@@ -65,6 +65,25 @@ impl UdpDatagram {
     /// [`CodecError::Truncated`], [`CodecError::LengthMismatch`] or
     /// [`CodecError::BadChecksum`].
     pub fn decode(data: &[u8], src: Ipv4Addr, dst: Ipv4Addr) -> Result<UdpDatagram, CodecError> {
+        Self::decode_inner(data, src, dst, |r| Bytes::copy_from_slice(&data[r]))
+    }
+
+    /// Like [`decode`](UdpDatagram::decode), but the payload is a zero-copy
+    /// slice of `data` (a refcount bump instead of an allocation and copy).
+    pub fn decode_shared(
+        data: &Bytes,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+    ) -> Result<UdpDatagram, CodecError> {
+        Self::decode_inner(data, src, dst, |r| data.slice(r))
+    }
+
+    fn decode_inner(
+        data: &[u8],
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        payload: impl FnOnce(std::ops::Range<usize>) -> Bytes,
+    ) -> Result<UdpDatagram, CodecError> {
         if data.len() < UDP_HEADER_LEN {
             return Err(CodecError::Truncated {
                 layer: "udp",
@@ -92,7 +111,7 @@ impl UdpDatagram {
         Ok(UdpDatagram {
             src_port: u16::from_be_bytes([data[0], data[1]]),
             dst_port: u16::from_be_bytes([data[2], data[3]]),
-            payload: Bytes::copy_from_slice(&data[UDP_HEADER_LEN..len]),
+            payload: payload(UDP_HEADER_LEN..len),
         })
     }
 

@@ -71,7 +71,19 @@ impl FrameView {
     pub fn parse(wire: &[u8]) -> Result<FrameView, CodecError> {
         let eth = EthernetFrame::decode(wire)?;
         let l3 = match eth.ethertype {
-            EtherType::Ipv4 => L3View::Ipv4(Ipv4Packet::decode(&eth.payload)?),
+            EtherType::Ipv4 => L3View::Ipv4(Ipv4Packet::decode_shared(&eth.payload)?),
+            _ => L3View::Opaque,
+        };
+        Ok(FrameView { eth, l3 })
+    }
+
+    /// Like [`parse`](FrameView::parse), but every layer's payload is a
+    /// zero-copy slice of `wire`: parsing a 1500-byte frame costs header
+    /// reads and refcount bumps, never a payload copy.
+    pub fn parse_shared(wire: &bytes::Bytes) -> Result<FrameView, CodecError> {
+        let eth = EthernetFrame::decode_shared(wire)?;
+        let l3 = match eth.ethertype {
+            EtherType::Ipv4 => L3View::Ipv4(Ipv4Packet::decode_shared(&eth.payload)?),
             _ => L3View::Opaque,
         };
         Ok(FrameView { eth, l3 })
@@ -98,8 +110,12 @@ impl FrameView {
             None => return Ok(None),
         };
         let v = match ip.protocol {
-            IpProtocol::Udp => L4View::Udp(UdpDatagram::decode(&ip.payload, ip.src, ip.dst)?),
-            IpProtocol::Tcp => L4View::Tcp(TcpSegment::decode(&ip.payload, ip.src, ip.dst)?),
+            // `ip.payload` is an owned `Bytes`, so the L4 payload can always
+            // alias it instead of being copied out (checksums still verify).
+            IpProtocol::Udp => {
+                L4View::Udp(UdpDatagram::decode_shared(&ip.payload, ip.src, ip.dst)?)
+            }
+            IpProtocol::Tcp => L4View::Tcp(TcpSegment::decode_shared(&ip.payload, ip.src, ip.dst)?),
             IpProtocol::Icmp => L4View::Icmp(IcmpMessage::decode(&ip.payload)?),
             IpProtocol::Other(_) => L4View::Opaque,
         };

@@ -4,7 +4,7 @@ use std::any::Any;
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use netco_sim::{ActivationWindow, Scheduler, SimDuration, SimRng, SimTime};
+use netco_sim::{ActivationWindow, Scheduler, SimDuration, SimRng, SimTime, Tick};
 use netco_telemetry::{Counter, Histogram, TelemetrySink};
 
 use crate::cpu::CpuModel;
@@ -32,6 +32,9 @@ pub enum DropReason {
 }
 
 impl DropReason {
+    /// Number of variants, sizing the dense drop-counter array.
+    pub(crate) const COUNT: usize = 6;
+
     /// Canonical lower-snake-case slug, used as the metric-name suffix in
     /// telemetry snapshots (`net.drops.<slug>`).
     pub fn slug(self) -> &'static str {
@@ -66,19 +69,22 @@ pub struct PortCounters {
 /// Counters for one node.
 #[derive(Debug, Clone, Default)]
 pub struct NodeCounters {
-    ports: HashMap<u16, PortCounters>,
+    // Dense per-port storage: `port_mut` sits on the per-event delivery
+    // path, where an index beats a hash probe. Port numbers index the
+    // vector directly, so devices should keep them small.
+    ports: Vec<PortCounters>,
 }
 
 impl NodeCounters {
     /// Counters of one port (zeros if the port never saw traffic).
     pub fn port(&self, port: PortId) -> PortCounters {
-        self.ports.get(&port.0).copied().unwrap_or_default()
+        self.ports.get(port.0 as usize).copied().unwrap_or_default()
     }
 
     /// Sum of counters over all ports.
     pub fn total(&self) -> PortCounters {
         let mut t = PortCounters::default();
-        for c in self.ports.values() {
+        for c in &self.ports {
             t.rx_frames += c.rx_frames;
             t.rx_bytes += c.rx_bytes;
             t.tx_frames += c.tx_frames;
@@ -90,7 +96,11 @@ impl NodeCounters {
     }
 
     fn port_mut(&mut self, port: PortId) -> &mut PortCounters {
-        self.ports.entry(port.0).or_default()
+        let idx = port.0 as usize;
+        if idx >= self.ports.len() {
+            self.ports.resize(idx + 1, PortCounters::default());
+        }
+        &mut self.ports[idx]
     }
 }
 
@@ -265,10 +275,12 @@ pub(crate) struct WorldCore {
     cpu_states: Vec<CpuState>,
     counters: Vec<NodeCounters>,
     links: Vec<LinkState>,
-    adjacency: HashMap<(NodeId, PortId), (u32, u8)>,
+    // Dense adjacency indexed `[node][port]`: the link lookup runs once
+    // per transmitted frame, so it must not hash.
+    adjacency: Vec<Vec<Option<(u32, u8)>>>,
     control: HashMap<(NodeId, NodeId), ControlChannelSpec>,
     taps: Vec<Tap>,
-    substrate_drops: HashMap<DropReason, u64>,
+    substrate_drops: [u64; DropReason::COUNT],
     pub(crate) telemetry: TelemetrySink,
     tel_link_queue: Histogram,
     tel_cpu_service: Histogram,
@@ -287,14 +299,28 @@ impl WorldCore {
     }
 
     pub(crate) fn ports_of(&self, node: NodeId) -> Vec<PortId> {
-        let mut ports: Vec<PortId> = self
-            .adjacency
-            .keys()
-            .filter(|(n, _)| *n == node)
-            .map(|(_, p)| *p)
-            .collect();
-        ports.sort_unstable();
-        ports
+        self.adjacency[node.index()]
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_some())
+            .map(|(p, _)| PortId(p as u16))
+            .collect()
+    }
+
+    fn link_at(&self, node: NodeId, port: PortId) -> Option<(u32, u8)> {
+        self.adjacency[node.index()]
+            .get(port.0 as usize)
+            .copied()
+            .flatten()
+    }
+
+    fn wire(&mut self, node: NodeId, port: PortId, entry: (u32, u8)) {
+        let ports = &mut self.adjacency[node.index()];
+        let idx = port.0 as usize;
+        if idx >= ports.len() {
+            ports.resize(idx + 1, None);
+        }
+        ports[idx] = Some(entry);
     }
 
     pub(crate) fn name_of(&self, node: NodeId) -> &str {
@@ -302,7 +328,7 @@ impl WorldCore {
     }
 
     fn drop_frame(&mut self, reason: DropReason) {
-        *self.substrate_drops.entry(reason).or_insert(0) += 1;
+        self.substrate_drops[reason as usize] += 1;
         if self.telemetry.is_enabled() {
             // Rare path (drops, not deliveries): the name lookup is fine.
             self.telemetry
@@ -333,12 +359,12 @@ impl WorldCore {
     pub(crate) fn transmit(&mut self, node: NodeId, port: PortId, frame: Frame) {
         self.run_taps(node, port, TapDirection::Tx, frame.bytes());
         let len = frame.len();
-        let counters = self.counters[node.index()].port_mut(port);
-        let Some(&(link_idx, dir)) = self.adjacency.get(&(node, port)) else {
-            counters.tx_dropped += 1;
+        let Some((link_idx, dir)) = self.link_at(node, port) else {
+            self.counters[node.index()].port_mut(port).tx_dropped += 1;
             self.drop_frame(DropReason::NoLink);
             return;
         };
+        let counters = self.counters[node.index()].port_mut(port);
         counters.tx_frames += 1;
         counters.tx_bytes += len as u64;
 
@@ -431,11 +457,7 @@ impl WorldCore {
         if state.dropping {
             return None;
         }
-        let service = {
-            let model = self.cpu_models[node.index()].clone();
-            model.service_time(len, &mut self.rng)
-        };
-        let state = &mut self.cpu_states[node.index()];
+        let service = model.service_time(len, &mut self.rng);
         state.pending += 1;
         let now = self.sched.now();
         let start = state.busy_until.max(now);
@@ -458,6 +480,10 @@ pub struct World {
     /// with telemetry off) and adopted into the registry as
     /// `sim.events_processed` by [`set_telemetry`](World::set_telemetry).
     events_processed: Counter,
+    /// Reusable tick buffer for batched dispatch, kept across
+    /// [`run_until`](World::run_until) calls so steady-state runs never
+    /// reallocate it.
+    batch: Tick<Event>,
 }
 
 impl World {
@@ -472,10 +498,10 @@ impl World {
                 cpu_states: Vec::new(),
                 counters: Vec::new(),
                 links: Vec::new(),
-                adjacency: HashMap::new(),
+                adjacency: Vec::new(),
                 control: HashMap::new(),
                 taps: Vec::new(),
-                substrate_drops: HashMap::new(),
+                substrate_drops: [0; DropReason::COUNT],
                 telemetry: TelemetrySink::disabled(),
                 tel_link_queue: Histogram::disabled(),
                 tel_cpu_service: Histogram::disabled(),
@@ -484,6 +510,7 @@ impl World {
             },
             devices: Vec::new(),
             events_processed: Counter::detached(),
+            batch: Tick::new(),
         }
     }
 
@@ -522,6 +549,7 @@ impl World {
         self.core.cpu_models.push(cpu);
         self.core.cpu_states.push(CpuState::default());
         self.core.counters.push(NodeCounters::default());
+        self.core.adjacency.push(Vec::new());
         self.core
             .sched
             .schedule_after(SimDuration::ZERO, Event::Start { node: id });
@@ -546,11 +574,11 @@ impl World {
         assert!(b.index() < self.devices.len(), "unknown node {b}");
         assert!(!(a == b && pa == pb), "self-loop on a single port");
         assert!(
-            !self.core.adjacency.contains_key(&(a, pa)),
+            self.core.link_at(a, pa).is_none(),
             "port {pa} of {a} already wired"
         );
         assert!(
-            !self.core.adjacency.contains_key(&(b, pb)),
+            self.core.link_at(b, pb).is_none(),
             "port {pb} of {b} already wired"
         );
         let idx = self.core.links.len() as u32;
@@ -572,8 +600,8 @@ impl World {
             enabled: true,
             fault: None,
         });
-        self.core.adjacency.insert((a, pa), (idx, 0));
-        self.core.adjacency.insert((b, pb), (idx, 1));
+        self.core.wire(a, pa, (idx, 0));
+        self.core.wire(b, pb, (idx, 1));
         LinkId(idx)
     }
 
@@ -702,7 +730,7 @@ impl World {
 
     /// Total frames dropped by the substrate, per reason.
     pub fn substrate_drops(&self, reason: DropReason) -> u64 {
-        self.core.substrate_drops.get(&reason).copied().unwrap_or(0)
+        self.core.substrate_drops[reason as usize]
     }
 
     /// Immutable access to a device, downcast to its concrete type.
@@ -769,9 +797,37 @@ impl World {
 
     /// Runs until the event queue drains or `deadline` is reached; the
     /// clock ends exactly at `deadline` if it was reached.
+    ///
+    /// Dispatch is batched: each scheduler pop drains a whole timing-wheel
+    /// tick, amortizing the refill scan over every event it staged. The
+    /// delivery order is bit-identical to the per-event loop
+    /// ([`run_until_per_event`](World::run_until_per_event)) because both
+    /// deliver in global `(time, seq)` order — events a handler schedules
+    /// for the instant being drained re-enter wheel level 0 and surface as
+    /// the next tick at the same timestamp, still in sequence order.
     pub fn run_until(&mut self, deadline: SimTime) {
         // Pin the clock so `now()` lands on the deadline even if the queue
         // drains early.
+        self.core.sched.schedule_at(deadline, Event::Pin);
+        let mut tick = std::mem::take(&mut self.batch);
+        loop {
+            let n = self.core.sched.pop_tick_until(deadline, &mut tick);
+            if n == 0 {
+                break;
+            }
+            self.events_processed.add(n as u64);
+            for event in tick.drain() {
+                self.dispatch(event);
+            }
+        }
+        self.batch = tick;
+    }
+
+    /// Per-event reference loop with the exact same contract as
+    /// [`run_until`](World::run_until): the differential oracle the batch
+    /// determinism tests compare against. Not for production use — it pays
+    /// a full wheel scan per event.
+    pub fn run_until_per_event(&mut self, deadline: SimTime) {
         self.core.sched.schedule_at(deadline, Event::Pin);
         while let Some(t) = self.core.sched.peek_time() {
             if t > deadline {

@@ -1,7 +1,7 @@
 //! Flow entries and the priority-ordered flow table.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use netco_sim::fxhash::FxBuildHasher;
 use netco_sim::{SimDuration, SimTime};
@@ -27,7 +27,10 @@ pub struct FlowEntry {
     priority: u16,
     matcher: FlowMatch,
     // Shared so the per-packet fast path clones a handle, not the list.
-    actions: Rc<[Action]>,
+    // Atomically counted (`Arc`, not `Rc`) so whole tables can move across
+    // the NETCO_THREADS sweep workers without a deep copy; the atomic bump
+    // is a wash against the cache miss the clone already pays.
+    actions: Arc<[Action]>,
     cookie: u64,
     idle_timeout: Option<SimDuration>,
     hard_timeout: Option<SimDuration>,
@@ -102,8 +105,8 @@ impl FlowEntry {
 
     /// A shared handle to the action list — what the switch data path
     /// clones per matched packet (reference-count bump, not a list copy).
-    pub fn shared_actions(&self) -> Rc<[Action]> {
-        Rc::clone(&self.actions)
+    pub fn shared_actions(&self) -> Arc<[Action]> {
+        Arc::clone(&self.actions)
     }
 
     /// The controller cookie.
@@ -260,7 +263,7 @@ impl FlowTable {
         actions: &[Action],
     ) -> usize {
         let mut n = 0;
-        let mut shared: Option<Rc<[Action]>> = None;
+        let mut shared: Option<Arc<[Action]>> = None;
         for e in &mut self.entries {
             let strict_ok = priority.is_none_or(|p| e.priority == p);
             if strict_ok && matcher.subsumes(&e.matcher) {
@@ -482,7 +485,7 @@ pub mod baseline {
             actions: &[Action],
         ) -> usize {
             let mut n = 0;
-            let mut shared: Option<Rc<[Action]>> = None;
+            let mut shared: Option<Arc<[Action]>> = None;
             for e in &mut self.entries {
                 let strict_ok = priority.is_none_or(|p| e.priority == p);
                 if strict_ok && matcher.subsumes(&e.matcher) {

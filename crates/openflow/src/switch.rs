@@ -342,7 +342,7 @@ impl Device for OfSwitch {
         match self.table.lookup_counted(&fields, frame.len(), now) {
             Some(entry) => {
                 self.tel.table_hits.inc();
-                // Clone the Rc handle, not the list: `lookup_counted`
+                // Clone the Arc handle, not the list: `lookup_counted`
                 // borrows the table mutably, so the actions must outlive
                 // the borrow, but a per-packet Vec copy is not the way.
                 let actions = entry.shared_actions();

@@ -116,14 +116,25 @@ impl std::error::Error for WireError {}
 
 /// Serializes a message with the given transaction id.
 pub fn encode(msg: &OfMessage, xid: u32) -> Bytes {
-    let (msg_type, body) = encode_body(msg);
-    let mut buf = BytesMut::with_capacity(HEADER_LEN + body.len());
-    buf.put_u8(OFP_VERSION);
-    buf.put_u8(msg_type);
-    buf.put_u16((HEADER_LEN + body.len()) as u16);
-    buf.put_u32(xid);
-    buf.put_slice(&body);
+    let mut buf = BytesMut::new();
+    encode_into(msg, xid, &mut buf);
     buf.freeze()
+}
+
+/// Serializes a message with the given transaction id, appending to `buf`.
+///
+/// Avoids the intermediate body allocation of [`encode`]; callers that frame
+/// OpenFlow inside another protocol can write everything into one buffer.
+pub fn encode_into(msg: &OfMessage, xid: u32, buf: &mut BytesMut) {
+    let start = buf.len();
+    buf.put_u8(OFP_VERSION);
+    buf.put_u8(0); // type, patched below
+    buf.put_u16(0); // length, patched below
+    buf.put_u32(xid);
+    let msg_type = encode_body(msg, buf);
+    buf[start + 1] = msg_type;
+    let len = (buf.len() - start) as u16;
+    buf[start + 2..start + 4].copy_from_slice(&len.to_be_bytes());
 }
 
 /// Parses one message; returns it with its transaction id.
@@ -151,13 +162,45 @@ pub fn decode(data: &[u8]) -> Result<(OfMessage, u32), WireError> {
     }
     let xid = u32::from_be_bytes([data[4], data[5], data[6], data[7]]);
     let body = &data[HEADER_LEN..length];
-    let msg = decode_body(msg_type, body)?;
+    let msg = decode_body(msg_type, body, None)?;
     Ok((msg, xid))
 }
 
-fn encode_body(msg: &OfMessage) -> (u8, Bytes) {
-    let mut b = BytesMut::new();
-    let t = match msg {
+/// Parses one message from a shared buffer, like [`decode`], but payload
+/// fields (`PacketIn`/`PacketOut` data, echo/error payloads) become
+/// zero-copy slices of `data` instead of fresh allocations. This is the hot
+/// path for compare links, which carry every replicated copy of every data
+/// frame.
+///
+/// # Errors
+///
+/// See [`WireError`].
+pub fn decode_shared(data: &Bytes) -> Result<(OfMessage, u32), WireError> {
+    if data.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            got: data.len(),
+        });
+    }
+    if data[0] != OFP_VERSION {
+        return Err(WireError::BadVersion(data[0]));
+    }
+    let msg_type = data[1];
+    let length = u16::from_be_bytes([data[2], data[3]]) as usize;
+    if length < HEADER_LEN || length > data.len() {
+        return Err(WireError::Truncated {
+            needed: length.max(HEADER_LEN),
+            got: data.len(),
+        });
+    }
+    let xid = u32::from_be_bytes([data[4], data[5], data[6], data[7]]);
+    let body = &data[HEADER_LEN..length];
+    let msg = decode_body(msg_type, body, Some((data, HEADER_LEN)))?;
+    Ok((msg, xid))
+}
+
+fn encode_body(msg: &OfMessage, b: &mut BytesMut) -> u8 {
+    match msg {
         OfMessage::Hello => OFPT_HELLO,
         OfMessage::EchoRequest(data) => {
             b.put_slice(data);
@@ -233,7 +276,7 @@ fn encode_body(msg: &OfMessage) -> (u8, Bytes) {
             actions,
             buffer_id,
         } => {
-            encode_match(matcher, &mut b);
+            encode_match(matcher, b);
             b.put_u64(*cookie);
             b.put_u16(match command {
                 FlowModCommand::Add => 0,
@@ -263,7 +306,7 @@ fn encode_body(msg: &OfMessage) -> (u8, Bytes) {
             packet_count,
             byte_count,
         } => {
-            encode_match(matcher, &mut b);
+            encode_match(matcher, b);
             b.put_u64(*cookie);
             b.put_u16(*priority);
             b.put_u8(match reason {
@@ -283,7 +326,7 @@ fn encode_body(msg: &OfMessage) -> (u8, Bytes) {
         OfMessage::FlowStatsRequest { matcher } => {
             b.put_u16(OFPST_FLOW);
             b.put_u16(0); // flags
-            encode_match(matcher, &mut b);
+            encode_match(matcher, b);
             b.put_u8(0xff); // table_id: all tables
             b.put_u8(0); // pad
             b.put_u16(OfPort::None.to_u16()); // out_port filter (unused)
@@ -297,7 +340,7 @@ fn encode_body(msg: &OfMessage) -> (u8, Bytes) {
                 b.put_u16((FLOW_STATS_LEN + acts.len()) as u16);
                 b.put_u8(0); // table_id
                 b.put_u8(0); // pad
-                encode_match(&f.matcher, &mut b);
+                encode_match(&f.matcher, b);
                 b.put_u32(0); // duration_sec
                 b.put_u32(0); // duration_nsec
                 b.put_u16(f.priority);
@@ -323,11 +366,23 @@ fn encode_body(msg: &OfMessage) -> (u8, Bytes) {
             b.put_slice(data);
             OFPT_ERROR
         }
-    };
-    (t, b.freeze())
+    }
 }
 
-fn decode_body(msg_type: u8, body: &[u8]) -> Result<OfMessage, WireError> {
+/// `raw` is `Some((buffer, body_offset))` when `body` is a view into a
+/// shared buffer: payload fields are then sliced (refcounted) instead of
+/// copied.
+fn decode_body(
+    msg_type: u8,
+    body: &[u8],
+    raw: Option<(&Bytes, usize)>,
+) -> Result<OfMessage, WireError> {
+    let payload = |range: std::ops::Range<usize>| -> Bytes {
+        match raw {
+            Some((buf, off)) => buf.slice(off + range.start..off + range.end),
+            None => Bytes::copy_from_slice(&body[range]),
+        }
+    };
     fn need(body: &[u8], n: usize) -> Result<(), WireError> {
         if body.len() < n {
             Err(WireError::Truncated {
@@ -352,8 +407,8 @@ fn decode_body(msg_type: u8, body: &[u8]) -> Result<OfMessage, WireError> {
 
     Ok(match msg_type {
         OFPT_HELLO => OfMessage::Hello,
-        OFPT_ECHO_REQUEST => OfMessage::EchoRequest(Bytes::copy_from_slice(body)),
-        OFPT_ECHO_REPLY => OfMessage::EchoReply(Bytes::copy_from_slice(body)),
+        OFPT_ECHO_REQUEST => OfMessage::EchoRequest(payload(0..body.len())),
+        OFPT_ECHO_REPLY => OfMessage::EchoReply(payload(0..body.len())),
         OFPT_FEATURES_REQUEST => OfMessage::FeaturesRequest,
         OFPT_FEATURES_REPLY => {
             need(body, 24)?;
@@ -395,7 +450,7 @@ fn decode_body(msg_type: u8, body: &[u8]) -> Result<OfMessage, WireError> {
                 } else {
                     PacketInReason::Action
                 },
-                data: Bytes::copy_from_slice(data),
+                data: payload(10..body.len()),
             }
         }
         OFPT_PACKET_OUT => {
@@ -408,7 +463,7 @@ fn decode_body(msg_type: u8, body: &[u8]) -> Result<OfMessage, WireError> {
                 buffer_id: (buffer_id != NO_BUFFER).then_some(buffer_id),
                 in_port: u16_at(body, 4),
                 actions,
-                data: Bytes::copy_from_slice(&body[8 + actions_len..]),
+                data: payload(8 + actions_len..body.len()),
             }
         }
         OFPT_FLOW_MOD => {
@@ -496,7 +551,7 @@ fn decode_body(msg_type: u8, body: &[u8]) -> Result<OfMessage, WireError> {
             OfMessage::Error {
                 err_type: u16_at(body, 0),
                 code: u16_at(body, 2),
-                data: Bytes::copy_from_slice(&body[4..]),
+                data: payload(4..body.len()),
             }
         }
         other => return Err(WireError::UnsupportedType(other)),

@@ -115,6 +115,44 @@ impl<E> Level<E> {
     }
 }
 
+/// A drained scheduler tick: every event sharing one due instant, in `seq`
+/// order. Obtained (by buffer swap, not per-event copy) from
+/// [`Scheduler::pop_tick_until`]; hand the emptied buffer back to the next
+/// call so its capacity is reused.
+pub struct Tick<E> {
+    entries: VecDeque<Entry<E>>,
+}
+
+impl<E> Tick<E> {
+    /// Creates an empty tick buffer.
+    pub fn new() -> Self {
+        Tick {
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Number of events in the tick.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the tick holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes and returns the tick's events in delivery (`seq`) order.
+    pub fn drain(&mut self) -> impl Iterator<Item = E> + '_ {
+        self.entries.drain(..).map(|e| e.event)
+    }
+}
+
+impl<E> Default for Tick<E> {
+    fn default() -> Self {
+        Tick::new()
+    }
+}
+
 /// A deterministic discrete-event scheduler.
 ///
 /// Events are arbitrary payloads of type `E`. Popping advances the
@@ -239,6 +277,89 @@ impl<E> Scheduler<E> {
         self.len -= 1;
         self.tel_pops.inc();
         Some((SimTime::from_nanos(entry.at), entry.event))
+    }
+
+    /// Removes the entire next due tick — every pending event sharing the
+    /// earliest `(time)` instant — appending the events to `out` in `seq`
+    /// order and advancing the clock to that instant. Returns the number
+    /// of events drained (0 when nothing is pending).
+    ///
+    /// This is the batched hot path: one wheel refill (bitmap scan,
+    /// cascade, heap pull) is amortized over the whole slot instead of
+    /// being paid per [`pop`](Scheduler::pop). The delivery order is
+    /// bit-identical to repeated `pop` calls: both yield events in global
+    /// `(time, seq)` order. Events scheduled *between* batches for the
+    /// instant just drained re-enter the wheel and surface as the next
+    /// tick — still at the same timestamp, still in `seq` order — exactly
+    /// where per-event popping would have delivered them.
+    pub fn pop_batch(&mut self, out: &mut Vec<(SimTime, E)>) -> usize {
+        self.pop_batch_until(SimTime::MAX, out)
+    }
+
+    /// Like [`pop_batch`](Scheduler::pop_batch), but refuses to start a
+    /// tick due after `deadline` (the tick stays pending and the clock
+    /// does not move). Returns 0 when nothing is due at or before
+    /// `deadline`.
+    pub fn pop_batch_until(&mut self, deadline: SimTime, out: &mut Vec<(SimTime, E)>) -> usize {
+        let Some(at) = self.stage_tick_until(deadline) else {
+            return 0;
+        };
+        let n = self.ready.len();
+        let t = SimTime::from_nanos(at);
+        out.reserve(n);
+        for entry in self.ready.drain(..) {
+            debug_assert_eq!(entry.at, at, "ready holds exactly one tick");
+            out.push((t, entry.event));
+        }
+        self.len -= n;
+        self.tel_pops.add(n as u64);
+        n
+    }
+
+    /// Like [`pop_batch_until`](Scheduler::pop_batch_until), but hands the
+    /// drained tick over by buffer swap instead of copying every entry into
+    /// a caller `Vec`: `tick` (which must be empty) swaps places with the
+    /// internal ready queue. One event traverses the scheduler with exactly
+    /// one move — wheel slot to ready — instead of two. Delivery order is
+    /// identical to [`pop`](Scheduler::pop) / `pop_batch_until`.
+    pub fn pop_tick_until(&mut self, deadline: SimTime, tick: &mut Tick<E>) -> usize {
+        debug_assert!(tick.entries.is_empty(), "tick buffer handed back dirty");
+        let Some(_) = self.stage_tick_until(deadline) else {
+            return 0;
+        };
+        std::mem::swap(&mut self.ready, &mut tick.entries);
+        let n = tick.entries.len();
+        self.len -= n;
+        self.tel_pops.add(n as u64);
+        n
+    }
+
+    /// Stages the next tick due at or before `deadline` into `ready` and
+    /// advances the clock to it. Returns the tick's timestamp, or `None`
+    /// when nothing is due by `deadline`.
+    fn stage_tick_until(&mut self, deadline: SimTime) -> Option<u64> {
+        if self.ready.is_empty() {
+            // Decide from the wheel before staging anything: a tick past
+            // the deadline must stay unstaged, because the same-instant
+            // fast path in `schedule_at` treats a non-empty `ready` as the
+            // tick currently being drained.
+            match self.peek_time() {
+                Some(t) if t <= deadline => {
+                    let staged = self.refill_ready();
+                    debug_assert!(staged, "peek_time saw a pending event");
+                }
+                _ => return None,
+            }
+        }
+        let at = self.ready.front().expect("tick is staged").at;
+        if at > deadline.as_nanos() {
+            // Only reachable when a tick was already part-drained by
+            // per-event `pop` calls; never abandon it mid-tick.
+            return None;
+        }
+        debug_assert!(at >= self.now, "time went backwards");
+        self.now = at;
+        Some(at)
     }
 
     /// Timestamp of the earliest pending event, if any.
@@ -587,12 +708,88 @@ mod tests {
         assert_eq!(rest, vec![(10, 2), (10, 3), (10, 4)]);
     }
 
+    #[test]
+    fn pop_batch_drains_whole_tick() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..10 {
+            s.schedule_at(SimTime::from_nanos(5), i);
+        }
+        s.schedule_at(SimTime::from_nanos(6), 99);
+        let mut out = Vec::new();
+        assert_eq!(s.pop_batch(&mut out), 10);
+        assert_eq!(s.now(), SimTime::from_nanos(5));
+        assert_eq!(s.len(), 1);
+        let events: Vec<u32> = out
+            .iter()
+            .map(|&(t, e)| {
+                assert_eq!(t, SimTime::from_nanos(5));
+                e
+            })
+            .collect();
+        assert_eq!(events, (0..10).collect::<Vec<_>>());
+        out.clear();
+        assert_eq!(s.pop_batch(&mut out), 1);
+        assert_eq!(out[0], (SimTime::from_nanos(6), 99));
+        assert_eq!(s.pop_batch(&mut out), 0);
+    }
+
+    #[test]
+    fn pop_batch_until_respects_deadline() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(10), 1);
+        s.schedule_at(SimTime::from_nanos(20), 2);
+        let mut out = Vec::new();
+        assert_eq!(s.pop_batch_until(SimTime::from_nanos(5), &mut out), 0);
+        assert_eq!(s.now(), SimTime::ZERO, "deadline miss leaves the clock");
+        assert_eq!(s.peek_time(), Some(SimTime::from_nanos(10)));
+        assert_eq!(s.pop_batch_until(SimTime::from_nanos(10), &mut out), 1);
+        assert_eq!(s.now(), SimTime::from_nanos(10));
+        // The staged-but-refused tick still pops normally.
+        assert_eq!(s.pop(), Some((SimTime::from_nanos(20), 2)));
+    }
+
+    #[test]
+    fn same_instant_schedule_between_batches_lands_next_batch() {
+        // Between-batch arrivals for the instant just drained come out in
+        // the next batch at the *same timestamp* — global (time, seq)
+        // order is preserved, which is what makes batched dispatch
+        // bit-identical to per-event dispatch.
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(10), 1);
+        s.schedule_at(SimTime::from_nanos(10), 2);
+        let mut out = Vec::new();
+        assert_eq!(s.pop_batch(&mut out), 2);
+        s.schedule_at(SimTime::from_nanos(10), 3); // "handler" reschedule
+        s.schedule_at(SimTime::from_nanos(5), 4); // past: clamps to now
+        out.clear();
+        assert_eq!(s.pop_batch(&mut out), 2);
+        assert_eq!(
+            out,
+            vec![(SimTime::from_nanos(10), 3), (SimTime::from_nanos(10), 4)]
+        );
+    }
+
+    #[test]
+    fn pop_batch_finishes_partially_popped_tick() {
+        // Mixing pop() and pop_batch(): the batch completes the tick the
+        // per-event pop started.
+        let mut s: Scheduler<u8> = Scheduler::new();
+        for i in 0..4 {
+            s.schedule_at(SimTime::from_nanos(7), i);
+        }
+        assert_eq!(s.pop(), Some((SimTime::from_nanos(7), 0)));
+        let mut out = Vec::new();
+        assert_eq!(s.pop_batch(&mut out), 3);
+        assert_eq!(s.len(), 0);
+    }
+
     /// Replays one generated op sequence against both schedulers, asserting
     /// identical `(time, seq)` pops, peeks and lengths at every step.
     fn assert_wheel_matches_heap(ops: &[(u8, u64)]) {
         let mut wheel: Scheduler<u32> = Scheduler::new();
         let mut heap: HeapScheduler<u32> = HeapScheduler::new();
         let mut next_id = 0u32;
+        let mut batch = Vec::new();
         for &(kind, bits) in ops {
             match kind {
                 0 => {
@@ -601,6 +798,20 @@ mod tests {
                     wheel.schedule_at(at, next_id);
                     heap.schedule_at(at, next_id);
                     next_id += 1;
+                }
+                6 => {
+                    // Batched slot drain: the wheel pops a whole tick at
+                    // once; the heap pops the same count one by one. The
+                    // sequences must agree element for element.
+                    batch.clear();
+                    let n = wheel.pop_batch(&mut batch);
+                    for got in &batch {
+                        assert_eq!(Some(*got), heap.pop());
+                    }
+                    if n == 0 {
+                        assert_eq!(heap.pop(), None);
+                    }
+                    assert_eq!(wheel.now(), heap.now());
                 }
                 1..=5 => {
                     // Relative delays spanning every wheel level plus the

@@ -12,17 +12,22 @@
 //!   (min/avg/max/mdev like `ping`).
 //! * [`max_rate_search`] — the `iperf -u -b`-ramping procedure the paper
 //!   uses to find the highest rate with loss below 0.5 %.
+//! * [`FlowSet`] / [`FlowSink`] — an open-loop traffic engine that holds
+//!   millions of concurrent flows in one device: heavy-tailed sizes,
+//!   Poisson arrivals, deterministic per-flow RNG streams.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod common;
+mod flowset;
 mod iperf;
 mod meters;
 mod ping;
 pub mod tcp;
 mod udp;
 
+pub use flowset::{FlowSet, FlowSetConfig, FlowSetStats, FlowSink, SizeDist};
 pub use iperf::{max_rate_search, IperfConfig};
 pub use meters::{JitterMeter, RttStats, SeqTracker};
 pub use ping::{IcmpEchoResponder, PingConfig, PingReport, Pinger};

@@ -262,4 +262,95 @@ mod tests {
         assert_eq!(t.lost(), 0);
         assert_eq!(t.loss_fraction(), 0.0);
     }
+
+    #[test]
+    fn jitter_empty_and_single_sample() {
+        let j = JitterMeter::new();
+        assert_eq!(j.jitter(), SimDuration::ZERO);
+        assert_eq!(j.samples(), 0);
+        // One packet has no predecessor: transit difference undefined, so
+        // the estimate must stay zero regardless of the transit itself.
+        let mut j = JitterMeter::new();
+        j.record(SimTime::ZERO, SimTime::from_nanos(5_000_000));
+        assert_eq!(j.jitter(), SimDuration::ZERO);
+        assert_eq!(j.samples(), 1);
+    }
+
+    #[test]
+    fn jitter_handles_clock_skew_negative_transit() {
+        // Sender clock ahead of the receiver: transit is negative, but the
+        // estimator only ever sees |D|, so it still converges.
+        let mut j = JitterMeter::new();
+        for i in 0..32u64 {
+            let sent = SimTime::from_nanos(10_000_000 + i * 1_000_000);
+            let arrived = SimTime::from_nanos(i * 1_000_000 + (i % 2) * 1_000);
+            j.record(sent, arrived);
+        }
+        let jit = j.jitter().as_nanos();
+        assert!(jit > 0 && jit <= 1_000, "jitter {jit}ns");
+    }
+
+    #[test]
+    fn rtt_single_sample_degenerate_stats() {
+        let mut r = RttStats::new();
+        r.record(SimDuration::from_millis(7));
+        assert_eq!(r.min(), r.max());
+        assert_eq!(r.avg(), Some(SimDuration::from_millis(7)));
+        assert_eq!(r.mdev(), Some(SimDuration::ZERO));
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(r.percentile(q), Some(SimDuration::from_millis(7)));
+        }
+    }
+
+    #[test]
+    fn rtt_empty_everything_is_none() {
+        let r = RttStats::new();
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.min(), None);
+        assert_eq!(r.max(), None);
+        assert_eq!(r.avg(), None);
+        assert_eq!(r.mdev(), None);
+        assert_eq!(r.percentile(0.99), None);
+    }
+
+    #[test]
+    fn seq_tracker_repeated_duplicates_of_one_seq() {
+        let mut t = SeqTracker::new();
+        assert!(t.record(9));
+        for _ in 0..5 {
+            assert!(!t.record(9));
+        }
+        assert_eq!(t.received(), 1);
+        assert_eq!(t.duplicates(), 5);
+        // Duplicates never inflate the loss estimate.
+        assert_eq!(t.lost(), 9);
+    }
+
+    #[test]
+    fn seq_tracker_u32_boundary() {
+        // A sender that wraps its 32-bit counter delivers u32::MAX; the
+        // expected count (highest + 1) must not overflow u64 arithmetic.
+        let mut t = SeqTracker::new();
+        assert!(t.record(u32::MAX));
+        assert!(t.record(0));
+        assert!(!t.record(u32::MAX));
+        assert_eq!(t.received(), 2);
+        assert_eq!(t.duplicates(), 1);
+        assert_eq!(t.lost(), u32::MAX as u64 + 1 - 2);
+        let expected = u32::MAX as u64 + 1;
+        let want = (expected - 2) as f64 / expected as f64;
+        assert!((t.loss_fraction() - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seq_tracker_out_of_order_is_not_loss() {
+        let mut t = SeqTracker::new();
+        for s in [4u32, 2, 0, 3, 1] {
+            assert!(t.record(s));
+        }
+        assert_eq!(t.received(), 5);
+        assert_eq!(t.lost(), 0);
+        assert_eq!(t.loss_fraction(), 0.0);
+    }
 }

@@ -130,7 +130,7 @@ impl Device for Pinger {
             ctx.send_frame(NIC_PORT, reply);
             return;
         }
-        let Some(view) = self.nic.deliver(&frame) else {
+        let Some(view) = self.nic.deliver_shared(frame.bytes()) else {
             return;
         };
         let Some(ip) = view.ipv4().cloned() else {
@@ -215,7 +215,7 @@ impl Device for IcmpEchoResponder {
             ctx.send_frame(NIC_PORT, reply);
             return;
         }
-        let Some(view) = self.nic.deliver(&frame) else {
+        let Some(view) = self.nic.deliver_shared(frame.bytes()) else {
             return;
         };
         let Some(ip) = view.ipv4().cloned() else {

@@ -170,7 +170,7 @@ impl Device for TcpReceiver {
             ctx.send_frame(NIC_PORT, reply);
             return;
         }
-        let Some(view) = self.nic.deliver(&frame) else {
+        let Some(view) = self.nic.deliver_shared(frame.bytes()) else {
             return;
         };
         let Some(ip) = view.ipv4().cloned() else {

@@ -12,6 +12,15 @@ use crate::common::NIC_PORT;
 const RTO_TIMER_BASE: u64 = 1_000;
 const START_TIMER: u64 = 1;
 
+/// Shared zero block for bulk payloads: slicing this static costs no
+/// allocation or memset per segment (it lives in .bss). An MSS cannot exceed
+/// `u16::MAX`, so any segment payload fits.
+static ZERO_PAYLOAD: [u8; 65536] = [0u8; 65536];
+
+pub(crate) fn zero_payload(len: usize) -> Bytes {
+    Bytes::from_static(&ZERO_PAYLOAD[..len])
+}
+
 /// Congestion-control and reliability counters of a [`TcpSender`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct TcpSenderStats {
@@ -51,7 +60,7 @@ pub struct TcpSender {
     rttvar: SimDuration,
     rto: SimDuration,
     rtt_sample: Option<(u32, SimTime)>,
-    seen_ack_ids: std::collections::HashSet<u32>,
+    seen_ack_ids: std::collections::HashSet<u32, netco_sim::fxhash::FxBuildHasher>,
     timer_gen: u64,
     stats: TcpSenderStats,
 }
@@ -78,7 +87,7 @@ impl TcpSender {
             rttvar: SimDuration::ZERO,
             rto: SimDuration::from_secs(1),
             rtt_sample: None,
-            seen_ack_ids: std::collections::HashSet::new(),
+            seen_ack_ids: std::collections::HashSet::default(),
             timer_gen: 0,
             stats: TcpSenderStats::default(),
         }
@@ -116,7 +125,7 @@ impl TcpSender {
             ack: 0,
             flags: TcpFlags::ACK,
             window: self.cfg.rcv_window,
-            payload: Bytes::from(vec![0u8; len]),
+            payload: zero_payload(len),
         };
         let frame = builder::tcp_frame(
             self.nic.mac,
@@ -276,7 +285,7 @@ impl Device for TcpSender {
             ctx.send_frame(NIC_PORT, reply);
             return;
         }
-        let Some(view) = self.nic.deliver(&frame) else {
+        let Some(view) = self.nic.deliver_shared(frame.bytes()) else {
             return;
         };
         if let Ok(Some(L4View::Tcp(seg))) = view.l4() {

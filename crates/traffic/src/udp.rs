@@ -124,7 +124,7 @@ impl Device for UdpSource {
             return;
         }
         // The source answers pings (hosts do) but ignores data.
-        if let Some(view) = self.nic.deliver(&frame) {
+        if let Some(view) = self.nic.deliver_shared(frame.bytes()) {
             if let (Some(ip), Ok(Some(l4))) = (view.ipv4().cloned(), view.l4()) {
                 maybe_reply_echo(ctx, &self.nic, ip.src, &l4);
             }
@@ -231,7 +231,7 @@ impl Device for UdpSink {
             ctx.send_frame(NIC_PORT, reply);
             return;
         }
-        let Some(view) = self.nic.deliver(&frame) else {
+        let Some(view) = self.nic.deliver_shared(frame.bytes()) else {
             return;
         };
         let Some(ip) = view.ipv4().cloned() else {
