@@ -26,6 +26,14 @@
 //!    the [`netco_harness::Pool`] at several worker counts, reporting
 //!    wall-clock, aggregate simulator events/sec and whether the rows
 //!    stayed bit-identical across thread counts (they must).
+//! 8. Region scale — one 16 × 5 NetCo grid (400 switches) run
+//!    space-parallel (`World::run_until_parallel`, 4 regions) at 1/2/4
+//!    workers against the sequential oracle, interleaved A/B per worker
+//!    count; reports events/sec and speedup over sequential. Timed runs
+//!    carry no taps (observation cost is not executor cost, and both
+//!    sides of every pair run with identical zero observers); a separate
+//!    untimed tapped pair per worker count checks that the
+//!    order-sensitive tap digest stays bit-identical (it must).
 //!
 //! Everything simulated is deterministic; wall-clock rates vary with the
 //! host. Run with `cargo run --release -p netco-bench --bin perf_report`.
@@ -35,15 +43,18 @@
 //! and dump `chaos_metrics.json` (registry snapshot) and
 //! `chaos_trace.json` (chrome://tracing document) into `<dir>`.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::Instant;
 
 use bytes::Bytes;
 use netco_bench::experiments::{fig4_tcp_on, fig7_rtt_on, Sweep, TcpRow};
+use netco_bench::grid::build_grid;
 use netco_bench::ExperimentScale;
 use netco_core::{Compare, CompareConfig, CompareCore, LaneInfo};
 use netco_harness::Pool;
 use netco_net::packet::builder;
-use netco_net::{Frame, MacAddr};
+use netco_net::{Frame, MacAddr, TapDirection};
 use netco_openflow::{Action, FlowEntry, FlowMatch, FlowTable, OfPort, PacketFields};
 use netco_sim::{SimDuration, SimTime};
 use netco_topo::{Profile, Scenario, ScenarioKind, H2_IP};
@@ -198,6 +209,7 @@ struct FrameMemoPoint {
     memoized_fp128_ns: f64,
     cold_parse_ns: f64,
     memoized_parse_ns: f64,
+    clone_ns: f64,
 }
 
 /// Best-of-[`MEMO_PASSES`] ns/op over [`MEMO_OPS`] iterations of `op`,
@@ -247,12 +259,20 @@ fn frame_memo_point() -> FrameMemoPoint {
     let memoized_parse_ns = memo_ns(|| {
         std::hint::black_box(hot.fields().dl_type);
     });
+    // Frame::clone is the combiner's fan-out primitive (one clone per
+    // replica copy); since the memo moved from `Rc` to `Arc` for the
+    // region-parallel executor it costs an atomic refcount bump, so it
+    // gets its own number to catch any regression.
+    let clone_ns = memo_ns(|| {
+        std::hint::black_box(hot.clone());
+    });
     FrameMemoPoint {
         frame_len: wire.len(),
         cold_fp128_ns,
         memoized_fp128_ns,
         cold_parse_ns,
         memoized_parse_ns,
+        clone_ns,
     }
 }
 
@@ -476,6 +496,114 @@ fn flow_scale_points() -> Vec<FlowScalePoint> {
         .collect()
 }
 
+/// Grid for the region-scale sweep: 16 rows × 5 inband NetCo cells =
+/// 400 switches plus 32 hosts.
+const REGION_GRID_ROWS: usize = 16;
+const REGION_GRID_CELLS: usize = 5;
+/// Simulated time per region-scale run.
+const REGION_SIM_MS: u64 = 1_000;
+/// Regions the grid is sharded into (fixed, so only the worker count
+/// varies across the sweep).
+const REGION_COUNT: usize = 4;
+/// Interleaved sequential/parallel pairs per worker count.
+const REGION_PAIRS: usize = 3;
+/// Worker counts for the region-scale sweep.
+const REGION_WORKERS: [usize; 3] = [1, 2, 4];
+
+/// One grid run: `(wall seconds, events, digest, taps)`. `workers ==
+/// None` is the sequential oracle; `Some(w)` shards the grid into
+/// [`REGION_COUNT`] regions on a `w`-thread pool. When `tapped`, an
+/// order-sensitive digest tap observes every frame — used by the
+/// untimed divergence check. Timed throughput runs go untapped: tap
+/// record buffering/replay is observation cost, not executor cost, and
+/// symmetry (zero observers on both sides of every pair) keeps the
+/// comparison honest.
+fn region_observe(workers: Option<usize>, tapped: bool) -> (f64, u64, u64, u64) {
+    let mut grid = build_grid(REGION_GRID_ROWS, REGION_GRID_CELLS, 7);
+    let acc = Rc::new(RefCell::new((0u64, 0u64)));
+    if tapped {
+        let tap_acc = Rc::clone(&acc);
+        grid.world.add_tap(move |ev| {
+            let mut g = tap_acc.borrow_mut();
+            let mut d = g.0;
+            d = splitmix(d ^ ev.at.as_nanos());
+            d = splitmix(d ^ ev.node.index() as u64);
+            d = splitmix(d ^ ev.port.0 as u64);
+            d = splitmix(d ^ matches!(ev.direction, TapDirection::Tx) as u64);
+            d = splitmix(d ^ netco_net::fnv1a(ev.frame));
+            g.0 = d;
+            g.1 += 1;
+        });
+    }
+    let deadline = grid.world.now() + SimDuration::from_millis(REGION_SIM_MS);
+    let start = Instant::now();
+    match workers {
+        None => grid.world.run_until(deadline),
+        Some(w) => grid
+            .world
+            .run_until_parallel(deadline, &Pool::new(w), REGION_COUNT),
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let (digest, taps) = *acc.borrow();
+    (wall, grid.world.events_processed(), digest, taps)
+}
+
+/// SplitMix64 — the digest mixer shared with the determinism tests.
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct RegionScalePoint {
+    workers: usize,
+    seq_wall_s: f64,
+    par_wall_s: f64,
+    events: u64,
+    seq_events_per_sec: f64,
+    par_events_per_sec: f64,
+    speedup: f64,
+    digest_identical: bool,
+}
+
+/// Interleaved A/B per worker count: untapped sequential and
+/// region-parallel runs alternate back to back [`REGION_PAIRS`] times so
+/// both see the same machine windows; the best wall of each side is
+/// reported (rejects scheduling interference, the same policy as every
+/// other section). One extra untimed tapped pair checks the
+/// order-sensitive digest bit for bit.
+fn region_scale_points() -> Vec<RegionScalePoint> {
+    REGION_WORKERS
+        .iter()
+        .map(|&workers| {
+            let (_, se, sd, st) = region_observe(None, true);
+            let (_, pe, pd, pt) = region_observe(Some(workers), true);
+            let mut identical = st > 0 && (se, sd, st) == (pe, pd, pt);
+            let mut seq_best = f64::INFINITY;
+            let mut par_best = f64::INFINITY;
+            let mut events = 0;
+            for _ in 0..REGION_PAIRS {
+                let (sw, seq_events, ..) = region_observe(None, false);
+                let (pw, par_events, ..) = region_observe(Some(workers), false);
+                identical &= seq_events == se && par_events == se;
+                seq_best = seq_best.min(sw);
+                par_best = par_best.min(pw);
+                events = seq_events;
+            }
+            RegionScalePoint {
+                workers,
+                seq_wall_s: seq_best,
+                par_wall_s: par_best,
+                events,
+                seq_events_per_sec: events as f64 / seq_best,
+                par_events_per_sec: events as f64 / par_best,
+                speedup: seq_best / par_best,
+                digest_identical: identical,
+            }
+        })
+        .collect()
+}
+
 /// `--telemetry <dir>` from argv: run the canonical chaos scenario with a
 /// telemetry sink installed and dump the metrics snapshot plus the
 /// chrome://tracing document into `<dir>`.
@@ -543,6 +671,8 @@ fn main() {
     netco_net::reset_memo_stats();
     let counts = thread_counts();
     let (sweeps, identical) = sweep_points(&counts, scale);
+    netco_net::reset_memo_stats();
+    let region = region_scale_points();
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("{{");
     println!("  \"scheduler_wheel_events_per_sec\": {wheel:.0},");
@@ -559,9 +689,10 @@ fn main() {
     println!("    \"cold_parse_ns\": {:.1},", memo.cold_parse_ns);
     println!("    \"memoized_parse_ns\": {:.1},", memo.memoized_parse_ns);
     println!(
-        "    \"parse_speedup\": {:.2}",
+        "    \"parse_speedup\": {:.2},",
         memo.cold_parse_ns / memo.memoized_parse_ns
     );
+    println!("    \"clone_ns\": {:.1}", memo.clone_ns);
     println!("  }},");
     println!("  \"e2e_scenario\": \"central3_tcp\",");
     println!(
@@ -610,6 +741,31 @@ fn main() {
         println!(
             "    {{\"threads\": {}, \"fig4_wall_s\": {:.3}, \"fig4_events_per_sec\": {:.0}, \"fig7_wall_s\": {:.3}, \"fig7_events_per_sec\": {:.0}}}{comma}",
             p.threads, p.fig4_wall_s, p.fig4_events_per_sec, p.fig7_wall_s, p.fig7_events_per_sec
+        );
+    }
+    println!("  ],");
+    println!(
+        "  \"region_grid\": {{\"rows\": {}, \"cells\": {}, \"switches\": {}, \"regions\": {}, \"sim_ms\": {}, \"ab_pairs\": {}}},",
+        REGION_GRID_ROWS,
+        REGION_GRID_CELLS,
+        REGION_GRID_ROWS * REGION_GRID_CELLS * 5,
+        REGION_COUNT,
+        REGION_SIM_MS,
+        REGION_PAIRS
+    );
+    println!("  \"region_scale\": [");
+    for (i, p) in region.iter().enumerate() {
+        let comma = if i + 1 < region.len() { "," } else { "" };
+        println!(
+            "    {{\"workers\": {}, \"events\": {}, \"seq_wall_s\": {:.3}, \"par_wall_s\": {:.3}, \"seq_events_per_sec\": {:.0}, \"par_events_per_sec\": {:.0}, \"speedup\": {:.3}, \"digest_identical\": {}}}{comma}",
+            p.workers,
+            p.events,
+            p.seq_wall_s,
+            p.par_wall_s,
+            p.seq_events_per_sec,
+            p.par_events_per_sec,
+            p.speedup,
+            p.digest_identical
         );
     }
     println!("  ]");

@@ -15,6 +15,7 @@
 pub mod chaos;
 pub mod experiments;
 pub mod flows;
+pub mod grid;
 pub mod render;
 
 use netco_sim::SimDuration;

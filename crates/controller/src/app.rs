@@ -72,7 +72,7 @@ impl ControllerCtx<'_, '_> {
 /// The `Any` supertrait allows post-run inspection through
 /// [`crate::Controller::app`].
 #[allow(unused_variables)]
-pub trait ControllerApp: Any {
+pub trait ControllerApp: Any + Send {
     /// A switch completed the handshake (features reply received).
     fn on_switch_up(&mut self, cx: &mut ControllerCtx<'_, '_>, switch: NodeId) {}
 

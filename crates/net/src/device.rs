@@ -18,8 +18,10 @@ use crate::world::WorldCore;
 /// and adversarial wrappers.
 ///
 /// The `Any` supertrait enables post-run inspection via
-/// [`crate::World::device`].
-pub trait Device: Any {
+/// [`crate::World::device`]. The `Send` supertrait lets the
+/// region-parallel executor move a shard's devices onto a pool worker;
+/// devices never need `Sync` (each is owned by exactly one region).
+pub trait Device: Any + Send {
     /// Invoked once when the simulation starts (or when the node is added
     /// to an already-running world). Typical use: schedule the first timer
     /// or send the first packet.
@@ -74,9 +76,11 @@ impl Ctx<'_> {
         self.node
     }
 
-    /// The deterministic random stream shared by the world.
+    /// This node's deterministic random stream, derived from the world
+    /// seed and the node id — a node draws the same sequence no matter
+    /// which worker executes its region.
     pub fn rng(&mut self) -> &mut SimRng {
-        &mut self.core.rng
+        self.core.node_rng(self.node)
     }
 
     /// Transmits `frame` out of `port`.

@@ -27,19 +27,21 @@
 //! existing byte-producing callers compile unchanged — they simply start
 //! a frame with an empty memo.
 
-use std::cell::{Cell, OnceCell};
 use std::ops::{Bound, Deref, RangeBounds};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use bytes::Bytes;
 
 use crate::packet::PacketFields;
 
-/// Running totals of memo effectiveness for the current thread.
+/// Running totals of memo effectiveness.
 ///
-/// Worlds are thread-confined (devices are plain `Any` trait objects), so
-/// per-thread counters are deterministic for any single-world scenario and
-/// for per-world deltas taken on the thread that runs the world.
+/// Counters are kept per thread (so the hot path never contends) and every
+/// thread's cell is registered in a process-wide list, so
+/// [`memo_stats_merged`] can aggregate across the region workers of a
+/// space-parallel run — the per-thread view alone undercounts whenever
+/// frames are derived on worker threads.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoStats {
     /// `fp128()` calls answered from the memo.
@@ -74,18 +76,75 @@ impl MemoStats {
     }
 }
 
+/// One thread's memo counters. Plain relaxed atomics: the owning thread is
+/// the only writer, so increments never contend; other threads only read
+/// them for the merged snapshot.
+#[derive(Default)]
+struct MemoStatsCell {
+    fp_hits: AtomicU64,
+    fp_misses: AtomicU64,
+    parse_hits: AtomicU64,
+    parse_misses: AtomicU64,
+}
+
+impl MemoStatsCell {
+    fn snapshot(&self) -> MemoStats {
+        MemoStats {
+            fp_hits: self.fp_hits.load(Ordering::Relaxed),
+            fp_misses: self.fp_misses.load(Ordering::Relaxed),
+            parse_hits: self.parse_hits.load(Ordering::Relaxed),
+            parse_misses: self.parse_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        self.fp_hits.store(0, Ordering::Relaxed);
+        self.fp_misses.store(0, Ordering::Relaxed);
+        self.parse_hits.store(0, Ordering::Relaxed);
+        self.parse_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Every thread's counter cell, registered on first use. Cells outlive
+/// their threads (the registry keeps a strong reference), so work done by
+/// short-lived pool workers stays visible to [`memo_stats_merged`] after
+/// the workers join.
+fn stats_registry() -> &'static Mutex<Vec<Arc<MemoStatsCell>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<MemoStatsCell>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
 thread_local! {
-    static MEMO_STATS: Cell<MemoStats> = const { Cell::new(MemoStats {
-        fp_hits: 0,
-        fp_misses: 0,
-        parse_hits: 0,
-        parse_misses: 0,
-    }) };
+    static MEMO_STATS: Arc<MemoStatsCell> = {
+        let cell = Arc::new(MemoStatsCell::default());
+        stats_registry()
+            .lock()
+            .expect("memo stats registry lock")
+            .push(Arc::clone(&cell));
+        cell
+    };
 }
 
 /// Snapshot of this thread's [`MemoStats`] counters.
 pub fn memo_stats() -> MemoStats {
-    MEMO_STATS.with(|s| s.get())
+    MEMO_STATS.with(|s| s.snapshot())
+}
+
+/// Snapshot summed across every thread that ever derived a memoized value
+/// in this process — the correct view when frames are fingerprinted or
+/// parsed on region worker threads, where [`memo_stats`] (this thread
+/// only) silently undercounts.
+pub fn memo_stats_merged() -> MemoStats {
+    let registry = stats_registry().lock().expect("memo stats registry lock");
+    registry.iter().fold(MemoStats::default(), |acc, cell| {
+        let s = cell.snapshot();
+        MemoStats {
+            fp_hits: acc.fp_hits + s.fp_hits,
+            fp_misses: acc.fp_misses + s.fp_misses,
+            parse_hits: acc.parse_hits + s.parse_hits,
+            parse_misses: acc.parse_misses + s.parse_misses,
+        }
+    })
 }
 
 /// Zeroes this thread's [`MemoStats`] counters.
@@ -96,38 +155,46 @@ pub fn memo_stats() -> MemoStats {
 /// everything that ran before. Never call it *inside* a measured section —
 /// `since` deltas spanning a reset go backwards and would underflow.
 pub fn reset_memo_stats() {
-    MEMO_STATS.with(|s| s.set(MemoStats::default()));
+    MEMO_STATS.with(|s| s.reset());
 }
 
-fn bump(f: impl FnOnce(&mut MemoStats)) {
-    MEMO_STATS.with(|s| {
-        let mut v = s.get();
-        f(&mut v);
-        s.set(v);
-    });
+/// Zeroes every registered thread's counters (the merged-snapshot
+/// equivalent of [`reset_memo_stats`]). Only call between measured
+/// sections, while no worker is actively deriving.
+pub fn reset_memo_stats_merged() {
+    let registry = stats_registry().lock().expect("memo stats registry lock");
+    for cell in registry.iter() {
+        cell.reset();
+    }
+}
+
+fn bump(f: impl Fn(&MemoStatsCell)) {
+    MEMO_STATS.with(|s| f(s));
 }
 
 /// Derived values attached to one frame content.
 ///
-/// `fp` uses a `Cell` (u128 is `Copy`); `fields` uses a `OnceCell` because
-/// `fields()` hands out a reference into the memo.
+/// Both slots are `OnceLock`s so a memo can cross region-worker threads
+/// inside an `Arc`. A racy double-compute is harmless: both inputs are the
+/// same immutable bytes, so both candidates are identical and whichever
+/// loses the publication race is discarded.
 #[derive(Default)]
 struct Memo {
-    fp: Cell<Option<u128>>,
-    fields: OnceCell<PacketFields>,
+    fp: OnceLock<u128>,
+    fields: OnceLock<PacketFields>,
 }
 
 /// A data-plane frame: immutable wire bytes plus lazily-memoized derived
 /// data shared across clones.
 ///
-/// Cloning is O(1) (a `Bytes` refcount bump and an `Rc` refcount bump) and
+/// Cloning is O(1) (a `Bytes` refcount bump and an `Arc` refcount bump) and
 /// every clone shares the same memo — a fingerprint computed at the hub is
 /// reused at each replica egress, at the compare, and at release, no
 /// matter how many copies were made in between.
 #[derive(Clone)]
 pub struct Frame {
     bytes: Bytes,
-    memo: Rc<Memo>,
+    memo: Arc<Memo>,
 }
 
 impl Frame {
@@ -135,7 +202,7 @@ impl Frame {
     pub fn new(bytes: Bytes) -> Frame {
         Frame {
             bytes,
-            memo: Rc::new(Memo::default()),
+            memo: Arc::new(Memo::default()),
         }
     }
 
@@ -162,14 +229,16 @@ impl Frame {
     /// The 128-bit content fingerprint, computed on first call and shared
     /// by all clones of this frame.
     pub fn fp128(&self) -> u128 {
-        if let Some(fp) = self.memo.fp.get() {
-            bump(|s| s.fp_hits += 1);
+        if let Some(&fp) = self.memo.fp.get() {
+            bump(|s| {
+                s.fp_hits.fetch_add(1, Ordering::Relaxed);
+            });
             return fp;
         }
-        bump(|s| s.fp_misses += 1);
-        let fp = fp128(&self.bytes);
-        self.memo.fp.set(Some(fp));
-        fp
+        bump(|s| {
+            s.fp_misses.fetch_add(1, Ordering::Relaxed);
+        });
+        *self.memo.fp.get_or_init(|| fp128(&self.bytes))
     }
 
     /// The parsed OpenFlow 12-tuple with `in_port = 0`, computed on first
@@ -180,10 +249,14 @@ impl Frame {
     /// view stamped with a concrete ingress port.
     pub fn fields(&self) -> &PacketFields {
         if let Some(f) = self.memo.fields.get() {
-            bump(|s| s.parse_hits += 1);
+            bump(|s| {
+                s.parse_hits.fetch_add(1, Ordering::Relaxed);
+            });
             return f;
         }
-        bump(|s| s.parse_misses += 1);
+        bump(|s| {
+            s.parse_misses.fetch_add(1, Ordering::Relaxed);
+        });
         self.memo
             .fields
             .get_or_init(|| PacketFields::sniff(&self.bytes, 0))

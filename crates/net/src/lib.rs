@@ -45,6 +45,7 @@ mod host;
 mod id;
 mod link;
 pub mod packet;
+pub mod region;
 pub mod testutil;
 mod trace;
 mod world;
@@ -52,10 +53,14 @@ mod world;
 pub use cpu::CpuModel;
 pub use device::{Ctx, Device};
 pub use fault::{FaultKind, FaultPlan, FaultSpec};
-pub use frame::{fnv1a, fp128, memo_stats, reset_memo_stats, Frame, MemoStats};
+pub use frame::{
+    fnv1a, fp128, memo_stats, memo_stats_merged, reset_memo_stats, reset_memo_stats_merged, Frame,
+    MemoStats,
+};
 pub use host::{HostNic, NeighborTable};
 pub use id::{LinkId, MacAddr, NodeId, PortId};
 pub use link::LinkSpec;
+pub use region::{safe_horizons, RegionMap};
 pub use trace::{TraceEntry, TraceRecorder};
 pub use world::{
     ControlChannelSpec, DropReason, NodeCounters, PortCounters, TapDirection, TapEvent, World,

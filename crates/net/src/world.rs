@@ -2,6 +2,7 @@
 
 use std::any::Any;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use netco_sim::{ActivationWindow, Scheduler, SimDuration, SimRng, SimTime, Tick};
@@ -131,8 +132,47 @@ pub struct TapEvent<'a> {
 
 type Tap = Box<dyn FnMut(&TapEvent<'_>)>;
 
+/// One recorded tap observation. The substrate records observations into
+/// [`TapRecorder`] and the [`World`] replays them to the (possibly `!Send`)
+/// tap closures on the main thread — after each tick in sequential runs, in
+/// canonical `(at, stage, key)` merge order after a region-parallel run.
+pub(crate) struct TapRecord {
+    pub(crate) at: u64,
+    pub(crate) stage: u32,
+    pub(crate) key: u64,
+    pub(crate) node: NodeId,
+    pub(crate) port: PortId,
+    pub(crate) direction: TapDirection,
+    pub(crate) frame: Bytes,
+}
+
+/// Substrate-side tap capture state. `record` is false when no taps are
+/// installed (recording then costs one branch); `stage`/`key` are the
+/// coordinates of the event currently being dispatched, stamped onto every
+/// record so a parallel run can be merged into sequential observation
+/// order.
+#[derive(Default)]
+pub(crate) struct TapRecorder {
+    pub(crate) record: bool,
+    pub(crate) stage: u32,
+    pub(crate) key: u64,
+    pub(crate) records: Vec<TapRecord>,
+}
+
+/// A cross-region event in flight: `(arrival ns, ordering key, event)`.
+pub(crate) type OutMsg = (u64, u64, Event);
+
+/// Region-parallel routing state installed on a shard's core: events whose
+/// owner node lives in another region are diverted into the per-destination
+/// outbox instead of the local scheduler.
+pub(crate) struct RegionCtx {
+    pub(crate) my_region: u32,
+    pub(crate) assignment: Arc<Vec<u32>>,
+    pub(crate) outboxes: Vec<Vec<OutMsg>>,
+}
+
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     Start {
         node: NodeId,
     },
@@ -173,8 +213,59 @@ enum Event {
     Pin,
 }
 
-#[derive(Debug, Default)]
-struct CpuState {
+/// Deterministic ordering keys: same-instant events deliver in key order
+/// (see `netco_sim::Scheduler::schedule_at_keyed`). A key names the
+/// *stream* an event belongs to — a node, a link direction, a control
+/// pair — with the event kind in the top byte so distinct kinds never
+/// collide. Every stream is owned by exactly one region, and the key is
+/// computable from the event alone, so sequential and region-parallel
+/// executions sort identical same-instant sets identically.
+impl Event {
+    pub(crate) const KEY_PIN: u64 = u64::MAX;
+
+    pub(crate) fn key_start(node: NodeId) -> u64 {
+        (1 << 56) | node.index() as u64
+    }
+    pub(crate) fn key_tx_done(link: u32, dir: u8) -> u64 {
+        (2 << 56) | ((link as u64) << 1) | dir as u64
+    }
+    pub(crate) fn key_frame_arrival(node: NodeId, port: PortId) -> u64 {
+        (3 << 56) | ((node.index() as u64) << 16) | port.0 as u64
+    }
+    pub(crate) fn key_frame_processed(node: NodeId, port: PortId) -> u64 {
+        (4 << 56) | ((node.index() as u64) << 16) | port.0 as u64
+    }
+    pub(crate) fn key_control_arrival(to: NodeId, from: NodeId) -> u64 {
+        (5 << 56) | ((to.index() as u64) << 24) | from.index() as u64
+    }
+    pub(crate) fn key_control_processed(to: NodeId, from: NodeId) -> u64 {
+        (6 << 56) | ((to.index() as u64) << 24) | from.index() as u64
+    }
+    pub(crate) fn key_timer(node: NodeId) -> u64 {
+        (7 << 56) | node.index() as u64
+    }
+    pub(crate) fn key_link_admin(link: u32) -> u64 {
+        (8 << 56) | link as u64
+    }
+
+    /// The node whose region owns this event's stream. `None` for events
+    /// without a single owner (`Pin`; `LinkAdmin`, which is replicated to
+    /// both endpoint regions).
+    pub(crate) fn owner_node(&self) -> Option<NodeId> {
+        match self {
+            Event::Pin | Event::LinkAdmin { .. } => None,
+            Event::Start { node }
+            | Event::FrameArrival { node, .. }
+            | Event::FrameProcessed { node, .. }
+            | Event::Timer { node, .. } => Some(*node),
+            Event::ControlArrival { to, .. } | Event::ControlProcessed { to, .. } => Some(*to),
+            Event::LinkTxDone { .. } => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CpuState {
     busy_until: SimTime,
     pending: usize,
     // Hysteresis overload state: once the queue fills, drop everything
@@ -185,33 +276,39 @@ struct CpuState {
     dropping: bool,
 }
 
-struct LinkDirState {
+#[derive(Clone)]
+pub(crate) struct LinkDirState {
     busy_until: SimTime,
     queued_bytes: usize,
 }
 
-struct LinkState {
-    spec: LinkSpec,
+#[derive(Clone)]
+pub(crate) struct LinkState {
+    pub(crate) spec: LinkSpec,
     // dirs[0]: a -> b, dirs[1]: b -> a
-    ends: [(NodeId, PortId); 2],
-    dirs: [LinkDirState; 2],
-    dropped: [u64; 2],
+    pub(crate) ends: [(NodeId, PortId); 2],
+    pub(crate) dirs: [LinkDirState; 2],
+    pub(crate) dropped: [u64; 2],
     /// The subset of `dropped` eaten by scripted loss faults
     /// ([`DropReason::FaultInjected`]), kept separately so chaos
     /// experiments can tell injected loss from congestion on the same
     /// link.
-    fault_dropped: [u64; 2],
-    enabled: bool,
-    fault: Option<LinkFault>,
+    pub(crate) fault_dropped: [u64; 2],
+    pub(crate) enabled: bool,
+    pub(crate) fault: Option<LinkFault>,
 }
 
 /// Probabilistic per-frame impairments installed by a
-/// [`FaultPlan`](crate::FaultPlan), with a dedicated RNG so fault rolls
+/// [`FaultPlan`](crate::FaultPlan), with dedicated RNGs so fault rolls
 /// never perturb the world's CPU-jitter/workload streams.
-struct LinkFault {
+#[derive(Clone)]
+pub(crate) struct LinkFault {
     loss: Vec<(f64, ActivationWindow)>,
     corrupt: Vec<(f64, ActivationWindow)>,
-    rng: SimRng,
+    /// One independent stream per direction: each half-link is owned by
+    /// the region holding its sending endpoint, so the two directions must
+    /// never share RNG state. Direction 0 keeps the pre-split derivation.
+    pub(crate) rngs: [SimRng; 2],
 }
 
 impl LinkFault {
@@ -222,14 +319,14 @@ impl LinkFault {
         LinkFault {
             loss: Vec::new(),
             corrupt: Vec::new(),
-            rng: SimRng::new(seed),
+            rngs: [SimRng::new(seed), SimRng::new(seed ^ 0xD6E8_FEB8_6659_FD93)],
         }
     }
 
-    fn loss_roll(&mut self, now: SimTime) -> bool {
+    fn loss_roll(&mut self, now: SimTime, dir: usize) -> bool {
         for i in 0..self.loss.len() {
             let (p, w) = self.loss[i];
-            if w.contains(now) && self.rng.chance(p) {
+            if w.contains(now) && self.rngs[dir].chance(p) {
                 return true;
             }
         }
@@ -237,14 +334,14 @@ impl LinkFault {
     }
 
     /// Returns the byte index to corrupt, if a corruption fault fires.
-    fn corrupt_roll(&mut self, now: SimTime, len: usize) -> Option<usize> {
+    fn corrupt_roll(&mut self, now: SimTime, len: usize, dir: usize) -> Option<usize> {
         if len == 0 {
             return None;
         }
         for i in 0..self.corrupt.len() {
             let (p, w) = self.corrupt[i];
-            if w.contains(now) && self.rng.chance(p) {
-                return Some(self.rng.next_below(len as u64) as usize);
+            if w.contains(now) && self.rngs[dir].chance(p) {
+                return Some(self.rngs[dir].next_below(len as u64) as usize);
             }
         }
         None
@@ -267,25 +364,37 @@ impl Default for ControlChannelSpec {
     }
 }
 
+/// Everything the event loop owns. `WorldCore` is `Send` — devices, link
+/// state, schedulers and per-node RNG streams all cross threads — which is
+/// what lets the region-parallel executor move whole shards onto pool
+/// workers. The `!Send` tap closures stay behind on [`World`]; the core
+/// records observations into [`TapRecorder`] for the world to replay.
 pub(crate) struct WorldCore {
-    sched: Scheduler<Event>,
-    pub(crate) rng: SimRng,
-    names: Vec<String>,
-    cpu_models: Vec<CpuModel>,
-    cpu_states: Vec<CpuState>,
-    counters: Vec<NodeCounters>,
-    links: Vec<LinkState>,
+    pub(crate) sched: Scheduler<Event>,
+    pub(crate) seed: u64,
+    /// One deterministic stream per node, derived from `(seed, node)` so a
+    /// node draws the same sequence no matter which worker executes its
+    /// region (a single world-shared stream would interleave draws in
+    /// execution order and diverge between modes).
+    pub(crate) node_rngs: Vec<SimRng>,
+    pub(crate) devices: Vec<Option<Box<dyn Device>>>,
+    pub(crate) names: Vec<String>,
+    pub(crate) cpu_models: Vec<CpuModel>,
+    pub(crate) cpu_states: Vec<CpuState>,
+    pub(crate) counters: Vec<NodeCounters>,
+    pub(crate) links: Vec<LinkState>,
     // Dense adjacency indexed `[node][port]`: the link lookup runs once
     // per transmitted frame, so it must not hash.
-    adjacency: Vec<Vec<Option<(u32, u8)>>>,
-    control: HashMap<(NodeId, NodeId), ControlChannelSpec>,
-    taps: Vec<Tap>,
-    substrate_drops: [u64; DropReason::COUNT],
+    pub(crate) adjacency: Vec<Vec<Option<(u32, u8)>>>,
+    pub(crate) control: HashMap<(NodeId, NodeId), ControlChannelSpec>,
+    pub(crate) substrate_drops: [u64; DropReason::COUNT],
+    pub(crate) tap_rec: TapRecorder,
+    pub(crate) region: Option<RegionCtx>,
     pub(crate) telemetry: TelemetrySink,
-    tel_link_queue: Histogram,
-    tel_cpu_service: Histogram,
-    tel_cpu_busy: Counter,
-    tel_control_latency: Histogram,
+    pub(crate) tel_link_queue: Histogram,
+    pub(crate) tel_cpu_service: Histogram,
+    pub(crate) tel_cpu_busy: Counter,
+    pub(crate) tel_control_latency: Histogram,
 }
 
 impl WorldCore {
@@ -294,8 +403,42 @@ impl WorldCore {
     }
 
     pub(crate) fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, token: u64) {
-        self.sched
-            .schedule_after(delay, Event::Timer { node, token });
+        self.sched.schedule_after_keyed(
+            delay,
+            Event::key_timer(node),
+            Event::Timer { node, token },
+        );
+    }
+
+    pub(crate) fn node_rng(&mut self, node: NodeId) -> &mut SimRng {
+        &mut self.node_rngs[node.index()]
+    }
+
+    /// The per-node RNG stream derivation: splitmix64 over `(seed, node)`.
+    pub(crate) fn derive_node_rng(seed: u64, node: u32) -> SimRng {
+        let mut z = seed ^ (node as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        SimRng::new(z ^ (z >> 31))
+    }
+
+    /// Schedules an event owned by `owner`'s stream: locally in sequential
+    /// runs, into the cross-region outbox when `owner` lives in another
+    /// region. Cross-region arrival times are strictly above the sender's
+    /// clock (cut links have latency > 0), so no clamping can occur.
+    fn route_to_node(&mut self, at: SimTime, key: u64, owner: NodeId, event: Event) {
+        if let Some(rt) = &mut self.region {
+            let dst = rt.assignment[owner.index()];
+            if dst != rt.my_region {
+                debug_assert!(
+                    at > self.sched.now(),
+                    "cross-region event not in the future"
+                );
+                rt.outboxes[dst as usize].push((at.as_nanos(), key, event));
+                return;
+            }
+        }
+        self.sched.schedule_at_keyed(at, key, event);
     }
 
     pub(crate) fn ports_of(&self, node: NodeId) -> Vec<PortId> {
@@ -338,22 +481,18 @@ impl WorldCore {
     }
 
     fn run_taps(&mut self, node: NodeId, port: PortId, direction: TapDirection, frame: &Bytes) {
-        if self.taps.is_empty() {
+        if !self.tap_rec.record {
             return;
         }
-        let at = self.sched.now();
-        let mut taps = std::mem::take(&mut self.taps);
-        let ev = TapEvent {
-            at,
+        self.tap_rec.records.push(TapRecord {
+            at: self.sched.now().as_nanos(),
+            stage: self.tap_rec.stage,
+            key: self.tap_rec.key,
             node,
             port,
             direction,
-            frame,
-        };
-        for tap in &mut taps {
-            tap(&ev);
-        }
-        self.taps = taps;
+            frame: frame.clone(),
+        });
     }
 
     pub(crate) fn transmit(&mut self, node: NodeId, port: PortId, frame: Frame) {
@@ -378,7 +517,10 @@ impl WorldCore {
         }
         // Scripted probabilistic impairments (FaultPlan): loss eats the
         // frame at link admission, corruption flips one bit in flight.
-        let lost = link.fault.as_mut().is_some_and(|f| f.loss_roll(now));
+        let lost = link
+            .fault
+            .as_mut()
+            .is_some_and(|f| f.loss_roll(now, dir as usize));
         if lost {
             link.dropped[dir as usize] += 1;
             link.fault_dropped[dir as usize] += 1;
@@ -390,7 +532,7 @@ impl WorldCore {
         let corrupt_at = link
             .fault
             .as_mut()
-            .and_then(|f| f.corrupt_roll(now, frame.len()));
+            .and_then(|f| f.corrupt_roll(now, frame.len(), dir as usize));
         let frame = match corrupt_at {
             Some(idx) => {
                 // New content: the corrupted copy starts a fresh memo.
@@ -415,16 +557,21 @@ impl WorldCore {
         d.busy_until = done;
         let (peer, peer_port) = link.ends[1 - dir as usize];
         let arrival = done + link.spec.latency;
-        self.sched.schedule_at(
+        self.sched.schedule_at_keyed(
             done,
+            Event::key_tx_done(link_idx, dir),
             Event::LinkTxDone {
                 link: link_idx,
                 dir,
                 len,
             },
         );
-        self.sched.schedule_at(
+        // The arrival belongs to the receiver's stream — possibly across a
+        // region cut, in which case it rides the outbox channel.
+        self.route_to_node(
             arrival,
+            Event::key_frame_arrival(peer, peer_port),
+            peer,
             Event::FrameArrival {
                 node: peer,
                 port: peer_port,
@@ -440,8 +587,13 @@ impl WorldCore {
         };
         let latency = spec.latency;
         self.tel_control_latency.record(latency.as_nanos());
-        self.sched
-            .schedule_after(latency, Event::ControlArrival { to, from, msg });
+        let at = self.sched.now() + latency;
+        self.route_to_node(
+            at,
+            Event::key_control_arrival(to, from),
+            to,
+            Event::ControlArrival { to, from, msg },
+        );
     }
 
     /// Admits a unit of work (frame or control message) to `node`'s CPU.
@@ -457,7 +609,7 @@ impl WorldCore {
         if state.dropping {
             return None;
         }
-        let service = model.service_time(len, &mut self.rng);
+        let service = model.service_time(len, &mut self.node_rngs[node.index()]);
         state.pending += 1;
         let now = self.sched.now();
         let start = state.busy_until.max(now);
@@ -467,6 +619,82 @@ impl WorldCore {
         self.tel_cpu_busy.add(service.as_nanos());
         Some(done)
     }
+
+    /// Takes `node`'s device out, runs `f` with a [`Ctx`] over this core,
+    /// and puts the device back. Panics on re-entry.
+    pub(crate) fn with_device(
+        &mut self,
+        node: NodeId,
+        f: impl FnOnce(&mut dyn Device, &mut Ctx<'_>),
+    ) {
+        let mut device = self.devices[node.index()]
+            .take()
+            .expect("device re-entered while handling an event");
+        let mut ctx = Ctx {
+            core: &mut *self,
+            node,
+        };
+        f(device.as_mut(), &mut ctx);
+        self.devices[node.index()] = Some(device);
+    }
+
+    pub(crate) fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Pin => {}
+            Event::Start { node } => {
+                self.with_device(node, |d, ctx| d.on_start(ctx));
+            }
+            Event::LinkTxDone { link, dir, len } => {
+                let d = &mut self.links[link as usize].dirs[dir as usize];
+                d.queued_bytes = d.queued_bytes.saturating_sub(len);
+            }
+            Event::FrameArrival { node, port, frame } => {
+                self.run_taps(node, port, TapDirection::Rx, frame.bytes());
+                match self.cpu_admit(node, frame.len()) {
+                    Some(done) => {
+                        self.sched.schedule_at_keyed(
+                            done,
+                            Event::key_frame_processed(node, port),
+                            Event::FrameProcessed { node, port, frame },
+                        );
+                    }
+                    None => {
+                        self.counters[node.index()].port_mut(port).rx_dropped += 1;
+                        self.drop_frame(DropReason::CpuQueueFull);
+                    }
+                }
+            }
+            Event::FrameProcessed { node, port, frame } => {
+                self.cpu_states[node.index()].pending -= 1;
+                let c = self.counters[node.index()].port_mut(port);
+                c.rx_frames += 1;
+                c.rx_bytes += frame.len() as u64;
+                self.with_device(node, |d, ctx| d.on_frame(ctx, port, frame));
+            }
+            Event::ControlArrival { to, from, msg } => match self.cpu_admit(to, msg.len()) {
+                Some(done) => {
+                    self.sched.schedule_at_keyed(
+                        done,
+                        Event::key_control_processed(to, from),
+                        Event::ControlProcessed { to, from, msg },
+                    );
+                }
+                None => {
+                    self.drop_frame(DropReason::CpuQueueFull);
+                }
+            },
+            Event::ControlProcessed { to, from, msg } => {
+                self.cpu_states[to.index()].pending -= 1;
+                self.with_device(to, |d, ctx| d.on_control(ctx, from, msg));
+            }
+            Event::Timer { node, token } => {
+                self.with_device(node, |d, ctx| d.on_timer(ctx, token));
+            }
+            Event::LinkAdmin { link, enabled } => {
+                self.links[link as usize].enabled = enabled;
+            }
+        }
+    }
 }
 
 /// The complete simulated network: devices, links, control channels and the
@@ -474,12 +702,15 @@ impl WorldCore {
 ///
 /// See the [crate documentation](crate) for an end-to-end example.
 pub struct World {
-    core: WorldCore,
-    devices: Vec<Option<Box<dyn Device>>>,
+    pub(crate) core: WorldCore,
+    /// The (possibly `!Send`) tap closures. The substrate never calls them
+    /// directly: the core records observations and the world replays them
+    /// here on the main thread (see [`TapRecord`]).
+    taps: Vec<Tap>,
     /// Detached telemetry counter: always live (the perf harness reads it
     /// with telemetry off) and adopted into the registry as
     /// `sim.events_processed` by [`set_telemetry`](World::set_telemetry).
-    events_processed: Counter,
+    pub(crate) events_processed: Counter,
     /// Reusable tick buffer for batched dispatch, kept across
     /// [`run_until`](World::run_until) calls so steady-state runs never
     /// reallocate it.
@@ -492,7 +723,9 @@ impl World {
         World {
             core: WorldCore {
                 sched: Scheduler::new(),
-                rng: SimRng::new(seed),
+                seed,
+                node_rngs: Vec::new(),
+                devices: Vec::new(),
                 names: Vec::new(),
                 cpu_models: Vec::new(),
                 cpu_states: Vec::new(),
@@ -500,15 +733,16 @@ impl World {
                 links: Vec::new(),
                 adjacency: Vec::new(),
                 control: HashMap::new(),
-                taps: Vec::new(),
                 substrate_drops: [0; DropReason::COUNT],
+                tap_rec: TapRecorder::default(),
+                region: None,
                 telemetry: TelemetrySink::disabled(),
                 tel_link_queue: Histogram::disabled(),
                 tel_cpu_service: Histogram::disabled(),
                 tel_cpu_busy: Counter::disabled(),
                 tel_control_latency: Histogram::disabled(),
             },
-            devices: Vec::new(),
+            taps: Vec::new(),
             events_processed: Counter::detached(),
             batch: Tick::new(),
         }
@@ -543,16 +777,21 @@ impl World {
         device: impl Device,
         cpu: CpuModel,
     ) -> NodeId {
-        let id = NodeId(self.devices.len() as u32);
-        self.devices.push(Some(Box::new(device)));
+        let id = NodeId(self.core.devices.len() as u32);
+        self.core.devices.push(Some(Box::new(device)));
+        self.core
+            .node_rngs
+            .push(WorldCore::derive_node_rng(self.core.seed, id.0));
         self.core.names.push(name.into());
         self.core.cpu_models.push(cpu);
         self.core.cpu_states.push(CpuState::default());
         self.core.counters.push(NodeCounters::default());
         self.core.adjacency.push(Vec::new());
-        self.core
-            .sched
-            .schedule_after(SimDuration::ZERO, Event::Start { node: id });
+        self.core.sched.schedule_after_keyed(
+            SimDuration::ZERO,
+            Event::key_start(id),
+            Event::Start { node: id },
+        );
         id
     }
 
@@ -570,8 +809,8 @@ impl World {
         pb: PortId,
         spec: LinkSpec,
     ) -> LinkId {
-        assert!(a.index() < self.devices.len(), "unknown node {a}");
-        assert!(b.index() < self.devices.len(), "unknown node {b}");
+        assert!(a.index() < self.core.devices.len(), "unknown node {a}");
+        assert!(b.index() < self.core.devices.len(), "unknown node {b}");
         assert!(!(a == b && pa == pb), "self-loop on a single port");
         assert!(
             self.core.link_at(a, pa).is_none(),
@@ -615,16 +854,19 @@ impl World {
     /// Registers a frame observer invoked for every tapped frame
     /// (rx before CPU admission, tx before link admission) on all nodes.
     pub fn add_tap(&mut self, tap: impl FnMut(&TapEvent<'_>) + 'static) {
-        self.core.taps.push(Box::new(tap));
+        self.taps.push(Box::new(tap));
+        self.core.tap_rec.record = true;
     }
 
     /// Delivers `frame` to `node` as if it had just arrived on `port`
     /// (subject to the node's CPU model).
     pub fn inject_frame(&mut self, node: NodeId, port: PortId, frame: impl Into<Frame>) {
         let frame = frame.into();
-        self.core
-            .sched
-            .schedule_after(SimDuration::ZERO, Event::FrameArrival { node, port, frame });
+        self.core.sched.schedule_after_keyed(
+            SimDuration::ZERO,
+            Event::key_frame_arrival(node, port),
+            Event::FrameArrival { node, port, frame },
+        );
     }
 
     /// Current simulated time.
@@ -665,8 +907,9 @@ impl World {
     /// deterministically with traffic. The building block for
     /// [`apply_fault_plan`](World::apply_fault_plan); also usable directly.
     pub fn schedule_link_state(&mut self, at: SimTime, link: LinkId, enabled: bool) {
-        self.core.sched.schedule_at(
+        self.core.sched.schedule_at_keyed(
             at,
+            Event::key_link_admin(link.index() as u32),
             Event::LinkAdmin {
                 link: link.index() as u32,
                 enabled,
@@ -738,7 +981,7 @@ impl World {
     /// Returns `None` for a wrong type or while the device is handling an
     /// event (never observable from outside the run loop).
     pub fn device<T: Device>(&self, node: NodeId) -> Option<&T> {
-        let b = self.devices[node.index()].as_deref()?;
+        let b = self.core.devices[node.index()].as_deref()?;
         let any: &dyn Any = b;
         if let Some(t) = any.downcast_ref::<T>() {
             return Some(t);
@@ -753,7 +996,7 @@ impl World {
 
     /// Mutable access to a device, downcast to its concrete type.
     pub fn device_mut<T: Device>(&mut self, node: NodeId) -> Option<&mut T> {
-        let b = self.devices[node.index()].as_deref_mut()?;
+        let b = self.core.devices[node.index()].as_deref_mut()?;
         let is_direct = {
             let any: &dyn Any = b;
             any.downcast_ref::<T>().is_some()
@@ -776,7 +1019,7 @@ impl World {
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.devices.len()
+        self.core.devices.len()
     }
 
     /// Total events executed by [`step`](World::step) since creation.
@@ -787,11 +1030,13 @@ impl World {
 
     /// Runs a single event. Returns `false` when no events remain.
     pub fn step(&mut self) -> bool {
-        let Some((_, event)) = self.core.sched.pop() else {
+        let Some((_, key, event)) = self.core.sched.pop_keyed() else {
             return false;
         };
         self.events_processed.inc();
-        self.dispatch(event);
+        self.core.tap_rec.key = key;
+        self.core.dispatch(event);
+        self.flush_taps();
         true
     }
 
@@ -808,17 +1053,31 @@ impl World {
     pub fn run_until(&mut self, deadline: SimTime) {
         // Pin the clock so `now()` lands on the deadline even if the queue
         // drains early.
-        self.core.sched.schedule_at(deadline, Event::Pin);
+        self.core
+            .sched
+            .schedule_at_keyed(deadline, Event::KEY_PIN, Event::Pin);
         let mut tick = std::mem::take(&mut self.batch);
+        let mut last_at = u64::MAX;
         loop {
             let n = self.core.sched.pop_tick_until(deadline, &mut tick);
             if n == 0 {
                 break;
             }
             self.events_processed.add(n as u64);
-            for event in tick.drain() {
-                self.dispatch(event);
+            // Stage = consecutive ticks sharing one timestamp (same-instant
+            // cascades); stamped onto tap records for the parallel merge.
+            let at = self.core.sched.now().as_nanos();
+            self.core.tap_rec.stage = if at == last_at {
+                self.core.tap_rec.stage + 1
+            } else {
+                0
+            };
+            last_at = at;
+            for (key, event) in tick.drain_keyed() {
+                self.core.tap_rec.key = key;
+                self.core.dispatch(event);
             }
+            self.flush_taps();
         }
         self.batch = tick;
     }
@@ -828,7 +1087,9 @@ impl World {
     /// determinism tests compare against. Not for production use — it pays
     /// a full wheel scan per event.
     pub fn run_until_per_event(&mut self, deadline: SimTime) {
-        self.core.sched.schedule_at(deadline, Event::Pin);
+        self.core
+            .sched
+            .schedule_at_keyed(deadline, Event::KEY_PIN, Event::Pin);
         while let Some(t) = self.core.sched.peek_time() {
             if t > deadline {
                 break;
@@ -845,69 +1106,63 @@ impl World {
         self.run_until(deadline);
     }
 
-    fn with_device(&mut self, node: NodeId, f: impl FnOnce(&mut dyn Device, &mut Ctx<'_>)) {
-        let mut device = self.devices[node.index()]
-            .take()
-            .expect("device re-entered while handling an event");
-        let mut ctx = Ctx {
-            core: &mut self.core,
-            node,
-        };
-        f(device.as_mut(), &mut ctx);
-        self.devices[node.index()] = Some(device);
+    /// Replays recorded tap observations to the live tap closures in
+    /// recorded order and clears the buffer (allocation retained).
+    pub(crate) fn flush_taps(&mut self) {
+        if self.core.tap_rec.records.is_empty() {
+            return;
+        }
+        for rec in &self.core.tap_rec.records {
+            let event = TapEvent {
+                at: SimTime::from_nanos(rec.at),
+                node: rec.node,
+                port: rec.port,
+                direction: rec.direction,
+                frame: &rec.frame,
+            };
+            for tap in &mut self.taps {
+                tap(&event);
+            }
+        }
+        self.core.tap_rec.records.clear();
     }
 
-    fn dispatch(&mut self, event: Event) {
-        match event {
-            Event::Pin => {}
-            Event::Start { node } => {
-                self.with_device(node, |d, ctx| d.on_start(ctx));
-            }
-            Event::LinkTxDone { link, dir, len } => {
-                let d = &mut self.core.links[link as usize].dirs[dir as usize];
-                d.queued_bytes = d.queued_bytes.saturating_sub(len);
-            }
-            Event::FrameArrival { node, port, frame } => {
-                self.core
-                    .run_taps(node, port, TapDirection::Rx, frame.bytes());
-                match self.core.cpu_admit(node, frame.len()) {
-                    Some(done) => {
-                        self.core
-                            .sched
-                            .schedule_at(done, Event::FrameProcessed { node, port, frame });
+    /// Replays per-region tap record streams to the live tap closures in
+    /// canonical sequential order — time, then same-instant stage, then
+    /// event key — without materializing the merged union. Each shard
+    /// records its observations in exactly that order and event keys
+    /// never collide across regions, so a lazy k-way merge over the
+    /// region streams reproduces the order a sequential run would have
+    /// delivered, one record at a time.
+    pub(crate) fn replay_tap_records(&mut self, region_records: Vec<Vec<TapRecord>>) {
+        let mut streams: Vec<_> = region_records
+            .into_iter()
+            .filter(|records| !records.is_empty())
+            .map(|records| records.into_iter().peekable())
+            .collect();
+        loop {
+            let mut best: Option<usize> = None;
+            let mut best_key = (u64::MAX, u32::MAX, u64::MAX);
+            for (i, stream) in streams.iter_mut().enumerate() {
+                if let Some(rec) = stream.peek() {
+                    let key = (rec.at, rec.stage, rec.key);
+                    if best.is_none() || key < best_key {
+                        best = Some(i);
+                        best_key = key;
                     }
-                    None => {
-                        self.core.counters[node.index()].port_mut(port).rx_dropped += 1;
-                        self.core.drop_frame(DropReason::CpuQueueFull);
-                    }
                 }
             }
-            Event::FrameProcessed { node, port, frame } => {
-                self.core.cpu_states[node.index()].pending -= 1;
-                let c = self.core.counters[node.index()].port_mut(port);
-                c.rx_frames += 1;
-                c.rx_bytes += frame.len() as u64;
-                self.with_device(node, |d, ctx| d.on_frame(ctx, port, frame));
-            }
-            Event::ControlArrival { to, from, msg } => match self.core.cpu_admit(to, msg.len()) {
-                Some(done) => {
-                    self.core
-                        .sched
-                        .schedule_at(done, Event::ControlProcessed { to, from, msg });
-                }
-                None => {
-                    self.core.drop_frame(DropReason::CpuQueueFull);
-                }
-            },
-            Event::ControlProcessed { to, from, msg } => {
-                self.core.cpu_states[to.index()].pending -= 1;
-                self.with_device(to, |d, ctx| d.on_control(ctx, from, msg));
-            }
-            Event::Timer { node, token } => {
-                self.with_device(node, |d, ctx| d.on_timer(ctx, token));
-            }
-            Event::LinkAdmin { link, enabled } => {
-                self.core.links[link as usize].enabled = enabled;
+            let Some(i) = best else { break };
+            let rec = streams[i].next().expect("peeked record");
+            let event = TapEvent {
+                at: SimTime::from_nanos(rec.at),
+                node: rec.node,
+                port: rec.port,
+                direction: rec.direction,
+                frame: &rec.frame,
+            };
+            for tap in &mut self.taps {
+                tap(&event);
             }
         }
     }
@@ -917,7 +1172,7 @@ impl std::fmt::Debug for World {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
             .field("now", &self.now())
-            .field("nodes", &self.devices.len())
+            .field("nodes", &self.core.devices.len())
             .field("links", &self.core.links.len())
             .finish()
     }

@@ -1,0 +1,145 @@
+//! Property tests for the conservative-PDES safe-horizon fixpoint
+//! ([`netco_net::safe_horizons`]): on arbitrary region graphs with
+//! positive cut latencies, the computed horizons never admit an event
+//! that an in-flight cross-region arrival could still precede, and the
+//! system as a whole can always make progress.
+//!
+//! The soundness argument mirrors the executor's invariant: region `s`
+//! cannot emit anything before its bound `B_s`, so nothing can arrive at
+//! region `r` from `s` before `B_s + L[s][r]`. A region that only
+//! processes events strictly below `T_r = min_s (B_s + L[s][r])`
+//! therefore never runs ahead of an arrival that is still in flight.
+
+use netco_net::safe_horizons;
+use proptest::prelude::*;
+
+const MAX_REGIONS: usize = 8;
+
+/// Decodes raw entropy into a random region system of `n` regions:
+/// per-region earliest pending event times (`u64::MAX` = idle, one in
+/// four) and a latency matrix with positive finite entries on a random
+/// subset of ordered pairs (`u64::MAX` = no cut edge, one in three).
+fn decode_system(n: usize, raw_e: &[u64], raw_l: &[u64]) -> (Vec<u64>, Vec<Vec<u64>>) {
+    let earliest: Vec<u64> = raw_e[..n]
+        .iter()
+        .map(|&v| {
+            if v % 4 == 3 {
+                u64::MAX
+            } else {
+                (v / 4) % 2_000_000
+            }
+        })
+        .collect();
+    let mut lookahead = vec![vec![u64::MAX; n]; n];
+    for s in 0..n {
+        for d in 0..n {
+            let v = raw_l[s * MAX_REGIONS + d];
+            if s != d && v % 3 != 2 {
+                lookahead[s][d] = 1 + (v / 3) % 50_000;
+            }
+        }
+    }
+    (earliest, lookahead)
+}
+
+fn arb_system() -> impl Strategy<Value = (Vec<u64>, Vec<Vec<u64>>)> {
+    (
+        2usize..=MAX_REGIONS,
+        proptest::collection::vec(any::<u64>(), MAX_REGIONS),
+        proptest::collection::vec(any::<u64>(), MAX_REGIONS * MAX_REGIONS),
+    )
+        .prop_map(|(n, raw_e, raw_l)| decode_system(n, &raw_e, &raw_l))
+}
+
+proptest! {
+    /// The bound is conservative: a region can never be credited with
+    /// emitting before either its own earliest pending event or the
+    /// earliest thing any neighbor could deliver to it.
+    #[test]
+    fn bound_never_exceeds_earliest((earliest, lookahead) in arb_system()) {
+        let (bound, _) = safe_horizons(&earliest, &lookahead);
+        for (r, &b) in bound.iter().enumerate() {
+            prop_assert!(b <= earliest[r], "region {r}: bound {b} > earliest {}", earliest[r]);
+        }
+    }
+
+    /// The fixpoint holds: every bound satisfies
+    /// `B_r = min(E_r, min_s (B_s + L[s][r]))`, and the horizon is exactly
+    /// the incoming-arrival minimum. Together these say the horizon never
+    /// admits an event at or after the earliest possible in-flight
+    /// cross-region arrival — the executor processes strictly below `T_r`,
+    /// and every arrival from `s` lands at `>= B_s + L[s][r] >= T_r`.
+    #[test]
+    fn horizon_never_admits_an_inflight_arrival((earliest, lookahead) in arb_system()) {
+        let n = earliest.len();
+        let (bound, horizon) = safe_horizons(&earliest, &lookahead);
+        for r in 0..n {
+            let mut incoming = u64::MAX;
+            for s in 0..n {
+                if s == r || lookahead[s][r] == u64::MAX {
+                    continue;
+                }
+                let arrival = bound[s].saturating_add(lookahead[s][r]);
+                // No event below the horizon may be preceded by a still
+                // in-flight arrival from s.
+                prop_assert!(
+                    horizon[r] <= arrival,
+                    "region {r}: horizon {} admits events past an arrival from {s} at {arrival}",
+                    horizon[r]
+                );
+                incoming = incoming.min(arrival);
+            }
+            prop_assert_eq!(horizon[r], incoming, "region {} horizon is not tight", r);
+            prop_assert_eq!(
+                bound[r],
+                earliest[r].min(incoming),
+                "region {} bound violates the fixpoint equation", r
+            );
+        }
+    }
+
+    /// Progress: whichever region holds the globally earliest pending
+    /// event can process it — its horizon is strictly above that event
+    /// (cut latencies are positive), so conservative region-parallel
+    /// execution can never deadlock with work pending.
+    #[test]
+    fn global_minimum_is_always_processable((earliest, lookahead) in arb_system()) {
+        let candidate = earliest
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e != u64::MAX)
+            .min_by_key(|&(r, &e)| (e, r));
+        if let Some((r_min, &t_min)) = candidate {
+            let (_, horizon) = safe_horizons(&earliest, &lookahead);
+            prop_assert!(
+                horizon[r_min] > t_min,
+                "region {r_min} holds the global minimum {t_min} but its horizon {} blocks it",
+                horizon[r_min]
+            );
+        }
+    }
+
+    /// Monotonicity: delaying another region's earliest event can only
+    /// widen (never shrink) a region's horizon — later knowledge about a
+    /// neighbor never retracts safety already granted.
+    #[test]
+    fn horizons_are_monotone_in_earliest(
+        (earliest, lookahead) in arb_system(),
+        which in 0usize..MAX_REGIONS,
+        extra in 1u64..1_000_000,
+    ) {
+        let (_, before) = safe_horizons(&earliest, &lookahead);
+        let mut delayed = earliest.clone();
+        let i = which % delayed.len();
+        delayed[i] = delayed[i].saturating_add(extra);
+        let (_, after) = safe_horizons(&delayed, &lookahead);
+        for r in 0..earliest.len() {
+            prop_assert!(
+                after[r] >= before[r],
+                "region {r}: horizon shrank from {} to {} after delaying region {i}",
+                before[r],
+                after[r]
+            );
+        }
+    }
+}

@@ -20,6 +20,23 @@
 //! * cascades are stable drains, preserving that relative order;
 //! * level-0 slots hold exactly one 1 ns tick, so draining a slot yields a
 //!   FIFO run of simultaneous events.
+//!
+//! # Keys and stages
+//!
+//! Every entry also carries a caller-supplied **key** (default 0), and
+//! delivery order is `(at, key, seq)`: within one staged tick, events are
+//! sorted by key first, then by schedule order. Keys exist for the
+//! space-parallel executor — the `World` derives each event's key from the
+//! node/link *stream* it belongs to, a value computable identically in
+//! sequential and region-parallel runs, which makes same-instant delivery
+//! order independent of which worker executed the neighboring region.
+//!
+//! Same-instant events scheduled *while a tick at that instant is being
+//! drained* do not join the live tick; they re-enter the wheel and surface
+//! as the next **stage** of the same timestamp (a fresh sorted tick at the
+//! same `at`). Per-event [`Scheduler::pop`] and batched
+//! [`Scheduler::pop_tick_until`] therefore yield byte-identical sequences,
+//! and a region executor can mirror the stage boundaries deterministically.
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, VecDeque};
@@ -37,13 +54,15 @@ const LEVELS: usize = 4;
 struct Entry<E> {
     /// Absolute due time in nanoseconds.
     at: u64,
+    /// Caller-supplied ordering key; ties broken by `seq`.
+    key: u64,
     seq: u64,
     event: E,
 }
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key && self.seq == other.seq
     }
 }
 impl<E> Eq for Entry<E> {}
@@ -54,12 +73,13 @@ impl<E> PartialOrd for Entry<E> {
 }
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. `seq` makes simultaneous events FIFO and the whole run
-        // deterministic.
+        // BinaryHeap is a max-heap; invert so the earliest (time, key, seq)
+        // pops first. `seq` makes simultaneous same-key events FIFO and the
+        // whole run deterministic.
         other
             .at
             .cmp(&self.at)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -141,9 +161,17 @@ impl<E> Tick<E> {
         self.entries.is_empty()
     }
 
-    /// Removes and returns the tick's events in delivery (`seq`) order.
+    /// Removes and returns the tick's events in delivery (`key`, `seq`)
+    /// order.
     pub fn drain(&mut self) -> impl Iterator<Item = E> + '_ {
         self.entries.drain(..).map(|e| e.event)
+    }
+
+    /// Like [`drain`](Tick::drain), but yields each event's ordering key
+    /// alongside it (the region executor records keys so cross-region
+    /// observation order can be reconstructed canonically).
+    pub fn drain_keyed(&mut self) -> impl Iterator<Item = (u64, E)> + '_ {
+        self.entries.drain(..).map(|e| (e.key, e.event))
     }
 }
 
@@ -244,20 +272,28 @@ impl<E> Scheduler<E> {
     /// backwards); this is deliberate so that zero-latency feedback loops
     /// cannot rewind time.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.schedule_at_keyed(at, 0, event);
+    }
+
+    /// Schedules `event` at `at` with an explicit ordering key: delivery is
+    /// in `(at, key, seq)` order. Same-instant arrivals while a tick at
+    /// `at` is being drained become the next *stage* of that timestamp
+    /// (they re-enter the wheel rather than joining the live tick), so the
+    /// staged grouping is identical whether ticks are drained per event or
+    /// in batch.
+    pub fn schedule_at_keyed(&mut self, at: SimTime, key: u64, event: E) {
         let at = at.as_nanos().max(self.now);
         let seq = self.seq;
         self.seq += 1;
         self.len += 1;
         self.tel_scheduled.inc();
         self.tel_depth.set(self.len as u64);
-        let entry = Entry { at, seq, event };
-        if at == self.now && !self.ready.is_empty() {
-            // The tick being drained is `now`; same-instant arrivals join
-            // its tail, which is FIFO because `seq` only grows.
-            self.ready.push_back(entry);
-        } else {
-            self.insert(entry);
-        }
+        self.insert(Entry {
+            at,
+            key,
+            seq,
+            event,
+        });
     }
 
     /// Schedules `event` after `delay` from the current time.
@@ -265,9 +301,25 @@ impl<E> Scheduler<E> {
         self.schedule_at(SimTime::from_nanos(self.now).saturating_add(delay), event);
     }
 
+    /// Schedules `event` after `delay` with an explicit ordering key.
+    pub fn schedule_after_keyed(&mut self, delay: SimDuration, key: u64, event: E) {
+        self.schedule_at_keyed(
+            SimTime::from_nanos(self.now).saturating_add(delay),
+            key,
+            event,
+        );
+    }
+
     /// Removes and returns the earliest event, advancing the clock to its
     /// timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_keyed().map(|(t, _, e)| (t, e))
+    }
+
+    /// Like [`pop`](Scheduler::pop), but also returns the event's ordering
+    /// key (callers that stamp observations with the key of the event
+    /// being dispatched need it; everyone else uses `pop`).
+    pub fn pop_keyed(&mut self) -> Option<(SimTime, u64, E)> {
         if self.ready.is_empty() && !self.refill_ready() {
             return None;
         }
@@ -276,7 +328,7 @@ impl<E> Scheduler<E> {
         self.now = entry.at;
         self.len -= 1;
         self.tel_pops.inc();
-        Some((SimTime::from_nanos(entry.at), entry.event))
+        Some((SimTime::from_nanos(entry.at), entry.key, entry.event))
     }
 
     /// Removes the entire next due tick — every pending event sharing the
@@ -340,9 +392,8 @@ impl<E> Scheduler<E> {
     fn stage_tick_until(&mut self, deadline: SimTime) -> Option<u64> {
         if self.ready.is_empty() {
             // Decide from the wheel before staging anything: a tick past
-            // the deadline must stay unstaged, because the same-instant
-            // fast path in `schedule_at` treats a non-empty `ready` as the
-            // tick currently being drained.
+            // the deadline must stay unstaged (the clock must not move and
+            // `peek_time` must keep seeing it in the wheel).
             match self.peek_time() {
                 Some(t) if t <= deadline => {
                     let staged = self.refill_ready();
@@ -407,6 +458,42 @@ impl<E> Scheduler<E> {
         self.heap.push(entry);
     }
 
+    /// Sorts the staged tick into `(key, seq)` delivery order. Slot lists
+    /// append in `seq` order, so with all-default keys the tick is already
+    /// sorted and this is a single scan with no allocation.
+    fn sort_ready(&mut self) {
+        let entries = self.ready.make_contiguous();
+        if entries
+            .windows(2)
+            .all(|w| (w[0].key, w[0].seq) <= (w[1].key, w[1].seq))
+        {
+            return;
+        }
+        entries.sort_by_key(|e| (e.key, e.seq));
+    }
+
+    /// Removes every pending event in `(at, key, seq)` delivery order
+    /// without advancing the clock. The space-parallel executor uses this
+    /// to partition a world's pending events into per-region schedulers and
+    /// to fold region leftovers back in afterwards.
+    pub fn drain_all_ordered(&mut self) -> Vec<(SimTime, u64, E)> {
+        let mut out = Vec::with_capacity(self.len);
+        loop {
+            if self.ready.is_empty() && !self.refill_ready() {
+                break;
+            }
+            while let Some(entry) = self.ready.pop_front() {
+                out.push((SimTime::from_nanos(entry.at), entry.key, entry.event));
+            }
+        }
+        self.len = 0;
+        // Draining cascaded the wheel forward; re-anchor the now-empty
+        // wheel so future inserts at `now` stay in range.
+        self.wheel_base = self.now & !(SLOTS as u64 - 1);
+        self.tel_depth.set(0);
+        out
+    }
+
     /// Stages the next due tick into `ready`, cascading higher wheel levels
     /// down and pulling the heap's next block in as needed. Returns `false`
     /// when nothing is pending.
@@ -418,6 +505,7 @@ impl<E> Scheduler<E> {
                 let level = &mut self.levels[0];
                 self.ready.extend(level.slots[slot].drain(..));
                 level.mark_drained(slot);
+                self.sort_ready();
                 return true;
             }
             // Cascade the first occupied slot of the shallowest non-empty
@@ -537,6 +625,7 @@ pub mod baseline {
             self.seq += 1;
             self.heap.push(Entry {
                 at: at.as_nanos(),
+                key: 0,
                 seq,
                 event,
             });
@@ -781,6 +870,74 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(s.pop_batch(&mut out), 3);
         assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn keyed_order_beats_schedule_order_within_a_tick() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at_keyed(SimTime::from_nanos(10), 7, "late-key-first-scheduled");
+        s.schedule_at_keyed(SimTime::from_nanos(10), 2, "low-key");
+        s.schedule_at_keyed(SimTime::from_nanos(10), 7, "late-key-second-scheduled");
+        s.schedule_at_keyed(SimTime::from_nanos(5), 9, "earlier-time-wins");
+        let order: Vec<_> = std::iter::from_fn(|| s.pop()).map(|(_, e)| e).collect();
+        assert_eq!(
+            order,
+            vec![
+                "earlier-time-wins",
+                "low-key",
+                "late-key-first-scheduled",
+                "late-key-second-scheduled",
+            ]
+        );
+    }
+
+    #[test]
+    fn same_instant_arrivals_form_next_stage_sorted_by_key() {
+        // An arrival at `now` while the tick at `now` drains surfaces as a
+        // fresh stage of the same timestamp — sorted by key, after every
+        // event of the current stage, identically for pop and batch.
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule_at_keyed(SimTime::from_nanos(10), 5, 1);
+        s.schedule_at_keyed(SimTime::from_nanos(10), 1, 2);
+        let (t, e) = s.pop().unwrap();
+        assert_eq!((t.as_nanos(), e), (10, 2), "key 1 before key 5");
+        s.schedule_at_keyed(SimTime::from_nanos(10), 9, 3);
+        s.schedule_at_keyed(SimTime::from_nanos(10), 0, 4);
+        let rest: Vec<_> = std::iter::from_fn(|| s.pop())
+            .map(|(t, e)| (t.as_nanos(), e))
+            .collect();
+        // Stage 1 finishes (key 5), then stage 2 sorted by key (0 then 9).
+        assert_eq!(rest, vec![(10, 1), (10, 4), (10, 3)]);
+    }
+
+    #[test]
+    fn drain_all_ordered_yields_delivery_order_and_leaves_clock() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        s.schedule_at(SimTime::from_nanos(100), 0);
+        s.pop();
+        let horizon = 1u64 << 33;
+        s.schedule_at_keyed(SimTime::from_nanos(horizon), 0, 5);
+        s.schedule_at_keyed(SimTime::from_nanos(200), 3, 1);
+        s.schedule_at_keyed(SimTime::from_nanos(200), 1, 2);
+        s.schedule_at_keyed(SimTime::from_nanos(150), 9, 3);
+        let drained: Vec<_> = s
+            .drain_all_ordered()
+            .into_iter()
+            .map(|(t, k, e)| (t.as_nanos(), k, e))
+            .collect();
+        assert_eq!(
+            drained,
+            vec![(150, 9, 3), (200, 1, 2), (200, 3, 1), (horizon, 0, 5)]
+        );
+        assert!(s.is_empty());
+        assert_eq!(
+            s.now(),
+            SimTime::from_nanos(100),
+            "drain must not move time"
+        );
+        // The re-anchored wheel keeps working.
+        s.schedule_at(SimTime::from_nanos(120), 7);
+        assert_eq!(s.pop(), Some((SimTime::from_nanos(120), 7)));
     }
 
     /// Replays one generated op sequence against both schedulers, asserting

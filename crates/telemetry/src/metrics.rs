@@ -1,20 +1,27 @@
 //! Named counters, gauges and histograms behind cheap shared handles.
 //!
-//! Handles are `Option<Rc<…>>`: a *disabled* handle is `None` and every
+//! Handles are `Option<Arc<…>>`: a *disabled* handle is `None` and every
 //! operation on it is a single branch; an *enabled* handle shares its
-//! cell with the [`MetricsRegistry`], so instrumented code updates a
-//! plain `Cell` with no lookup on the hot path. A *detached* handle owns
+//! cell with the [`MetricsRegistry`], so instrumented code updates an
+//! atomic cell with no lookup on the hot path. A *detached* handle owns
 //! a live cell that is not (yet) in any registry — the always-on façade
 //! statistics (`World::events_processed`, `CompareStats`) use detached
 //! handles and are *adopted* into the registry when telemetry is
 //! enabled, which is how one cell can back both the legacy accessor and
 //! the registry snapshot.
+//!
+//! Storage is `Arc` + relaxed atomics (not `Rc` + `Cell`) so metric
+//! handles — and therefore the devices that embed them — are `Send`:
+//! the space-parallel world executor moves devices onto region worker
+//! threads. Relaxed ordering is sufficient because cross-thread reads
+//! only happen after the worker threads are joined, which establishes
+//! the necessary happens-before edge.
 
-use std::cell::{Cell, RefCell};
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::histogram::{HistogramSnapshot, LogLinearHistogram};
 
@@ -39,7 +46,7 @@ pub(crate) fn escape_json(s: &str) -> String {
 
 /// A monotonically increasing counter handle.
 #[derive(Clone, Debug, Default)]
-pub struct Counter(Option<Rc<Cell<u64>>>);
+pub struct Counter(Option<Arc<AtomicU64>>);
 
 impl Counter {
     /// An inert handle: every operation is a no-op.
@@ -51,7 +58,7 @@ impl Counter {
     /// zero and can later be folded into a registry with
     /// [`MetricsRegistry::adopt_counter`].
     pub fn detached() -> Counter {
-        Counter(Some(Rc::new(Cell::new(0))))
+        Counter(Some(Arc::new(AtomicU64::new(0))))
     }
 
     /// Whether operations on this handle record anything.
@@ -69,26 +76,28 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         if let Some(cell) = &self.0 {
-            cell.set(cell.get().wrapping_add(n));
+            cell.fetch_add(n, Ordering::Relaxed);
         }
     }
 
     /// Current value (0 for a disabled handle).
     pub fn get(&self) -> u64 {
-        self.0.as_ref().map_or(0, |cell| cell.get())
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
     }
 }
 
 /// Shared storage for a gauge: last-set value plus high-water mark.
 #[derive(Debug, Default)]
 pub(crate) struct GaugeCell {
-    pub(crate) value: Cell<u64>,
-    pub(crate) peak: Cell<u64>,
+    pub(crate) value: AtomicU64,
+    pub(crate) peak: AtomicU64,
 }
 
 /// A last-value gauge handle that also tracks its peak.
 #[derive(Clone, Debug, Default)]
-pub struct Gauge(Option<Rc<GaugeCell>>);
+pub struct Gauge(Option<Arc<GaugeCell>>);
 
 impl Gauge {
     /// An inert handle: every operation is a no-op.
@@ -98,7 +107,7 @@ impl Gauge {
 
     /// A live handle that is not registered anywhere.
     pub fn detached() -> Gauge {
-        Gauge(Some(Rc::new(GaugeCell::default())))
+        Gauge(Some(Arc::new(GaugeCell::default())))
     }
 
     /// Whether operations on this handle record anything.
@@ -110,27 +119,29 @@ impl Gauge {
     #[inline]
     pub fn set(&self, value: u64) {
         if let Some(cell) = &self.0 {
-            cell.value.set(value);
-            if value > cell.peak.get() {
-                cell.peak.set(value);
-            }
+            cell.value.store(value, Ordering::Relaxed);
+            cell.peak.fetch_max(value, Ordering::Relaxed);
         }
     }
 
     /// Last-set value (0 for a disabled handle).
     pub fn get(&self) -> u64 {
-        self.0.as_ref().map_or(0, |cell| cell.value.get())
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.value.load(Ordering::Relaxed))
     }
 
     /// Largest value ever set (0 for a disabled handle).
     pub fn peak(&self) -> u64 {
-        self.0.as_ref().map_or(0, |cell| cell.peak.get())
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.peak.load(Ordering::Relaxed))
     }
 }
 
 /// A histogram handle; see [`LogLinearHistogram`] for the bucketing.
 #[derive(Clone, Debug, Default)]
-pub struct Histogram(Option<Rc<RefCell<LogLinearHistogram>>>);
+pub struct Histogram(Option<Arc<Mutex<LogLinearHistogram>>>);
 
 impl Histogram {
     /// An inert handle: every operation is a no-op.
@@ -140,7 +151,7 @@ impl Histogram {
 
     /// A live handle that is not registered anywhere.
     pub fn detached() -> Histogram {
-        Histogram(Some(Rc::new(RefCell::new(LogLinearHistogram::new()))))
+        Histogram(Some(Arc::new(Mutex::new(LogLinearHistogram::new()))))
     }
 
     /// Whether operations on this handle record anything.
@@ -152,7 +163,7 @@ impl Histogram {
     #[inline]
     pub fn record(&self, value: u64) {
         if let Some(hist) = &self.0 {
-            hist.borrow_mut().record(value);
+            hist.lock().expect("histogram lock").record(value);
         }
     }
 
@@ -160,15 +171,17 @@ impl Histogram {
     pub fn snapshot(&self) -> HistogramSnapshot {
         self.0
             .as_ref()
-            .map_or_else(HistogramSnapshot::default, |hist| hist.borrow().snapshot())
+            .map_or_else(HistogramSnapshot::default, |h| {
+                h.lock().expect("histogram lock").snapshot()
+            })
     }
 }
 
 /// Storage behind one registered metric name.
 enum Metric {
-    Counter(Rc<Cell<u64>>),
-    Gauge(Rc<GaugeCell>),
-    Histogram(Rc<RefCell<LogLinearHistogram>>),
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<GaugeCell>),
+    Histogram(Arc<Mutex<LogLinearHistogram>>),
 }
 
 /// A name → metric map. Names are free-form dotted paths
@@ -203,7 +216,7 @@ impl MetricsRegistry {
         let metric = self
             .metrics
             .entry(name.to_string())
-            .or_insert_with(|| Metric::Counter(Rc::new(Cell::new(0))));
+            .or_insert_with(|| Metric::Counter(Arc::new(AtomicU64::new(0))));
         match metric {
             Metric::Counter(cell) => Counter(Some(cell.clone())),
             _ => panic!("metric `{name}` already registered with a different type"),
@@ -218,7 +231,7 @@ impl MetricsRegistry {
         let metric = self
             .metrics
             .entry(name.to_string())
-            .or_insert_with(|| Metric::Gauge(Rc::new(GaugeCell::default())));
+            .or_insert_with(|| Metric::Gauge(Arc::new(GaugeCell::default())));
         match metric {
             Metric::Gauge(cell) => Gauge(Some(cell.clone())),
             _ => panic!("metric `{name}` already registered with a different type"),
@@ -233,7 +246,7 @@ impl MetricsRegistry {
         let metric = self
             .metrics
             .entry(name.to_string())
-            .or_insert_with(|| Metric::Histogram(Rc::new(RefCell::new(LogLinearHistogram::new()))));
+            .or_insert_with(|| Metric::Histogram(Arc::new(Mutex::new(LogLinearHistogram::new()))));
         match metric {
             Metric::Histogram(hist) => Histogram(Some(hist.clone())),
             _ => panic!("metric `{name}` already registered with a different type"),
@@ -250,11 +263,11 @@ impl MetricsRegistry {
             Entry::Occupied(entry) => match entry.get() {
                 Metric::Counter(cell) => {
                     if let Some(cur) = &handle.0 {
-                        if Rc::ptr_eq(cur, cell) {
+                        if Arc::ptr_eq(cur, cell) {
                             return;
                         }
                     }
-                    cell.set(cell.get().wrapping_add(handle.get()));
+                    cell.fetch_add(handle.get(), Ordering::Relaxed);
                     handle.0 = Some(cell.clone());
                 }
                 _ => panic!("metric `{name}` already registered with a different type"),
@@ -262,7 +275,7 @@ impl MetricsRegistry {
             Entry::Vacant(entry) => {
                 let cell = handle
                     .0
-                    .get_or_insert_with(|| Rc::new(Cell::new(0)))
+                    .get_or_insert_with(|| Arc::new(AtomicU64::new(0)))
                     .clone();
                 entry.insert(Metric::Counter(cell));
             }
@@ -277,19 +290,60 @@ impl MetricsRegistry {
             Entry::Occupied(entry) => match entry.get() {
                 Metric::Gauge(cell) => {
                     if let Some(cur) = &handle.0 {
-                        if Rc::ptr_eq(cur, cell) {
+                        if Arc::ptr_eq(cur, cell) {
                             return;
                         }
-                        cell.value.set(cur.value.get());
-                        cell.peak.set(cell.peak.get().max(cur.peak.get()));
+                        cell.value
+                            .store(cur.value.load(Ordering::Relaxed), Ordering::Relaxed);
+                        cell.peak
+                            .fetch_max(cur.peak.load(Ordering::Relaxed), Ordering::Relaxed);
                     }
                     handle.0 = Some(cell.clone());
                 }
                 _ => panic!("metric `{name}` already registered with a different type"),
             },
             Entry::Vacant(entry) => {
-                let cell = handle.0.get_or_insert_with(Rc::default).clone();
+                let cell = handle.0.get_or_insert_with(Arc::default).clone();
                 entry.insert(Metric::Gauge(cell));
+            }
+        }
+    }
+
+    /// Folds another registry's contents into this one, name by name:
+    /// counters add, gauges take the element-wise maximum of value and
+    /// peak, histograms merge bucket-wise. Names absent here are created.
+    ///
+    /// The region-parallel world executor gives each region worker its
+    /// own registry shard and folds the shards back in ascending region
+    /// order, so the merged snapshot is a pure function of the simulation
+    /// — independent of worker count and OS scheduling.
+    ///
+    /// # Panics
+    ///
+    /// If a name is registered with different metric types in the two
+    /// registries.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, metric) in &other.metrics {
+            match metric {
+                Metric::Counter(cell) => {
+                    self.counter(name).add(cell.load(Ordering::Relaxed));
+                }
+                Metric::Gauge(cell) => {
+                    let target = self.gauge(name);
+                    if let Some(t) = &target.0 {
+                        t.value
+                            .fetch_max(cell.value.load(Ordering::Relaxed), Ordering::Relaxed);
+                        t.peak
+                            .fetch_max(cell.peak.load(Ordering::Relaxed), Ordering::Relaxed);
+                    }
+                }
+                Metric::Histogram(hist) => {
+                    let target = self.histogram(name);
+                    if let Some(t) = &target.0 {
+                        let source = hist.lock().expect("histogram lock");
+                        t.lock().expect("histogram lock").merge(&source);
+                    }
+                }
             }
         }
     }
@@ -308,18 +362,18 @@ impl MetricsRegistry {
             let _ = write!(out, "  \"{}\": ", escape_json(name));
             match metric {
                 Metric::Counter(cell) => {
-                    let _ = write!(out, "{}", cell.get());
+                    let _ = write!(out, "{}", cell.load(Ordering::Relaxed));
                 }
                 Metric::Gauge(cell) => {
                     let _ = write!(
                         out,
                         "{{\"value\": {}, \"peak\": {}}}",
-                        cell.value.get(),
-                        cell.peak.get()
+                        cell.value.load(Ordering::Relaxed),
+                        cell.peak.load(Ordering::Relaxed)
                     );
                 }
                 Metric::Histogram(hist) => {
-                    let s = hist.borrow().snapshot();
+                    let s = hist.lock().expect("histogram lock").snapshot();
                     let _ = write!(
                         out,
                         "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \

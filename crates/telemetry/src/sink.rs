@@ -3,30 +3,31 @@
 //! A [`TelemetrySink`] is what instrumented code holds: a cheaply
 //! clonable handle that is either *disabled* (`inner == None`, the
 //! default — every call is a branch on a null pointer and returns inert
-//! metric handles) or *enabled* (shared `Rc` state holding the metrics
+//! metric handles) or *enabled* (shared state holding the metrics
 //! registry, the span tracer and the packet-lifecycle recorder).
 //!
-//! `Rc` rather than `Arc` is deliberate: a `World` is single-threaded
-//! (`!Send`), and the experiment harness parallelizes across *worlds*,
-//! each built inside its own worker thread with its own sink.
+//! The shared state is `Arc` + `Mutex` so the sink — and every device
+//! holding metric handles cloned from it — is `Send + Sync`: the
+//! space-parallel world executor moves devices onto region worker
+//! threads, and region metric shards are folded back into one registry
+//! deterministically (see [`TelemetrySink::merge_registry`]).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::lifecycle::PacketLifecycle;
 use crate::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use crate::trace::Tracer;
 
 struct SinkInner {
-    registry: RefCell<MetricsRegistry>,
-    tracer: RefCell<Tracer>,
-    lifecycle: RefCell<PacketLifecycle>,
+    registry: Mutex<MetricsRegistry>,
+    tracer: Mutex<Tracer>,
+    lifecycle: Mutex<PacketLifecycle>,
 }
 
 /// A shared handle to one world's telemetry plane (or to nothing).
 #[derive(Clone, Default)]
 pub struct TelemetrySink {
-    inner: Option<Rc<SinkInner>>,
+    inner: Option<Arc<SinkInner>>,
 }
 
 impl TelemetrySink {
@@ -41,10 +42,10 @@ impl TelemetrySink {
         let mut registry = MetricsRegistry::new();
         let lifecycle = PacketLifecycle::new(&mut registry);
         TelemetrySink {
-            inner: Some(Rc::new(SinkInner {
-                registry: RefCell::new(registry),
-                tracer: RefCell::new(Tracer::default()),
-                lifecycle: RefCell::new(lifecycle),
+            inner: Some(Arc::new(SinkInner {
+                registry: Mutex::new(registry),
+                tracer: Mutex::new(Tracer::default()),
+                lifecycle: Mutex::new(lifecycle),
             })),
         }
     }
@@ -58,7 +59,7 @@ impl TelemetrySink {
     /// Gets or creates a registered counter (inert when disabled).
     pub fn counter(&self, name: &str) -> Counter {
         match &self.inner {
-            Some(inner) => inner.registry.borrow_mut().counter(name),
+            Some(inner) => inner.registry.lock().expect("registry lock").counter(name),
             None => Counter::disabled(),
         }
     }
@@ -66,7 +67,7 @@ impl TelemetrySink {
     /// Gets or creates a registered gauge (inert when disabled).
     pub fn gauge(&self, name: &str) -> Gauge {
         match &self.inner {
-            Some(inner) => inner.registry.borrow_mut().gauge(name),
+            Some(inner) => inner.registry.lock().expect("registry lock").gauge(name),
             None => Gauge::disabled(),
         }
     }
@@ -74,7 +75,11 @@ impl TelemetrySink {
     /// Gets or creates a registered histogram (inert when disabled).
     pub fn histogram(&self, name: &str) -> Histogram {
         match &self.inner {
-            Some(inner) => inner.registry.borrow_mut().histogram(name),
+            Some(inner) => inner
+                .registry
+                .lock()
+                .expect("registry lock")
+                .histogram(name),
             None => Histogram::disabled(),
         }
     }
@@ -83,7 +88,11 @@ impl TelemetrySink {
     /// when disabled (the handle keeps its private storage).
     pub fn adopt_counter(&self, name: &str, handle: &mut Counter) {
         if let Some(inner) = &self.inner {
-            inner.registry.borrow_mut().adopt_counter(name, handle);
+            inner
+                .registry
+                .lock()
+                .expect("registry lock")
+                .adopt_counter(name, handle);
         }
     }
 
@@ -91,7 +100,11 @@ impl TelemetrySink {
     /// when disabled.
     pub fn adopt_gauge(&self, name: &str, handle: &mut Gauge) {
         if let Some(inner) = &self.inner {
-            inner.registry.borrow_mut().adopt_gauge(name, handle);
+            inner
+                .registry
+                .lock()
+                .expect("registry lock")
+                .adopt_gauge(name, handle);
         }
     }
 
@@ -99,7 +112,7 @@ impl TelemetrySink {
     /// newline when disabled, so callers can always write a valid file).
     pub fn metrics_json(&self) -> String {
         match &self.inner {
-            Some(inner) => inner.registry.borrow().render_json(),
+            Some(inner) => inner.registry.lock().expect("registry lock").render_json(),
             None => String::from("{}\n"),
         }
     }
@@ -109,7 +122,8 @@ impl TelemetrySink {
         if let Some(inner) = &self.inner {
             inner
                 .tracer
-                .borrow_mut()
+                .lock()
+                .expect("tracer lock")
                 .span_begin(process, track, name, ts_ns);
         }
     }
@@ -119,7 +133,8 @@ impl TelemetrySink {
         if let Some(inner) = &self.inner {
             inner
                 .tracer
-                .borrow_mut()
+                .lock()
+                .expect("tracer lock")
                 .span_end(process, track, name, ts_ns);
         }
     }
@@ -129,7 +144,8 @@ impl TelemetrySink {
         if let Some(inner) = &self.inner {
             inner
                 .tracer
-                .borrow_mut()
+                .lock()
+                .expect("tracer lock")
                 .instant(process, track, name, ts_ns);
         }
     }
@@ -138,23 +154,27 @@ impl TelemetrySink {
     /// document when disabled).
     pub fn trace_json(&self) -> String {
         match &self.inner {
-            Some(inner) => inner.tracer.borrow().render_json(),
+            Some(inner) => inner.tracer.lock().expect("tracer lock").render_json(),
             None => String::from("{\"traceEvents\": [\n\n],\n\"displayTimeUnit\": \"ms\"}\n"),
         }
     }
 
     /// Events evicted from the bounded trace ring so far.
     pub fn trace_dropped(&self) -> u64 {
-        self.inner
-            .as_ref()
-            .map_or(0, |inner| inner.tracer.borrow().dropped())
+        self.inner.as_ref().map_or(0, |inner| {
+            inner.tracer.lock().expect("tracer lock").dropped()
+        })
     }
 
     /// Tags a frame at hub ingress (no-op when disabled).
     #[inline]
     pub fn lifecycle_hub_ingress(&self, key: u128, ts_ns: u64) {
         if let Some(inner) = &self.inner {
-            inner.lifecycle.borrow_mut().hub_ingress(key, ts_ns);
+            inner
+                .lifecycle
+                .lock()
+                .expect("lifecycle lock")
+                .hub_ingress(key, ts_ns);
         }
     }
 
@@ -162,7 +182,11 @@ impl TelemetrySink {
     #[inline]
     pub fn lifecycle_replica_egress(&self, key: u128, ts_ns: u64) {
         if let Some(inner) = &self.inner {
-            inner.lifecycle.borrow_mut().replica_egress(key, ts_ns);
+            inner
+                .lifecycle
+                .lock()
+                .expect("lifecycle lock")
+                .replica_egress(key, ts_ns);
         }
     }
 
@@ -170,7 +194,11 @@ impl TelemetrySink {
     #[inline]
     pub fn lifecycle_observe(&self, key: u128, ts_ns: u64) {
         if let Some(inner) = &self.inner {
-            inner.lifecycle.borrow_mut().observe(key, ts_ns);
+            inner
+                .lifecycle
+                .lock()
+                .expect("lifecycle lock")
+                .observe(key, ts_ns);
         }
     }
 
@@ -179,7 +207,11 @@ impl TelemetrySink {
     #[inline]
     pub fn lifecycle_release(&self, key: u128, ts_ns: u64) {
         if let Some(inner) = &self.inner {
-            inner.lifecycle.borrow_mut().release(key, ts_ns);
+            inner
+                .lifecycle
+                .lock()
+                .expect("lifecycle lock")
+                .release(key, ts_ns);
         }
     }
 
@@ -188,8 +220,8 @@ impl TelemetrySink {
     #[inline]
     pub fn lifecycle_drop(&self, key: u128, ts_ns: u64, reason: &str) {
         if let Some(inner) = &self.inner {
-            inner.lifecycle.borrow_mut().drop_frame(
-                &mut inner.registry.borrow_mut(),
+            inner.lifecycle.lock().expect("lifecycle lock").drop_frame(
+                &mut inner.registry.lock().expect("registry lock"),
                 key,
                 ts_ns,
                 reason,
@@ -197,11 +229,34 @@ impl TelemetrySink {
         }
     }
 
+    /// Folds a region shard's registry into this sink's registry
+    /// (counters add, gauges take element-wise maxima, histograms merge
+    /// bucket-wise). Call in ascending region order for deterministic
+    /// output; no-op when disabled.
+    pub fn merge_registry(&self, shard: &MetricsRegistry) {
+        if let Some(inner) = &self.inner {
+            inner.registry.lock().expect("registry lock").merge(shard);
+        }
+    }
+
+    /// Folds another sink's registry into this one (see
+    /// [`merge_registry`](TelemetrySink::merge_registry)). No-op when
+    /// either sink is disabled or when both are the same sink.
+    pub fn merge_sink(&self, shard: &TelemetrySink) {
+        let (Some(inner), Some(shard_inner)) = (&self.inner, &shard.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(inner, shard_inner) {
+            return;
+        }
+        self.merge_registry(&shard_inner.registry.lock().expect("registry lock"));
+    }
+
     /// Frames tagged but not yet resolved.
     pub fn lifecycle_inflight(&self) -> usize {
-        self.inner
-            .as_ref()
-            .map_or(0, |inner| inner.lifecycle.borrow().inflight())
+        self.inner.as_ref().map_or(0, |inner| {
+            inner.lifecycle.lock().expect("lifecycle lock").inflight()
+        })
     }
 }
 
