@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod control_chaos;
 pub mod experiments;
 pub mod flows;
 pub mod grid;

@@ -5,16 +5,29 @@ use std::any::Any;
 use bytes::Bytes;
 use netco_net::{Ctx, NodeId};
 use netco_openflow::{wire, Action, FlowMatch, OfMessage, OfPort, PacketInReason};
-use netco_sim::{SimRng, SimTime};
+use netco_sim::{SimDuration, SimRng, SimTime};
 
 /// What an app can do while handling a controller event: inspect time,
 /// randomness, and send OpenFlow messages to switches.
 pub struct ControllerCtx<'a, 'b> {
     pub(crate) ctx: &'a mut Ctx<'b>,
     pub(crate) next_xid: &'a mut u32,
+    /// When `Some`, [`ControllerCtx::send`] buffers `(switch, bytes)`
+    /// instead of transmitting — the interposition point wrapper apps
+    /// (e.g. the Byzantine harness) use to inspect and rewrite the inner
+    /// app's outputs before they reach the wire.
+    pub(crate) capture: Option<Vec<(NodeId, Bytes)>>,
 }
 
-impl ControllerCtx<'_, '_> {
+impl<'a, 'b> ControllerCtx<'a, 'b> {
+    pub(crate) fn new(ctx: &'a mut Ctx<'b>, next_xid: &'a mut u32) -> ControllerCtx<'a, 'b> {
+        ControllerCtx {
+            ctx,
+            next_xid,
+            capture: None,
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.ctx.now()
@@ -29,7 +42,39 @@ impl ControllerCtx<'_, '_> {
     pub fn send(&mut self, switch: NodeId, msg: &OfMessage) {
         let xid = *self.next_xid;
         *self.next_xid = self.next_xid.wrapping_add(1);
-        self.ctx.send_control(switch, wire::encode(msg, xid));
+        let bytes = wire::encode(msg, xid);
+        match &mut self.capture {
+            Some(buf) => buf.push((switch, bytes)),
+            None => self.ctx.send_control(switch, bytes),
+        }
+    }
+
+    /// Starts buffering every subsequent [`ControllerCtx::send`] instead of
+    /// transmitting; pair with [`ControllerCtx::end_capture`].
+    pub fn begin_capture(&mut self) {
+        if self.capture.is_none() {
+            self.capture = Some(Vec::new());
+        }
+    }
+
+    /// Stops capturing and returns the buffered `(switch, wire bytes)`
+    /// sends, in emission order.
+    pub fn end_capture(&mut self) -> Vec<(NodeId, Bytes)> {
+        self.capture.take().unwrap_or_default()
+    }
+
+    /// Sends pre-encoded wire bytes to `switch`, bypassing any active
+    /// capture — how a wrapper forwards (or rewrites) captured output.
+    pub fn send_raw(&mut self, switch: NodeId, bytes: Bytes) {
+        self.ctx.send_control(switch, bytes);
+    }
+
+    /// Schedules [`ControllerApp::on_app_timer`] with `token` after
+    /// `delay`. App tokens live in their own namespace — they never
+    /// collide with the controller's internal tick/liveness timers.
+    pub fn schedule_app_timer(&mut self, delay: SimDuration, token: u64) {
+        self.ctx
+            .schedule_timer(delay, crate::controller::APP_TIMER_BASE + token);
     }
 
     /// Convenience: installs a flow entry on `switch`.
@@ -126,4 +171,8 @@ pub trait ControllerApp: Any + Send {
     /// The switch stopped answering liveness probes (see
     /// [`crate::Controller::with_liveness`]).
     fn on_switch_down(&mut self, cx: &mut ControllerCtx<'_, '_>, switch: NodeId) {}
+
+    /// A timer scheduled with [`ControllerCtx::schedule_app_timer`] fired;
+    /// `token` is the value the app passed when scheduling.
+    fn on_app_timer(&mut self, cx: &mut ControllerCtx<'_, '_>, token: u64) {}
 }

@@ -46,6 +46,9 @@ struct Liveness {
 
 const TICK_TIMER: u64 = 0;
 const LIVENESS_TIMER: u64 = 1;
+/// App-scheduled timers (see [`ControllerCtx::schedule_app_timer`]) live
+/// at `APP_TIMER_BASE + token` so they can never shadow internal timers.
+pub(crate) const APP_TIMER_BASE: u64 = 1 << 32;
 
 impl Controller {
     /// Creates a controller running `app`.
@@ -137,10 +140,7 @@ impl Device for Controller {
                 let Some(interval) = self.tick_interval else {
                     return;
                 };
-                let mut cx = ControllerCtx {
-                    ctx,
-                    next_xid: &mut self.next_xid,
-                };
+                let mut cx = ControllerCtx::new(ctx, &mut self.next_xid);
                 self.app.tick(&mut cx);
                 ctx.schedule_timer(interval, TICK_TIMER);
             }
@@ -169,14 +169,15 @@ impl Device for Controller {
                 for sw in went_down {
                     self.up.remove(&sw);
                     liveness.outstanding.remove(&sw);
-                    let mut cx = ControllerCtx {
-                        ctx,
-                        next_xid: &mut self.next_xid,
-                    };
+                    let mut cx = ControllerCtx::new(ctx, &mut self.next_xid);
                     self.app.on_switch_down(&mut cx, sw);
                 }
                 ctx.schedule_timer(liveness.interval, LIVENESS_TIMER);
                 self.liveness = Some(liveness);
+            }
+            tok if tok >= APP_TIMER_BASE => {
+                let mut cx = ControllerCtx::new(ctx, &mut self.next_xid);
+                self.app.on_app_timer(&mut cx, tok - APP_TIMER_BASE);
             }
             _ => {}
         }
@@ -203,10 +204,7 @@ impl Device for Controller {
                 }
             }
         }
-        let mut cx = ControllerCtx {
-            ctx,
-            next_xid: &mut self.next_xid,
-        };
+        let mut cx = ControllerCtx::new(ctx, &mut self.next_xid);
         match message {
             OfMessage::Hello => {}
             OfMessage::EchoRequest(data) => {

@@ -51,6 +51,7 @@ mod hub;
 mod pox;
 mod supervisor;
 pub mod virtualized;
+mod voter;
 
 pub use compare::{
     fp128, CacheEntry, Compare, CompareAction, CompareCore, CompareKey, CompareStats,
@@ -63,3 +64,4 @@ pub use guard::{CompareAttachment, GuardConfig, GuardStats, GuardSwitch};
 pub use hub::Hub;
 pub use pox::PoxCompareApp;
 pub use supervisor::{LaneSupervisor, ReplicaStatus, SupervisorConfig};
+pub use voter::{ControlVoter, ControlVoterConfig, ControlVoterStats};

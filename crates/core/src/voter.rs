@@ -1,0 +1,593 @@
+//! Byzantine-resilient replicated control plane: the control voter.
+//!
+//! [`ControlVoter`] puts `k` replicated controllers behind one logical
+//! controller endpoint. Toward the guard it *is* the controller
+//! ([`CompareAttachment::Controller`](crate::CompareAttachment) points at
+//! the voter node); toward the controller replicas it *is* the switch
+//! (it answers their handshake and liveness probes). Every packet-in the
+//! guard raises is relayed **verbatim** to all `k` replicas, so honest
+//! replicas see bit-identical input streams and — in a deterministic
+//! world — emit bit-identical decisions. The flow-mods and packet-outs
+//! they emit are projected onto canonical wire form
+//! ([`netco_openflow::canonical`]) and majority-voted through an embedded
+//! [`CompareCore`]: the control plane reuses the data plane's combiner
+//! wholesale, one lane, with controller `i` as "replica port" `i + 1`.
+//!
+//! Canonicalization is what makes the vote well-defined: transaction ids
+//! are per-connection counters that drift permanently after a single
+//! divergent send, so voting raw bytes would lock a once-Byzantine
+//! replica out of shadow agreement forever. Voting — and *releasing* —
+//! the canonical bytes keeps equivocation detectable and re-admission
+//! reachable.
+//!
+//! Degradation mirrors the data plane: with a
+//! [`SupervisorConfig`](crate::SupervisorConfig) attached, a disagreeing
+//! or silent controller accrues strikes, is quarantined (its outputs are
+//! shadow-voted but excluded from the quorum), and the lane degrades from
+//! Prevent to Detect semantics below three healthy controllers; agreeing
+//! shadow votes past the probation gate re-admit it.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use netco_net::{Ctx, Device, Frame, NodeId, PortId};
+use netco_openflow::canonical::{canonicalize, Canonical};
+use netco_openflow::{wire, OfMessage};
+use netco_sim::{EventLog, SimDuration, SimTime};
+use netco_telemetry::{Counter, Histogram};
+
+use crate::compare::{CompareAction, CompareCore, CompareStats, LaneInfo};
+use crate::config::CompareConfig;
+use crate::events::SecurityEvent;
+use crate::supervisor::{ReplicaStatus, SupervisorConfig};
+
+const SWEEP_TIMER: u64 = 1;
+
+/// The single lane every controller vote runs on.
+const VOTE_LANE: u16 = 0;
+
+/// Tunables of a [`ControlVoter`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlVoterConfig {
+    /// Maximum time a controller output waits for a majority.
+    pub hold_time: SimDuration,
+    /// Consecutive released votes a controller may miss before it is
+    /// suspected down (and struck).
+    pub miss_alarm_threshold: u32,
+    /// Self-healing supervisor (quarantine, adaptive quorum, probation).
+    /// `None` keeps alarm-only behaviour.
+    pub supervisor: Option<SupervisorConfig>,
+    /// Vote-cache capacity in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ControlVoterConfig {
+    fn default() -> ControlVoterConfig {
+        ControlVoterConfig {
+            hold_time: SimDuration::from_millis(20),
+            miss_alarm_threshold: 64,
+            supervisor: None,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+impl ControlVoterConfig {
+    /// Builder: sets the vote hold time.
+    pub fn with_hold_time(mut self, hold_time: SimDuration) -> ControlVoterConfig {
+        self.hold_time = hold_time;
+        self
+    }
+
+    /// Builder: sets the consecutive-miss alarm threshold.
+    pub fn with_miss_alarm_threshold(mut self, misses: u32) -> ControlVoterConfig {
+        self.miss_alarm_threshold = misses;
+        self
+    }
+
+    /// Builder: attaches a self-healing supervisor.
+    pub fn with_supervisor(mut self, supervisor: SupervisorConfig) -> ControlVoterConfig {
+        self.supervisor = Some(supervisor);
+        self
+    }
+}
+
+/// Vote-plane counters (a façade over the live telemetry cells).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlVoterStats {
+    /// Votable controller outputs (flow-mods / packet-outs) observed.
+    pub sent: u64,
+    /// Majority decisions released to the guard.
+    pub voted: u64,
+    /// Vote entries that expired without reaching a quorum.
+    pub rejected: u64,
+    /// Packet-ins relayed to each controller (total over all replicas).
+    pub relayed: u64,
+    /// Per-controller disagreement counts (outputs that lost the vote).
+    pub disagreements: Vec<u64>,
+    /// Controller messages that did not decode as OpenFlow.
+    pub invalid: u64,
+}
+
+/// The replicated-control-plane voter device. See the module docs.
+pub struct ControlVoter {
+    core: CompareCore,
+    controllers: Vec<NodeId>,
+    guard: Option<NodeId>,
+    events: EventLog<SecurityEvent>,
+    sent: Counter,
+    voted: Counter,
+    rejected: Counter,
+    relayed: Counter,
+    invalid: Counter,
+    disagreements: Vec<Counter>,
+    vote_latency: Histogram,
+    /// First-seen time per canonical vote key, for the vote-latency
+    /// histogram; pruned on sweeps.
+    first_seen: HashMap<u128, SimTime>,
+}
+
+impl ControlVoter {
+    /// Creates a voter over `controllers` (index `i` votes as replica port
+    /// `i + 1`). Attach the guard with [`ControlVoter::set_guard`] before
+    /// the run starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics with fewer than 3 controllers — a control-plane majority
+    /// needs at least 3 voters (use a single controller without a voter
+    /// otherwise).
+    pub fn new(cfg: ControlVoterConfig, controllers: Vec<NodeId>) -> ControlVoter {
+        let k = controllers.len();
+        assert!(k >= 3, "control voting needs at least 3 controllers");
+        let mut compare_cfg = CompareConfig::prevent(k)
+            .with_hold_time(cfg.hold_time)
+            .with_cache_capacity(cfg.cache_capacity);
+        compare_cfg.miss_alarm_threshold = cfg.miss_alarm_threshold;
+        compare_cfg.supervisor = cfg.supervisor;
+        let mut core = CompareCore::new(compare_cfg);
+        core.attach_lane(
+            VOTE_LANE,
+            LaneInfo {
+                replica_ports: (1..=k as u16).collect(),
+                // The voter has no data ports; releases travel the control
+                // channel to the guard, so the lane's host port is unused.
+                host_port: 0,
+            },
+        );
+        ControlVoter {
+            core,
+            disagreements: (0..k).map(|_| Counter::detached()).collect(),
+            controllers,
+            guard: None,
+            events: EventLog::unbounded(),
+            sent: Counter::detached(),
+            voted: Counter::detached(),
+            rejected: Counter::detached(),
+            relayed: Counter::detached(),
+            invalid: Counter::detached(),
+            vote_latency: Histogram::detached(),
+            first_seen: HashMap::new(),
+        }
+    }
+
+    /// Registers the guard this voter fronts the control plane for.
+    pub fn set_guard(&mut self, guard: NodeId) {
+        self.guard = Some(guard);
+    }
+
+    /// Vote-plane counters.
+    pub fn stats(&self) -> ControlVoterStats {
+        ControlVoterStats {
+            sent: self.sent.get(),
+            voted: self.voted.get(),
+            rejected: self.rejected.get(),
+            relayed: self.relayed.get(),
+            disagreements: self.disagreements.iter().map(|c| c.get()).collect(),
+            invalid: self.invalid.get(),
+        }
+    }
+
+    /// The embedded compare's statistics (cache, quorum, event counts).
+    pub fn compare_stats(&self) -> CompareStats {
+        self.core.stats()
+    }
+
+    /// The security event log (quarantine lifecycle, disagreements).
+    pub fn events(&self) -> &EventLog<SecurityEvent> {
+        &self.events
+    }
+
+    /// Indices of currently quarantined controllers.
+    pub fn quarantined_controllers(&self) -> Vec<usize> {
+        self.core
+            .quarantined_ports(VOTE_LANE)
+            .into_iter()
+            .map(|p| p as usize - 1)
+            .collect()
+    }
+
+    /// Supervisor status of controller `index` (`None` without a
+    /// supervisor).
+    pub fn controller_status(&self, index: usize) -> Option<ReplicaStatus> {
+        self.core.replica_status(VOTE_LANE, index as u16 + 1)
+    }
+
+    /// Whether the vote currently runs degraded (Detect semantics because
+    /// fewer than 3 controllers are healthy).
+    pub fn degraded(&self) -> bool {
+        self.core.lane_degraded(VOTE_LANE)
+    }
+
+    /// The number of agreeing controllers currently required to release.
+    pub fn active_release_threshold(&self) -> usize {
+        self.core.active_release_threshold(VOTE_LANE)
+    }
+
+    fn sweep_interval(&self) -> SimDuration {
+        (self.core.config().hold_time / 4).max(SimDuration::from_micros(100))
+    }
+
+    fn controller_index(&self, node: NodeId) -> Option<usize> {
+        self.controllers.iter().position(|&c| c == node)
+    }
+
+    fn apply_actions(&mut self, ctx: &mut Ctx<'_>, actions: Vec<CompareAction>) {
+        let now = ctx.now();
+        for action in actions {
+            match action {
+                CompareAction::Release { frame, .. } => {
+                    self.voted.inc();
+                    if let Some(t0) = self.first_seen.remove(&frame.fp128()) {
+                        self.vote_latency
+                            .record(now.saturating_since(t0).as_nanos());
+                    }
+                    if let Some(guard) = self.guard {
+                        ctx.send_control(guard, frame.into_bytes());
+                    }
+                }
+                CompareAction::BlockReplicaPort { .. } => {
+                    // Control channels cannot be blocked mid-session; the
+                    // durable remediation is the supervisor's quarantine,
+                    // which the DoS strike already feeds.
+                }
+                CompareAction::Stall { .. } => {
+                    // Vote bookkeeping cost is covered by the voter node's
+                    // CPU model.
+                }
+                CompareAction::Event(e) => {
+                    if let SecurityEvent::SinglePathPacket { suspect_ports, .. } = &e {
+                        self.rejected.inc();
+                        for &port in suspect_ports {
+                            if let Some(cell) = self.disagreements.get(port as usize - 1) {
+                                cell.inc();
+                            }
+                        }
+                    }
+                    crate::events::trace_security_event(
+                        ctx.telemetry(),
+                        ctx.node_name(ctx.node()),
+                        &e,
+                        now.as_nanos(),
+                    );
+                    self.events.push(now, e);
+                }
+            }
+        }
+    }
+
+    /// A controller replica spoke: answer protocol plumbing ourselves,
+    /// vote everything votable.
+    fn on_controller_msg(&mut self, ctx: &mut Ctx<'_>, index: usize, msg: &Bytes) {
+        match canonicalize(msg) {
+            Canonical::Votable(canon) => {
+                let now = ctx.now();
+                self.sent.inc();
+                let frame = Frame::from(canon);
+                self.first_seen.entry(frame.fp128()).or_insert(now);
+                let actions = self.core.observe(VOTE_LANE, index as u16 + 1, frame, now);
+                self.apply_actions(ctx, actions);
+            }
+            Canonical::Opaque(message, xid) => match *message {
+                OfMessage::Hello => {}
+                OfMessage::FeaturesRequest => {
+                    let reply = OfMessage::FeaturesReply {
+                        datapath_id: ctx.node().index() as u64,
+                        n_buffers: 0,
+                        n_tables: 1,
+                        ports: vec![],
+                    };
+                    let from = self.controllers[index];
+                    ctx.send_control(from, wire::encode(&reply, xid));
+                }
+                OfMessage::EchoRequest(data) => {
+                    let from = self.controllers[index];
+                    ctx.send_control(from, wire::encode(&OfMessage::EchoReply(data), xid));
+                }
+                // Barrier/stats plumbing and anything else a controller
+                // might probe with: silently absorbed. The voter poses as
+                // a minimal switch; only votable outputs move the world.
+                _ => {}
+            },
+            Canonical::Invalid => {
+                self.invalid.inc();
+            }
+        }
+    }
+}
+
+impl Device for ControlVoter {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let sink = ctx.telemetry().clone();
+        let scope = ctx.node_name(ctx.node()).to_string();
+        self.core.set_telemetry(&sink, &scope);
+        sink.adopt_counter(&format!("ctlvote.{scope}.sent"), &mut self.sent);
+        sink.adopt_counter(&format!("ctlvote.{scope}.voted"), &mut self.voted);
+        sink.adopt_counter(&format!("ctlvote.{scope}.rejected"), &mut self.rejected);
+        sink.adopt_counter(&format!("ctlvote.{scope}.relayed"), &mut self.relayed);
+        sink.adopt_counter(&format!("ctlvote.{scope}.invalid"), &mut self.invalid);
+        for (i, cell) in self.disagreements.iter_mut().enumerate() {
+            sink.adopt_counter(&format!("ctlvote.{scope}.disagreements.c{i}"), cell);
+        }
+        sink.adopt_histogram(
+            &format!("ctlvote.{scope}.vote_latency_ns"),
+            &mut self.vote_latency,
+        );
+        ctx.schedule_timer(self.sweep_interval(), SWEEP_TIMER);
+    }
+
+    fn on_frame(&mut self, _ctx: &mut Ctx<'_>, _port: PortId, _frame: Frame) {
+        // The voter lives purely on the control plane.
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != SWEEP_TIMER {
+            return;
+        }
+        let now = ctx.now();
+        let actions = self.core.sweep(now);
+        self.apply_actions(ctx, actions);
+        // Entries that expired unreleased never hit the latency histogram;
+        // drop their first-seen stamps once they are safely past expiry.
+        let horizon = self.core.config().hold_time * 2;
+        self.first_seen
+            .retain(|_, &mut t0| now.saturating_since(t0) < horizon);
+        ctx.schedule_timer(self.sweep_interval(), SWEEP_TIMER);
+    }
+
+    fn on_control(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Bytes) {
+        if self.guard == Some(from) {
+            // Guard side: relay packet-ins verbatim so every replica sees
+            // a bit-identical input stream (same bytes, same xid).
+            if matches!(
+                wire::decode_shared(&msg),
+                Ok((OfMessage::PacketIn { .. }, _))
+            ) {
+                for &c in &self.controllers {
+                    self.relayed.inc();
+                    ctx.send_control(c, msg.clone());
+                }
+            }
+            return;
+        }
+        if let Some(index) = self.controller_index(from) {
+            self.on_controller_msg(ctx, index, &msg);
+        }
+    }
+}
+
+impl std::fmt::Debug for ControlVoter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControlVoter")
+            .field("controllers", &self.controllers.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netco_net::{CpuModel, World};
+    use netco_openflow::{Action, OfPort, PacketInReason};
+
+    /// Records control messages it receives; sends nothing.
+    #[derive(Default)]
+    struct ControlCollector {
+        msgs: Vec<(SimTime, NodeId, Bytes)>,
+    }
+
+    impl Device for ControlCollector {
+        fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: Frame) {}
+        fn on_control(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Bytes) {
+            self.msgs.push((ctx.now(), from, msg));
+        }
+    }
+
+    /// Sends scripted control messages at fixed times; collects replies.
+    struct Script {
+        to: NodeId,
+        msgs: Vec<(SimDuration, Bytes)>,
+        received: Vec<Bytes>,
+    }
+
+    impl Script {
+        fn new(to: NodeId, msgs: Vec<(SimDuration, Bytes)>) -> Script {
+            Script {
+                to,
+                msgs,
+                received: Vec::new(),
+            }
+        }
+    }
+
+    impl Device for Script {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for (i, (at, _)) in self.msgs.iter().enumerate() {
+                ctx.schedule_timer(*at, i as u64);
+            }
+        }
+        fn on_frame(&mut self, _: &mut Ctx<'_>, _: PortId, _: Frame) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            let msg = self.msgs[token as usize].1.clone();
+            ctx.send_control(self.to, msg);
+        }
+        fn on_control(&mut self, _: &mut Ctx<'_>, _: NodeId, msg: Bytes) {
+            self.received.push(msg);
+        }
+    }
+
+    fn packet_out(payload: &[u8], xid: u32) -> Bytes {
+        wire::encode(
+            &OfMessage::PacketOut {
+                buffer_id: None,
+                in_port: OfPort::None.to_u16(),
+                actions: vec![Action::Output(OfPort::Physical(0))],
+                data: Bytes::copy_from_slice(payload),
+            },
+            xid,
+        )
+    }
+
+    /// guard(collector) ← voter ← 3 scripted "controllers". Node ids are
+    /// sequential, so the voter's id (added last) is known in advance.
+    fn world_with(
+        scripts: [Vec<(SimDuration, Bytes)>; 3],
+        cfg: ControlVoterConfig,
+    ) -> (World, NodeId, NodeId, [NodeId; 3]) {
+        let mut w = World::new(11);
+        let v = NodeId::from_index(4);
+        let guard = w.add_node("guard", ControlCollector::default(), CpuModel::default());
+        let [s0, s1, s2] = scripts;
+        let c0 = w.add_node("c0", Script::new(v, s0), CpuModel::default());
+        let c1 = w.add_node("c1", Script::new(v, s1), CpuModel::default());
+        let c2 = w.add_node("c2", Script::new(v, s2), CpuModel::default());
+        let mut voter = ControlVoter::new(cfg, vec![c0, c1, c2]);
+        voter.set_guard(guard);
+        assert_eq!(w.add_node("voter", voter, CpuModel::default()), v);
+        for node in [c0, c1, c2] {
+            w.connect_control(node, v, Default::default());
+        }
+        w.connect_control(guard, v, Default::default());
+        (w, guard, v, [c0, c1, c2])
+    }
+
+    #[test]
+    fn majority_vote_releases_canonical_bytes_once() {
+        let t = SimDuration::from_millis(1);
+        // Same decision, three different xids; c2 equivocates.
+        let (mut w, guard, v, _) = world_with(
+            [
+                vec![(t, packet_out(b"decision", 10))],
+                vec![(t, packet_out(b"decision", 77))],
+                vec![(t, packet_out(b"EVIL!!!!", 3))],
+            ],
+            ControlVoterConfig::default(),
+        );
+        w.run_for(SimDuration::from_millis(100));
+        let msgs = &w.device::<ControlCollector>(guard).unwrap().msgs;
+        assert_eq!(msgs.len(), 1, "exactly one majority release");
+        let (decoded, xid) = wire::decode(&msgs[0].2).unwrap();
+        assert_eq!(xid, 0, "released artifact is the canonical form");
+        assert!(
+            matches!(decoded, OfMessage::PacketOut { data, .. } if data == Bytes::from_static(b"decision"))
+        );
+        let voter = w.device::<ControlVoter>(v).unwrap();
+        assert_eq!(voter.stats().sent, 3);
+        assert_eq!(voter.stats().voted, 1);
+        assert_eq!(voter.stats().rejected, 1, "the equivocator's entry expired");
+        assert_eq!(voter.stats().disagreements, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn handshake_probes_are_answered() {
+        let t = SimDuration::from_millis(1);
+        let (mut w, _guard, v, [c0, _, _]) = world_with(
+            [
+                vec![
+                    (t, wire::encode(&OfMessage::Hello, 0)),
+                    (t, wire::encode(&OfMessage::FeaturesRequest, 5)),
+                    (
+                        t + t,
+                        wire::encode(&OfMessage::EchoRequest(Bytes::from_static(b"ping")), 9),
+                    ),
+                ],
+                vec![],
+                vec![],
+            ],
+            ControlVoterConfig::default(),
+        );
+        w.run_for(SimDuration::from_millis(50));
+        let replies: Vec<(OfMessage, u32)> = w
+            .device::<Script>(c0)
+            .unwrap()
+            .received
+            .iter()
+            .map(|m| wire::decode(m).unwrap())
+            .collect();
+        assert_eq!(replies.len(), 2, "Hello is absorbed, probes answered");
+        assert!(
+            matches!(
+                &replies[0],
+                (OfMessage::FeaturesReply { n_tables: 1, .. }, 5)
+            ),
+            "features reply echoes the probe xid: {replies:?}"
+        );
+        assert!(
+            matches!(&replies[1], (OfMessage::EchoReply(d), 9) if d == &Bytes::from_static(b"ping"))
+        );
+        let voter = w.device::<ControlVoter>(v).unwrap();
+        assert_eq!(voter.stats().invalid, 0);
+        assert_eq!(voter.stats().sent, 0, "plumbing is not voted on");
+    }
+
+    #[test]
+    fn packet_ins_are_relayed_verbatim_to_all_controllers() {
+        let mut w = World::new(3);
+        let c0 = w.add_node("c0", ControlCollector::default(), CpuModel::default());
+        let c1 = w.add_node("c1", ControlCollector::default(), CpuModel::default());
+        let c2 = w.add_node("c2", ControlCollector::default(), CpuModel::default());
+        let mut voter = ControlVoter::new(ControlVoterConfig::default(), vec![c0, c1, c2]);
+        let pi = wire::encode(
+            &OfMessage::PacketIn {
+                buffer_id: None,
+                in_port: 2,
+                reason: PacketInReason::NoMatch,
+                data: Bytes::from_static(b"copy"),
+            },
+            42,
+        );
+        let v_pi = pi.clone();
+        let guard = w.add_node(
+            "guard",
+            Script::new(
+                NodeId::from_index(4),
+                vec![(SimDuration::from_millis(1), v_pi)],
+            ),
+            CpuModel::default(),
+        );
+        voter.set_guard(guard);
+        let v = w.add_node("voter", voter, CpuModel::default());
+        assert_eq!(v, NodeId::from_index(4), "script target must be the voter");
+        for c in [c0, c1, c2] {
+            w.connect_control(c, v, Default::default());
+        }
+        w.connect_control(guard, v, Default::default());
+        w.run_for(SimDuration::from_millis(20));
+        for c in [c0, c1, c2] {
+            let msgs = &w.device::<ControlCollector>(c).unwrap().msgs;
+            assert_eq!(msgs.len(), 1);
+            assert_eq!(msgs[0].2, pi, "relay must be byte-identical, xid included");
+        }
+        assert_eq!(w.device::<ControlVoter>(v).unwrap().stats().relayed, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 controllers")]
+    fn voter_requires_three_controllers() {
+        let _ = ControlVoter::new(
+            ControlVoterConfig::default(),
+            vec![NodeId::from_index(0), NodeId::from_index(1)],
+        );
+    }
+}

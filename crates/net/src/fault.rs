@@ -61,6 +61,26 @@ pub enum FaultKind {
         /// When the impairment is active.
         window: ActivationWindow,
     },
+    /// Added latency: while the window is active, every admitted frame (or
+    /// control message) arrives `extra` later than the substrate latency.
+    /// Deterministic — no RNG draw.
+    Delay {
+        /// Extra one-way latency added to each admission in the window.
+        extra: SimDuration,
+        /// When the impairment is active.
+        window: ActivationWindow,
+    },
+    /// Reordering: while the window is active, each admitted frame is
+    /// independently held back an extra `hold` with `probability`, letting
+    /// later frames overtake it (per-link RNG keyed off the plan seed).
+    Reorder {
+        /// Per-frame hold-back probability in `[0, 1]`.
+        probability: f64,
+        /// Extra latency a held-back frame suffers.
+        hold: SimDuration,
+        /// When the impairment is active.
+        window: ActivationWindow,
+    },
 }
 
 /// A [`FaultKind`] bound to the link it impairs.
@@ -68,6 +88,25 @@ pub enum FaultKind {
 pub struct FaultSpec {
     /// The impaired link.
     pub link: LinkId,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A [`FaultKind`] bound to one *direction* of a control channel.
+///
+/// Control channels are not links — they are the out-of-band
+/// controller↔switch paths registered via
+/// [`World::connect_control`](crate::World::connect_control) — so the
+/// control plane gets its own fault targeting: messages sent `from → to`
+/// while a fault is active are dropped (Outage/Flaps/Loss), bit-flipped
+/// (Corrupt) or late (Delay/Reorder). Probabilistic draws come from a
+/// dedicated per-pair RNG derived from the plan seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlFaultSpec {
+    /// Sender side of the impaired direction.
+    pub from: crate::id::NodeId,
+    /// Receiver side of the impaired direction.
+    pub to: crate::id::NodeId,
     /// What goes wrong.
     pub kind: FaultKind,
 }
@@ -105,6 +144,8 @@ pub struct FaultPlan {
     pub seed: u64,
     /// The scripted faults, applied in order.
     pub faults: Vec<FaultSpec>,
+    /// Scripted control-channel faults, applied in order.
+    pub control_faults: Vec<ControlFaultSpec>,
 }
 
 impl FaultPlan {
@@ -113,6 +154,7 @@ impl FaultPlan {
         FaultPlan {
             seed,
             faults: Vec::new(),
+            control_faults: Vec::new(),
         }
     }
 
@@ -170,8 +212,56 @@ impl FaultPlan {
         )
     }
 
+    /// Adds a deterministic extra-latency fault over `window`.
+    pub fn delay(self, link: LinkId, extra: SimDuration, window: ActivationWindow) -> FaultPlan {
+        self.with(link, FaultKind::Delay { extra, window })
+    }
+
+    /// Adds probabilistic reordering (frames held back `hold`) over
+    /// `window`.
+    pub fn reorder(
+        self,
+        link: LinkId,
+        probability: f64,
+        hold: SimDuration,
+        window: ActivationWindow,
+    ) -> FaultPlan {
+        self.with(
+            link,
+            FaultKind::Reorder {
+                probability,
+                hold,
+                window,
+            },
+        )
+    }
+
+    /// Adds a fault on the `from → to` direction of a control channel.
+    pub fn control_fault(
+        mut self,
+        from: crate::id::NodeId,
+        to: crate::id::NodeId,
+        kind: FaultKind,
+    ) -> FaultPlan {
+        self.control_faults
+            .push(ControlFaultSpec { from, to, kind });
+        self
+    }
+
+    /// Adds the same fault on *both* directions of a control channel — the
+    /// natural shape for partitions and rolling restarts.
+    pub fn control_fault_bidir(
+        self,
+        a: crate::id::NodeId,
+        b: crate::id::NodeId,
+        kind: FaultKind,
+    ) -> FaultPlan {
+        self.control_fault(a, b, kind.clone())
+            .control_fault(b, a, kind)
+    }
+
     /// `true` when the plan contains no faults.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty()
+        self.faults.is_empty() && self.control_faults.is_empty()
     }
 }

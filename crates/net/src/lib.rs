@@ -52,7 +52,7 @@ mod world;
 
 pub use cpu::CpuModel;
 pub use device::{Ctx, Device};
-pub use fault::{FaultKind, FaultPlan, FaultSpec};
+pub use fault::{ControlFaultSpec, FaultKind, FaultPlan, FaultSpec};
 pub use frame::{
     fnv1a, fp128, memo_stats, memo_stats_merged, reset_memo_stats, reset_memo_stats_merged, Frame,
     MemoStats,

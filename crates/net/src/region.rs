@@ -339,6 +339,7 @@ impl World {
                     links: self.core.links.clone(),
                     adjacency: self.core.adjacency.clone(),
                     control: self.core.control.clone(),
+                    control_faults: self.core.control_faults.clone(),
                     substrate_drops: [0; DropReason::COUNT],
                     tap_rec: TapRecorder {
                         record: self.core.tap_rec.record,
@@ -524,6 +525,13 @@ impl World {
                 }
                 if map.assignment[link.ends[0].0.index()] as usize == region {
                     self.core.links[li].enabled = link.enabled;
+                }
+            }
+            // A control-fault entry's RNG advances only when `from` sends:
+            // the region owning `from` holds the authoritative copy.
+            for (pair, fault) in &core.control_faults {
+                if map.assignment[pair.0.index()] as usize == region {
+                    self.core.control_faults.insert(*pair, fault.clone());
                 }
             }
             for (acc, shard) in self

@@ -305,6 +305,8 @@ pub(crate) struct LinkState {
 pub(crate) struct LinkFault {
     loss: Vec<(f64, ActivationWindow)>,
     corrupt: Vec<(f64, ActivationWindow)>,
+    delay: Vec<(SimDuration, ActivationWindow)>,
+    reorder: Vec<(f64, SimDuration, ActivationWindow)>,
     /// One independent stream per direction: each half-link is owned by
     /// the region holding its sending endpoint, so the two directions must
     /// never share RNG state. Direction 0 keeps the pre-split derivation.
@@ -319,6 +321,8 @@ impl LinkFault {
         LinkFault {
             loss: Vec::new(),
             corrupt: Vec::new(),
+            delay: Vec::new(),
+            reorder: Vec::new(),
             rngs: [SimRng::new(seed), SimRng::new(seed ^ 0xD6E8_FEB8_6659_FD93)],
         }
     }
@@ -345,6 +349,103 @@ impl LinkFault {
             }
         }
         None
+    }
+
+    /// Extra latency this admission suffers: deterministic `Delay` windows
+    /// plus probabilistic `Reorder` hold-backs. Only ever *adds* latency,
+    /// so the region executor's minimum-link-latency lookahead stays a
+    /// valid lower bound.
+    fn extra_roll(&mut self, now: SimTime, dir: usize) -> SimDuration {
+        let mut extra = SimDuration::ZERO;
+        for i in 0..self.delay.len() {
+            let (d, w) = self.delay[i];
+            if w.contains(now) {
+                extra += d;
+            }
+        }
+        for i in 0..self.reorder.len() {
+            let (p, hold, w) = self.reorder[i];
+            if w.contains(now) && self.rngs[dir].chance(p) {
+                extra += hold;
+            }
+        }
+        extra
+    }
+}
+
+/// Scripted impairments on one *direction* of a control channel
+/// (see [`crate::ControlFaultSpec`]): the control-plane counterpart of
+/// [`LinkFault`], with outage windows folded in (control channels have no
+/// up/down admin state to schedule).
+#[derive(Clone)]
+pub(crate) struct ControlFault {
+    outage: Vec<ActivationWindow>,
+    loss: Vec<(f64, ActivationWindow)>,
+    corrupt: Vec<(f64, ActivationWindow)>,
+    delay: Vec<(SimDuration, ActivationWindow)>,
+    reorder: Vec<(f64, SimDuration, ActivationWindow)>,
+    /// Per-directed-pair stream derived from the plan seed; consumed only
+    /// when `from` sends, which always runs on the region owning the pair
+    /// (control peers are contracted into one region).
+    rng: SimRng,
+}
+
+impl ControlFault {
+    fn new(plan_seed: u64, from: NodeId, to: NodeId) -> ControlFault {
+        let seed = plan_seed
+            ^ (from.index() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (to.index() as u64 + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        ControlFault {
+            outage: Vec::new(),
+            loss: Vec::new(),
+            corrupt: Vec::new(),
+            delay: Vec::new(),
+            reorder: Vec::new(),
+            rng: SimRng::new(seed),
+        }
+    }
+
+    fn drop_roll(&mut self, now: SimTime) -> bool {
+        if self.outage.iter().any(|w| w.contains(now)) {
+            return true;
+        }
+        for i in 0..self.loss.len() {
+            let (p, w) = self.loss[i];
+            if w.contains(now) && self.rng.chance(p) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn corrupt_roll(&mut self, now: SimTime, len: usize) -> Option<usize> {
+        if len == 0 {
+            return None;
+        }
+        for i in 0..self.corrupt.len() {
+            let (p, w) = self.corrupt[i];
+            if w.contains(now) && self.rng.chance(p) {
+                return Some(self.rng.next_below(len as u64) as usize);
+            }
+        }
+        None
+    }
+
+    fn extra_roll(&mut self, now: SimTime) -> SimDuration {
+        let mut extra = SimDuration::ZERO;
+        for i in 0..self.delay.len() {
+            let (d, w) = self.delay[i];
+            if w.contains(now) {
+                extra += d;
+            }
+        }
+        for i in 0..self.reorder.len() {
+            let (p, hold, w) = self.reorder[i];
+            if w.contains(now) && self.rng.chance(p) {
+                extra += hold;
+            }
+        }
+        extra
     }
 }
 
@@ -387,6 +488,10 @@ pub(crate) struct WorldCore {
     // per transmitted frame, so it must not hash.
     pub(crate) adjacency: Vec<Vec<Option<(u32, u8)>>>,
     pub(crate) control: HashMap<(NodeId, NodeId), ControlChannelSpec>,
+    /// Scripted control-channel impairments, keyed by directed pair. The
+    /// RNG inside an entry advances only when `from` sends, so the entry is
+    /// owned (and merged back) by the region holding `from`.
+    pub(crate) control_faults: HashMap<(NodeId, NodeId), ControlFault>,
     pub(crate) substrate_drops: [u64; DropReason::COUNT],
     pub(crate) tap_rec: TapRecorder,
     pub(crate) region: Option<RegionCtx>,
@@ -542,6 +647,13 @@ impl WorldCore {
             }
             None => frame,
         };
+        // Extra latency (Delay windows / Reorder hold-backs) only ever adds
+        // to the substrate latency, so the region executor's lookahead
+        // bound stays valid.
+        let extra = link
+            .fault
+            .as_mut()
+            .map_or(SimDuration::ZERO, |f| f.extra_roll(now, dir as usize));
         let d = &mut link.dirs[dir as usize];
         if d.queued_bytes.saturating_add(len) > link.spec.queue_bytes {
             link.dropped[dir as usize] += 1;
@@ -556,7 +668,7 @@ impl WorldCore {
         let done = start + link.spec.tx_time(len);
         d.busy_until = done;
         let (peer, peer_port) = link.ends[1 - dir as usize];
-        let arrival = done + link.spec.latency;
+        let arrival = done + link.spec.latency + extra;
         self.sched.schedule_at_keyed(
             done,
             Event::key_tx_done(link_idx, dir),
@@ -586,8 +698,26 @@ impl WorldCore {
             return;
         };
         let latency = spec.latency;
+        let now = self.sched.now();
+        // Scripted control-plane impairments (FaultPlan::control_fault):
+        // outage/loss eat the message, corruption flips one bit, delay and
+        // reorder stretch the channel latency.
+        let mut msg = msg;
+        let mut extra = SimDuration::ZERO;
+        if let Some(fault) = self.control_faults.get_mut(&(from, to)) {
+            if fault.drop_roll(now) {
+                self.drop_frame(DropReason::FaultInjected);
+                return;
+            }
+            if let Some(idx) = fault.corrupt_roll(now, msg.len()) {
+                let mut bytes = msg.to_vec();
+                bytes[idx] ^= 0x01;
+                msg = Bytes::from(bytes);
+            }
+            extra = fault.extra_roll(now);
+        }
         self.tel_control_latency.record(latency.as_nanos());
-        let at = self.sched.now() + latency;
+        let at = now + latency + extra;
         self.route_to_node(
             at,
             Event::key_control_arrival(to, from),
@@ -733,6 +863,7 @@ impl World {
                 links: Vec::new(),
                 adjacency: Vec::new(),
                 control: HashMap::new(),
+                control_faults: HashMap::new(),
                 substrate_drops: [0; DropReason::COUNT],
                 tap_rec: TapRecorder::default(),
                 region: None,
@@ -960,6 +1091,62 @@ impl World {
                         .corrupt
                         .push((probability, window));
                 }
+                FaultKind::Delay { extra, window } => {
+                    self.link_fault_mut(plan.seed, spec.link)
+                        .delay
+                        .push((extra, window));
+                }
+                FaultKind::Reorder {
+                    probability,
+                    hold,
+                    window,
+                } => {
+                    self.link_fault_mut(plan.seed, spec.link).reorder.push((
+                        probability,
+                        hold,
+                        window,
+                    ));
+                }
+            }
+        }
+        for spec in &plan.control_faults {
+            let fault = self
+                .core
+                .control_faults
+                .entry((spec.from, spec.to))
+                .or_insert_with(|| ControlFault::new(plan.seed, spec.from, spec.to));
+            match spec.kind {
+                // Control channels have no admin state: outages and flaps
+                // become window-based drops evaluated at send time.
+                FaultKind::Outage(window) => fault.outage.push(window),
+                FaultKind::Flaps {
+                    first_down,
+                    down_for,
+                    up_for,
+                    cycles,
+                } => {
+                    let mut t = first_down;
+                    for _ in 0..cycles {
+                        fault
+                            .outage
+                            .push(ActivationWindow::between(t, t + down_for));
+                        t = t + down_for + up_for;
+                    }
+                }
+                FaultKind::Loss {
+                    probability,
+                    window,
+                } => fault.loss.push((probability, window)),
+                FaultKind::Corrupt {
+                    probability,
+                    window,
+                } => fault.corrupt.push((probability, window)),
+                FaultKind::Delay { extra, window } => fault.delay.push((extra, window)),
+                FaultKind::Reorder {
+                    probability,
+                    hold,
+                    window,
+                } => fault.reorder.push((probability, hold, window)),
             }
         }
     }

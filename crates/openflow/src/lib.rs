@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod action;
+pub mod canonical;
 mod flow_match;
 mod flow_table;
 mod messages;

@@ -640,6 +640,12 @@ fn decode_match(b: &[u8]) -> Result<FlowMatch, WireError> {
     })
 }
 
+/// Encodes a single action to its wire bytes (the canonicalizer's sort
+/// key: a total, codec-defined order over actions).
+pub(crate) fn encode_one_action(action: &Action) -> Bytes {
+    encode_actions(std::slice::from_ref(action))
+}
+
 fn encode_actions(actions: &[Action]) -> Bytes {
     let mut b = BytesMut::new();
     for a in actions {

@@ -4,6 +4,7 @@
 
 use bytes::Bytes;
 use netco_net::MacAddr;
+use netco_openflow::canonical::{canonicalize, Canonical};
 use netco_openflow::{
     wire, Action, FlowMatch, FlowModCommand, OfMessage, OfPort, PacketFields, PacketInReason,
 };
@@ -219,6 +220,105 @@ proptest! {
         if general.subsumes(&specific) {
             prop_assert!(general.matches(&fields));
         }
+    }
+
+    // The control-plane vote key (the canonical wire form, see
+    // `netco_openflow::canonical`) must be invariant under every field
+    // honest replicas legitimately disagree on — xid, buffer id, action
+    // order — and a fixpoint, so voting on already-canonical bytes is
+    // consistent with voting on raw controller output.
+    #[test]
+    fn canonical_flow_mod_key_survives_cosmetic_variation(
+        matcher in arb_match(),
+        priority in any::<u16>(),
+        cookie in any::<u64>(),
+        notify in any::<bool>(),
+        actions in proptest::collection::vec(arb_action(), 0..6),
+        rot in any::<usize>(),
+        xid1 in any::<u32>(),
+        xid2 in any::<u32>(),
+        buf1 in proptest::option::of(0u32..u32::MAX - 1),
+        buf2 in proptest::option::of(0u32..u32::MAX - 1),
+    ) {
+        let mk = |actions: Vec<Action>, buffer_id: Option<u32>| OfMessage::FlowMod {
+            command: FlowModCommand::Add,
+            matcher: matcher.clone(),
+            priority,
+            idle_timeout_s: 0,
+            hard_timeout_s: 0,
+            cookie,
+            notify_when_removed: notify,
+            actions,
+            buffer_id,
+        };
+        let mut permuted = actions.clone();
+        if !permuted.is_empty() {
+            let n = permuted.len();
+            permuted.rotate_left(rot % n);
+        }
+        let a = canonicalize(&wire::encode(&mk(actions, buf1), xid1));
+        let b = canonicalize(&wire::encode(&mk(permuted, buf2), xid2));
+        prop_assert_eq!(&a, &b, "vote key must ignore xid/buffer/action order");
+        let Canonical::Votable(canon) = a else {
+            return Err(TestCaseError::fail("flow-mod must be votable"));
+        };
+        prop_assert_eq!(
+            canonicalize(&canon),
+            Canonical::Votable(canon.clone()),
+            "canonicalization must be idempotent"
+        );
+        let (_, xid) = wire::decode(&canon).expect("canonical bytes must decode");
+        prop_assert_eq!(xid, 0);
+    }
+
+    #[test]
+    fn canonical_packet_out_key_survives_cosmetic_variation(
+        in_port in any::<u16>(),
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        actions in proptest::collection::vec(arb_action(), 0..4),
+        rot in any::<usize>(),
+        xid1 in any::<u32>(),
+        xid2 in any::<u32>(),
+        buf in proptest::option::of(0u32..u32::MAX - 1),
+    ) {
+        let data = Bytes::from(data);
+        let mk = |actions: Vec<Action>, buffer_id: Option<u32>| OfMessage::PacketOut {
+            buffer_id,
+            in_port,
+            actions,
+            data: data.clone(),
+        };
+        let mut permuted = actions.clone();
+        if !permuted.is_empty() {
+            let n = permuted.len();
+            permuted.rotate_left(rot % n);
+        }
+        let a = canonicalize(&wire::encode(&mk(actions, buf), xid1));
+        let b = canonicalize(&wire::encode(&mk(permuted, None), xid2));
+        prop_assert_eq!(&a, &b);
+        prop_assert!(matches!(a, Canonical::Votable(_)));
+    }
+
+    // ...but never under anything that carries a *decision*: two
+    // packet-outs with different payloads must key differently, else a
+    // corrupted release could ride an honest vote.
+    #[test]
+    fn canonical_keys_separate_different_payloads(
+        in_port in any::<u16>(),
+        data1 in proptest::collection::vec(any::<u8>(), 1..128),
+        data2 in proptest::collection::vec(any::<u8>(), 1..128),
+        xid in any::<u32>(),
+    ) {
+        prop_assume!(data1 != data2);
+        let mk = |data: Vec<u8>| OfMessage::PacketOut {
+            buffer_id: None,
+            in_port,
+            actions: vec![Action::Output(OfPort::Physical(1))],
+            data: Bytes::from(data),
+        };
+        let a = canonicalize(&wire::encode(&mk(data1), xid));
+        let b = canonicalize(&wire::encode(&mk(data2), xid));
+        prop_assert_ne!(a, b);
     }
 
     #[test]

@@ -309,6 +309,35 @@ impl MetricsRegistry {
         }
     }
 
+    /// Registers a detached histogram handle under `name`; the counterpart
+    /// of [`adopt_counter`](MetricsRegistry::adopt_counter). On a name
+    /// collision the handle's recorded values merge bucket-wise into the
+    /// registered histogram and the handle is repointed at it. Idempotent.
+    pub fn adopt_histogram(&mut self, name: &str, handle: &mut Histogram) {
+        match self.metrics.entry(name.to_string()) {
+            Entry::Occupied(entry) => match entry.get() {
+                Metric::Histogram(cell) => {
+                    if let Some(cur) = &handle.0 {
+                        if Arc::ptr_eq(cur, cell) {
+                            return;
+                        }
+                        let carried = cur.lock().expect("histogram lock");
+                        cell.lock().expect("histogram lock").merge(&carried);
+                    }
+                    handle.0 = Some(cell.clone());
+                }
+                _ => panic!("metric `{name}` already registered with a different type"),
+            },
+            Entry::Vacant(entry) => {
+                let cell = handle
+                    .0
+                    .get_or_insert_with(|| Arc::new(Mutex::new(LogLinearHistogram::new())))
+                    .clone();
+                entry.insert(Metric::Histogram(cell));
+            }
+        }
+    }
+
     /// Folds another registry's contents into this one, name by name:
     /// counters add, gauges take the element-wise maximum of value and
     /// peak, histograms merge bucket-wise. Names absent here are created.

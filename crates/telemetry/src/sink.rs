@@ -108,6 +108,18 @@ impl TelemetrySink {
         }
     }
 
+    /// Adopts a detached histogram into the registry under `name`; no-op
+    /// when disabled.
+    pub fn adopt_histogram(&self, name: &str, handle: &mut Histogram) {
+        if let Some(inner) = &self.inner {
+            inner
+                .registry
+                .lock()
+                .expect("registry lock")
+                .adopt_histogram(name, handle);
+        }
+    }
+
     /// Canonical JSON snapshot of every registered metric (`"{}"` plus a
     /// newline when disabled, so callers can always write a valid file).
     pub fn metrics_json(&self) -> String {

@@ -24,9 +24,9 @@ mod reference;
 pub mod virtual_netco;
 
 pub use fattree::{ExtraRules, FatTree, FatTreeIndex, FatTreeOptions, InertHost, SwitchRole};
-pub use netco_net::{FaultKind, FaultPlan, FaultSpec};
+pub use netco_net::{ControlFaultSpec, FaultKind, FaultPlan, FaultSpec};
 pub use profile::Profile;
 pub use reference::{
-    AdversarySpec, BuiltScenario, Direction, Scenario, ScenarioKind, TcpRunOutcome, UdpRunOutcome,
-    H1_IP, H1_MAC, H2_IP, H2_MAC,
+    AdversarySpec, BuiltScenario, ByzantineControllerSpec, ControlReplication, Direction, Scenario,
+    ScenarioKind, TcpRunOutcome, UdpRunOutcome, H1_IP, H1_MAC, H2_IP, H2_MAC,
 };

@@ -4,16 +4,17 @@
 use std::net::Ipv4Addr;
 
 use netco_adversary::MaliciousSwitch;
+use netco_controller::apps::{ByzantineApp, ByzantineBehavior};
 use netco_controller::Controller;
 use netco_core::{
-    Compare, CompareAttachment, CompareConfig, CompareStrategy, GuardConfig, GuardSwitch, LaneInfo,
-    PoxCompareApp, SupervisorConfig,
+    Compare, CompareAttachment, CompareConfig, CompareStrategy, ControlVoter, ControlVoterConfig,
+    GuardConfig, GuardSwitch, LaneInfo, PoxCompareApp, SupervisorConfig,
 };
 use netco_net::{
     Device, FaultKind, FaultPlan, HostNic, LinkId, MacAddr, NeighborTable, NodeId, PortId, World,
 };
 use netco_openflow::{Action, FlowEntry, FlowMatch, OfPort, OfSwitch, SwitchConfig};
-use netco_sim::SimDuration;
+use netco_sim::{ActivationWindow, SimDuration, SimTime};
 use netco_traffic::{
     max_rate_search, IcmpEchoResponder, IperfConfig, PingConfig, PingReport, Pinger, TcpConfig,
     TcpReceiver, TcpReport, TcpSender, TcpSenderStats, UdpConfig, UdpReport, UdpSink, UdpSource,
@@ -121,8 +122,15 @@ pub struct BuiltScenario {
     pub routers: Vec<NodeId>,
     /// The compare host (Central scenarios only).
     pub compare: Option<NodeId>,
-    /// The controller (POX scenario only).
+    /// The controller (POX scenario only). With control replication this
+    /// is the first replica, for backwards compatibility.
     pub controller: Option<NodeId>,
+    /// All controller replicas (Pox3 with [`ControlReplication`]; one
+    /// entry for plain Pox3, empty otherwise).
+    pub controllers: Vec<NodeId>,
+    /// The control voters, one per guard (`s1`'s then `s2`'s) — only
+    /// populated by Pox3 with [`ControlReplication`].
+    pub voters: Vec<NodeId>,
     /// Per replica: its `(s1-side, s2-side)` links — fault-injection
     /// handles for availability experiments.
     pub replica_links: Vec<(LinkId, LinkId)>,
@@ -181,6 +189,7 @@ pub struct Scenario {
     miss_alarm_threshold: Option<u32>,
     replica_faults: Vec<(usize, FaultKind)>,
     fault_seed: Option<u64>,
+    control_replication: Option<ControlReplication>,
 }
 
 /// Replaces one replica router with a malicious one.
@@ -190,6 +199,118 @@ pub struct AdversarySpec {
     pub replica_index: usize,
     /// The scripted behaviours (see [`netco_adversary::Behavior`]).
     pub behaviors: Vec<(netco_adversary::Behavior, netco_adversary::ActivationWindow)>,
+}
+
+/// Makes one controller replica Byzantine (see
+/// [`netco_controller::apps::ByzantineApp`]).
+#[derive(Debug, Clone)]
+pub struct ByzantineControllerSpec {
+    /// 0-based index of the controller replica to corrupt.
+    pub controller_index: usize,
+    /// How the replica misbehaves while the window is open.
+    pub behavior: ByzantineBehavior,
+    /// When the misbehaviour is active.
+    pub window: ActivationWindow,
+}
+
+/// Replicates the POX compare controller `controllers` ways behind one
+/// [`ControlVoter`] per guard (Pox3 only). Each packet-in fans out to every
+/// replica; a flow-mod/packet-out is released to the guard only once a
+/// majority of replicas emitted the same canonical message. Off by default:
+/// a plain [`ScenarioKind::Pox3`] build is bit-identical to previous
+/// releases unless [`Scenario::with_control_replication`] is called.
+#[derive(Debug, Clone)]
+pub struct ControlReplication {
+    /// Number of controller replicas (`≥ 3`).
+    pub controllers: usize,
+    /// Voter tuning (hold time, miss alarms, supervisor).
+    pub voter: ControlVoterConfig,
+    /// Optional Byzantine wrapper around one replica.
+    pub byzantine: Option<ByzantineControllerSpec>,
+    /// Substrate faults against `(controller_index, kind)` — applied to
+    /// both directions of both voter↔controller channels, so an
+    /// [`FaultKind::Outage`] models a controller crash/partition and
+    /// [`FaultKind::Delay`] a congested control channel.
+    pub controller_faults: Vec<(usize, FaultKind)>,
+}
+
+impl ControlReplication {
+    /// `controllers` replicas with default voter tuning.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `controllers < 3` (majority voting needs 3).
+    pub fn new(controllers: usize) -> ControlReplication {
+        assert!(
+            controllers >= 3,
+            "control voting needs at least 3 controllers"
+        );
+        ControlReplication {
+            controllers,
+            voter: ControlVoterConfig::default(),
+            byzantine: None,
+            controller_faults: Vec::new(),
+        }
+    }
+
+    /// Builder: overrides the voter tuning.
+    pub fn with_voter(mut self, voter: ControlVoterConfig) -> ControlReplication {
+        self.voter = voter;
+        self
+    }
+
+    /// Builder: makes controller `index` Byzantine per `behavior` inside
+    /// `window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn with_byzantine(
+        mut self,
+        index: usize,
+        behavior: ByzantineBehavior,
+        window: ActivationWindow,
+    ) -> ControlReplication {
+        assert!(index < self.controllers, "controller index out of range");
+        self.byzantine = Some(ByzantineControllerSpec {
+            controller_index: index,
+            behavior,
+            window,
+        });
+        self
+    }
+
+    /// Builder: schedules a control-channel fault against controller
+    /// `index` (both voters, both directions).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn with_controller_fault(mut self, index: usize, kind: FaultKind) -> ControlReplication {
+        assert!(index < self.controllers, "controller index out of range");
+        self.controller_faults.push((index, kind));
+        self
+    }
+
+    /// Builder: a rolling restart — each controller in turn is cut off for
+    /// `down_for`, with restarts spaced `stagger` apart starting at
+    /// `start`. With `stagger ≥ down_for` at most one replica is down at a
+    /// time, so a majority of healthy controllers always remains.
+    pub fn rolling_restart(
+        mut self,
+        start: SimTime,
+        down_for: SimDuration,
+        stagger: SimDuration,
+    ) -> ControlReplication {
+        for i in 0..self.controllers {
+            let from = start + stagger * i as u64;
+            self.controller_faults.push((
+                i,
+                FaultKind::Outage(ActivationWindow::between(from, from + down_for)),
+            ));
+        }
+        self
+    }
 }
 
 impl Scenario {
@@ -206,6 +327,7 @@ impl Scenario {
             miss_alarm_threshold: None,
             replica_faults: Vec::new(),
             fault_seed: None,
+            control_replication: None,
         }
     }
 
@@ -280,6 +402,21 @@ impl Scenario {
     /// fault dice from the scenario seed.
     pub fn with_fault_seed(mut self, seed: u64) -> Scenario {
         self.fault_seed = Some(seed);
+        self
+    }
+
+    /// Replicates the POX compare controller behind per-guard control
+    /// voters (see [`ControlReplication`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics for any kind other than [`ScenarioKind::Pox3`].
+    pub fn with_control_replication(mut self, replication: ControlReplication) -> Scenario {
+        assert!(
+            self.kind == ScenarioKind::Pox3,
+            "control replication only applies to Pox3"
+        );
+        self.control_replication = Some(replication);
         self
     }
 
@@ -433,6 +570,8 @@ impl Scenario {
                     routers: vec![r],
                     compare: None,
                     controller: None,
+                    controllers: vec![],
+                    voters: vec![],
                     replica_links: vec![(l1, l2)],
                 }
             }
@@ -464,6 +603,8 @@ impl Scenario {
                     routers,
                     compare: None,
                     controller: None,
+                    controllers: vec![],
+                    voters: vec![],
                     replica_links,
                 }
             }
@@ -484,6 +625,8 @@ impl Scenario {
                     routers,
                     compare: None,
                     controller: None,
+                    controllers: vec![],
+                    voters: vec![],
                     replica_links,
                 }
             }
@@ -524,6 +667,109 @@ impl Scenario {
                     routers,
                     compare: Some(cmp),
                     controller: None,
+                    controllers: vec![],
+                    voters: vec![],
+                    replica_links,
+                }
+            }
+            ScenarioKind::Pox3 if self.control_replication.is_some() => {
+                // Replicated control plane: the guards talk to per-guard
+                // voters, which fan every packet-in out to all controller
+                // replicas and release only majority-voted flow-mods /
+                // packet-outs. Construction order matters — controllers
+                // first (the voters need their ids at construction), then
+                // voters, then guards; the remaining cross-references are
+                // wired up post-add via `device_mut`.
+                let cr = self.control_replication.clone().expect("checked above");
+                let cfg = self.compare_config();
+                let tick = (cfg.hold_time / 4).max(SimDuration::from_micros(100));
+                let mut ctls = Vec::with_capacity(cr.controllers);
+                for j in 0..cr.controllers {
+                    let app = PoxCompareApp::new(cfg.clone());
+                    let device: Box<dyn Device> = match &cr.byzantine {
+                        Some(b) if b.controller_index == j => Box::new(
+                            Controller::new(ByzantineApp::new(app, b.behavior, b.window))
+                                .with_tick(tick),
+                        ),
+                        _ => Box::new(Controller::new(app).with_tick(tick)),
+                    };
+                    ctls.push(world.add_node(format!("pox{j}"), device, p.controller_cpu.clone()));
+                }
+                let voters: Vec<NodeId> = (1..=2u16)
+                    .map(|j| {
+                        world.add_node(
+                            format!("voter{j}"),
+                            ControlVoter::new(cr.voter.clone(), ctls.clone()),
+                            p.controller_cpu.clone(),
+                        )
+                    })
+                    .collect();
+                let mk_guard = |voter: NodeId| {
+                    GuardSwitch::new(GuardConfig {
+                        host_port: PortId(0),
+                        replica_ports: (1..=k as u16).map(PortId).collect(),
+                        compare: CompareAttachment::Controller(voter),
+                        sample_probability: 1.0,
+                        embedded_compare: None,
+                        primary_forward: false,
+                    })
+                };
+                let s1 = world.add_node("s1", mk_guard(voters[0]), p.guard_cpu.clone());
+                let s2 = world.add_node("s2", mk_guard(voters[1]), p.guard_cpu.clone());
+                let (routers, replica_links) = self.wire_replicas(&mut world, s1, s2, k);
+                world.connect(h1, PortId(0), s1, PortId(0), p.link.clone());
+                world.connect(s2, PortId(0), h2, PortId(0), p.link.clone());
+                world.connect_control(s1, voters[0], p.control_channel.clone());
+                world.connect_control(s2, voters[1], p.control_channel.clone());
+                for &v in &voters {
+                    for &c in &ctls {
+                        world.connect_control(v, c, p.control_channel.clone());
+                    }
+                }
+                for (&v, &guard) in voters.iter().zip([s1, s2].iter()) {
+                    world
+                        .device_mut::<ControlVoter>(v)
+                        .expect("voter exists")
+                        .set_guard(guard);
+                }
+                let lane = || LaneInfo {
+                    replica_ports: (1..=k as u16).collect(),
+                    host_port: 0,
+                };
+                for (j, &c) in ctls.iter().enumerate() {
+                    let ctl = world
+                        .device_mut::<Controller>(c)
+                        .expect("controller exists");
+                    ctl.manage(voters[0]);
+                    ctl.manage(voters[1]);
+                    let is_byzantine = cr
+                        .byzantine
+                        .as_ref()
+                        .is_some_and(|b| b.controller_index == j);
+                    if is_byzantine {
+                        let app = ctl
+                            .app_mut::<ByzantineApp<PoxCompareApp>>()
+                            .expect("byzantine pox app");
+                        for &v in &voters {
+                            app.inner_mut().attach_guard(v, lane());
+                        }
+                    } else {
+                        let app = ctl.app_mut::<PoxCompareApp>().expect("pox app");
+                        for &v in &voters {
+                            app.attach_guard(v, lane());
+                        }
+                    }
+                }
+                BuiltScenario {
+                    world,
+                    h1,
+                    h2,
+                    guards: vec![s1, s2],
+                    routers,
+                    compare: None,
+                    controller: ctls.first().copied(),
+                    controllers: ctls,
+                    voters,
                     replica_links,
                 }
             }
@@ -582,15 +828,28 @@ impl Scenario {
                     routers,
                     compare: None,
                     controller: Some(ctl),
+                    controllers: vec![ctl],
+                    voters: vec![],
                     replica_links,
                 }
             }
         };
-        if !self.replica_faults.is_empty() {
+        let control_faults = self
+            .control_replication
+            .as_ref()
+            .map(|cr| cr.controller_faults.clone())
+            .unwrap_or_default();
+        if !self.replica_faults.is_empty() || !control_faults.is_empty() {
             let mut plan = FaultPlan::new(self.fault_seed.unwrap_or(seed));
             for (idx, kind) in &self.replica_faults {
                 let (l1, l2) = built.replica_links[*idx];
                 plan = plan.with(l1, kind.clone()).with(l2, kind.clone());
+            }
+            for (idx, kind) in &control_faults {
+                let c = built.controllers[*idx];
+                for &v in &built.voters {
+                    plan = plan.control_fault_bidir(v, c, kind.clone());
+                }
             }
             built.world.apply_fault_plan(&plan);
         }
@@ -1008,6 +1267,75 @@ mod tests {
     fn pox3_pings_survive_the_controller_path() {
         let report = functional(ScenarioKind::Pox3).run_ping(PingConfig::default().with_count(5));
         assert_eq!(report.received, 5);
+    }
+
+    #[test]
+    fn replicated_pox3_pings_survive_the_voted_controller_path() {
+        let scenario =
+            functional(ScenarioKind::Pox3).with_control_replication(ControlReplication::new(3));
+        let report = scenario.run_ping(PingConfig::default().with_count(5));
+        assert_eq!(report.received, 5, "voted control plane must still deliver");
+    }
+
+    #[test]
+    fn replicated_pox3_tolerates_one_equivocating_controller() {
+        let scenario = functional(ScenarioKind::Pox3).with_control_replication(
+            ControlReplication::new(3).with_byzantine(
+                1,
+                ByzantineBehavior::Equivocate { every_nth: 1 },
+                netco_sim::ActivationWindow::always(),
+            ),
+        );
+        let cfg = PingConfig::default().with_count(10);
+        let total = cfg.start_after + cfg.interval * cfg.count as u64 + SimDuration::from_secs(1);
+        let mut built =
+            scenario.build_world(0, |nic| Pinger::new(nic, cfg), IcmpEchoResponder::new);
+        built.world.run_for(total);
+        let report = built.world.device::<Pinger>(built.h1).unwrap().report();
+        assert_eq!(report.received, 10, "2-of-3 controller majority must hold");
+        // Both voters must have rejected the liar's votes.
+        for &v in &built.voters {
+            let stats = built.world.device::<ControlVoter>(v).unwrap().stats();
+            assert!(stats.voted > 0, "voter must have released messages");
+            assert!(
+                stats.disagreements[1] > 0,
+                "controller 1's equivocation must be counted: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_pox3_survives_a_rolling_restart() {
+        let scenario = functional(ScenarioKind::Pox3).with_control_replication(
+            ControlReplication::new(3).rolling_restart(
+                SimTime::ZERO + SimDuration::from_millis(100),
+                SimDuration::from_millis(200),
+                SimDuration::from_millis(400),
+            ),
+        );
+        let report = scenario.run_ping(
+            PingConfig::default()
+                .with_count(20)
+                .with_interval(SimDuration::from_millis(75)),
+        );
+        assert_eq!(
+            report.received, 20,
+            "one controller down at a time must not cost a ping"
+        );
+    }
+
+    #[test]
+    fn replicated_pox3_is_deterministic() {
+        let build = || {
+            functional(ScenarioKind::Pox3)
+                .with_control_replication(ControlReplication::new(3).with_byzantine(
+                    0,
+                    ByzantineBehavior::Equivocate { every_nth: 2 },
+                    netco_sim::ActivationWindow::always(),
+                ))
+                .run_ping(PingConfig::default().with_count(10))
+        };
+        assert_eq!(build(), build());
     }
 
     #[test]

@@ -7,14 +7,17 @@
 //!
 //! Run with: `cargo run --example observability`
 //!
-//! Pass `--json` to print the quarantine run's canonical metrics
-//! snapshot as a single JSON document on stdout (nothing else), suitable
-//! for piping into `python3 -m json.tool` or CI artifact checks.
+//! Pass `--json` to print one canonical metrics snapshot as a single JSON
+//! document on stdout (nothing else), suitable for piping into
+//! `python3 -m json.tool` or CI artifact checks. The snapshot combines the
+//! data-plane quarantine run and the control-plane voting run (the
+//! `ctlvote.*` cells) in one registry.
 
 use netco_adversary::{ActivationWindow, Behavior};
+use netco_bench::control_chaos;
 use netco_controller::apps::FlowStatsMonitor;
 use netco_controller::Controller;
-use netco_core::{Compare, SecurityEvent, SupervisorConfig};
+use netco_core::{Compare, ControlVoter, SecurityEvent, SupervisorConfig};
 use netco_net::{CpuModel, PortId, TraceRecorder};
 use netco_openflow::{FlowMatch, OfSwitch};
 use netco_sim::{SimDuration, SimTime};
@@ -25,12 +28,18 @@ use netco_traffic::{IcmpEchoResponder, PingConfig, Pinger};
 fn main() {
     if std::env::args().any(|a| a == "--json") {
         // Machine mode: one canonical registry snapshot, nothing else.
-        let (_, sink) = run_quarantine_scenario();
+        // Both chaos worlds feed the same sink, so the document carries
+        // the data-plane lifecycle histograms *and* the control-plane
+        // `ctlvote.*` cells.
+        let sink = TelemetrySink::enabled();
+        let _ = run_quarantine_scenario(sink.clone());
+        let _ = control_chaos::run_with_sink(Some(sink.clone()));
         print!("{}", sink.metrics_json());
         return;
     }
     mirror_attack_screening();
     quarantine_timeline();
+    control_vote_timeline();
 }
 
 /// A combiner whose replica r1 mirrors fw-bound packets the wrong way,
@@ -134,9 +143,9 @@ fn mirror_attack_screening() {
     );
 }
 
-/// Builds and runs the flapping-replica scenario with telemetry on,
-/// returning the finished world and its sink.
-fn run_quarantine_scenario() -> (BuiltScenario, TelemetrySink) {
+/// Builds and runs the flapping-replica scenario feeding `sink`,
+/// returning the finished world.
+fn run_quarantine_scenario(sink: TelemetrySink) -> BuiltScenario {
     let at_ms = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
     let scenario = Scenario::build(ScenarioKind::Central3, Profile::functional(), 33)
         .with_miss_alarm_threshold(3)
@@ -168,10 +177,9 @@ fn run_quarantine_scenario() -> (BuiltScenario, TelemetrySink) {
         },
         IcmpEchoResponder::new,
     );
-    let sink = TelemetrySink::enabled();
-    built.world.set_telemetry(sink.clone());
+    built.world.set_telemetry(sink);
     built.world.run_for(SimDuration::from_secs(2));
-    (built, sink)
+    built
 }
 
 /// Screening method 4: the supervisor's own event log. A flapping replica
@@ -179,7 +187,8 @@ fn run_quarantine_scenario() -> (BuiltScenario, TelemetrySink) {
 /// replica is re-admitted — all visible as timestamped security events and
 /// as packet-lifecycle latency histograms in the registry snapshot.
 fn quarantine_timeline() {
-    let (built, sink) = run_quarantine_scenario();
+    let sink = TelemetrySink::enabled();
+    let built = run_quarantine_scenario(sink.clone());
 
     let report = built.world.device::<Pinger>(built.h1).unwrap().report();
     println!("\nquarantine timeline (r2 flaps 3×, supervisor attached):");
@@ -243,4 +252,53 @@ fn quarantine_timeline() {
     println!(
         "  (run with --json for the full canonical snapshot; a chrome-trace\n   of the same scenario comes from `perf_report --telemetry <dir>`)"
     );
+}
+
+/// Screening method 5: the replicated control plane's own vote counters.
+/// Controller `pox1` equivocates for half a second; each guard's voter
+/// out-votes it, counts the disagreements against exactly that replica,
+/// and the supervisor runs it through quarantine and back.
+fn control_vote_timeline() {
+    let sink = TelemetrySink::enabled();
+    let built = control_chaos::run_with_sink(Some(sink.clone()));
+
+    let report = built.world.device::<Pinger>(built.h1).unwrap().report();
+    println!("\ncontrol-plane voting (pox1 equivocates 150–650 ms, 3 replicas):");
+    println!(
+        "  pings          : {}/{}",
+        report.received, report.transmitted
+    );
+    for &v in &built.voters {
+        let scope = built.world.node_name(v).to_string();
+        let voter = built.world.device::<ControlVoter>(v).unwrap();
+        let stats = voter.stats();
+        println!(
+            "  {scope}: sent {} voted {} rejected {} relayed {} disagreements {:?}",
+            stats.sent, stats.voted, stats.rejected, stats.relayed, stats.disagreements
+        );
+        for e in voter.events().iter() {
+            let interesting = matches!(
+                e.record,
+                SecurityEvent::ReplicaQuarantined { .. }
+                    | SecurityEvent::ReplicaProbation { .. }
+                    | SecurityEvent::ReplicaReadmitted { .. }
+                    | SecurityEvent::ModeDegraded { .. }
+                    | SecurityEvent::ModeRestored { .. }
+            );
+            if interesting {
+                println!(
+                    "    [{:>7.3} ms] {}",
+                    e.at.as_nanos() as f64 / 1e6,
+                    e.record
+                );
+            }
+        }
+        let lat = sink
+            .histogram(&format!("ctlvote.{scope}.vote_latency_ns"))
+            .snapshot();
+        println!(
+            "    vote latency: count {:>4}  p50 {:>7}  p99 {:>7}  max {:>7}",
+            lat.count, lat.p50, lat.p99, lat.max
+        );
+    }
 }
