@@ -34,6 +34,11 @@
 //!    sides of every pair run with identical zero observers); a separate
 //!    untimed tapped pair per worker count checks that the
 //!    order-sensitive tap digest stays bit-identical (it must).
+//! 9. Topology campaign — the [`netco_topogen::campaign`] smoke sweep
+//!    (2 generated classes × k ∈ {2, 3} × 2 adversary fractions, ~100
+//!    routed ping tests per cell), run twice; reports per-cell
+//!    availability, stretch and the tap digest, plus the rerun and
+//!    region-count bit-identity verdicts (the BENCH_PR9 record).
 //!
 //! Everything simulated is deterministic; wall-clock rates vary with the
 //! host. Run with `cargo run --release -p netco-bench --bin perf_report`.
@@ -58,6 +63,7 @@ use netco_net::{Frame, MacAddr, TapDirection};
 use netco_openflow::{Action, FlowEntry, FlowMatch, FlowTable, OfPort, PacketFields};
 use netco_sim::{SimDuration, SimTime};
 use netco_topo::{Profile, Scenario, ScenarioKind, H2_IP};
+use netco_topogen::campaign::{run_campaign, CampaignConfig, CellOutcome};
 use netco_traffic::{TcpConfig, TcpReceiver, TcpSender};
 
 /// Total pops per scheduler churn measurement.
@@ -604,6 +610,32 @@ fn region_scale_points() -> Vec<RegionScalePoint> {
         .collect()
 }
 
+struct TopoCampaignSection {
+    label: String,
+    cells: Vec<CellOutcome>,
+    rerun_identical: bool,
+    region_parallel_identical: bool,
+    zero_fraction_availability_pct: f64,
+}
+
+/// The topogen smoke campaign, run twice on the same pool: the second
+/// run must reproduce the first bit for bit (`rerun_identical`), the
+/// first cell must survive the space-parallel executor at 2 and 4
+/// regions (`region_parallel_identical`), and every adversary-free cell
+/// must deliver every ping.
+fn topo_campaign_section(pool: &Pool) -> TopoCampaignSection {
+    let cfg = CampaignConfig::smoke(7);
+    let first = run_campaign(&cfg, pool);
+    let second = run_campaign(&cfg, pool);
+    TopoCampaignSection {
+        label: cfg.label,
+        rerun_identical: first == second,
+        region_parallel_identical: first.region_parallel_identical,
+        zero_fraction_availability_pct: first.zero_fraction_availability_pct,
+        cells: first.cells,
+    }
+}
+
 /// `--telemetry <dir>` from argv: run the canonical chaos scenario with a
 /// telemetry sink installed and dump the metrics snapshot plus the
 /// chrome://tracing document into `<dir>`.
@@ -673,6 +705,8 @@ fn main() {
     let (sweeps, identical) = sweep_points(&counts, scale);
     netco_net::reset_memo_stats();
     let region = region_scale_points();
+    netco_net::reset_memo_stats();
+    let campaign = topo_campaign_section(&Pool::new(counts.iter().copied().max().unwrap_or(2)));
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("{{");
     println!("  \"scheduler_wheel_events_per_sec\": {wheel:.0},");
@@ -768,6 +802,40 @@ fn main() {
             p.digest_identical
         );
     }
-    println!("  ]");
+    println!("  ],");
+    println!("  \"topo_campaign\": {{");
+    println!("    \"label\": \"{}\",", campaign.label);
+    println!("    \"rerun_identical\": {},", campaign.rerun_identical);
+    println!(
+        "    \"region_parallel_identical\": {},",
+        campaign.region_parallel_identical
+    );
+    println!(
+        "    \"zero_fraction_availability_pct\": {:.2},",
+        campaign.zero_fraction_availability_pct
+    );
+    println!("    \"cells\": [");
+    for (i, c) in campaign.cells.iter().enumerate() {
+        let comma = if i + 1 < campaign.cells.len() {
+            ","
+        } else {
+            ""
+        };
+        println!(
+            "      {{\"class\": \"{}\", \"k\": {}, \"adversary_fraction\": {:.2}, \"switches\": {}, \"adversarial\": {}, \"tests\": {}, \"received\": {}, \"availability_pct\": {:.2}, \"mean_stretch\": {:.3}, \"digest\": \"{:#018x}\"}}{comma}",
+            c.class,
+            c.k,
+            c.adversary_fraction,
+            c.switches,
+            c.adversarial,
+            c.tests,
+            c.received,
+            c.availability_pct,
+            c.mean_stretch,
+            c.digest
+        );
+    }
+    println!("    ]");
+    println!("  }}");
     println!("}}");
 }

@@ -18,14 +18,20 @@
 //!
 //! Every link has positive latency, so the region partitioner never has
 //! to contract grid edges and the lookahead matrix is fully populated.
+//!
+//! The lattice geometry — staggered latencies, host MAC scheme, payload
+//! sizes, replica datapath ids — lives in [`netco_topogen::lattice`]
+//! ([`RowGrid`]), shared with the campaign engine's generators; the
+//! `grid_lattice_digest` test pins this world bit for bit against the
+//! pre-topogen builder.
 
 use bytes::{BufMut, Bytes, BytesMut};
 use netco_core::{CompareConfig, GuardConfig, GuardSwitch};
 use netco_net::packet::{EtherType, EthernetFrame};
 use netco_net::{Ctx, Device, Frame, LinkSpec, MacAddr, NodeId, PortId, World};
 use netco_openflow::{Action, FlowEntry, FlowMatch, OfPort, OfSwitch, SwitchConfig};
-use netco_sim::SimDuration;
 use netco_topo::Profile;
+use netco_topogen::lattice::RowGrid;
 
 /// Replicas per NetCo cell (the paper's k = 3 prevent configuration).
 const REPLICAS: u16 = 3;
@@ -123,34 +129,20 @@ impl GridWorld {
     }
 }
 
-/// West-side host MAC for `row`.
-fn west_mac(row: u16) -> MacAddr {
-    MacAddr::local(0x1000 + 2 * row as u32)
-}
-
-/// East-side host MAC for `row`.
-fn east_mac(row: u16) -> MacAddr {
-    MacAddr::local(0x1000 + 2 * row as u32 + 1)
-}
-
-/// Staggered positive link latency so rows drift out of phase.
-fn grid_latency(row: usize, cell: usize) -> SimDuration {
-    SimDuration::from_micros(3 + ((row * 7 + cell * 3) % 7) as u64)
-}
-
 /// Builds a `rows × cells` grid of inband NetCo cells with one endless
-/// ping-pong flow per row. `seed` feeds the world RNG (CPU jitter).
+/// ping-pong flow per row. `seed` feeds the world RNG (CPU jitter). The
+/// geometry constants all come from the shared [`RowGrid`] lattice.
 pub fn build_grid(rows: usize, cells: usize, seed: u64) -> GridWorld {
-    assert!(rows > 0 && cells > 0, "grid must be non-empty");
+    let lattice = RowGrid::new(rows, cells);
     let profile = Profile::default();
     let mut world = World::new(seed);
     let mut hosts = Vec::with_capacity(rows);
     let mut switches = 0;
 
     for row in 0..rows as u16 {
-        let wm = west_mac(row);
-        let em = east_mac(row);
-        let payload = 64 + (row as usize * 13) % 400;
+        let wm = RowGrid::west_mac(row);
+        let em = RowGrid::east_mac(row);
+        let payload = RowGrid::payload_len(row);
         let west = world.add_node(
             format!("h{row}w"),
             PingPongHost::new(wm, em, row, payload, true),
@@ -185,10 +177,10 @@ pub fn build_grid(rows: usize, cells: usize, seed: u64) -> GridWorld {
                 )),
                 profile.guard_cpu.clone(),
             );
-            let spec = LinkSpec::new(1_000_000_000, grid_latency(row as usize, cell));
+            let spec = LinkSpec::new(1_000_000_000, lattice.latency(row as usize, cell));
             for i in 1..=REPLICAS {
                 let mut r = OfSwitch::new(SwitchConfig::with_datapath_id(
-                    0x4000_0000 | (row as u64) << 16 | (cell as u64) << 4 | i as u64,
+                    RowGrid::replica_datapath_id(row as usize, cell, i),
                 ));
                 // Port 1 faces the west guard, port 2 the east guard.
                 r.preinstall(FlowEntry::new(
@@ -209,7 +201,7 @@ pub fn build_grid(rows: usize, cells: usize, seed: u64) -> GridWorld {
             let (wn, wp) = west_edge;
             world.connect(wn, wp, ga, PortId(0), spec.clone());
             west_edge = (gb, PortId(0));
-            switches += 2 + REPLICAS as usize;
+            switches += RowGrid::switches_per_cell(REPLICAS as usize);
         }
         let (wn, wp) = west_edge;
         world.connect(
@@ -217,7 +209,7 @@ pub fn build_grid(rows: usize, cells: usize, seed: u64) -> GridWorld {
             wp,
             east,
             PortId(0),
-            LinkSpec::new(1_000_000_000, grid_latency(row as usize, cells)),
+            LinkSpec::new(1_000_000_000, lattice.latency(row as usize, cells)),
         );
         hosts.push((west, east));
     }
@@ -232,6 +224,7 @@ pub fn build_grid(rows: usize, cells: usize, seed: u64) -> GridWorld {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use netco_sim::SimDuration;
 
     #[test]
     fn grid_carries_traffic_end_to_end() {

@@ -20,6 +20,15 @@
 //! the canonical bytes keeps equivocation detectable and re-admission
 //! reachable.
 //!
+//! By default the vote circulates only the **128-bit fingerprint** of
+//! each canonical encoding: the voter retains one full copy per vote key
+//! (first-seen) and feeds 16-byte fingerprint frames into the compare
+//! core, so memory and byte-compares no longer scale with `k` full
+//! OpenFlow outputs per in-flight vote. The released artifact is the
+//! retained canonical copy, byte-identical to what full-copy voting
+//! releases; [`ControlVoterConfig::vote_full_copies`] keeps the original
+//! full-copy path available as a differential baseline.
+//!
 //! Degradation mirrors the data plane: with a
 //! [`SupervisorConfig`](crate::SupervisorConfig) attached, a disagreeing
 //! or silent controller accrues strikes, is quarantined (its outputs are
@@ -59,6 +68,12 @@ pub struct ControlVoterConfig {
     pub supervisor: Option<SupervisorConfig>,
     /// Vote-cache capacity in entries.
     pub cache_capacity: usize,
+    /// Vote full canonical encodings through the compare core instead of
+    /// their 128-bit fingerprints. The fingerprint vote (default) retains
+    /// exactly one full copy per vote key and must release byte-identical
+    /// artifacts; this flag keeps the original full-copy path as the
+    /// differential baseline (`tests/byzantine_controller.rs`).
+    pub vote_full_copies: bool,
 }
 
 impl Default for ControlVoterConfig {
@@ -68,6 +83,7 @@ impl Default for ControlVoterConfig {
             miss_alarm_threshold: 64,
             supervisor: None,
             cache_capacity: 4096,
+            vote_full_copies: false,
         }
     }
 }
@@ -90,6 +106,12 @@ impl ControlVoterConfig {
         self.supervisor = Some(supervisor);
         self
     }
+
+    /// Builder: votes full canonical copies (the pre-fingerprint baseline).
+    pub fn with_full_copy_votes(mut self) -> ControlVoterConfig {
+        self.vote_full_copies = true;
+        self
+    }
 }
 
 /// Vote-plane counters (a façade over the live telemetry cells).
@@ -107,6 +129,14 @@ pub struct ControlVoterStats {
     pub disagreements: Vec<u64>,
     /// Controller messages that did not decode as OpenFlow.
     pub invalid: u64,
+    /// High-water mark of full canonical bytes retained for in-flight
+    /// votes. Zero when voting full copies — the copies then live in the
+    /// compare cache instead, one per vote entry.
+    pub retained_bytes_peak: u64,
+    /// Order-sensitive digest over `(time, bytes)` of every artifact
+    /// released to the guard — the byte-identity witness the fingerprint
+    /// vote is checked against the full-copy baseline with.
+    pub release_digest: u64,
 }
 
 /// The replicated-control-plane voter device. See the module docs.
@@ -122,9 +152,24 @@ pub struct ControlVoter {
     invalid: Counter,
     disagreements: Vec<Counter>,
     vote_latency: Histogram,
-    /// First-seen time per canonical vote key, for the vote-latency
-    /// histogram; pruned on sweeps.
-    first_seen: HashMap<u128, SimTime>,
+    /// Per-vote-key bookkeeping, pruned on sweeps: the first-seen time
+    /// (vote-latency histogram) and — when voting fingerprints — the one
+    /// retained full canonical copy, released on majority.
+    pending: HashMap<u128, (SimTime, Option<Bytes>)>,
+    vote_full_copies: bool,
+    /// Full canonical bytes currently retained in `pending`, and its
+    /// high-water mark (the memory the fingerprint vote pays instead of
+    /// `k` full copies in the compare cache).
+    retained_bytes: u64,
+    retained_bytes_peak: u64,
+    release_digest: u64,
+}
+
+/// SplitMix64 — the workspace's standard digest mixer.
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl ControlVoter {
@@ -145,6 +190,7 @@ impl ControlVoter {
             .with_cache_capacity(cfg.cache_capacity);
         compare_cfg.miss_alarm_threshold = cfg.miss_alarm_threshold;
         compare_cfg.supervisor = cfg.supervisor;
+        let vote_full_copies = cfg.vote_full_copies;
         let mut core = CompareCore::new(compare_cfg);
         core.attach_lane(
             VOTE_LANE,
@@ -167,7 +213,11 @@ impl ControlVoter {
             relayed: Counter::detached(),
             invalid: Counter::detached(),
             vote_latency: Histogram::detached(),
-            first_seen: HashMap::new(),
+            pending: HashMap::new(),
+            vote_full_copies,
+            retained_bytes: 0,
+            retained_bytes_peak: 0,
+            release_digest: 0,
         }
     }
 
@@ -185,6 +235,8 @@ impl ControlVoter {
             relayed: self.relayed.get(),
             disagreements: self.disagreements.iter().map(|c| c.get()).collect(),
             invalid: self.invalid.get(),
+            retained_bytes_peak: self.retained_bytes_peak,
+            release_digest: self.release_digest,
         }
     }
 
@@ -232,18 +284,49 @@ impl ControlVoter {
         self.controllers.iter().position(|&c| c == node)
     }
 
+    /// The vote key of a frame circulating in the embedded core: its own
+    /// fingerprint when voting full copies, the decoded 16-byte payload
+    /// when voting fingerprints.
+    fn vote_key(&self, frame: &Frame) -> u128 {
+        if self.vote_full_copies {
+            frame.fp128()
+        } else {
+            let mut fp = [0u8; 16];
+            fp.copy_from_slice(&frame.bytes()[..16]);
+            u128::from_be_bytes(fp)
+        }
+    }
+
     fn apply_actions(&mut self, ctx: &mut Ctx<'_>, actions: Vec<CompareAction>) {
         let now = ctx.now();
         for action in actions {
             match action {
                 CompareAction::Release { frame, .. } => {
                     self.voted.inc();
-                    if let Some(t0) = self.first_seen.remove(&frame.fp128()) {
+                    let key = self.vote_key(&frame);
+                    let mut retained = None;
+                    if let Some((t0, copy)) = self.pending.remove(&key) {
                         self.vote_latency
                             .record(now.saturating_since(t0).as_nanos());
+                        if let Some(bytes) = copy {
+                            self.retained_bytes -= bytes.len() as u64;
+                            retained = Some(bytes);
+                        }
                     }
+                    // A fingerprint release always finds its retained copy:
+                    // every observe inserts the pending entry before the
+                    // core can reach quorum, and the prune horizon outlives
+                    // the cache's.
+                    debug_assert!(
+                        self.vote_full_copies || retained.is_some(),
+                        "fingerprint vote released without its retained copy"
+                    );
+                    let artifact = retained.unwrap_or_else(|| frame.into_bytes());
+                    self.release_digest = splitmix(self.release_digest ^ now.as_nanos());
+                    self.release_digest =
+                        splitmix(self.release_digest ^ netco_net::fnv1a(&artifact));
                     if let Some(guard) = self.guard {
-                        ctx.send_control(guard, frame.into_bytes());
+                        ctx.send_control(guard, artifact);
                     }
                 }
                 CompareAction::BlockReplicaPort { .. } => {
@@ -284,8 +367,20 @@ impl ControlVoter {
                 let now = ctx.now();
                 self.sent.inc();
                 let frame = Frame::from(canon);
-                self.first_seen.entry(frame.fp128()).or_insert(now);
-                let actions = self.core.observe(VOTE_LANE, index as u16 + 1, frame, now);
+                let key = frame.fp128();
+                let vote = if self.vote_full_copies {
+                    self.pending.entry(key).or_insert((now, None));
+                    frame
+                } else {
+                    if !self.pending.contains_key(&key) {
+                        self.retained_bytes += frame.bytes().len() as u64;
+                        self.retained_bytes_peak =
+                            self.retained_bytes_peak.max(self.retained_bytes);
+                        self.pending.insert(key, (now, Some(frame.bytes().clone())));
+                    }
+                    Frame::from(Bytes::copy_from_slice(&key.to_be_bytes()))
+                };
+                let actions = self.core.observe(VOTE_LANE, index as u16 + 1, vote, now);
                 self.apply_actions(ctx, actions);
             }
             Canonical::Opaque(message, xid) => match *message {
@@ -348,10 +443,19 @@ impl Device for ControlVoter {
         let actions = self.core.sweep(now);
         self.apply_actions(ctx, actions);
         // Entries that expired unreleased never hit the latency histogram;
-        // drop their first-seen stamps once they are safely past expiry.
+        // drop their stamps (and retained copies) once safely past expiry.
         let horizon = self.core.config().hold_time * 2;
-        self.first_seen
-            .retain(|_, &mut t0| now.saturating_since(t0) < horizon);
+        let mut freed = 0;
+        self.pending.retain(|_, (t0, retained)| {
+            if now.saturating_since(*t0) < horizon {
+                return true;
+            }
+            if let Some(bytes) = retained {
+                freed += bytes.len() as u64;
+            }
+            false
+        });
+        self.retained_bytes -= freed;
         ctx.schedule_timer(self.sweep_interval(), SWEEP_TIMER);
     }
 
@@ -580,6 +684,54 @@ mod tests {
             assert_eq!(msgs[0].2, pi, "relay must be byte-identical, xid included");
         }
         assert_eq!(w.device::<ControlVoter>(v).unwrap().stats().relayed, 3);
+    }
+
+    /// The fingerprint vote against the full-copy baseline: identical
+    /// released bytes at identical times, identical semantic counters —
+    /// only the memory profile differs.
+    #[test]
+    fn fingerprint_vote_matches_full_copy_vote_byte_for_byte() {
+        let t = SimDuration::from_millis(1);
+        let scripts = || {
+            [
+                vec![
+                    (t, packet_out(b"decision", 10)),
+                    (t + t, packet_out(b"second", 4)),
+                ],
+                vec![
+                    (t, packet_out(b"decision", 77)),
+                    (t + t, packet_out(b"second", 8)),
+                ],
+                vec![
+                    (t, packet_out(b"EVIL!!!!", 3)),
+                    (t + t, packet_out(b"second", 2)),
+                ],
+            ]
+        };
+        let run = |cfg: ControlVoterConfig| {
+            let (mut w, guard, v, _) = world_with(scripts(), cfg);
+            w.run_for(SimDuration::from_millis(100));
+            let msgs = w.device::<ControlCollector>(guard).unwrap().msgs.clone();
+            let stats = w.device::<ControlVoter>(v).unwrap().stats();
+            (msgs, stats)
+        };
+        let (fp_msgs, fp) = run(ControlVoterConfig::default());
+        let (full_msgs, full) = run(ControlVoterConfig::default().with_full_copy_votes());
+        assert_eq!(
+            fp_msgs, full_msgs,
+            "released artifacts must be byte-identical, times included"
+        );
+        assert_eq!(fp_msgs.len(), 2, "both decisions released exactly once");
+        assert_eq!(fp.release_digest, full.release_digest);
+        assert!(
+            fp.retained_bytes_peak > 0,
+            "fingerprint vote retains a copy"
+        );
+        assert_eq!(full.retained_bytes_peak, 0, "baseline retains in the cache");
+        assert_eq!(
+            (fp.sent, fp.voted, fp.rejected, &fp.disagreements),
+            (full.sent, full.voted, full.rejected, &full.disagreements)
+        );
     }
 
     #[test]

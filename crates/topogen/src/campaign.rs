@@ -1,0 +1,524 @@
+//! The combiner-everywhere campaign engine: size × class ×
+//! adversarial-replica-fraction × k sweeps over NetCo-ized generated
+//! topologies, reported as deterministic JSON.
+//!
+//! Every cell of the sweep generates its class's base graph, NetCo-izes
+//! *every* router ([`NetcoizeSpec::full`]), corrupts a seeded fraction
+//! of the replica switches ([`AdversarySpec`]) and drives hundreds of
+//! routed ping tests through the built world. Cells fan out across the
+//! [`Pool`] (each cell's world runs sequentially, so the report is
+//! bit-identical at every `NETCO_THREADS`); one cell is additionally
+//! re-run under the space-parallel executor at two region counts and
+//! its tap digest compared, witnessing that region count does not move
+//! the report either. No wall-clock value enters the JSON.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use netco_harness::Pool;
+use netco_net::{TapDirection, World};
+use netco_sim::{SimDuration, SimTime};
+use netco_topo::Profile;
+use netco_traffic::{IcmpEchoResponder, PingConfig, Pinger};
+
+use crate::build::{build_world, AdversarySpec, BuiltTopo};
+use crate::generate;
+use crate::graph::TopoGraph;
+use crate::netcoize::{netcoize, NetcoizeSpec};
+
+/// One topology class of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClassSpec {
+    /// 2D grid, `rows × cols` routers.
+    Grid {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// Erdős–Rényi `G(n, p)` at the given expected degree.
+    ErdosRenyi {
+        /// Router count.
+        n: usize,
+        /// Expected degree (sets `p`).
+        avg_degree: f64,
+    },
+    /// Barabási-Albert preferential attachment.
+    BarabasiAlbert {
+        /// Router count.
+        n: usize,
+        /// Links per new router.
+        m: usize,
+    },
+    /// Watts-Strogatz small world.
+    WattsStrogatz {
+        /// Router count.
+        n: usize,
+        /// Ring neighbors (even).
+        k_neighbors: usize,
+        /// Rewiring probability.
+        beta: f64,
+    },
+    /// The `netco_topo::fattree` Clos fabric (host count fixed by the
+    /// arity; the `hosts` knob is ignored).
+    FatTree {
+        /// Fat-tree arity (even).
+        k: usize,
+    },
+}
+
+impl ClassSpec {
+    /// Stable class label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClassSpec::Grid { .. } => "grid",
+            ClassSpec::ErdosRenyi { .. } => "erdos_renyi",
+            ClassSpec::BarabasiAlbert { .. } => "barabasi_albert",
+            ClassSpec::WattsStrogatz { .. } => "watts_strogatz",
+            ClassSpec::FatTree { .. } => "fat_tree",
+        }
+    }
+
+    /// Generates the class's base graph with `hosts` hosts.
+    pub fn graph(&self, hosts: usize, seed: u64) -> TopoGraph {
+        match *self {
+            ClassSpec::Grid { rows, cols } => generate::grid2d(rows, cols, false, hosts, seed),
+            ClassSpec::ErdosRenyi { n, avg_degree } => {
+                generate::erdos_renyi(n, avg_degree, hosts, seed)
+            }
+            ClassSpec::BarabasiAlbert { n, m } => generate::barabasi_albert(n, m, hosts, seed),
+            ClassSpec::WattsStrogatz {
+                n,
+                k_neighbors,
+                beta,
+            } => generate::watts_strogatz(n, k_neighbors, beta, hosts, seed),
+            ClassSpec::FatTree { k } => generate::fat_tree(k, seed),
+        }
+    }
+}
+
+/// The full sweep description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Report label (`"full"` / `"smoke"`).
+    pub label: String,
+    /// Topology classes.
+    pub classes: Vec<ClassSpec>,
+    /// Replica counts per cell (2 = Detect, ≥3 = Prevent).
+    pub ks: Vec<usize>,
+    /// Fractions of replica switches made adversarial.
+    pub adversary_fractions: Vec<f64>,
+    /// Ping pairs per cell (capped at half the host count).
+    pub pairs: usize,
+    /// Echo requests per pair.
+    pub pings_per_pair: u32,
+    /// Hosts attached to generated classes (fat-tree fixes its own).
+    pub hosts: usize,
+    /// Simulated run length per cell, in milliseconds.
+    pub run_ms: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl CampaignConfig {
+    /// The headline campaign: 5 classes × k ∈ {2, 3, 5} × 3 adversary
+    /// fractions, 240 routed ping tests per cell. The grid class at
+    /// k = 2 is a 400-switch NetCo-ized world (272 guards + 128
+    /// replicas); larger k go well past that.
+    pub fn full(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            label: "full".into(),
+            classes: vec![
+                ClassSpec::Grid { rows: 8, cols: 8 },
+                ClassSpec::ErdosRenyi {
+                    n: 64,
+                    avg_degree: 4.0,
+                },
+                ClassSpec::BarabasiAlbert { n: 64, m: 2 },
+                ClassSpec::WattsStrogatz {
+                    n: 64,
+                    k_neighbors: 4,
+                    beta: 0.1,
+                },
+                ClassSpec::FatTree { k: 6 },
+            ],
+            ks: vec![2, 3, 5],
+            adversary_fractions: vec![0.0, 0.2, 0.5],
+            pairs: 24,
+            pings_per_pair: 10,
+            hosts: 48,
+            run_ms: 300,
+            seed,
+        }
+    }
+
+    /// The CI smoke campaign: ≤ 100 switches per cell, 2 classes,
+    /// k ∈ {2, 3}, 104 tests per cell — small enough for a timeout'd
+    /// rerun-twice bit-identity check.
+    pub fn smoke(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            label: "smoke".into(),
+            classes: vec![
+                ClassSpec::Grid { rows: 3, cols: 3 },
+                ClassSpec::BarabasiAlbert { n: 10, m: 2 },
+            ],
+            ks: vec![2, 3],
+            adversary_fractions: vec![0.0, 0.4],
+            pairs: 13,
+            pings_per_pair: 8,
+            hosts: 26,
+            run_ms: 200,
+            seed,
+        }
+    }
+}
+
+/// What one sweep cell measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// Class label.
+    pub class: String,
+    /// Replicas per NetCo cell.
+    pub k: usize,
+    /// Adversarial replica fraction.
+    pub adversary_fraction: f64,
+    /// Switch count of the NetCo-ized world (guards + replicas).
+    pub switches: usize,
+    /// Guard count.
+    pub guards: usize,
+    /// Replica count.
+    pub replicas: usize,
+    /// How many replicas actually misbehave.
+    pub adversarial: usize,
+    /// Echo requests sent (the cell's test count).
+    pub tests: u32,
+    /// Echo replies received.
+    pub received: u32,
+    /// `received / tests`, percent.
+    pub availability_pct: f64,
+    /// Mean hop stretch vs. the un-NetCo-ized base graph, from the
+    /// index form.
+    pub mean_stretch: f64,
+    /// Delivered echo payload rate over the simulated run, bits/s.
+    pub goodput_bps: f64,
+    /// Reply-weighted mean RTT, nanoseconds (0 when nothing arrived).
+    pub avg_rtt_ns: u64,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Order-sensitive tap digest of the cell's frame stream.
+    pub digest: u64,
+}
+
+/// A finished campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// One outcome per sweep cell, in sweep order (class-major, then
+    /// k, then fraction).
+    pub cells: Vec<CellOutcome>,
+    /// Whether the first cell's tap digest was identical under the
+    /// space-parallel executor at 2 and 4 regions.
+    pub region_parallel_identical: bool,
+    /// Minimum availability over the adversary-free cells (the paper's
+    /// baseline claim: the combiner is transparent — 100.0 expected).
+    pub zero_fraction_availability_pct: f64,
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Folds every tap observation into one order-sensitive digest (the
+/// `region_determinism` witness, reused as the campaign's bit-identity
+/// evidence).
+fn install_digest_tap(world: &mut World) -> Rc<RefCell<u64>> {
+    let acc = Rc::new(RefCell::new(0u64));
+    let tap_acc = Rc::clone(&acc);
+    world.add_tap(move |ev| {
+        let mut d = *tap_acc.borrow();
+        d = splitmix(d ^ ev.at.as_nanos());
+        d = splitmix(d ^ ev.node.index() as u64);
+        d = splitmix(d ^ ev.port.0 as u64);
+        d = splitmix(d ^ matches!(ev.direction, TapDirection::Tx) as u64);
+        d = splitmix(d ^ netco_net::fnv1a(ev.frame));
+        *tap_acc.borrow_mut() = d;
+    });
+    acc
+}
+
+/// One sweep coordinate.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    class_idx: usize,
+    k: usize,
+    frac_idx: usize,
+}
+
+/// The two graphs a cell runs on: the base class graph (stretch
+/// denominator) and its fully NetCo-ized form.
+fn cell_graphs(cfg: &CampaignConfig, cell: Cell) -> (TopoGraph, TopoGraph) {
+    let class = &cfg.classes[cell.class_idx];
+    // Base graph depends on class only, so stretch and availability are
+    // comparable across k and fraction within a class.
+    let base = class.graph(cfg.hosts, cfg.seed.wrapping_add(cell.class_idx as u64));
+    let netco = netcoize(&base, &NetcoizeSpec::full(cell.k, cfg.seed));
+    (base, netco)
+}
+
+fn cell_adversary(cfg: &CampaignConfig, cell: Cell) -> AdversarySpec {
+    AdversarySpec {
+        fraction: cfg.adversary_fractions[cell.frac_idx],
+        seed: splitmix(cfg.seed ^ ((cell.k as u64) << 32) ^ cell.frac_idx as u64),
+        every_nth: 1,
+    }
+}
+
+/// Builds a cell's world: ping pairs `(2p, 2p+1)` with per-pair
+/// identifiers and staggered starts, echo responders everywhere else.
+fn cell_world(cfg: &CampaignConfig, cell: Cell, netco: &TopoGraph) -> (BuiltTopo, usize) {
+    let pairs = cfg.pairs.min(netco.hosts.len() / 2);
+    let adversary = cell_adversary(cfg, cell);
+    let world_seed = splitmix(
+        cfg.seed ^ ((cell.class_idx as u64) << 48) ^ ((cell.k as u64) << 24) ^ cell.frac_idx as u64,
+    );
+    let built = build_world(
+        netco,
+        &Profile::default(),
+        world_seed,
+        |h, nic| {
+            let pair = h / 2;
+            if h % 2 == 0 && pair < pairs {
+                let cfg = PingConfig {
+                    dst_ip: netco.hosts[h + 1].ip,
+                    count: cfg.pings_per_pair,
+                    interval: SimDuration::from_millis(10),
+                    payload_len: 56,
+                    identifier: pair as u16 + 1,
+                    start_after: SimDuration::from_micros((pair as u64 % 16) * 500),
+                };
+                Box::new(Pinger::new(nic, cfg))
+            } else {
+                Box::new(IcmpEchoResponder::new(nic))
+            }
+        },
+        Some(&adversary),
+    );
+    (built, pairs)
+}
+
+fn run_cell(cfg: &CampaignConfig, cell: Cell) -> CellOutcome {
+    let (base, netco) = cell_graphs(cfg, cell);
+    let (mut built, pairs) = cell_world(cfg, cell, &netco);
+    let digest = install_digest_tap(&mut built.world);
+    built
+        .world
+        .run_until(SimTime::from_nanos(cfg.run_ms * 1_000_000));
+
+    let mut tests = 0u32;
+    let mut received = 0u32;
+    let mut rtt_weighted_ns = 0u128;
+    let mut stretch_sum = 0.0;
+    let mut stretch_n = 0usize;
+    for pair in 0..pairs {
+        let report = built
+            .world
+            .device::<Pinger>(built.host_ids[2 * pair])
+            .expect("pinger device")
+            .report();
+        tests += report.transmitted;
+        received += report.received;
+        if let Some(avg) = report.avg {
+            rtt_weighted_ns += avg.as_nanos() as u128 * report.received as u128;
+        }
+        if let (Some(nh), Some(bh)) = (
+            netco.route_hops(2 * pair, 2 * pair + 1),
+            base.route_hops(2 * pair, 2 * pair + 1),
+        ) {
+            if bh > 0 {
+                stretch_sum += nh as f64 / bh as f64;
+                stretch_n += 1;
+            }
+        }
+    }
+    let (_, guards, replicas) = netco.kind_counts();
+    CellOutcome {
+        class: cfg.classes[cell.class_idx].label().into(),
+        k: cell.k,
+        adversary_fraction: cfg.adversary_fractions[cell.frac_idx],
+        switches: netco.switch_count(),
+        guards,
+        replicas,
+        adversarial: built.adversarial.len(),
+        tests,
+        received,
+        availability_pct: if tests == 0 {
+            0.0
+        } else {
+            received as f64 / tests as f64 * 100.0
+        },
+        mean_stretch: if stretch_n == 0 {
+            0.0
+        } else {
+            stretch_sum / stretch_n as f64
+        },
+        goodput_bps: received as f64 * 56.0 * 8.0 * 1000.0 / cfg.run_ms as f64,
+        avg_rtt_ns: if received == 0 {
+            0
+        } else {
+            (rtt_weighted_ns / received as u128) as u64
+        },
+        events: built.world.events_processed(),
+        digest: {
+            let d = *digest.borrow();
+            d
+        },
+    }
+}
+
+/// Re-runs the first sweep cell under the space-parallel executor at
+/// the given region count and returns its tap digest.
+fn region_digest(cfg: &CampaignConfig, cell: Cell, pool: &Pool, regions: usize) -> u64 {
+    let (_, netco) = cell_graphs(cfg, cell);
+    let (mut built, _) = cell_world(cfg, cell, &netco);
+    let digest = install_digest_tap(&mut built.world);
+    built
+        .world
+        .run_until_parallel(SimTime::from_nanos(cfg.run_ms * 1_000_000), pool, regions);
+    let d = *digest.borrow();
+    d
+}
+
+/// Runs the whole sweep, fanning cells across `pool`.
+pub fn run_campaign(cfg: &CampaignConfig, pool: &Pool) -> CampaignResult {
+    let mut sweep = Vec::new();
+    for class_idx in 0..cfg.classes.len() {
+        for &k in &cfg.ks {
+            for frac_idx in 0..cfg.adversary_fractions.len() {
+                sweep.push(Cell {
+                    class_idx,
+                    k,
+                    frac_idx,
+                });
+            }
+        }
+    }
+    let cells = pool.map(&sweep, |&cell| run_cell(cfg, cell));
+    // Region-count independence witness: the first cell, re-run under
+    // the space-parallel executor, must reproduce its sequential digest.
+    let first = sweep[0];
+    let sequential = cells[0].digest;
+    let region_parallel_identical = [2, 4]
+        .into_iter()
+        .all(|regions| region_digest(cfg, first, pool, regions) == sequential);
+    let zero_fraction_availability_pct = cells
+        .iter()
+        .filter(|c| c.adversary_fraction == 0.0)
+        .map(|c| c.availability_pct)
+        .fold(f64::INFINITY, f64::min);
+    CampaignResult {
+        cells,
+        region_parallel_identical,
+        zero_fraction_availability_pct,
+    }
+}
+
+/// Renders the campaign as deterministic JSON (stable key order, fixed
+/// decimal places, no wall-clock values).
+pub fn render_json(cfg: &CampaignConfig, result: &CampaignResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"label\": \"{}\",\n", cfg.label));
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!(
+        "  \"classes\": [{}],\n",
+        cfg.classes
+            .iter()
+            .map(|c| format!("\"{}\"", c.label()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"ks\": [{}],\n",
+        cfg.ks
+            .iter()
+            .map(|k| k.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"adversary_fractions\": [{}],\n",
+        cfg.adversary_fractions
+            .iter()
+            .map(|f| format!("{f:.2}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!("  \"pairs\": {},\n", cfg.pairs));
+    out.push_str(&format!("  \"pings_per_pair\": {},\n", cfg.pings_per_pair));
+    out.push_str(&format!("  \"run_ms\": {},\n", cfg.run_ms));
+    out.push_str(&format!(
+        "  \"region_parallel_identical\": {},\n",
+        result.region_parallel_identical
+    ));
+    out.push_str(&format!(
+        "  \"zero_fraction_availability_pct\": {:.2},\n",
+        result.zero_fraction_availability_pct
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in result.cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"class\": \"{}\", \"k\": {}, \"adversary_fraction\": {:.2}, \
+             \"switches\": {}, \"guards\": {}, \"replicas\": {}, \"adversarial\": {}, \
+             \"tests\": {}, \"received\": {}, \"availability_pct\": {:.2}, \
+             \"mean_stretch\": {:.3}, \"goodput_bps\": {:.1}, \"avg_rtt_ns\": {}, \
+             \"events\": {}, \"digest\": \"{:#018x}\"}}{}\n",
+            c.class,
+            c.k,
+            c.adversary_fraction,
+            c.switches,
+            c.guards,
+            c.replicas,
+            c.adversarial,
+            c.tests,
+            c.received,
+            c.availability_pct,
+            c.mean_stretch,
+            c.goodput_bps,
+            c.avg_rtt_ns,
+            c.events,
+            c.digest,
+            if i + 1 == result.cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_campaign_is_deterministic_and_available() {
+        let cfg = CampaignConfig::smoke(7);
+        let pool = Pool::new(2);
+        let a = run_campaign(&cfg, &pool);
+        let b = run_campaign(&cfg, &Pool::new(1));
+        assert_eq!(a, b, "thread count must not move the campaign");
+        assert_eq!(render_json(&cfg, &a), render_json(&cfg, &b));
+        assert!(a.region_parallel_identical);
+        assert_eq!(a.cells.len(), 2 * 2 * 2);
+        assert_eq!(a.zero_fraction_availability_pct, 100.0);
+        for c in &a.cells {
+            assert!(c.switches <= 100, "smoke cells stay small");
+            assert_eq!(c.tests, 13 * 8);
+            assert!(c.mean_stretch >= 1.0);
+            if c.adversary_fraction == 0.0 {
+                assert_eq!(c.received, c.tests, "combiner must be transparent");
+                assert!(c.avg_rtt_ns > 0);
+                assert!(c.goodput_bps > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! The pure topology index form: nodes, links, host attachment points
+//! and MAC-destination route tables, computable without a simulator.
+//!
+//! A [`TopoGraph`] plays the role [`netco_topo::FatTreeIndex`]
+//! plays for the Clos fabric, generalized to arbitrary graphs: every
+//! question the campaign engine asks — connectivity, path lengths,
+//! stretch, egress ports — is answered on this value, and
+//! [`crate::build::build_world`] translates the same indices into a
+//! wired [`netco_net::World`] so graph computations and simulated
+//! forwarding can never drift apart.
+
+use std::collections::VecDeque;
+use std::net::Ipv4Addr;
+
+use netco_net::MacAddr;
+use netco_sim::SimDuration;
+
+/// Route-table sentinel: this node has no egress for that host.
+pub const NO_ROUTE: u16 = u16::MAX;
+
+/// What a node *is* — the trust label the NetCo-ization transform
+/// assigns (generators emit plain routers only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An untrusted plain OpenFlow router.
+    Router,
+    /// A trusted inband guard: port 0 faces the outside, ports `1..=k`
+    /// face the replicas, compare embedded (paper §IX placement).
+    Guard {
+        /// Replica count of the cell this guard fronts.
+        k: usize,
+        /// `true` → Detect semantics (k = 2), `false` → Prevent.
+        detect: bool,
+    },
+    /// Untrusted replica `index` (1-based) of a NetCo-ized router; port
+    /// `j + 1` faces the cell's guard `j`.
+    Replica {
+        /// 1-based replica index within the cell.
+        index: usize,
+    },
+}
+
+/// One switch-level node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoNode {
+    /// Human-readable name (also the simulator node name).
+    pub name: String,
+    /// Trust/role label.
+    pub kind: NodeKind,
+}
+
+/// One bidirectional switch-switch link with explicit port numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoLink {
+    /// First endpoint node index.
+    pub a: usize,
+    /// Port on `a`.
+    pub a_port: u16,
+    /// Second endpoint node index.
+    pub b: usize,
+    /// Port on `b`.
+    pub b_port: u16,
+    /// Link rate in bits per second.
+    pub rate_bps: u64,
+    /// One-way propagation latency (positive, so the space-parallel
+    /// executor's lookahead matrix is always populated).
+    pub latency: SimDuration,
+}
+
+/// One host attachment point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoHost {
+    /// Node the host attaches to.
+    pub attach: usize,
+    /// Port on the attach node.
+    pub attach_port: u16,
+    /// The host NIC's MAC address (routes key on it).
+    pub mac: MacAddr,
+    /// The host NIC's IPv4 address.
+    pub ip: Ipv4Addr,
+    /// Access-link rate in bits per second.
+    pub rate_bps: u64,
+    /// Access-link one-way latency.
+    pub latency: SimDuration,
+}
+
+/// What sits on one port of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Attachment {
+    /// Link by index into [`TopoGraph::links`].
+    Link(usize),
+    /// Host by index into [`TopoGraph::hosts`].
+    Host(usize),
+}
+
+/// The pure index form of a topology. See the module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoGraph {
+    /// Topology class tag (e.g. `"barabasi_albert"`), carried into
+    /// campaign reports.
+    pub class: String,
+    /// Switch-level nodes.
+    pub nodes: Vec<TopoNode>,
+    /// Switch-switch links.
+    pub links: Vec<TopoLink>,
+    /// Host attachment points.
+    pub hosts: Vec<TopoHost>,
+    /// MAC-destination route tables: `routes[node][host]` is the egress
+    /// port of `node` for traffic to `host` ([`NO_ROUTE`] = none). Empty
+    /// until [`TopoGraph::install_shortest_path_routes`] (or
+    /// [`crate::netcoize`]) fills it.
+    pub routes: Vec<Vec<u16>>,
+}
+
+impl TopoGraph {
+    /// An empty graph of the given class.
+    pub fn new(class: impl Into<String>) -> TopoGraph {
+        TopoGraph {
+            class: class.into(),
+            nodes: Vec::new(),
+            links: Vec::new(),
+            hosts: Vec::new(),
+            routes: Vec::new(),
+        }
+    }
+
+    /// Adds a node, returning its index.
+    pub fn add_node(&mut self, name: impl Into<String>, kind: NodeKind) -> usize {
+        self.nodes.push(TopoNode {
+            name: name.into(),
+            kind,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// How many ports of `node` are already wired (links + hosts).
+    pub fn port_count(&self, node: usize) -> u16 {
+        let links = self
+            .links
+            .iter()
+            .filter(|l| l.a == node || l.b == node)
+            .count();
+        let hosts = self.hosts.iter().filter(|h| h.attach == node).count();
+        (links + hosts) as u16
+    }
+
+    /// The ports of `node` already in use, sorted.
+    fn used_ports(&self, node: usize) -> Vec<u16> {
+        let mut used: Vec<u16> = Vec::new();
+        for l in &self.links {
+            if l.a == node {
+                used.push(l.a_port);
+            }
+            if l.b == node {
+                used.push(l.b_port);
+            }
+        }
+        for h in &self.hosts {
+            if h.attach == node {
+                used.push(h.attach_port);
+            }
+        }
+        used.sort_unstable();
+        used
+    }
+
+    /// The smallest port of `node` not yet wired. Equal to
+    /// [`TopoGraph::port_count`] for densely numbered nodes, but also
+    /// correct after an edit (e.g. Watts-Strogatz rewiring) leaves a
+    /// hole in the numbering.
+    pub fn free_port(&self, node: usize) -> u16 {
+        let mut next = 0;
+        for p in self.used_ports(node) {
+            if p == next {
+                next += 1;
+            } else if p > next {
+                break;
+            }
+        }
+        next
+    }
+
+    /// Links `a` and `b` on the next free port of each (ports are
+    /// assigned in attachment-insertion order), returning the link index.
+    pub fn link(&mut self, a: usize, b: usize, rate_bps: u64, latency: SimDuration) -> usize {
+        let a_port = self.free_port(a);
+        let b_port = self.free_port(b);
+        self.link_with_ports(a, a_port, b, b_port, rate_bps, latency)
+    }
+
+    /// Links `a` port `a_port` to `b` port `b_port` with explicit ports
+    /// (generators with structured port schemes, e.g. the fat-tree).
+    pub fn link_with_ports(
+        &mut self,
+        a: usize,
+        a_port: u16,
+        b: usize,
+        b_port: u16,
+        rate_bps: u64,
+        latency: SimDuration,
+    ) -> usize {
+        assert!(a < self.nodes.len() && b < self.nodes.len(), "unknown node");
+        assert!(a != b, "self-loops are not topologies");
+        assert!(
+            !self.used_ports(a).contains(&a_port) && !self.used_ports(b).contains(&b_port),
+            "port already wired"
+        );
+        self.links.push(TopoLink {
+            a,
+            a_port,
+            b,
+            b_port,
+            rate_bps,
+            latency,
+        });
+        self.links.len() - 1
+    }
+
+    /// Whether `a` and `b` are directly linked.
+    pub fn linked(&self, a: usize, b: usize) -> bool {
+        self.links
+            .iter()
+            .any(|l| (l.a == a && l.b == b) || (l.a == b && l.b == a))
+    }
+
+    /// Attaches a host to `node` on its next free port.
+    pub fn attach_host(
+        &mut self,
+        node: usize,
+        mac: MacAddr,
+        ip: Ipv4Addr,
+        rate_bps: u64,
+        latency: SimDuration,
+    ) -> usize {
+        let port = self.free_port(node);
+        self.attach_host_at(node, port, mac, ip, rate_bps, latency)
+    }
+
+    /// Attaches a host to an explicit `(node, port)`.
+    pub fn attach_host_at(
+        &mut self,
+        node: usize,
+        port: u16,
+        mac: MacAddr,
+        ip: Ipv4Addr,
+        rate_bps: u64,
+        latency: SimDuration,
+    ) -> usize {
+        assert!(node < self.nodes.len(), "unknown node");
+        assert!(!self.used_ports(node).contains(&port), "port already wired");
+        self.hosts.push(TopoHost {
+            attach: node,
+            attach_port: port,
+            mac,
+            ip,
+            rate_bps,
+            latency,
+        });
+        self.hosts.len() - 1
+    }
+
+    /// Per-node attachments (links and hosts) sorted by port number.
+    /// The *rank* of an attachment in this list is the port index the
+    /// NetCo-ization transform keys guard and replica wiring on.
+    pub fn attachments(&self, node: usize) -> Vec<(u16, Attachment)> {
+        let mut out: Vec<(u16, Attachment)> = Vec::new();
+        for (i, l) in self.links.iter().enumerate() {
+            if l.a == node {
+                out.push((l.a_port, Attachment::Link(i)));
+            }
+            if l.b == node {
+                out.push((l.b_port, Attachment::Link(i)));
+            }
+        }
+        for (i, h) in self.hosts.iter().enumerate() {
+            if h.attach == node {
+                out.push((h.attach_port, Attachment::Host(i)));
+            }
+        }
+        out.sort_by_key(|&(p, _)| p);
+        out
+    }
+
+    /// Node adjacency in link-insertion order: `(link index, peer node,
+    /// my port)` per entry. Deterministic, so BFS tie-breaks are a pure
+    /// function of the graph.
+    pub fn adjacency(&self) -> Vec<Vec<(usize, usize, u16)>> {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for (i, l) in self.links.iter().enumerate() {
+            adj[l.a].push((i, l.b, l.a_port));
+            adj[l.b].push((i, l.a, l.b_port));
+        }
+        adj
+    }
+
+    /// Connected components over the node graph, each listed in node
+    /// order; the components themselves are ordered by smallest member.
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let adj = self.adjacency();
+        let mut seen = vec![false; self.nodes.len()];
+        let mut comps = Vec::new();
+        for start in 0..self.nodes.len() {
+            if seen[start] {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut queue = VecDeque::from([start]);
+            seen[start] = true;
+            while let Some(v) = queue.pop_front() {
+                comp.push(v);
+                for &(_, peer, _) in &adj[v] {
+                    if !seen[peer] {
+                        seen[peer] = true;
+                        queue.push_back(peer);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            comps.push(comp);
+        }
+        comps
+    }
+
+    /// Whether every node reaches every other node.
+    pub fn is_connected(&self) -> bool {
+        self.nodes.is_empty() || self.components().len() == 1
+    }
+
+    /// Installs shortest-path MAC-destination routes: for every host,
+    /// BFS over the node graph from its attach node fills
+    /// `routes[n][h]` with the egress port of `n` toward `h` (ties
+    /// broken by link-insertion order, so the table is deterministic).
+    /// Unreachable nodes keep [`NO_ROUTE`].
+    pub fn install_shortest_path_routes(&mut self) {
+        let adj = self.adjacency();
+        let n = self.nodes.len();
+        self.routes = vec![vec![NO_ROUTE; self.hosts.len()]; n];
+        // BFS once per distinct attach node, shared by co-located hosts.
+        let mut toward: Vec<Option<Vec<u16>>> = vec![None; n];
+        for h in 0..self.hosts.len() {
+            let attach = self.hosts[h].attach;
+            if toward[attach].is_none() {
+                // ports[v] = egress port of v on its shortest path to
+                // `attach`.
+                let mut ports = vec![NO_ROUTE; n];
+                let mut seen = vec![false; n];
+                let mut queue = VecDeque::from([attach]);
+                seen[attach] = true;
+                while let Some(v) = queue.pop_front() {
+                    for &(_, peer, _) in &adj[v] {
+                        if !seen[peer] {
+                            seen[peer] = true;
+                            // peer's egress toward attach is its port on
+                            // the v link.
+                            let my_port = adj[peer]
+                                .iter()
+                                .find(|&&(li, p, _)| {
+                                    p == v && {
+                                        let l = &self.links[li];
+                                        (l.a == peer && l.b == v) || (l.b == peer && l.a == v)
+                                    }
+                                })
+                                .map(|&(li, _, _)| {
+                                    let l = &self.links[li];
+                                    if l.a == peer {
+                                        l.a_port
+                                    } else {
+                                        l.b_port
+                                    }
+                                })
+                                .expect("adjacency is symmetric");
+                            // First-found parent wins: BFS order is the
+                            // deterministic tie-break.
+                            if ports[peer] == NO_ROUTE {
+                                ports[peer] = my_port;
+                            }
+                            queue.push_back(peer);
+                        }
+                    }
+                }
+                toward[attach] = Some(ports);
+            }
+            let ports = toward[attach].as_ref().expect("just filled");
+            for (v, &port) in ports.iter().enumerate() {
+                self.routes[v][h] = port;
+            }
+            // The attach node itself delivers on the host port.
+            self.routes[attach][h] = self.hosts[h].attach_port;
+        }
+    }
+
+    /// Walks the installed routes from `src` host to `dst` host and
+    /// returns the number of switch hops the frame traverses (guards,
+    /// replicas and routers each count as one hop), or `None` when no
+    /// route exists. This is the index-form path the built world's
+    /// forwarding follows, so hop stretch computed here is the stretch
+    /// the simulation pays.
+    pub fn route_hops(&self, src: usize, dst: usize) -> Option<usize> {
+        if self.routes.is_empty() {
+            return None;
+        }
+        if src == dst {
+            return Some(0);
+        }
+        // port -> (peer node, peer port) lookup per node.
+        let find_far = |node: usize, port: u16| -> Option<(usize, u16)> {
+            self.links.iter().find_map(|l| {
+                if l.a == node && l.a_port == port {
+                    Some((l.b, l.b_port))
+                } else if l.b == node && l.b_port == port {
+                    Some((l.a, l.a_port))
+                } else {
+                    None
+                }
+            })
+        };
+        let dst_attach = (self.hosts[dst].attach, self.hosts[dst].attach_port);
+        let mut node = self.hosts[src].attach;
+        let mut in_port = self.hosts[src].attach_port;
+        let mut hops = 0usize;
+        // Generous loop bound: a NetCo cell multiplies hops by 3.
+        for _ in 0..self.nodes.len() * 4 + 8 {
+            hops += 1;
+            let out = match self.nodes[node].kind {
+                NodeKind::Router | NodeKind::Replica { .. } => {
+                    let p = self.routes[node][dst];
+                    if p == NO_ROUTE {
+                        return None;
+                    }
+                    p
+                }
+                NodeKind::Guard { .. } => {
+                    // Ingress on the outward port hubs to the replicas
+                    // (any one stands for all — copies are identical);
+                    // ingress from a replica releases out the outward
+                    // port after the vote.
+                    if in_port == 0 {
+                        1
+                    } else {
+                        0
+                    }
+                }
+            };
+            if (node, out) == dst_attach {
+                return Some(hops);
+            }
+            let (peer, peer_port) = find_far(node, out)?;
+            node = peer;
+            in_port = peer_port;
+        }
+        None
+    }
+
+    /// Total switch count (`nodes.len()`, named for report readability).
+    pub fn switch_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Count of nodes of each kind: `(routers, guards, replicas)`.
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for node in &self.nodes {
+            match node.kind {
+                NodeKind::Router => counts.0 += 1,
+                NodeKind::Guard { .. } => counts.1 += 1,
+                NodeKind::Replica { .. } => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// An order-sensitive 64-bit digest over every field of the index
+    /// form — the "byte-identical `TopoGraph`" witness the determinism
+    /// proptests and campaign reports fold on.
+    pub fn digest(&self) -> u64 {
+        let mut d = fnv1a_str(0xcbf2_9ce4_8422_2325, &self.class);
+        for node in &self.nodes {
+            d = fnv1a_str(d, &node.name);
+            d = fnv1a_u64(
+                d,
+                match node.kind {
+                    NodeKind::Router => 1,
+                    NodeKind::Guard { k, detect } => 0x100 | (k as u64) << 16 | detect as u64,
+                    NodeKind::Replica { index } => 0x200 | (index as u64) << 16,
+                },
+            );
+        }
+        for l in &self.links {
+            for v in [
+                l.a as u64,
+                l.a_port as u64,
+                l.b as u64,
+                l.b_port as u64,
+                l.rate_bps,
+                l.latency.as_nanos(),
+            ] {
+                d = fnv1a_u64(d, v);
+            }
+        }
+        for h in &self.hosts {
+            for v in [
+                h.attach as u64,
+                h.attach_port as u64,
+                u64::from(u32::from(h.ip)),
+                h.rate_bps,
+                h.latency.as_nanos(),
+            ] {
+                d = fnv1a_u64(d, v);
+            }
+            d = fnv1a_str(d, &h.mac.to_string());
+        }
+        for row in &self.routes {
+            for &p in row {
+                d = fnv1a_u64(d, p as u64);
+            }
+        }
+        d
+    }
+}
+
+fn fnv1a_u64(mut d: u64, v: u64) -> u64 {
+    for byte in v.to_le_bytes() {
+        d ^= byte as u64;
+        d = d.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    d
+}
+
+fn fnv1a_str(mut d: u64, s: &str) -> u64 {
+    for byte in s.as_bytes() {
+        d ^= *byte as u64;
+        d = d.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> TopoGraph {
+        let mut g = TopoGraph::new("test");
+        let a = g.add_node("a", NodeKind::Router);
+        let b = g.add_node("b", NodeKind::Router);
+        let c = g.add_node("c", NodeKind::Router);
+        let us = SimDuration::from_micros(5);
+        g.link(a, b, 1_000_000_000, us);
+        g.link(b, c, 1_000_000_000, us);
+        g.link(a, c, 1_000_000_000, us);
+        g.attach_host(
+            a,
+            MacAddr::local(1),
+            Ipv4Addr::new(10, 0, 0, 1),
+            1_000_000_000,
+            us,
+        );
+        g.attach_host(
+            c,
+            MacAddr::local(2),
+            Ipv4Addr::new(10, 0, 0, 2),
+            1_000_000_000,
+            us,
+        );
+        g
+    }
+
+    #[test]
+    fn ports_assigned_in_attachment_order() {
+        let g = triangle();
+        // a: link0 port 0, link2 port 1, host0 port 2.
+        assert_eq!(g.links[0].a_port, 0);
+        assert_eq!(g.links[2].a_port, 1);
+        assert_eq!(g.hosts[0].attach_port, 2);
+        // b: link0 port 0, link1 port 1.
+        assert_eq!(g.links[0].b_port, 0);
+        assert_eq!(g.links[1].a_port, 1);
+    }
+
+    #[test]
+    fn shortest_path_routes_and_hops() {
+        let mut g = triangle();
+        g.install_shortest_path_routes();
+        // a -> host1 (on c): direct a-c link, port 1 on a.
+        assert_eq!(g.routes[0][1], 1);
+        // b -> host1: its b-c link, port 1 on b.
+        assert_eq!(g.routes[1][1], 1);
+        // c delivers host1 on the host port (2).
+        assert_eq!(g.routes[2][1], 2);
+        // host0 -> host1 crosses a and c: 2 switch hops.
+        assert_eq!(g.route_hops(0, 1), Some(2));
+        assert_eq!(g.route_hops(1, 0), Some(2));
+        assert_eq!(g.route_hops(0, 0), Some(0));
+    }
+
+    #[test]
+    fn components_split_and_merge() {
+        let mut g = triangle();
+        assert!(g.is_connected());
+        let d = g.add_node("d", NodeKind::Router);
+        let e = g.add_node("e", NodeKind::Router);
+        g.link(d, e, 1_000_000_000, SimDuration::from_micros(5));
+        let comps = g.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[1], vec![3, 4]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn digest_is_field_sensitive() {
+        let mut g = triangle();
+        let d0 = g.digest();
+        assert_eq!(d0, triangle().digest(), "same build, same digest");
+        g.links[1].latency = SimDuration::from_micros(6);
+        assert_ne!(d0, g.digest(), "latency change must move the digest");
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the topology generators and the NetCo-ization
+//! transform (ISSUE 9): seed determinism is byte-exact, connectivity is
+//! restored (or islands reported) for every draw, Barabási-Albert obeys
+//! its degree-sum arithmetic, Watts-Strogatz preserves node and edge
+//! counts through rewiring, and `netcoize` at fraction 0 is the identity.
+
+use netco_topogen::generate::{barabasi_albert, erdos_renyi, grid2d, watts_strogatz};
+use netco_topogen::{netcoize, NetcoizeSpec, NodeKind, TopoGraph};
+use proptest::prelude::*;
+
+/// Degree of `node` counted from the link list (host attachments are
+/// tracked separately and deliberately excluded).
+fn degree(g: &TopoGraph, node: usize) -> usize {
+    g.links
+        .iter()
+        .filter(|l| l.a == node || l.b == node)
+        .count()
+}
+
+proptest! {
+    /// Same parameters, same seed → byte-identical graphs, across every
+    /// generator family; a different seed must perturb the randomized
+    /// families.
+    #[test]
+    fn same_seed_builds_byte_identical_graphs(
+        n in 6usize..32,
+        seed in any::<u64>(),
+        hosts in 0usize..12,
+    ) {
+        let pairs = [
+            (
+                erdos_renyi(n, 3.0, hosts, seed).digest(),
+                erdos_renyi(n, 3.0, hosts, seed).digest(),
+            ),
+            (
+                barabasi_albert(n, 2, hosts, seed).digest(),
+                barabasi_albert(n, 2, hosts, seed).digest(),
+            ),
+            (
+                watts_strogatz(n, 4, 0.2, hosts, seed).digest(),
+                watts_strogatz(n, 4, 0.2, hosts, seed).digest(),
+            ),
+            (
+                grid2d(3, n.div_ceil(3), n % 2 == 0, hosts, seed).digest(),
+                grid2d(3, n.div_ceil(3), n % 2 == 0, hosts, seed).digest(),
+            ),
+        ];
+        for (a, b) in pairs {
+            prop_assert_eq!(a, b, "same seed must rebuild the same bytes");
+        }
+        // The seed must reach the wiring.
+        prop_assert_ne!(
+            erdos_renyi(n, 3.0, hosts, seed).digest(),
+            erdos_renyi(n, 3.0, hosts, seed.wrapping_add(1)).digest(),
+        );
+    }
+
+    /// Every draw either comes out connected or its islands were chained:
+    /// the emitted graph always reports exactly one component, and every
+    /// host pair is mutually routable.
+    #[test]
+    fn generated_graphs_are_connected_and_routed(
+        n in 6usize..32,
+        seed in any::<u64>(),
+        sparse in any::<bool>(),
+    ) {
+        // Sparse ER draws (avg degree 1) island frequently; the generator
+        // must chain them rather than emit an unroutable fabric.
+        let avg = if sparse { 1.0 } else { 4.0 };
+        let g = erdos_renyi(n, avg, 6, seed);
+        prop_assert_eq!(g.components().len(), 1, "islands must be chained");
+        prop_assert!(g.is_connected());
+        for a in 0..g.hosts.len() {
+            for b in 0..g.hosts.len() {
+                if a != b {
+                    prop_assert!(
+                        g.route_hops(a, b).is_some(),
+                        "host {} -> {} unroutable", a, b
+                    );
+                }
+            }
+        }
+    }
+
+    /// Barabási-Albert arithmetic: a complete `m + 1` clique plus `m`
+    /// links per later node, so the degree sum is exactly twice that, and
+    /// preferential attachment never disconnects the graph.
+    #[test]
+    fn ba_degree_sum_matches_the_attachment_arithmetic(
+        n in 8usize..40,
+        m in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(n > m + 1);
+        let g = barabasi_albert(n, m, 4, seed);
+        let m0 = m + 1;
+        let links = m0 * (m0 - 1) / 2 + (n - m0) * m;
+        prop_assert_eq!(g.links.len(), links);
+        let degree_sum: usize = (0..g.nodes.len()).map(|v| degree(&g, v)).sum();
+        prop_assert_eq!(degree_sum, 2 * links, "every link contributes two ends");
+        // Seed-clique members accrete attachment; no node exceeds them by
+        // construction of the clique (they start with the max degree).
+        prop_assert!(g.is_connected());
+    }
+
+    /// Watts-Strogatz rewiring moves far endpoints but never creates or
+    /// destroys nodes or lattice edges; only island-chaining may add.
+    #[test]
+    fn ws_rewiring_preserves_counts(
+        n in 8usize..40,
+        beta_pct in 0u32..100,
+        seed in any::<u64>(),
+    ) {
+        let k = 4;
+        let beta = f64::from(beta_pct) / 100.0;
+        let g = watts_strogatz(n, k, beta, 5, seed);
+        prop_assert_eq!(g.nodes.len(), n, "rewiring must not add nodes");
+        let lattice = n * k / 2;
+        prop_assert!(
+            g.links.len() >= lattice,
+            "rewiring must preserve the lattice edges: {} < {}",
+            g.links.len(),
+            lattice
+        );
+        if beta_pct == 0 {
+            prop_assert_eq!(
+                g.links.len(),
+                lattice,
+                "beta 0 must be exactly the ring lattice"
+            );
+        }
+        prop_assert!(g.nodes.iter().all(|node| node.kind == NodeKind::Router));
+        prop_assert!(g.is_connected());
+        // Rewiring must never double-book a (node, port) endpoint —
+        // the regression that broke `netcoize` on rewired draws.
+        let mut endpoints: Vec<(usize, u16)> = g
+            .links
+            .iter()
+            .flat_map(|l| [(l.a, l.a_port), (l.b, l.b_port)])
+            .chain(g.hosts.iter().map(|h| (h.attach, h.attach_port)))
+            .collect();
+        let total = endpoints.len();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        prop_assert_eq!(endpoints.len(), total, "duplicate (node, port) endpoint");
+    }
+
+    /// `netcoize` at fraction 0 is the identity, byte for byte; at
+    /// fraction 1 every router becomes a combiner cell with one guard per
+    /// former attachment and exactly `k` replicas per site.
+    #[test]
+    fn netcoize_fraction_zero_is_identity(
+        n in 6usize..24,
+        k in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let base = barabasi_albert(n, 2, 6, seed);
+        let zero = NetcoizeSpec { fraction: 0.0, k, seed };
+        prop_assert_eq!(
+            netcoize(&base, &zero).digest(),
+            base.digest(),
+            "fraction 0 must not touch a single byte"
+        );
+        let full = netcoize(&base, &NetcoizeSpec::full(k, seed));
+        let (routers, guards, replicas) = full.kind_counts();
+        prop_assert_eq!(routers, 0, "full netcoization leaves no bare router");
+        prop_assert_eq!(guards, 2 * base.links.len() + base.hosts.len());
+        prop_assert_eq!(replicas, n * k);
+    }
+}

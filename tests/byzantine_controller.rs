@@ -145,6 +145,72 @@ fn equivocating_controller_never_costs_a_ping() {
     std::fs::write(dir.join("vote_events.log"), rendered).expect("write vote event log");
 }
 
+/// PR-9 voter-memory satellite: the fingerprint vote (default — 16-byte
+/// fingerprints through the compare core, one retained full copy
+/// first-seen per key) against the pre-PR-9 full-copy baseline on the
+/// identical chaos world. Every artifact each voter releases to its guard
+/// must be byte-identical at the identical time (witnessed by the
+/// order-sensitive `release_digest` over `(time, bytes)`), the ping train
+/// and security-event logs must match, and only the memory profile may
+/// differ: the fingerprint voter retains full bytes itself, the baseline
+/// leaves them in the compare cache.
+#[test]
+fn fingerprint_vote_releases_byte_identical_artifacts_as_full_copy_baseline() {
+    let run_with = |voter_cfg: netco_core::ControlVoterConfig| {
+        let mut built = control_chaos::equivocating_scenario_with(voter_cfg).build_world(
+            0,
+            |nic| {
+                Pinger::new(
+                    nic,
+                    PingConfig::new(H2_IP)
+                        .with_count(100)
+                        .with_interval(SimDuration::from_millis(10)),
+                )
+            },
+            IcmpEchoResponder::new,
+        );
+        built.world.run_for(SimDuration::from_secs(2));
+        outcome(&built)
+    };
+    let fingerprint = run_with(control_chaos::voter_config());
+    let baseline = run_with(control_chaos::voter_config().with_full_copy_votes());
+
+    assert_eq!(fingerprint.report, baseline.report);
+    assert_eq!(fingerprint.voters.len(), baseline.voters.len());
+    for (i, (fp, full)) in fingerprint.voters.iter().zip(&baseline.voters).enumerate() {
+        assert_eq!(
+            fp.stats.release_digest, full.stats.release_digest,
+            "voter {i}: released artifacts diverged from the full-copy baseline"
+        );
+        assert!(fp.stats.voted > 0, "voter {i} released nothing");
+        assert_eq!(fp.log, full.log, "voter {i}: security events diverged");
+        assert_eq!(fp.quarantined, full.quarantined);
+        assert_eq!(
+            (
+                fp.stats.sent,
+                fp.stats.voted,
+                fp.stats.rejected,
+                &fp.stats.disagreements
+            ),
+            (
+                full.stats.sent,
+                full.stats.voted,
+                full.stats.rejected,
+                &full.stats.disagreements
+            ),
+            "voter {i}: semantic counters diverged"
+        );
+        assert!(
+            fp.stats.retained_bytes_peak > 0,
+            "voter {i}: fingerprint vote must retain its one full copy"
+        );
+        assert_eq!(
+            full.stats.retained_bytes_peak, 0,
+            "voter {i}: the baseline keeps full copies in the compare cache"
+        );
+    }
+}
+
 #[test]
 fn byzantine_chaos_is_bit_identical_across_reruns() {
     let a = run_chaos();
