@@ -7,17 +7,30 @@
 //! blows the wall-clock budget fails the job even though the run itself
 //! would eventually succeed.
 //!
-//! Usage: `flow_smoke [flows]`
+//! Usage: `flow_smoke [flows] [--dispatch=fast|dyn]`
+//!
+//! `--dispatch=dyn` runs the PR-9 baseline hot path (boxed dyn dispatch,
+//! modeled CPU admission, no template-frame cache) instead of the default
+//! fast path — handy for ad-hoc A/B probes outside `perf_report`.
 
-use netco_bench::flows::{peak_rss_mb, run_flow_world};
+use netco_bench::flows::{peak_rss_mb, run_flow_world_mode, DispatchMode};
 
 fn main() {
-    let flows: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100_000);
-    let first = run_flow_world(flows, 7);
-    let second = run_flow_world(flows, 7);
+    let mut flows: usize = 100_000;
+    let mut mode = DispatchMode::Fast;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--dispatch=dyn" => mode = DispatchMode::DynModeled,
+            "--dispatch=fast" => mode = DispatchMode::Fast,
+            other => {
+                if let Ok(n) = other.parse() {
+                    flows = n;
+                }
+            }
+        }
+    }
+    let first = run_flow_world_mode(flows, 7, mode);
+    let second = run_flow_world_mode(flows, 7, mode);
     let identical = first.digest == second.digest && first.events == second.events;
     let complete = second.completed == second.spawned && second.spawned == flows as u64;
     println!(

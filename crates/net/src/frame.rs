@@ -33,7 +33,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use bytes::Bytes;
 
-use crate::packet::PacketFields;
+use crate::packet::{FrameView, L4View, PacketFields};
 
 /// Running totals of memo effectiveness.
 ///
@@ -182,6 +182,7 @@ fn bump(f: impl Fn(&MemoStatsCell)) {
 struct Memo {
     fp: OnceLock<u128>,
     fields: OnceLock<PacketFields>,
+    views: OnceLock<Option<(FrameView, Option<L4View>)>>,
 }
 
 /// A data-plane frame: immutable wire bytes plus lazily-memoized derived
@@ -260,6 +261,35 @@ impl Frame {
         self.memo
             .fields
             .get_or_init(|| PacketFields::sniff(&self.bytes, 0))
+    }
+
+    /// The full structural parse (Ethernet + L3 + L4), computed on first
+    /// call and shared by all clones of this frame.
+    ///
+    /// `None` means the bytes are not a well-formed frame; an inner `None`
+    /// L4 means the L3 payload is absent, opaque, or failed to decode —
+    /// exactly the outcomes a cold [`FrameView::parse_shared`] +
+    /// [`FrameView::l4`] pair distinguishes, collapsed to what a receiver
+    /// acts on. Endpoint devices on a traffic hot path use this so that a
+    /// frame parsed (and checksum-verified) once is free for every clone.
+    pub fn views(&self) -> Option<&(FrameView, Option<L4View>)> {
+        if let Some(v) = self.memo.views.get() {
+            bump(|s| {
+                s.parse_hits.fetch_add(1, Ordering::Relaxed);
+            });
+            return v.as_ref();
+        }
+        bump(|s| {
+            s.parse_misses.fetch_add(1, Ordering::Relaxed);
+        });
+        self.memo
+            .views
+            .get_or_init(|| {
+                let view = FrameView::parse_shared(&self.bytes).ok()?;
+                let l4 = view.l4().ok().flatten();
+                Some((view, l4))
+            })
+            .as_ref()
     }
 
     /// The parsed 12-tuple with `in_port` set to this hop's ingress port.

@@ -1,7 +1,7 @@
 //! Space-parallel single-world execution: sharded regions with latency
 //! lookahead.
 //!
-//! [`World::run_until_parallel`] partitions the node graph into regions,
+//! [`crate::World::run_until_parallel`] partitions the node graph into regions,
 //! runs each region's timing wheel on its own [`netco_harness::Pool`]
 //! worker, and exploits the minimum inter-region link latency as
 //! conservative lookahead — classic null-message-free conservative PDES.
@@ -54,7 +54,8 @@ use netco_harness::Pool;
 use netco_sim::{Scheduler, SimTime, Tick};
 use netco_telemetry::TelemetrySink;
 
-use crate::world::{Event, RegionCtx, TapRecorder, World, WorldCore};
+use crate::device::DeviceStore;
+use crate::world::{Event, GenericWorld, RegionCtx, Substrate, TapRecorder, WorldCore};
 use crate::DropReason;
 
 /// A deterministic partition of a world's nodes into regions, plus the
@@ -80,8 +81,8 @@ impl RegionMap {
         self.assignment[node.index()]
     }
 
-    pub(crate) fn partition(core: &WorldCore, want: usize) -> RegionMap {
-        let n = core.devices.len();
+    pub(crate) fn partition(core: &Substrate, want: usize) -> RegionMap {
+        let n = core.names.len();
         // Union-find with path halving; zero-latency edges are contracted
         // because they would yield zero lookahead (and deadlock risk).
         let mut parent: Vec<u32> = (0..n as u32).collect();
@@ -232,14 +233,14 @@ pub fn safe_horizons(earliest: &[u64], lookahead: &[Vec<u64>]) -> (Vec<u64>, Vec
 /// One region's execution state: a full [`WorldCore`] shard (owning the
 /// region's devices; replicated read-mostly state for the rest) plus the
 /// bookkeeping the round loop needs.
-struct RegionRunner {
-    core: WorldCore,
+struct RegionRunner<D> {
+    core: WorldCore<D>,
     tick: Tick<Event>,
     last_at: u64,
     events: u64,
 }
 
-impl RegionRunner {
+impl<D: DeviceStore> RegionRunner<D> {
     /// Processes every pending event with `t <= deadline && t < horizon`.
     /// The bound is strict below the horizon: a tick exactly at the
     /// horizon could still gain same-timestamp cross-region arrivals that
@@ -287,8 +288,8 @@ impl RegionRunner {
     }
 }
 
-impl World {
-    /// Region-parallel [`run_until`](World::run_until): partitions the
+impl<D: DeviceStore> GenericWorld<D> {
+    /// Region-parallel [`run_until`](crate::World::run_until): partitions the
     /// world into (at most) `regions` regions and executes them on `pool`
     /// workers under the conservative lookahead protocol described in the
     /// [module docs](self).
@@ -296,7 +297,7 @@ impl World {
     /// Observable behaviour — tap observation order (and therefore any
     /// order-sensitive digest), per-node counters, RNG streams, drop
     /// counts, leftover event schedule and `events_processed` — is
-    /// bit-identical to sequential [`run_until`](World::run_until) at
+    /// bit-identical to sequential [`run_until`](crate::World::run_until) at
     /// every worker count and region count. Telemetry metric *values*
     /// merge deterministically; span traces and cross-region lifecycle
     /// pairing remain per-shard (documented limitation).
@@ -318,7 +319,7 @@ impl World {
         // owning shard; everything else is replicated (links and per-node
         // state merge back by ownership afterwards).
         let pending = self.core.sched.drain_all_ordered();
-        let mut runners: Vec<RegionRunner> = (0..r)
+        let mut runners: Vec<RegionRunner<D>> = (0..r)
             .map(|region| {
                 let sink = if parent_enabled {
                     TelemetrySink::enabled()
@@ -328,33 +329,40 @@ impl World {
                 let mut sched = Scheduler::new();
                 sched.attach_telemetry(&sink);
                 let core = WorldCore {
-                    sched,
-                    seed: self.core.seed,
-                    node_rngs: self.core.node_rngs.clone(),
                     devices: (0..n).map(|_| None).collect(),
-                    names: self.core.names.clone(),
-                    cpu_models: self.core.cpu_models.clone(),
-                    cpu_states: self.core.cpu_states.clone(),
-                    counters: self.core.counters.clone(),
-                    links: self.core.links.clone(),
-                    adjacency: self.core.adjacency.clone(),
-                    control: self.core.control.clone(),
-                    control_faults: self.core.control_faults.clone(),
-                    substrate_drops: [0; DropReason::COUNT],
-                    tap_rec: TapRecorder {
-                        record: self.core.tap_rec.record,
-                        ..TapRecorder::default()
+                    sub: Substrate {
+                        sched,
+                        seed: self.core.seed,
+                        node_rngs: self.core.node_rngs.clone(),
+                        names: self.core.names.clone(),
+                        cpu_models: self.core.cpu_models.clone(),
+                        cpu_states: self.core.cpu_states.clone(),
+                        // Shard sinks have the same enabledness as the
+                        // parent, so the parent's bypass bits stay valid
+                        // verbatim on every shard.
+                        cpu_bypass: self.core.cpu_bypass.clone(),
+                        bypass_enabled: self.core.bypass_enabled,
+                        counters: self.core.counters.clone(),
+                        links: self.core.links.clone(),
+                        adjacency: self.core.adjacency.clone(),
+                        control: self.core.control.clone(),
+                        control_faults: self.core.control_faults.clone(),
+                        substrate_drops: [0; DropReason::COUNT],
+                        tap_rec: TapRecorder {
+                            record: self.core.tap_rec.record,
+                            ..TapRecorder::default()
+                        },
+                        region: Some(RegionCtx {
+                            my_region: region as u32,
+                            assignment: map.assignment.clone(),
+                            outboxes: (0..r).map(|_| Vec::new()).collect(),
+                        }),
+                        tel_link_queue: sink.histogram("net.link_queue_bytes"),
+                        tel_cpu_service: sink.histogram("net.cpu_service_ns"),
+                        tel_cpu_busy: sink.counter("net.cpu_busy_ns"),
+                        tel_control_latency: sink.histogram("net.control_latency_ns"),
+                        telemetry: sink,
                     },
-                    region: Some(RegionCtx {
-                        my_region: region as u32,
-                        assignment: map.assignment.clone(),
-                        outboxes: (0..r).map(|_| Vec::new()).collect(),
-                    }),
-                    tel_link_queue: sink.histogram("net.link_queue_bytes"),
-                    tel_cpu_service: sink.histogram("net.cpu_service_ns"),
-                    tel_cpu_busy: sink.counter("net.cpu_busy_ns"),
-                    tel_control_latency: sink.histogram("net.control_latency_ns"),
-                    telemetry: sink,
                 };
                 RegionRunner {
                     core,
@@ -417,7 +425,7 @@ impl World {
         // so no thread can ever claim two). Regions are claimed per round
         // through an atomic counter for dynamic load balance.
         let w = pool.threads().min(r);
-        let runners: Vec<Mutex<RegionRunner>> = runners.into_iter().map(Mutex::new).collect();
+        let runners: Vec<Mutex<RegionRunner<D>>> = runners.into_iter().map(Mutex::new).collect();
         let horizons: Vec<AtomicU64> = {
             let earliest: Vec<u64> = runners
                 .iter()
@@ -566,7 +574,7 @@ impl World {
 
 /// Earliest pending timestamp of a shard's scheduler in ns (`u64::MAX`
 /// when idle).
-fn peek_ns(core: &WorldCore) -> u64 {
+fn peek_ns(core: &Substrate) -> u64 {
     core.sched.peek_time().map_or(u64::MAX, |t| t.as_nanos())
 }
 

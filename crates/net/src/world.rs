@@ -1,6 +1,5 @@
 //! The [`World`]: nodes, links, control channels and the event loop.
 
-use std::any::Any;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -9,7 +8,7 @@ use netco_sim::{ActivationWindow, Scheduler, SimDuration, SimRng, SimTime, Tick}
 use netco_telemetry::{Counter, Histogram, TelemetrySink};
 
 use crate::cpu::CpuModel;
-use crate::device::{Ctx, Device};
+use crate::device::{Ctx, Device, DeviceStore};
 use crate::fault::{FaultKind, FaultPlan};
 use crate::frame::Frame;
 use crate::id::{LinkId, NodeId, PortId};
@@ -465,12 +464,19 @@ impl Default for ControlChannelSpec {
     }
 }
 
-/// Everything the event loop owns. `WorldCore` is `Send` — devices, link
-/// state, schedulers and per-node RNG streams all cross threads — which is
-/// what lets the region-parallel executor move whole shards onto pool
-/// workers. The `!Send` tap closures stay behind on [`World`]; the core
-/// records observations into [`TapRecorder`] for the world to replay.
-pub(crate) struct WorldCore {
+/// Everything the event loop owns *except* the devices. `Substrate` is
+/// `Send` — link state, schedulers and per-node RNG streams all cross
+/// threads — which is what lets the region-parallel executor move whole
+/// shards onto pool workers. The `!Send` tap closures stay behind on
+/// [`World`]; the substrate records observations into [`TapRecorder`] for
+/// the world to replay.
+///
+/// Devices live in the sibling [`WorldCore`] field so that a [`Ctx`] can
+/// borrow the whole substrate mutably while the device being dispatched is
+/// borrowed from the device table — two disjoint borrows, no take/put
+/// dance on the per-event hot path, and `Ctx` stays non-generic (which
+/// keeps the [`Device`] trait object-safe).
+pub(crate) struct Substrate {
     pub(crate) sched: Scheduler<Event>,
     pub(crate) seed: u64,
     /// One deterministic stream per node, derived from `(seed, node)` so a
@@ -478,10 +484,22 @@ pub(crate) struct WorldCore {
     /// region (a single world-shared stream would interleave draws in
     /// execution order and diverge between modes).
     pub(crate) node_rngs: Vec<SimRng>,
-    pub(crate) devices: Vec<Option<Box<dyn Device>>>,
     pub(crate) names: Vec<String>,
     pub(crate) cpu_models: Vec<CpuModel>,
     pub(crate) cpu_states: Vec<CpuState>,
+    /// One bit per node: set when the node's CPU model provably cannot
+    /// delay, drop, jitter or record anything — [`CpuModel::is_ideal`],
+    /// unbounded queue, telemetry disabled. Dispatch skips `cpu_admit`
+    /// and the `CpuState` bookkeeping entirely for such nodes; the
+    /// scheduled completion (`now + 0`) and the event stream are
+    /// byte-for-byte what the modeled path would produce. Recomputed by
+    /// everything that could invalidate a bit: node insertion,
+    /// [`World::set_telemetry`], [`World::set_cpu_bypass`], region-shard
+    /// construction (which clones it).
+    pub(crate) cpu_bypass: Vec<u64>,
+    /// Master switch for the bypass (on by default); the perf harness
+    /// turns it off to measure the fully-modeled baseline.
+    pub(crate) bypass_enabled: bool,
     pub(crate) counters: Vec<NodeCounters>,
     pub(crate) links: Vec<LinkState>,
     // Dense adjacency indexed `[node][port]`: the link lookup runs once
@@ -502,7 +520,33 @@ pub(crate) struct WorldCore {
     pub(crate) tel_control_latency: Histogram,
 }
 
-impl WorldCore {
+/// The substrate plus the device table, generic over the device storage
+/// strategy `D` (see [`DeviceStore`]): `Box<dyn Device>` for the classic
+/// vtable-dispatched world, an inlined enum for the monomorphic fast
+/// path.
+pub(crate) struct WorldCore<D> {
+    /// `None` only transiently, while a region shard owns the device.
+    pub(crate) devices: Vec<Option<D>>,
+    pub(crate) sub: Substrate,
+}
+
+// The substrate fields used to live directly on `WorldCore`; deref keeps
+// the dozens of `core.sched` / `core.links` accesses (and the region
+// executor) reading naturally after the device split.
+impl<D> std::ops::Deref for WorldCore<D> {
+    type Target = Substrate;
+    fn deref(&self) -> &Substrate {
+        &self.sub
+    }
+}
+
+impl<D> std::ops::DerefMut for WorldCore<D> {
+    fn deref_mut(&mut self) -> &mut Substrate {
+        &mut self.sub
+    }
+}
+
+impl Substrate {
     pub(crate) fn now(&self) -> SimTime {
         self.sched.now()
     }
@@ -750,89 +794,183 @@ impl WorldCore {
         Some(done)
     }
 
-    /// Takes `node`'s device out, runs `f` with a [`Ctx`] over this core,
-    /// and puts the device back. Panics on re-entry.
-    pub(crate) fn with_device(
-        &mut self,
-        node: NodeId,
-        f: impl FnOnce(&mut dyn Device, &mut Ctx<'_>),
-    ) {
-        let mut device = self.devices[node.index()]
-            .take()
-            .expect("device re-entered while handling an event");
-        let mut ctx = Ctx {
-            core: &mut *self,
+    /// Whether `node`'s CPU admission provably cannot observe or alter
+    /// anything: ideal model (zero service time, so no RNG draw in
+    /// [`SimRng::jitter`]), unbounded queue (no tail drop, no hysteresis)
+    /// and telemetry disabled (nothing to record). Under those conditions
+    /// [`cpu_admit`](Substrate::cpu_admit) always returns `Some(now)` and
+    /// mutates only `pending`/`busy_until` in ways no later admission can
+    /// distinguish, so dispatch may skip it wholesale.
+    fn bypass_eligible(&self, node: usize) -> bool {
+        self.bypass_enabled
+            && self.cpu_models[node].is_ideal()
+            && self.cpu_models[node].queue_limit == usize::MAX
+            && !self.telemetry.is_enabled()
+    }
+
+    /// Reads the precomputed bypass bit for `node`.
+    #[inline(always)]
+    pub(crate) fn bypassed(&self, node: usize) -> bool {
+        (self.cpu_bypass[node >> 6] >> (node & 63)) & 1 != 0
+    }
+
+    /// Recomputes the whole bypass bitset. Called by every mutation that
+    /// could flip a bit: telemetry installation, the master switch, region
+    /// merge-back.
+    pub(crate) fn recompute_bypass(&mut self) {
+        let n = self.cpu_models.len();
+        self.cpu_bypass.clear();
+        self.cpu_bypass.resize(n.div_ceil(64), 0);
+        for i in 0..n {
+            if self.bypass_eligible(i) {
+                self.cpu_bypass[i >> 6] |= 1 << (i & 63);
+            }
+        }
+    }
+
+    /// Extends the bitset for a newly added node (cheaper than a full
+    /// recompute on every `add_node`).
+    pub(crate) fn push_bypass_bit(&mut self) {
+        let i = self.cpu_models.len() - 1;
+        if self.cpu_bypass.len() <= i >> 6 {
+            self.cpu_bypass.push(0);
+        }
+        if self.bypass_eligible(i) {
+            self.cpu_bypass[i >> 6] |= 1 << (i & 63);
+        }
+    }
+}
+
+impl<D: DeviceStore> WorldCore<D> {
+    /// Borrows `node`'s device and a [`Ctx`] over the substrate — two
+    /// disjoint field borrows, replacing the old take/put dance (which cost
+    /// an `Option` write pair per event and made re-entry a runtime panic;
+    /// re-entry is now structurally impossible because `Ctx` has no device
+    /// access).
+    #[inline(always)]
+    fn device_ctx(&mut self, node: NodeId) -> (&mut D, Ctx<'_>) {
+        let device = self.devices[node.index()]
+            .as_mut()
+            .expect("device absent (owned by a region shard)");
+        let ctx = Ctx {
+            core: &mut self.sub,
             node,
         };
-        f(device.as_mut(), &mut ctx);
-        self.devices[node.index()] = Some(device);
+        (device, ctx)
     }
 
     pub(crate) fn dispatch(&mut self, event: Event) {
         match event {
             Event::Pin => {}
             Event::Start { node } => {
-                self.with_device(node, |d, ctx| d.on_start(ctx));
+                let (d, mut ctx) = self.device_ctx(node);
+                d.dispatch_start(&mut ctx);
             }
             Event::LinkTxDone { link, dir, len } => {
-                let d = &mut self.links[link as usize].dirs[dir as usize];
+                let d = &mut self.sub.links[link as usize].dirs[dir as usize];
                 d.queued_bytes = d.queued_bytes.saturating_sub(len);
             }
             Event::FrameArrival { node, port, frame } => {
-                self.run_taps(node, port, TapDirection::Rx, frame.bytes());
-                match self.cpu_admit(node, frame.len()) {
+                let sub = &mut self.sub;
+                sub.run_taps(node, port, TapDirection::Rx, frame.bytes());
+                // CPU fast path: an ideal, unconstrained, untelemetered CPU
+                // admits instantly — schedule the completion at `now` with
+                // the same key the modeled path would use. The completion
+                // event itself is NOT inlined: same-instant FrameArrival
+                // events (key kind 3) must all deliver before any
+                // FrameProcessed (key kind 4) at that instant, exactly as
+                // the scheduler orders them.
+                if sub.bypassed(node.index()) {
+                    let now = sub.sched.now();
+                    sub.sched.schedule_at_keyed(
+                        now,
+                        Event::key_frame_processed(node, port),
+                        Event::FrameProcessed { node, port, frame },
+                    );
+                    return;
+                }
+                match sub.cpu_admit(node, frame.len()) {
                     Some(done) => {
-                        self.sched.schedule_at_keyed(
+                        sub.sched.schedule_at_keyed(
                             done,
                             Event::key_frame_processed(node, port),
                             Event::FrameProcessed { node, port, frame },
                         );
                     }
                     None => {
-                        self.counters[node.index()].port_mut(port).rx_dropped += 1;
-                        self.drop_frame(DropReason::CpuQueueFull);
+                        sub.counters[node.index()].port_mut(port).rx_dropped += 1;
+                        sub.drop_frame(DropReason::CpuQueueFull);
                     }
                 }
             }
             Event::FrameProcessed { node, port, frame } => {
-                self.cpu_states[node.index()].pending -= 1;
-                let c = self.counters[node.index()].port_mut(port);
+                // A bypassed admission never incremented `pending`; the
+                // saturating decrement also absorbs admissions that were
+                // modeled before a later `set_telemetry`/`set_cpu_bypass`
+                // flipped the node's bit mid-flight.
+                if !self.sub.bypassed(node.index()) {
+                    let s = &mut self.sub.cpu_states[node.index()];
+                    s.pending = s.pending.saturating_sub(1);
+                }
+                let c = self.sub.counters[node.index()].port_mut(port);
                 c.rx_frames += 1;
                 c.rx_bytes += frame.len() as u64;
-                self.with_device(node, |d, ctx| d.on_frame(ctx, port, frame));
+                let (d, mut ctx) = self.device_ctx(node);
+                d.dispatch_frame(&mut ctx, port, frame);
             }
-            Event::ControlArrival { to, from, msg } => match self.cpu_admit(to, msg.len()) {
-                Some(done) => {
-                    self.sched.schedule_at_keyed(
-                        done,
+            Event::ControlArrival { to, from, msg } => {
+                let sub = &mut self.sub;
+                if sub.bypassed(to.index()) {
+                    let now = sub.sched.now();
+                    sub.sched.schedule_at_keyed(
+                        now,
                         Event::key_control_processed(to, from),
                         Event::ControlProcessed { to, from, msg },
                     );
+                    return;
                 }
-                None => {
-                    self.drop_frame(DropReason::CpuQueueFull);
+                match sub.cpu_admit(to, msg.len()) {
+                    Some(done) => {
+                        sub.sched.schedule_at_keyed(
+                            done,
+                            Event::key_control_processed(to, from),
+                            Event::ControlProcessed { to, from, msg },
+                        );
+                    }
+                    None => {
+                        sub.drop_frame(DropReason::CpuQueueFull);
+                    }
                 }
-            },
+            }
             Event::ControlProcessed { to, from, msg } => {
-                self.cpu_states[to.index()].pending -= 1;
-                self.with_device(to, |d, ctx| d.on_control(ctx, from, msg));
+                if !self.sub.bypassed(to.index()) {
+                    let s = &mut self.sub.cpu_states[to.index()];
+                    s.pending = s.pending.saturating_sub(1);
+                }
+                let (d, mut ctx) = self.device_ctx(to);
+                d.dispatch_control(&mut ctx, from, msg);
             }
             Event::Timer { node, token } => {
-                self.with_device(node, |d, ctx| d.on_timer(ctx, token));
+                let (d, mut ctx) = self.device_ctx(node);
+                d.dispatch_timer(&mut ctx, token);
             }
             Event::LinkAdmin { link, enabled } => {
-                self.links[link as usize].enabled = enabled;
+                self.sub.links[link as usize].enabled = enabled;
             }
         }
     }
 }
 
 /// The complete simulated network: devices, links, control channels and the
-/// discrete-event loop tying them together.
+/// discrete-event loop tying them together, generic over the device storage
+/// strategy `D` (see [`DeviceStore`]).
 ///
-/// See the [crate documentation](crate) for an end-to-end example.
-pub struct World {
-    pub(crate) core: WorldCore,
+/// Use the [`World`] alias (`D = Box<dyn Device>`) unless you are opting a
+/// world into a monomorphic device enum (e.g. `netco-fastpath`'s
+/// `FastWorld`); see the [crate documentation](crate) for an end-to-end
+/// example.
+pub struct GenericWorld<D: DeviceStore> {
+    pub(crate) core: WorldCore<D>,
     /// The (possibly `!Send`) tap closures. The substrate never calls them
     /// directly: the core records observations and the world replays them
     /// here on the main thread (see [`TapRecord`]).
@@ -847,36 +985,77 @@ pub struct World {
     batch: Tick<Event>,
 }
 
-impl World {
+/// The classic vtable-dispatched world: every device is a `Box<dyn Device>`.
+/// This is the differential oracle for enum-dispatch worlds and the type
+/// every builder produces.
+pub type World = GenericWorld<Box<dyn Device>>;
+
+impl<D: DeviceStore> GenericWorld<D> {
     /// Creates an empty world with a deterministic RNG seed.
-    pub fn new(seed: u64) -> World {
-        World {
+    pub fn new(seed: u64) -> GenericWorld<D> {
+        GenericWorld {
             core: WorldCore {
-                sched: Scheduler::new(),
-                seed,
-                node_rngs: Vec::new(),
                 devices: Vec::new(),
-                names: Vec::new(),
-                cpu_models: Vec::new(),
-                cpu_states: Vec::new(),
-                counters: Vec::new(),
-                links: Vec::new(),
-                adjacency: Vec::new(),
-                control: HashMap::new(),
-                control_faults: HashMap::new(),
-                substrate_drops: [0; DropReason::COUNT],
-                tap_rec: TapRecorder::default(),
-                region: None,
-                telemetry: TelemetrySink::disabled(),
-                tel_link_queue: Histogram::disabled(),
-                tel_cpu_service: Histogram::disabled(),
-                tel_cpu_busy: Counter::disabled(),
-                tel_control_latency: Histogram::disabled(),
+                sub: Substrate {
+                    sched: Scheduler::new(),
+                    seed,
+                    node_rngs: Vec::new(),
+                    names: Vec::new(),
+                    cpu_models: Vec::new(),
+                    cpu_states: Vec::new(),
+                    cpu_bypass: Vec::new(),
+                    bypass_enabled: true,
+                    counters: Vec::new(),
+                    links: Vec::new(),
+                    adjacency: Vec::new(),
+                    control: HashMap::new(),
+                    control_faults: HashMap::new(),
+                    substrate_drops: [0; DropReason::COUNT],
+                    tap_rec: TapRecorder::default(),
+                    region: None,
+                    telemetry: TelemetrySink::disabled(),
+                    tel_link_queue: Histogram::disabled(),
+                    tel_cpu_service: Histogram::disabled(),
+                    tel_cpu_busy: Counter::disabled(),
+                    tel_control_latency: Histogram::disabled(),
+                },
             },
             taps: Vec::new(),
             events_processed: Counter::detached(),
             batch: Tick::new(),
         }
+    }
+
+    /// Converts this world's device table to another storage strategy `E`
+    /// (through the `Box<dyn Device>` interchange form), carrying all
+    /// substrate state — clocks, RNG streams, links, pending events —
+    /// unchanged. `fastpath::accelerate` uses this to turn a freshly built
+    /// dyn world into an enum-dispatch world.
+    pub fn map_devices<E: DeviceStore>(self) -> GenericWorld<E> {
+        GenericWorld {
+            core: WorldCore {
+                devices: self
+                    .core
+                    .devices
+                    .into_iter()
+                    .map(|slot| slot.map(|d| E::from_dyn(d.into_dyn())))
+                    .collect(),
+                sub: self.core.sub,
+            },
+            taps: self.taps,
+            events_processed: self.events_processed,
+            batch: self.batch,
+        }
+    }
+
+    /// Master switch for the zero-cost CPU fast path (on by default).
+    /// Turning it off forces every admission through the fully modeled
+    /// `cpu_admit` path — the A-leg of the perf harness's A/B pairs. The
+    /// observable simulation is identical either way (that is the point of
+    /// the bypass); only the wall-clock cost differs.
+    pub fn set_cpu_bypass(&mut self, enabled: bool) {
+        self.core.sub.bypass_enabled = enabled;
+        self.core.sub.recompute_bypass();
     }
 
     /// Installs a telemetry sink on this world: substrate instrumentation
@@ -893,6 +1072,9 @@ impl World {
         self.core.tel_cpu_busy = sink.counter("net.cpu_busy_ns");
         self.core.tel_control_latency = sink.histogram("net.control_latency_ns");
         self.core.telemetry = sink;
+        // An enabled sink must see every cpu_admit (net.cpu_service_ns /
+        // net.cpu_busy_ns), so telemetry flips bypass bits off.
+        self.core.sub.recompute_bypass();
     }
 
     /// The telemetry sink installed on this world (disabled by default).
@@ -909,15 +1091,17 @@ impl World {
         cpu: CpuModel,
     ) -> NodeId {
         let id = NodeId(self.core.devices.len() as u32);
-        self.core.devices.push(Some(Box::new(device)));
+        self.core.devices.push(Some(D::from_dyn(Box::new(device))));
+        let seed = self.core.seed;
         self.core
             .node_rngs
-            .push(WorldCore::derive_node_rng(self.core.seed, id.0));
+            .push(Substrate::derive_node_rng(seed, id.0));
         self.core.names.push(name.into());
         self.core.cpu_models.push(cpu);
         self.core.cpu_states.push(CpuState::default());
         self.core.counters.push(NodeCounters::default());
         self.core.adjacency.push(Vec::new());
+        self.core.sub.push_bypass_bit();
         self.core.sched.schedule_after_keyed(
             SimDuration::ZERO,
             Event::key_start(id),
@@ -1168,35 +1352,14 @@ impl World {
     /// Returns `None` for a wrong type or while the device is handling an
     /// event (never observable from outside the run loop).
     pub fn device<T: Device>(&self, node: NodeId) -> Option<&T> {
-        let b = self.core.devices[node.index()].as_deref()?;
-        let any: &dyn Any = b;
-        if let Some(t) = any.downcast_ref::<T>() {
-            return Some(t);
-        }
-        // Nodes added as `Box<dyn Device>` carry one extra indirection.
-        if let Some(boxed) = any.downcast_ref::<Box<dyn Device>>() {
-            let inner: &dyn Any = boxed.as_ref();
-            return inner.downcast_ref::<T>();
-        }
-        None
+        let d = self.core.devices[node.index()].as_ref()?;
+        d.inner_any().downcast_ref::<T>()
     }
 
     /// Mutable access to a device, downcast to its concrete type.
     pub fn device_mut<T: Device>(&mut self, node: NodeId) -> Option<&mut T> {
-        let b = self.core.devices[node.index()].as_deref_mut()?;
-        let is_direct = {
-            let any: &dyn Any = b;
-            any.downcast_ref::<T>().is_some()
-        };
-        let any: &mut dyn Any = b;
-        if is_direct {
-            return any.downcast_mut::<T>();
-        }
-        if let Some(boxed) = any.downcast_mut::<Box<dyn Device>>() {
-            let inner: &mut dyn Any = boxed.as_mut();
-            return inner.downcast_mut::<T>();
-        }
-        None
+        let d = self.core.devices[node.index()].as_mut()?;
+        d.inner_any_mut().downcast_mut::<T>()
     }
 
     /// Name a node was registered with.
@@ -1355,7 +1518,7 @@ impl World {
     }
 }
 
-impl std::fmt::Debug for World {
+impl<D: DeviceStore> std::fmt::Debug for GenericWorld<D> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("World")
             .field("now", &self.now())

@@ -19,7 +19,9 @@ use netco_harness::Pool;
 use netco_net::{TapDirection, World};
 use netco_sim::{SimDuration, SimTime};
 use netco_topo::Profile;
-use netco_traffic::{IcmpEchoResponder, PingConfig, Pinger};
+use netco_traffic::{
+    FlowSet, FlowSetConfig, FlowSink, IcmpEchoResponder, PingConfig, Pinger, SizeDist,
+};
 
 use crate::build::{build_world, AdversarySpec, BuiltTopo};
 use crate::generate;
@@ -118,6 +120,11 @@ pub struct CampaignConfig {
     pub run_ms: u64,
     /// Master seed.
     pub seed: u64,
+    /// Additionally run one offered-load cell (the first sweep cell's
+    /// topology driven by [`FlowSet`] sources into [`FlowSink`]s instead
+    /// of pings). Smoke-scale campaigns only — the full sweep keeps its
+    /// recorded shape.
+    pub offered_load: bool,
 }
 
 impl CampaignConfig {
@@ -149,6 +156,7 @@ impl CampaignConfig {
             hosts: 48,
             run_ms: 300,
             seed,
+            offered_load: false,
         }
     }
 
@@ -169,6 +177,7 @@ impl CampaignConfig {
             hosts: 26,
             run_ms: 200,
             seed,
+            offered_load: true,
         }
     }
 }
@@ -209,6 +218,31 @@ pub struct CellOutcome {
     pub digest: u64,
 }
 
+/// The offered-load cell: the first sweep cell's topology driven by
+/// [`FlowSet`] engines instead of pings, reporting how much of the
+/// offered traffic the NetCo-ized fabric actually delivered.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfferedLoadOutcome {
+    /// Class label of the underlying topology.
+    pub class: String,
+    /// Replicas per NetCo cell.
+    pub k: usize,
+    /// Flow sources (one per ping pair's even host).
+    pub sources: usize,
+    /// Flows spawned across all sources.
+    pub flows_spawned: u64,
+    /// Flows that sent their last byte before the deadline.
+    pub flows_completed: u64,
+    /// Packets accepted by the sinks.
+    pub packets_delivered: u64,
+    /// Payload bits/s the sources offered over the run.
+    pub offered_bps: f64,
+    /// Payload bits/s the sinks accepted over the run.
+    pub goodput_bps: f64,
+    /// Combined order-sensitive sink digest — rerun bit-identity witness.
+    pub digest: u64,
+}
+
 /// A finished campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
@@ -221,6 +255,9 @@ pub struct CampaignResult {
     /// Minimum availability over the adversary-free cells (the paper's
     /// baseline claim: the combiner is transparent — 100.0 expected).
     pub zero_fraction_availability_pct: f64,
+    /// The offered-load cell, when [`CampaignConfig::offered_load`] was
+    /// set (smoke campaigns).
+    pub offered_load: Option<OfferedLoadOutcome>,
 }
 
 fn splitmix(mut z: u64) -> u64 {
@@ -376,6 +413,80 @@ fn run_cell(cfg: &CampaignConfig, cell: Cell) -> CellOutcome {
     }
 }
 
+/// Runs the offered-load cell: the first sweep cell's adversary-free
+/// topology, with the even host of each pair running a [`FlowSet`]
+/// (fixed-size two-packet flows toward its partner) and every other
+/// host a [`FlowSink`].
+fn run_offered_load(cfg: &CampaignConfig, cell: Cell) -> OfferedLoadOutcome {
+    let (_, netco) = cell_graphs(cfg, cell);
+    let pairs = cfg.pairs.min(netco.hosts.len() / 2);
+    let world_seed = splitmix(cfg.seed ^ 0x6f66_6665_7265_6421); // "offered!"
+    let mut built = build_world(
+        &netco,
+        &Profile::default(),
+        world_seed,
+        |h, nic| {
+            let pair = h / 2;
+            if h % 2 == 0 && pair < pairs {
+                let flow_cfg = FlowSetConfig::new(netco.hosts[h + 1].ip)
+                    .with_initial_flows(40)
+                    .with_arrival_rate(0.0)
+                    .with_size_dist(SizeDist::Fixed(2_400))
+                    .with_payload_len(1_200)
+                    .with_flow_rate(10_000_000)
+                    .with_start_spread(SimDuration::from_millis(cfg.run_ms / 2))
+                    // Content-unique payloads: the compare's §V packet cache
+                    // suppresses byte-identical packets as replicated-copy
+                    // duplicates, so untagged (all-zero) flows would collapse
+                    // to ~one release per source.
+                    .with_tagged_payload(true);
+                Box::new(FlowSet::new(nic, flow_cfg))
+            } else {
+                Box::new(FlowSink::new(nic))
+            }
+        },
+        None,
+    );
+    built
+        .world
+        .run_until(SimTime::from_nanos(cfg.run_ms * 1_000_000));
+
+    let mut spawned = 0u64;
+    let mut completed = 0u64;
+    let mut offered_bytes = 0u64;
+    let mut packets = 0u64;
+    let mut goodput_bytes = 0u64;
+    let mut digest = 0u64;
+    for (h, &id) in built.host_ids.iter().enumerate() {
+        if h % 2 == 0 && h / 2 < pairs {
+            let stats = built
+                .world
+                .device::<FlowSet>(id)
+                .expect("flow source")
+                .stats();
+            spawned += stats.spawned;
+            completed += stats.completed;
+            offered_bytes += stats.bytes_sent;
+        } else if let Some(sink) = built.world.device::<FlowSink>(id) {
+            packets += sink.packets();
+            goodput_bytes += sink.bytes();
+            digest = splitmix(digest ^ sink.digest());
+        }
+    }
+    let run_s = cfg.run_ms as f64 / 1_000.0;
+    OfferedLoadOutcome {
+        class: cfg.classes[cell.class_idx].label().into(),
+        k: cell.k,
+        sources: pairs,
+        flows_spawned: spawned,
+        flows_completed: completed,
+        packets_delivered: packets,
+        offered_bps: offered_bytes as f64 * 8.0 / run_s,
+        goodput_bps: goodput_bytes as f64 * 8.0 / run_s,
+        digest,
+    }
+}
+
 /// Re-runs the first sweep cell under the space-parallel executor at
 /// the given region count and returns its tap digest.
 fn region_digest(cfg: &CampaignConfig, cell: Cell, pool: &Pool, regions: usize) -> u64 {
@@ -416,10 +527,12 @@ pub fn run_campaign(cfg: &CampaignConfig, pool: &Pool) -> CampaignResult {
         .filter(|c| c.adversary_fraction == 0.0)
         .map(|c| c.availability_pct)
         .fold(f64::INFINITY, f64::min);
+    let offered_load = cfg.offered_load.then(|| run_offered_load(cfg, first));
     CampaignResult {
         cells,
         region_parallel_identical,
         zero_fraction_availability_pct,
+        offered_load,
     }
 }
 
@@ -465,6 +578,24 @@ pub fn render_json(cfg: &CampaignConfig, result: &CampaignResult) -> String {
         "  \"zero_fraction_availability_pct\": {:.2},\n",
         result.zero_fraction_availability_pct
     ));
+    // Appended (never interleaved) so campaigns without the offered-load
+    // cell render byte-for-byte what they always did.
+    if let Some(o) = &result.offered_load {
+        out.push_str(&format!(
+            "  \"offered_load\": {{\"class\": \"{}\", \"k\": {}, \"sources\": {}, \
+             \"flows_spawned\": {}, \"flows_completed\": {}, \"packets_delivered\": {}, \
+             \"offered_bps\": {:.1}, \"goodput_bps\": {:.1}, \"digest\": \"{:#018x}\"}},\n",
+            o.class,
+            o.k,
+            o.sources,
+            o.flows_spawned,
+            o.flows_completed,
+            o.packets_delivered,
+            o.offered_bps,
+            o.goodput_bps,
+            o.digest
+        ));
+    }
     out.push_str("  \"cells\": [\n");
     for (i, c) in result.cells.iter().enumerate() {
         out.push_str(&format!(
@@ -520,5 +651,36 @@ mod tests {
                 assert!(c.goodput_bps > 0.0);
             }
         }
+        let offered = a.offered_load.as_ref().expect("smoke runs offered load");
+        assert!(offered.sources > 0);
+        assert!(offered.flows_spawned > 0, "no flows offered");
+        assert_eq!(
+            offered.flows_completed, offered.flows_spawned,
+            "every offered flow drains within the run"
+        );
+        // Fixed(2,400)-byte flows at 1,200 B/packet: two packets per flow,
+        // and the zero-adversary NetCo fabric must deliver all of them —
+        // tagged payloads keep the compare's content-keyed cache from
+        // collapsing the stream into duplicates.
+        assert_eq!(
+            offered.packets_delivered,
+            offered.flows_spawned * 2,
+            "lossless fabric delivers every offered packet"
+        );
+        assert!(offered.goodput_bps > 0.0);
+        assert!(
+            offered.goodput_bps <= offered.offered_bps,
+            "goodput cannot exceed offered load"
+        );
+        assert_eq!(
+            a.offered_load, b.offered_load,
+            "offered-load cell must be deterministic"
+        );
+    }
+
+    #[test]
+    fn full_campaign_json_has_no_offered_load_cell() {
+        let cfg = CampaignConfig::full(7);
+        assert!(!cfg.offered_load, "the full sweep keeps its recorded shape");
     }
 }

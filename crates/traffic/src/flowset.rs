@@ -19,7 +19,8 @@ use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 use netco_net::packet::builder;
-use netco_net::{Ctx, Device, Frame, HostNic, PortId};
+use netco_net::packet::L4View;
+use netco_net::{Ctx, Device, Frame, HostNic, MacAddr, PortId};
 use netco_sim::{SimDuration, SimTime};
 
 use crate::common::NIC_PORT;
@@ -103,6 +104,23 @@ pub struct FlowSetConfig {
     pub flow_rate_bps: u64,
     /// Window over which pre-spawned flows' first packets are staggered.
     pub start_spread: SimDuration,
+    /// Reuse one template frame per (destination MAC, payload length)
+    /// instead of building every packet from scratch. All packets of this
+    /// engine with equal length are byte-identical (zero payload, constant
+    /// headers, IP id 0), so emitting clones of a cached [`Frame`] is
+    /// wire-equivalent and O(1) — and every clone shares one parse memo at
+    /// the sink. Off reproduces the pre-cache (PR-9) build cost for A/B
+    /// baselines.
+    pub frame_cache: bool,
+    /// Stamp each packet's payload with the flow id and a per-engine
+    /// emission counter (16 big-endian bytes) so every packet this engine
+    /// emits is content-unique. Required when the traffic crosses a NetCo
+    /// compare: its content-keyed packet cache (paper §V) suppresses
+    /// byte-identical packets as replicated-copy duplicates, so an
+    /// all-zero-payload stream would collapse to one release per vote key.
+    /// Takes precedence over [`frame_cache`](FlowSetConfig::frame_cache)
+    /// (a unique payload has no template to share).
+    pub tagged_payload: bool,
 }
 
 impl FlowSetConfig {
@@ -123,6 +141,8 @@ impl FlowSetConfig {
             payload_len: 1200,
             flow_rate_bps: 10_000_000,
             start_spread: SimDuration::from_millis(100),
+            frame_cache: true,
+            tagged_payload: false,
         }
     }
 
@@ -165,6 +185,20 @@ impl FlowSetConfig {
     /// Builder: sets the start-stagger window for pre-spawned flows.
     pub fn with_start_spread(mut self, d: SimDuration) -> FlowSetConfig {
         self.start_spread = d;
+        self
+    }
+
+    /// Builder: enables or disables the template-frame cache (on by
+    /// default; see [`FlowSetConfig::frame_cache`]).
+    pub fn with_frame_cache(mut self, on: bool) -> FlowSetConfig {
+        self.frame_cache = on;
+        self
+    }
+
+    /// Builder: enables or disables per-packet payload tagging (off by
+    /// default; see [`FlowSetConfig::tagged_payload`]).
+    pub fn with_tagged_payload(mut self, on: bool) -> FlowSetConfig {
+        self.tagged_payload = on;
         self
     }
 
@@ -260,6 +294,10 @@ pub struct FlowSet {
     /// The deadline the earliest outstanding service timer targets.
     armed_for: Option<SimTime>,
     arrivals_until: SimTime,
+    /// Template-frame cache: the last emitted (dst MAC, payload length)
+    /// frame, cloned for every packet that matches (the overwhelmingly
+    /// common case — all full-size packets of a run are byte-identical).
+    tmpl: Option<(MacAddr, u64, Frame)>,
     stats: FlowSetStats,
 }
 
@@ -279,6 +317,7 @@ impl FlowSet {
             order: 0,
             armed_for: None,
             arrivals_until: SimTime::ZERO,
+            tmpl: None,
             stats: FlowSetStats::default(),
         }
     }
@@ -323,16 +362,7 @@ impl FlowSet {
         let i = slot as usize;
         let take = (self.cfg.payload_len as u64).min(self.remaining[i]);
         if let Some(dst_mac) = self.nic.resolve(self.cfg.dst_ip) {
-            let frame = builder::udp_frame(
-                self.nic.mac,
-                dst_mac,
-                self.nic.ip,
-                self.cfg.dst_ip,
-                self.cfg.src_port,
-                self.cfg.dst_port,
-                zero_payload(take as usize),
-                None,
-            );
+            let frame = self.frame_for(dst_mac, take, self.flow_id[i]);
             ctx.send_frame(NIC_PORT, frame);
         }
         self.remaining[i] -= take;
@@ -349,6 +379,53 @@ impl FlowSet {
         } else {
             Some(now + self.cfg.packet_gap())
         }
+    }
+
+    /// One packet's wire frame: a clone of the cached template when the
+    /// (dst MAC, length) pair matches, a fresh build otherwise. The built
+    /// frame is byte-identical either way (see
+    /// [`FlowSetConfig::frame_cache`]) — unless payload tagging is on, in
+    /// which case every packet is unique and always built fresh.
+    fn frame_for(&mut self, dst_mac: MacAddr, take: u64, flow_id: u64) -> Frame {
+        if self.cfg.tagged_payload {
+            let mut payload = vec![0u8; take as usize];
+            let mut tag = [0u8; 16];
+            tag[..8].copy_from_slice(&flow_id.to_be_bytes());
+            tag[8..].copy_from_slice(&self.stats.packets_sent.to_be_bytes());
+            let n = payload.len().min(tag.len());
+            payload[..n].copy_from_slice(&tag[..n]);
+            return Frame::from(builder::udp_frame(
+                self.nic.mac,
+                dst_mac,
+                self.nic.ip,
+                self.cfg.dst_ip,
+                self.cfg.src_port,
+                self.cfg.dst_port,
+                Bytes::from(payload),
+                None,
+            ));
+        }
+        if self.cfg.frame_cache {
+            if let Some((mac, len, f)) = &self.tmpl {
+                if *mac == dst_mac && *len == take {
+                    return f.clone();
+                }
+            }
+        }
+        let frame = Frame::from(builder::udp_frame(
+            self.nic.mac,
+            dst_mac,
+            self.nic.ip,
+            self.cfg.dst_ip,
+            self.cfg.src_port,
+            self.cfg.dst_port,
+            zero_payload(take as usize),
+            None,
+        ));
+        if self.cfg.frame_cache {
+            self.tmpl = Some((dst_mac, take, frame.clone()));
+        }
+        frame
     }
 
     /// Ensures a service timer is pending for the heap's earliest deadline.
@@ -493,10 +570,23 @@ impl Device for FlowSink {
             ctx.send_frame(NIC_PORT, reply);
             return;
         }
-        let Some(view) = self.nic.deliver_shared(frame.bytes()) else {
+        // Memoized full parse: with a template-caching [`FlowSet`] upstream
+        // every packet after the first is a clone, so the parse (and UDP
+        // checksum verification) happens once per content, not per packet.
+        // The per-NIC addressing filter still runs per frame.
+        let Some((view, l4)) = frame.views() else {
             return;
         };
-        let Ok(Some(netco_net::packet::L4View::Udp(udp))) = view.l4() else {
+        if !self.nic.accepts(&view.eth) {
+            return;
+        }
+        let Some(ip) = view.ipv4() else {
+            return;
+        };
+        if ip.dst != self.nic.ip {
+            return;
+        }
+        let Some(L4View::Udp(udp)) = l4 else {
             return;
         };
         self.packets += 1;
@@ -662,6 +752,25 @@ mod tests {
             fs.remaining.len(),
             stats.spawned
         );
+    }
+
+    #[test]
+    fn tagged_payloads_make_every_packet_unique() {
+        let (na, _) = nics();
+        let mut fs = FlowSet::new(
+            na.clone(),
+            FlowSetConfig::new(DST_IP).with_tagged_payload(true),
+        );
+        let a = fs.frame_for(MacAddr::local(2), 1200, 5);
+        fs.stats.packets_sent += 1;
+        let b = fs.frame_for(MacAddr::local(2), 1200, 5);
+        assert_ne!(a.bytes(), b.bytes(), "same flow, consecutive packets");
+        // Untagged: the identical build the template cache relies on.
+        let mut plain = FlowSet::new(na, FlowSetConfig::new(DST_IP));
+        let c = plain.frame_for(MacAddr::local(2), 1200, 5);
+        plain.stats.packets_sent += 1;
+        let d = plain.frame_for(MacAddr::local(2), 1200, 5);
+        assert_eq!(c.bytes(), d.bytes());
     }
 
     #[test]

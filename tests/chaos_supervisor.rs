@@ -9,8 +9,10 @@ use std::fmt::Write as _;
 
 use netco_bench::chaos;
 use netco_core::{Compare, EventCounts, SecurityEvent};
-use netco_sim::SimTime;
-use netco_traffic::{PingReport, Pinger};
+use netco_fastpath::accelerate;
+use netco_net::{DeviceStore, GenericWorld, NodeId};
+use netco_sim::{SimDuration, SimTime};
+use netco_traffic::{IcmpEchoResponder, PingConfig, PingReport, Pinger};
 
 /// One run's observable outcome: ping report, the compare's full security
 /// event log (timestamped), and the per-kind counters.
@@ -26,12 +28,20 @@ struct ChaosOutcome {
 /// plus the rendered telemetry artifacts when the sink was on.
 fn run_chaos_with(telemetry: bool) -> (ChaosOutcome, Option<(String, String)>) {
     let built = chaos::run(telemetry);
-    let report = built.world.device::<Pinger>(built.h1).unwrap().report();
-    let compare = built
-        .world
-        .device::<Compare>(built.compare.unwrap())
-        .unwrap();
-    let outcome = ChaosOutcome {
+    let outcome = outcome_of(&built.world, built.h1, built.compare.unwrap());
+    let artifacts = telemetry.then(|| {
+        let sink = built.world.telemetry();
+        (sink.metrics_json(), sink.trace_json())
+    });
+    (outcome, artifacts)
+}
+
+/// Extracts the observable outcome from a finished chaos world under any
+/// device storage (dyn oracle or `DeviceKind` enum dispatch).
+fn outcome_of<D: DeviceStore>(world: &GenericWorld<D>, h1: NodeId, cmp: NodeId) -> ChaosOutcome {
+    let report = world.device::<Pinger>(h1).unwrap().report();
+    let compare = world.device::<Compare>(cmp).unwrap();
+    ChaosOutcome {
         report,
         log: compare
             .events()
@@ -39,12 +49,7 @@ fn run_chaos_with(telemetry: bool) -> (ChaosOutcome, Option<(String, String)>) {
             .map(|e| (e.at, e.record.clone()))
             .collect(),
         counts: compare.stats().events,
-    };
-    let artifacts = telemetry.then(|| {
-        let sink = built.world.telemetry();
-        (sink.metrics_json(), sink.trace_json())
-    });
-    (outcome, artifacts)
+    }
 }
 
 fn run_chaos() -> ChaosOutcome {
@@ -122,6 +127,44 @@ fn chaos_run_is_bit_identical_across_reruns() {
     let b = run_chaos();
     assert_eq!(a, b, "same seed must reproduce the identical run");
     assert!(!a.log.is_empty());
+}
+
+/// PR-10 differential: the same chaos world run under enum dispatch
+/// (`DeviceKind` storage + CPU bypass) must produce the identical outcome
+/// as the dyn oracle with the bypass forced off — the fault-injection,
+/// supervisor and compare machinery all ride the fast path unchanged.
+#[test]
+fn chaos_run_is_bit_identical_under_enum_dispatch() {
+    let build = || {
+        chaos::flapping_scenario().build_world(
+            0,
+            |nic| {
+                Pinger::new(
+                    nic,
+                    PingConfig::new(netco_topo::H2_IP)
+                        .with_count(100)
+                        .with_interval(SimDuration::from_millis(10)),
+                )
+            },
+            IcmpEchoResponder::new,
+        )
+    };
+    let mut seq = build();
+    seq.world.set_cpu_bypass(false);
+    seq.world.run_for(SimDuration::from_secs(2));
+    let oracle = outcome_of(&seq.world, seq.h1, seq.compare.unwrap());
+    assert_eq!(oracle.report.received, 100);
+
+    let built = build();
+    let (h1, cmp) = (built.h1, built.compare.unwrap());
+    let mut fast = accelerate(built.world);
+    fast.run_for(SimDuration::from_secs(2));
+    assert_eq!(
+        outcome_of(&fast, h1, cmp),
+        oracle,
+        "enum dispatch diverged from the dyn oracle"
+    );
+    assert_eq!(oracle, run_chaos(), "chaos::run drifted from the oracle");
 }
 
 /// The telemetry acceptance criteria in one run: installing the sink must
